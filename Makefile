@@ -1,0 +1,32 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples selfcheck reproduce-quick reproduce-full clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script; done
+
+selfcheck:
+	$(PYTHON) -m repro.cli selfcheck
+
+# Scaled-down end-to-end reproduction (~10 minutes).
+reproduce-quick:
+	$(PYTHON) -m repro.cli all --scale 0.1 --export-dir results/quick
+
+# Paper-scale reproduction (hours).
+reproduce-full:
+	$(PYTHON) -m repro.cli all --export-dir results/full
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks results
+	find . -name __pycache__ -type d -exec rm -rf {} +

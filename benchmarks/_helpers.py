@@ -1,0 +1,9 @@
+"""Formatting helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def banner(title: str) -> str:
+    """Underlined section header for the printed paper-vs-measured rows."""
+    rule = "=" * len(title)
+    return f"\n{rule}\n{title}\n{rule}"

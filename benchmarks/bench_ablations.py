@@ -1,0 +1,126 @@
+"""Ablation benchmarks: the paper's prose claims, quantified.
+
+* SDP-ratio sweep: "deviations increase as we widen the spacing".
+* Scheduler shoot-out at 90%: proportional schedulers (WTP/BPR/PAD/HPD)
+  versus the Section 2.1 baselines on identical arrivals.
+* Additive model: heavy-load differences approach the offsets (Eq 3).
+* Proposition 2: an arbitrarily long high-class burst overtakes a
+  waiting low-class packet when condition (12) holds.
+* PLR droppers: the future-work loss extension holds proportional loss
+  ratios on an overloaded, bounded-buffer link.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    adaptive_wtp_correction,
+    additive_convergence,
+    plr_demo,
+    quantization_sweep,
+    scheduler_comparison,
+    sdp_ratio_sweep,
+    wtp_starvation_demo,
+)
+from repro.experiments.reporting import format_ablation_rows
+
+from _helpers import banner
+
+
+def test_sdp_ratio_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: sdp_ratio_sweep(horizon=2e5, warmup=1e4),
+        rounds=1, iterations=1,
+    )
+    print(banner("Ablation: accuracy vs SDP spacing (worst rel. error)"))
+    print(format_ablation_rows(rows, "sdp_ratio_sweep"))
+    # Wider spacing -> larger deviation, for both schedulers.
+    for name in ("wtp", "bpr"):
+        errors = [row.values[name] for row in rows]
+        assert errors[-1] > errors[0]
+
+
+def test_scheduler_comparison(benchmark):
+    rows = benchmark.pedantic(
+        lambda: scheduler_comparison(horizon=2e5, warmup=1e4),
+        rounds=1, iterations=1,
+    )
+    print(banner("Ablation: all schedulers on identical arrivals (rho=0.9)"))
+    print(format_ablation_rows(rows, "scheduler_comparison"))
+    by_label = {row.label: row.values for row in rows}
+    # FCFS: no differentiation.
+    assert by_label["fcfs"]["r12"] == pytest.approx(1.0, abs=0.35)
+    # PAD holds the target ratio where WTP undershoots.
+    pad_err = max(abs(by_label["pad"][f"r{i}{i + 1}"] - 2.0) for i in (1, 2, 3))
+    wtp_err = max(abs(by_label["wtp"][f"r{i}{i + 1}"] - 2.0) for i in (1, 2, 3))
+    assert pad_err <= wtp_err + 0.1
+    # Strict priority produces far larger spacing than requested.
+    assert by_label["strict"]["r12"] > by_label["wtp"]["r12"]
+
+
+def test_additive_convergence(benchmark):
+    rows = benchmark.pedantic(
+        lambda: additive_convergence(utilization=0.97, horizon=3e5, warmup=1.5e4),
+        rounds=1, iterations=1,
+    )
+    print(banner("Ablation: additive model (Eq 3) heavy-load spacing"))
+    print(format_ablation_rows(rows, "additive_convergence"))
+    for row in rows:
+        target = row.values["target_diff"]
+        measured = row.values["measured_diff"]
+        assert 0.4 * target < measured < 1.2 * target
+
+
+def test_wtp_starvation(benchmark):
+    row = benchmark.pedantic(
+        lambda: wtp_starvation_demo(burst_packets=500),
+        rounds=1, iterations=1,
+    )
+    print(banner("Ablation: WTP short-term starvation (Proposition 2)"))
+    print(format_ablation_rows([row], "wtp_starvation"))
+    assert row.values["condition_holds"] == 1.0
+    assert row.values["overtakers"] == 500.0
+
+
+def test_adaptive_wtp_correction(benchmark):
+    rows = benchmark.pedantic(
+        lambda: adaptive_wtp_correction(horizon=2e5, warmup=1e4),
+        rounds=1, iterations=1,
+    )
+    print(banner("Ablation: adaptive SDPs vs plain WTP (mean |ratio error|)"))
+    print(format_ablation_rows(rows, "adaptive_wtp_correction"))
+    # The controller repairs the moderate-load undershoot...
+    moderate = [r for r in rows if r.label in ("rho=0.72", "rho=0.8")]
+    assert all(r.values["adaptive-wtp"] < r.values["wtp"] for r in moderate)
+    # ...without wrecking the heavy-load regime.
+    heavy = next(r for r in rows if r.label == "rho=0.95")
+    assert heavy.values["adaptive-wtp"] < 0.4
+
+
+def test_quantized_wtp_tradeoff(benchmark):
+    rows = benchmark.pedantic(
+        lambda: quantization_sweep(horizon=1.5e5, warmup=7.5e3),
+        rounds=1, iterations=1,
+    )
+    print(banner("Ablation: quantized WTP (Section 4.2 implementability)"))
+    print(format_ablation_rows(rows, "quantization_sweep"))
+    by_label = {row.label: row.values["worst_error"] for row in rows}
+    # Sub-p-unit quantization is indistinguishable from exact WTP...
+    assert abs(by_label["epoch=0.1p"] - by_label["exact"]) < 0.15
+    # ...and two orders of magnitude coarser clearly is not.
+    assert by_label["epoch=100p"] > by_label["epoch=0.1p"] + 0.1
+
+
+def test_plr_loss_differentiation(benchmark):
+    row = benchmark.pedantic(
+        lambda: plr_demo(horizon=1.5e5),
+        rounds=1, iterations=1,
+    )
+    print(banner("Ablation: proportional loss-rate dropper (extension)"))
+    print(format_ablation_rows([row], "plr"))
+    assert row.values["total_drops"] > 500
+    for pair in ("l1/l2", "l2/l3"):
+        measured = row.values[f"measured_{pair}"]
+        target = row.values[f"target_{pair}"]
+        assert measured == pytest.approx(target, rel=0.35)

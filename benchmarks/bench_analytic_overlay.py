@@ -1,0 +1,43 @@
+"""Analytic overlay bench: simulator fidelity + the undershoot, in
+closed form.
+
+No single paper figure corresponds to this bench; it is the analytic
+companion to Figure 1 that the paper says it lacked tools for.  Checks:
+
+* the event-driven WTP simulator matches Kleinrock's TDP solution to a
+  few percent at every load and class (fidelity), and
+* the Kleinrock-vs-ideal gap shrinks monotonically with load -- the
+  moderate-load undershoot of Figure 1, derived rather than simulated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.analytic_overlay import format_overlay, run_analytic_overlay
+
+from _helpers import banner
+
+
+def test_analytic_overlay(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_analytic_overlay(horizon=2.5e5),
+        rounds=1, iterations=1,
+    )
+    print(banner("Analytic overlay (WTP sim vs Kleinrock vs Eq 6 ideal)"))
+    print(format_overlay(rows))
+
+    # Fidelity: simulation matches the closed form everywhere.
+    worst_sim_gap = max(row.simulation_gap for row in rows)
+    print(f"worst simulator-vs-theory gap: {worst_sim_gap:.1%}")
+    assert worst_sim_gap < 0.08
+
+    # The undershoot, analytically: mean model gap decreases with rho.
+    by_rho = {}
+    for row in rows:
+        by_rho.setdefault(row.utilization, []).append(row.model_gap)
+    means = {rho: float(np.mean(gaps)) for rho, gaps in by_rho.items()}
+    ordered = [means[rho] for rho in sorted(means)]
+    assert all(a > b for a, b in zip(ordered, ordered[1:]))
+    # At rho = 0.7 the gap is substantial (the paper's "1.5 vs 2").
+    assert means[0.7] > 0.15

@@ -1,0 +1,77 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+These are true pytest-benchmark measurements (multiple rounds): kernel
+event throughput, per-scheduler packet forwarding cost, and the Lindley
+FCFS recursion, so regressions in the hot paths are visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.conservation import fcfs_waiting_times
+from repro.schedulers import make_scheduler
+from repro.sim import Link, PacketSink, Simulator
+from repro.sim.rng import RandomStreams
+from repro.traffic import (
+    FixedPacketSize,
+    PacketIdAllocator,
+    PoissonInterarrivals,
+    TrafficSource,
+)
+
+
+def run_kernel_events(num_events: int) -> int:
+    sim = Simulator()
+
+    def chain(remaining: int) -> None:
+        if remaining:
+            sim.schedule_after(1.0, chain, remaining - 1)
+
+    sim.schedule(0.0, chain, num_events)
+    sim.run()
+    return sim.events_processed
+
+
+def test_kernel_event_throughput(benchmark):
+    processed = benchmark(run_kernel_events, 20_000)
+    assert processed == 20_001
+
+
+def forward_packets(scheduler_name: str, horizon: float = 5e3) -> int:
+    sim = Simulator()
+    streams = RandomStreams(0)
+    scheduler = make_scheduler(scheduler_name, (1.0, 2.0, 4.0, 8.0))
+    link = Link(sim, scheduler, capacity=1.0, target=PacketSink())
+    ids = PacketIdAllocator()
+    for class_id in range(4):
+        TrafficSource(
+            sim, link, class_id,
+            PoissonInterarrivals(4.0 / 0.95, streams.generator()),
+            FixedPacketSize(1.0), ids=ids,
+        ).start()
+    sim.run(until=horizon)
+    return link.departures
+
+
+def test_wtp_forwarding_throughput(benchmark):
+    departures = benchmark(forward_packets, "wtp")
+    assert departures > 3000
+
+
+def test_bpr_forwarding_throughput(benchmark):
+    departures = benchmark(forward_packets, "bpr")
+    assert departures > 3000
+
+
+def test_fcfs_forwarding_throughput(benchmark):
+    departures = benchmark(forward_packets, "fcfs")
+    assert departures > 3000
+
+
+def test_lindley_recursion_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    times = np.cumsum(rng.exponential(1.05, size=100_000))
+    sizes = np.ones(100_000)
+    waits = benchmark(fcfs_waiting_times, times, sizes, 1.0)
+    assert len(waits) == 100_000

@@ -1,0 +1,66 @@
+"""Figure 1: average-delay ratios between successive classes vs load.
+
+Paper reference (reading the plotted points):
+
+* Fig 1a (SDP ratio 2, target 2.0): ratios ~1.5 at rho=0.70, rising
+  monotonically; WTP essentially on 2.0 by rho=0.95-0.999, BPR close
+  but below WTP.
+* Fig 1b (SDP ratio 4, target 4.0): ~1.7-2.4 at rho=0.70, WTP near 4.0
+  at the highest loads, BPR lagging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure1 import (
+    SDP_RATIO_2,
+    SDP_RATIO_4,
+    FigureOneConfig,
+    format_figure1,
+    run_figure1,
+)
+
+from _helpers import banner
+
+BENCH_SCALE = dict(seeds=(1, 2), horizon=2.5e5, warmup=1.2e4)
+
+PAPER_REFERENCE = {
+    2.0: {0.70: 1.5, 0.95: 1.9, 0.999: 2.0},
+    4.0: {0.70: 1.8, 0.95: 3.2, 0.999: 4.0},
+}
+
+
+def _run(sdps):
+    config = FigureOneConfig(sdps=sdps, **BENCH_SCALE)
+    return run_figure1(config)
+
+
+@pytest.mark.parametrize(
+    "sdps,label,target",
+    [(SDP_RATIO_2, "1a", 2.0), (SDP_RATIO_4, "1b", 4.0)],
+)
+def test_figure1(benchmark, sdps, label, target):
+    points = benchmark.pedantic(_run, args=(sdps,), rounds=1, iterations=1)
+    print(banner(f"Figure {label} (desired ratio {target:g})"))
+    print(format_figure1(points))
+    reference = PAPER_REFERENCE[target]
+    print(
+        "paper reference (approx): "
+        + ", ".join(f"rho={r:g}: {v:g}" for r, v in reference.items())
+    )
+
+    wtp = {p.utilization: p for p in points if p.scheduler == "wtp"}
+    bpr = {p.utilization: p for p in points if p.scheduler == "bpr"}
+    # Shape 1: monotone-ish convergence toward the target for WTP.
+    assert wtp[0.999].mean_ratio == pytest.approx(target, rel=0.10)
+    assert wtp[0.70].mean_ratio < 0.90 * target  # documented undershoot
+    # Shape 2: accuracy improves with load.
+    assert wtp[0.95].worst_relative_error < wtp[0.70].worst_relative_error
+    # Shape 3: WTP at least as accurate as BPR in the heavy-load region.
+    wtp_err = np.mean([wtp[r].worst_relative_error for r in (0.90, 0.95)])
+    bpr_err = np.mean([bpr[r].worst_relative_error for r in (0.90, 0.95)])
+    assert wtp_err <= bpr_err * 1.2
+    # Shape 4: all plotted points are feasible DDP operating points.
+    assert all(p.feasible for p in points)

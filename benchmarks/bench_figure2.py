@@ -1,0 +1,58 @@
+"""Figure 2: delay ratios vs class load distribution at rho = 0.95.
+
+Paper reference: WTP sits on the target ratio (2.0 / 4.0) for *all*
+seven load distributions; BPR is accurate only for balanced loads and
+drifts when some classes dominate the load (highly loaded classes see
+more delay than their SDPs specify).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure1 import SDP_RATIO_2, SDP_RATIO_4
+from repro.experiments.figure2 import (
+    FigureTwoConfig,
+    format_figure2,
+    run_figure2,
+)
+
+from _helpers import banner
+
+BENCH_SCALE = dict(seeds=(1, 2), horizon=2.5e5, warmup=1.2e4)
+
+
+def _run(sdps):
+    return run_figure2(FigureTwoConfig(sdps=sdps, **BENCH_SCALE))
+
+
+@pytest.mark.parametrize(
+    "sdps,label,target",
+    [(SDP_RATIO_2, "2a", 2.0), (SDP_RATIO_4, "2b", 4.0)],
+)
+def test_figure2(benchmark, sdps, label, target):
+    points = benchmark.pedantic(_run, args=(sdps,), rounds=1, iterations=1)
+    print(banner(f"Figure {label} (desired ratio {target:g}, rho = 0.95)"))
+    print(format_figure2(points))
+    print(
+        "paper reference: WTP on target for every distribution; BPR "
+        "biased against heavily loaded classes"
+    )
+
+    wtp_errors = [
+        p.worst_relative_error for p in points if p.scheduler == "wtp"
+    ]
+    bpr_errors = [
+        p.worst_relative_error for p in points if p.scheduler == "bpr"
+    ]
+    # Shape 1: WTP stays close to target across ALL distributions.  The
+    # band is wider for SDP ratio 4: the paper's own Figure 1b shows
+    # WTP at ~3.2-3.6 (target 4) at rho = 0.95.
+    assert max(wtp_errors) < (0.35 if target == 2.0 else 0.55)
+    # Shape 2: BPR's worst case across distributions is clearly worse
+    # than WTP's worst case (load-distribution sensitivity).
+    assert max(bpr_errors) > max(wtp_errors)
+    # Shape 3: on average WTP beats BPR.
+    assert np.mean(wtp_errors) < np.mean(bpr_errors)
+    assert all(p.feasible for p in points)

@@ -1,0 +1,46 @@
+"""Figure 3: percentiles of the interval metric R_D vs timescale tau.
+
+Paper reference (SDP ratio 2, rho = 0.95, target R_D = 2.0): at
+tau = 10000 p-units both schedulers concentrate near 2.0; at small tau
+WTP's 25-75% box already brackets the target while BPR's 5-95% whiskers
+are far wider ("spread" behaviour at timescales of hundreds of p-units
+or less).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure3 import (
+    FigureThreeConfig,
+    format_figure3,
+    run_figure3,
+)
+
+from _helpers import banner
+
+BENCH_CONFIG = FigureThreeConfig(horizon=6e5, warmup=2e4)
+
+
+def _run():
+    return run_figure3(BENCH_CONFIG)
+
+
+def test_figure3(benchmark):
+    boxes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(banner("Figure 3 (R_D percentiles per monitoring timescale)"))
+    print(format_figure3(boxes))
+    print("paper reference: boxes tighten around 2.0 as tau grows; WTP "
+          "far tighter than BPR at small tau")
+
+    by_key = {(b.scheduler, b.tau_p_units): b.summary for b in boxes}
+    for scheduler in ("wtp", "bpr"):
+        small = by_key[(scheduler, 10.0)]
+        large = by_key[(scheduler, 10000.0)]
+        # Shape 1: distributions tighten with tau.
+        assert (large.p95 - large.p5) < (small.p95 - small.p5)
+        # Shape 2: at the largest tau the median is near the target.
+        assert abs(large.median - 2.0) < 0.4
+    # Shape 3: WTP's interquartile range beats BPR's at every tau.
+    for tau in BENCH_CONFIG.taus_p_units:
+        wtp = by_key[("wtp", tau)]
+        bpr = by_key[("bpr", tau)]
+        assert (wtp.p75 - wtp.p25) < (bpr.p75 - bpr.p25)

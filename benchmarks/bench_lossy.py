@@ -1,0 +1,62 @@
+"""Coupled delay+loss differentiation -- the paper's future-work regime.
+
+No paper table corresponds to this bench (the paper explicitly defers
+the coupled problem); it quantifies the two predictions Section 7
+makes about it:
+
+* a PLR dropper can hold loss ratios proportional under overload, and
+* bounded buffers compress the delay differentiation WTP can deliver
+  (short queues starve its waiting-time signal).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.lossy import LossyConfig, format_lossy, run_lossy_sweep
+
+from _helpers import banner
+
+
+def _run(buffer_packets: int):
+    config = LossyConfig(
+        buffer_packets=buffer_packets, horizon=2e5, warmup=1e4
+    )
+    return config, run_lossy_sweep(config)
+
+
+def test_lossy_coupled_differentiation(benchmark):
+    (config, points) = benchmark.pedantic(
+        _run, args=(100,), rounds=1, iterations=1
+    )
+    print(banner("Coupled delay + loss differentiation (extension)"))
+    print(format_lossy(points, config))
+
+    by_load = {p.offered_load: p for p in points}
+    # Below saturation: no loss, delays differentiated.
+    assert by_load[0.9].total_drops == 0
+    assert all(r > 1.4 for r in by_load[0.9].delay_ratios())
+    # Deep overload: loss ratios pinned to the LDP targets.
+    overloaded = by_load[1.3]
+    assert overloaded.total_drops > 500
+    for ratio in overloaded.loss_ratios():
+        assert not math.isnan(ratio)
+        assert abs(ratio - 2.0) < 0.35
+    # Delays stay ordered even while dropping.
+    delays = overloaded.mean_delays
+    assert delays[0] > delays[1] > delays[2] > delays[3]
+
+
+def test_small_buffer_compresses_delay_ratios(benchmark):
+    (config_small, points_small) = benchmark.pedantic(
+        _run, args=(20,), rounds=1, iterations=1
+    )
+    config_large, points_large = _run(200)
+    print(banner("Buffer-size ablation (delay-ratio compression)"))
+    print(format_lossy(points_small, config_small))
+    print(format_lossy(points_large, config_large))
+    small = {p.offered_load: p for p in points_small}[1.3]
+    large = {p.offered_load: p for p in points_large}[1.3]
+    # Section 7's warning: with small buffers the queues cannot grow
+    # enough for WTP to realize the full proportional spread.
+    assert sum(small.delay_ratios()) < sum(large.delay_ratios())

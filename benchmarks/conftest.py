@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures at a
+reduced (but shape-preserving) scale, prints the measured rows next to
+the paper's reference numbers, and asserts the qualitative shape.  Use
+``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+
+The full-scale versions (paper run lengths and seed counts) are
+available through the CLI: ``repro-pdd figure1`` etc.
+"""
+
+from __future__ import annotations
+
+
+def banner(title: str) -> str:
+    rule = "=" * len(title)
+    return f"\n{rule}\n{title}\n{rule}"

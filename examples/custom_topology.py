@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Beyond the paper's chain: differentiation on a custom topology.
+
+Builds a Y-shaped network -- two access branches merging into a shared
+trunk -- with a different scheduler on each link, and shows that
+proportional differentiation composes: flows keep their relative
+ordering end-to-end even when their paths only partially overlap and
+the trunk is the bottleneck.  Also demonstrates the adaptive-WTP
+extension holding the target ratio on a moderately loaded trunk where
+plain WTP undershoots.
+
+Topology:
+
+    src_a ──> merge ──┐
+                      ├──> trunk ──> sink
+    src_b ──> merge ──┘   (bottleneck)
+
+Run:  python examples/custom_topology.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network import FlowRecorder, RoutedNetwork, UserFlow
+from repro.schedulers import make_scheduler
+from repro.sim import Simulator
+from repro.sim.rng import RandomStreams
+from repro.traffic import ParetoInterarrivals
+from repro.network.crosstraffic import MixedClassSource
+
+
+def run(trunk_scheduler: str, utilization: float = 0.92, seed: int = 3):
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    sdps = (1.0, 2.0, 4.0, 8.0)
+    capacity = 3125.0  # 25 Mbps in bytes/ms
+
+    net = RoutedNetwork(sim)
+    for node in ("src_a", "src_b", "merge", "sink"):
+        net.add_node(node)
+    # Fast access links (rarely the bottleneck), differentiated trunk.
+    net.add_link("src_a", "merge", make_scheduler("wtp", sdps), 2 * capacity)
+    net.add_link("src_b", "merge", make_scheduler("wtp", sdps), 2 * capacity)
+    net.add_link("merge", "sink", make_scheduler(trunk_scheduler, sdps), capacity)
+
+    # Cross-traffic saturating the trunk to the target utilization.
+    cross_rate = utilization * capacity
+    for _ in range(6):
+        MixedClassSource(
+            sim,
+            net.edge_link("merge", "sink"),
+            ParetoInterarrivals(500.0 * 6 / cross_rate, rng=streams.generator()),
+            (0.4, 0.3, 0.2, 0.1),
+            500.0,
+            streams.generator(),
+        ).start()
+
+    # One probe flow per class; classes 1-2 enter via branch A,
+    # classes 3-4 via branch B.
+    recorders = {}
+    for class_id in range(4):
+        branch = "src_a" if class_id < 2 else "src_b"
+        recorder = FlowRecorder()
+        recorders[class_id] = recorder
+        net.add_route(class_id, (branch, "merge", "sink"), terminal=recorder)
+        UserFlow(
+            sim, net.ingress(class_id), flow_id=class_id, class_id=class_id,
+            num_packets=2000, packet_size=500.0, period=25.0,
+        ).launch(5_000.0)
+
+    sim.run(until=60_000.0)
+    means = []
+    for class_id in range(4):
+        delays = recorders[class_id].flow_delays(class_id)
+        means.append(float(np.mean(delays)) if delays else float("nan"))
+    return means
+
+
+def main() -> None:
+    print("Y-topology: classes 1-2 via branch A, 3-4 via branch B, all")
+    print("merging on a 25 Mbps trunk at 92% load.\n")
+    for scheduler in ("wtp", "adaptive-wtp"):
+        means = run(scheduler)
+        ratios = [means[i] / means[i + 1] for i in range(3)]
+        print(f"trunk scheduler = {scheduler}")
+        print("  mean end-to-end queueing delay per class (ms): "
+              + ", ".join(f"{m:.2f}" for m in means))
+        print("  successive ratios (target 2.0): "
+              + ", ".join(f"{r:.2f}" for r in ratios))
+        print()
+    print("Reading: differentiation composes across a partial-overlap")
+    print("topology, and the adaptive controller pulls the moderate-load")
+    print("ratios toward the target where plain WTP undershoots.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Draw the paper's figures in your terminal.
+
+Regenerates Figure 3 (R_D percentile boxes) and the Figure 4/5
+microscopic views at reduced scale and renders them with the built-in
+ASCII plotting helpers -- no matplotlib required.  The shapes to look
+for: boxes tightening around 2.0 as tau grows (WTP tighter than BPR),
+and BPR's noisy per-packet delay cloud vs WTP's banded one.
+
+Run:  python examples/figures_in_terminal.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import box_row, scatter, sparkline
+from repro.experiments import (
+    FigureThreeConfig,
+    MicroscopicConfig,
+    run_figure3,
+    run_figure45,
+)
+
+
+def draw_figure3() -> None:
+    print("=== Figure 3: R_D percentiles per monitoring timescale ===")
+    print("(axis 0.5 .. 3.5; target 2.0 marked with ^)\n")
+    boxes = run_figure3(FigureThreeConfig(horizon=3e5, warmup=1.5e4))
+    axis_low, axis_high, width = 0.5, 3.5, 60
+    target_col = int((2.0 - axis_low) / (axis_high - axis_low) * (width - 1))
+    for box in boxes:
+        s = box.summary
+        row = box_row(s.p5, s.p25, s.median, s.p75, s.p95,
+                      low=axis_low, high=axis_high, width=width)
+        print(f"{box.scheduler:>4} tau={box.tau_p_units:>6g}p  {row}")
+    print(" " * 18 + " " * target_col + "^ target 2.0\n")
+
+
+def draw_figure45() -> None:
+    print("=== Figures 4-5: microscopic views (same arrivals) ===\n")
+    views = run_figure45(MicroscopicConfig(horizon=1.5e5, warmup=1e4))
+    for name in ("bpr", "wtp"):
+        view = views[name]
+        print(f"--- {name.upper()} ---")
+        # View I: interval-average delay per class as sparklines.
+        means = view.interval_means
+        if len(means):
+            global_max = float(max(means[~(means != means)].max(), 1.0)) \
+                if means.size else 1.0
+            for cid in range(means.shape[1]):
+                series = means[:, cid].tolist()
+                print(f"  class {cid + 1} interval means "
+                      f"{sparkline(series, minimum=0.0, maximum=global_max)}")
+        # View II: per-packet delays of the lowest class as a scatter.
+        samples = view.packet_samples[0]
+        if samples:
+            print(f"  class 1 per-packet delays "
+                  f"({len(samples)} departures):")
+            print("  " + scatter(samples, width=64, height=10).replace(
+                "\n", "\n  "))
+        print()
+
+
+def main() -> None:
+    draw_figure3()
+    draw_figure45()
+    print("Reading: WTP's boxes hug the target at every tau; BPR's are")
+    print("wide at small tau. In the scatters, BPR shows ramp-and-crash")
+    print("(sawtooth) delay patterns; WTP's cloud is banded and smooth.")
+
+
+if __name__ == "__main__":
+    main()

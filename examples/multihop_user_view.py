@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The user's perspective across a multi-hop path (Section 6).
+
+Per-hop, class-based differentiation is what the network implements;
+what a *user* cares about is end-to-end, per-flow differentiation.
+This example rebuilds the paper's Figure 6 configuration -- a chain of
+25 Mbps WTP hops, each loaded with fresh Pareto cross-traffic -- and
+launches "user experiments": four identical flows, one per class,
+entering together.  For each experiment it compares the flows' delay
+percentiles across classes and reports the end-to-end metric R_D
+(ideal 2.0) and any inconsistent differentiation.
+
+Run:  python examples/multihop_user_view.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MultiHopConfig, run_multihop
+
+
+def main() -> None:
+    for hops in (2, 4):
+        config = MultiHopConfig(
+            hops=hops,
+            utilization=0.90,
+            flow_packets=20,
+            flow_rate_kbps=200.0,
+            experiments=15,
+            warmup=10_000.0,      # ms
+            experiment_period=800.0,
+            drain=5_000.0,
+            seed=13,
+        )
+        print(f"Path of {hops} congested hops at rho = "
+              f"{config.utilization:.0%} "
+              f"(flows: {config.flow_packets} packets at "
+              f"{config.flow_rate_kbps:g} kbps)")
+        result = run_multihop(config)
+
+        rds = [c.rd for c in result.comparisons]
+        print(f"  user experiments completed : {len(result.comparisons)}")
+        print(f"  end-to-end R_D             : {result.rd:.2f} "
+              f"(ideal 2.00; spread {np.std(rds):.2f})")
+        print(f"  inconsistent experiments   : "
+              f"{result.inconsistent_experiments}")
+
+        # Show one experiment's percentile matrix, converted to ms.
+        matrix = result.comparisons[0].percentile_matrix
+        print("  one experiment's end-to-end delay percentiles (ms):")
+        print(f"    {'class':>6} {'p10':>8} {'p50':>8} {'p90':>8} {'p99':>8}")
+        for cid in range(matrix.shape[0]):
+            p10, p50, p90, p99 = matrix[cid, 0], matrix[cid, 4], matrix[cid, 8], matrix[cid, 9]
+            print(f"    {cid + 1:>6} {p10:>8.2f} {p50:>8.2f} {p90:>8.2f} "
+                  f"{p99:>8.2f}")
+        print()
+
+    print("Reading: higher classes see lower delays at *every* percentile")
+    print("(consistent differentiation), and R_D sits near the per-hop")
+    print("target -- per-hop deviations tend to cancel along the path,")
+    print("which is why the paper found K=8 closer to ideal than K=4.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: proportional delay differentiation on one link.
+
+Four traffic classes share a congested link.  The network operator
+wants each class's average queueing delay to be *half* that of the
+class below it, whatever the load -- the proportional differentiation
+model with DDP ratios delta_i / delta_{i+1} = 2.  We configure a WTP
+scheduler with the inverse SDPs (1, 2, 4, 8), run the paper's bursty
+Pareto workload at 95% utilization, and check the measured ratios,
+the conservation law (Eq 5), and feasibility (Eq 7).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SingleHopConfig, run_single_hop
+from repro.units import PAPER_P_UNIT
+
+
+def main() -> None:
+    config = SingleHopConfig(
+        scheduler="wtp",
+        sdps=(1.0, 2.0, 4.0, 8.0),   # class 4 ages 8x faster: lowest delay
+        utilization=0.95,
+        horizon=4e5,                 # simulation length (time units)
+        warmup=2e4,
+        seed=7,
+    )
+    print("Simulating:", config.scheduler.upper(), "at rho =",
+          config.utilization, "...")
+    result = run_single_hop(config)
+
+    print("\nPer-class average queueing delays (in p-units, i.e. average")
+    print("packet transmission times):")
+    for class_id, delay in enumerate(result.mean_delays, start=1):
+        print(f"  class {class_id}: {delay / PAPER_P_UNIT:8.1f} p-units")
+
+    print("\nMeasured vs target delay ratios d_i / d_{i+1}:")
+    for i, (measured, target) in enumerate(
+        zip(result.successive_ratios, result.target_ratios()), start=1
+    ):
+        print(f"  d{i}/d{i + 1}: measured {measured:.2f}   target {target:.1f}")
+
+    residual = result.conservation_residual()
+    print(f"\nConservation law (Eq 5) relative residual: {residual:+.3%}")
+    print("  (any work-conserving scheduler must satisfy this; it checks")
+    print("   the simulator, not the scheduler)")
+
+    report = result.feasibility_report()
+    print(f"\nFeasibility of the DDP target at this load (Eq 7): "
+          f"{'FEASIBLE' if report.feasible else 'INFEASIBLE'}")
+    print(f"  worst subset margin: {report.worst_margin():.1f} "
+          f"(>= 0 means no subset is pushed below its FCFS floor)")
+
+    print("\nInterpretation: in heavy load WTP realizes the proportional")
+    print("model d_i/d_j = s_j/s_i (paper Eq 13).  Try utilization=0.7 to")
+    print("see the documented moderate-load undershoot, or scheduler='bpr'")
+    print("to compare the paper's second scheduler.")
+
+
+if __name__ == "__main__":
+    main()

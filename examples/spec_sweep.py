@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Declarative sweeps: drive the library from a JSON spec.
+
+Writes a small spec file (the kind an operator would keep in version
+control), runs it with :func:`repro.experiments.run_spec_file`, and
+prints the structured results.  The sweep compares three schedulers at
+two loads without a line of orchestration code.
+
+Run:  python examples/spec_sweep.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.experiments import run_spec_file
+
+SPEC = {
+    "name": "scheduler-sweep",
+    "runs": [
+        {
+            "kind": "single-hop",
+            "label": f"{scheduler}@{rho}",
+            "scheduler": scheduler,
+            "utilization": rho,
+            "horizon": 1.5e5,
+            "warmup": 7.5e3,
+            "seed": 11,
+        }
+        for scheduler in ("wtp", "pad", "bpr")
+        for rho in (0.8, 0.95)
+    ],
+}
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        spec_path = Path(tmp) / "sweep.json"
+        out_path = Path(tmp) / "results.json"
+        spec_path.write_text(json.dumps(SPEC, indent=2))
+        print(f"Running spec '{SPEC['name']}' "
+              f"({len(SPEC['runs'])} runs)...\n")
+        outcome = run_spec_file(spec_path, out_path)
+
+        print(f"{'label':>10} {'ratios (target 2.0)':>26} {'Eq5 resid':>10}")
+        for result in outcome["results"]:
+            ratios = ", ".join(
+                f"{r:.2f}" for r in result["successive_ratios"]
+            )
+            print(f"{result['label']:>10} {ratios:>26} "
+                  f"{result['conservation_residual']:>+9.2%}")
+
+        print(f"\nStructured results were also written to {out_path.name}")
+        print("(kind, delays, ratios, residuals -- ready for your own")
+        print("analysis pipeline).  Edit the spec; no code changes needed.")
+
+
+if __name__ == "__main__":
+    main()

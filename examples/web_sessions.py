@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Short flows and short timescales: does paying for a class help?
+
+Section 2's motivating scenario: a user sends a *short* flow (a Web
+session) in a higher class, expecting lower delays than a lower class
+-- not just on long-term average, but over the seconds the session
+actually lasts.  This example measures, for WTP and BPR on identical
+arrivals, how often a monitoring interval of length tau actually
+delivers the promised ordering, and how tight the proportional ratio
+R_D is around its target (the Figure 3 question).
+
+Run:  python examples/web_sessions.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import rd_series, summarize_rd
+from repro.experiments import SingleHopConfig, generate_trace, replay_through_scheduler
+from repro.schedulers import make_scheduler
+from repro.units import PAPER_P_UNIT
+
+
+def main() -> None:
+    taus_p = (10.0, 100.0, 1000.0)
+    taus = tuple(t * PAPER_P_UNIT for t in taus_p)
+    config = SingleHopConfig(
+        utilization=0.95,
+        horizon=5e5,
+        warmup=2e4,
+        seed=21,
+        interval_taus=taus,
+    )
+    trace = generate_trace(config)
+    print("One trace, two schedulers, three monitoring timescales.")
+    print("R_D is the interval-average ratio of successive-class delays;")
+    print("the target here is 2.0.  'ordered' counts intervals where the")
+    print("ratio exceeded 1 (higher class actually better).\n")
+
+    header = (f"{'sched':>6} {'tau(p)':>8} {'median':>8} {'IQR':>8} "
+              f"{'p5':>7} {'p95':>7} {'ordered':>8}")
+    print(header)
+    for name in ("wtp", "bpr"):
+        result = replay_through_scheduler(
+            trace, make_scheduler(name, config.sdps), config
+        )
+        for tau_p, tau in zip(taus_p, taus):
+            means = result.interval_monitors[tau].interval_means()
+            summary = summarize_rd(means)
+            series = rd_series(means)
+            ordered = float(np.mean([r > 1.0 for r in series]))
+            print(
+                f"{name:>6} {tau_p:>8g} {summary.median:>8.2f} "
+                f"{summary.p75 - summary.p25:>8.2f} {summary.p5:>7.2f} "
+                f"{summary.p95:>7.2f} {ordered:>7.0%}"
+            )
+
+    print("\nReading: with tau = 1000 p-units (~3 s on a T1, ~30 ms on an")
+    print("OC-3) both schedulers keep the classes ordered in nearly every")
+    print("interval, but WTP's R_D distribution is much tighter at small")
+    print("tau -- a short Web session in a higher class gets what it paid")
+    print("for, even over its own short lifetime.")
+
+
+if __name__ == "__main__":
+    main()

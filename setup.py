@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline environment ships setuptools 65.5 without the ``wheel``
+package, so pip's PEP 517 editable path (which must build an editable
+wheel) fails.  This shim lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` (or ``python setup.py develop``) perform the legacy
+editable install.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

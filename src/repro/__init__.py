@@ -1,0 +1,122 @@
+"""Proportional Differentiated Services -- SIGCOMM 1999 reproduction.
+
+A from-scratch Python implementation of Dovrolis, Stiliadis &
+Ramanathan's proportional delay differentiation model, its two packet
+schedulers (WTP and BPR), the baseline disciplines it is compared
+against, and the discrete-event simulation substrate that regenerates
+every figure and table of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import SingleHopConfig, run_single_hop
+>>> result = run_single_hop(SingleHopConfig(scheduler="wtp",
+...                                         utilization=0.95,
+...                                         horizon=2e5, warmup=1e4))
+>>> [round(r, 1) for r in result.successive_ratios]  # doctest: +SKIP
+[2.0, 2.0, 2.0]
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from .core import (
+    DelayDifferentiationParameters,
+    ProportionalDelayModel,
+    check_feasibility,
+    check_proportional_feasibility,
+    compare_flow_percentiles,
+    conservation_residual,
+    ddps_from_sdps,
+    fcfs_mean_delay,
+    sdps_from_ddps,
+    summarize_rd,
+)
+from .errors import (
+    ConfigurationError,
+    FeasibilityError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TopologyError,
+)
+from .experiments import (
+    SingleHopConfig,
+    SingleHopResult,
+    run_single_hop,
+)
+from .network import MultiHopConfig, MultiHopResult, RoutedNetwork, run_multihop
+from .schedulers import (
+    AdaptiveWTPScheduler,
+    BPRScheduler,
+    DRRScheduler,
+    FCFSScheduler,
+    HPDScheduler,
+    PADScheduler,
+    SCFQScheduler,
+    StrictPriorityScheduler,
+    WTPScheduler,
+    make_scheduler,
+)
+from .sim import DelayMonitor, Link, Packet, Simulator
+from .traffic import (
+    ClassLoadDistribution,
+    ParetoInterarrivals,
+    PoissonInterarrivals,
+    TrafficSource,
+    paper_trimodal_sizes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "DelayDifferentiationParameters",
+    "ProportionalDelayModel",
+    "check_feasibility",
+    "check_proportional_feasibility",
+    "compare_flow_percentiles",
+    "conservation_residual",
+    "ddps_from_sdps",
+    "fcfs_mean_delay",
+    "sdps_from_ddps",
+    "summarize_rd",
+    # errors
+    "ConfigurationError",
+    "FeasibilityError",
+    "ReproError",
+    "SchedulingError",
+    "SimulationError",
+    "TopologyError",
+    # experiments
+    "SingleHopConfig",
+    "SingleHopResult",
+    "run_single_hop",
+    # network
+    "MultiHopConfig",
+    "MultiHopResult",
+    "RoutedNetwork",
+    "run_multihop",
+    # schedulers
+    "AdaptiveWTPScheduler",
+    "BPRScheduler",
+    "DRRScheduler",
+    "FCFSScheduler",
+    "HPDScheduler",
+    "PADScheduler",
+    "SCFQScheduler",
+    "StrictPriorityScheduler",
+    "WTPScheduler",
+    "make_scheduler",
+    # sim
+    "DelayMonitor",
+    "Link",
+    "Packet",
+    "Simulator",
+    # traffic
+    "ClassLoadDistribution",
+    "ParetoInterarrivals",
+    "PoissonInterarrivals",
+    "TrafficSource",
+    "paper_trimodal_sizes",
+]

@@ -1,0 +1,17 @@
+"""Simulation output analysis (warm-up detection, batch-means CIs,
+terminal plotting)."""
+
+from .ascii_plot import bar_chart, box_row, scatter, sparkline
+from .probing import ProbeInjector
+from .stats import BatchMeansResult, batch_means, mser_warmup
+
+__all__ = [
+    "BatchMeansResult",
+    "batch_means",
+    "mser_warmup",
+    "ProbeInjector",
+    "bar_chart",
+    "box_row",
+    "scatter",
+    "sparkline",
+]

@@ -1,0 +1,117 @@
+"""Terminal plotting -- dependency-free renderings of the figures.
+
+The paper's figures are graphs; this environment is a terminal.  These
+helpers render the regenerated series as unicode/ASCII so the figures
+can be *seen*, not just tabulated: sparklines for time series, box rows
+for the Figure 3 percentile summaries, and a scatter grid for the
+microscopic views.  Used by the examples; available to any caller.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["sparkline", "box_row", "scatter", "bar_chart"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], minimum: Optional[float] = None,
+              maximum: Optional[float] = None) -> str:
+    """One-line unicode sparkline; NaNs render as spaces."""
+    finite = [v for v in values if not math.isnan(v)]
+    if not finite:
+        return " " * len(values)
+    low = minimum if minimum is not None else min(finite)
+    high = maximum if maximum is not None else max(finite)
+    span = high - low
+    chars = []
+    for value in values:
+        if math.isnan(value):
+            chars.append(" ")
+            continue
+        if span <= 0:
+            chars.append(_SPARK_LEVELS[0])
+            continue
+        level = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[max(0, min(level, len(_SPARK_LEVELS) - 1))])
+    return "".join(chars)
+
+
+def box_row(
+    p5: float, p25: float, median: float, p75: float, p95: float,
+    low: float, high: float, width: int = 50,
+) -> str:
+    """One box-and-whisker line on a [low, high] axis (Figure 3 style).
+
+    Rendering: ``-`` whiskers between p5..p95, ``=`` box between
+    p25..p75, ``|`` at the median.
+    """
+    if width < 10:
+        raise ConfigurationError("width must be >= 10")
+    if high <= low:
+        raise ConfigurationError("need high > low")
+
+    def column(value: float) -> int:
+        clamped = min(max(value, low), high)
+        return int((clamped - low) / (high - low) * (width - 1))
+
+    cells = [" "] * width
+    for i in range(column(p5), column(p95) + 1):
+        cells[i] = "-"
+    for i in range(column(p25), column(p75) + 1):
+        cells[i] = "="
+    cells[column(median)] = "|"
+    return "".join(cells)
+
+
+def scatter(
+    points: Sequence[tuple[float, float]],
+    width: int = 70,
+    height: int = 16,
+    marker: str = "*",
+) -> str:
+    """Multi-line scatter plot of (x, y) points (microscopic views)."""
+    if width < 2 or height < 2:
+        raise ConfigurationError("width and height must be >= 2")
+    if not points:
+        return "(no points)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int((x - x_low) / x_span * (width - 1))
+        row = height - 1 - int((y - y_low) / y_span * (height - 1))
+        grid[row][col] = marker
+    lines = ["".join(row) for row in grid]
+    lines.append(f"x: [{x_low:g}, {x_high:g}]  y: [{y_low:g}, {y_high:g}]")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    fill: str = "#",
+) -> str:
+    """Horizontal bar chart (Figure 2 style comparisons)."""
+    if len(labels) != len(values):
+        raise ConfigurationError("labels and values must align")
+    if not labels:
+        return "(no bars)"
+    peak = max(values)
+    if peak <= 0:
+        raise ConfigurationError("need at least one positive value")
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = fill * max(1, int(value / peak * width)) if value > 0 else ""
+        lines.append(f"{label:>{label_width}} | {bar} {value:g}")
+    return "\n".join(lines)

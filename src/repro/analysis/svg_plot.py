@@ -1,0 +1,371 @@
+"""Dependency-free SVG chart rendering.
+
+The offline environment has no plotting stack, so this module draws the
+paper's figure types directly as SVG: line charts with markers
+(Figure 1), grouped bar charts (Figure 2), box-and-whisker plots
+(Figure 3) and scatter plots (Figures 4-5).  The output is plain SVG
+1.1 text viewable in any browser.
+
+Only the chart shapes the reproduction needs are implemented; this is
+not a general plotting library.  All drawing goes through
+:class:`SvgCanvas`, which handles the coordinate mapping from data
+space to pixel space (y grows upward in data space, downward in SVG).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+from xml.sax.saxutils import escape
+
+from ..errors import ConfigurationError
+
+__all__ = ["SvgCanvas", "LineSeries", "line_chart", "box_chart",
+           "scatter_chart", "grouped_bar_chart"]
+
+#: Default colour cycle (colour-blind-safe-ish).
+PALETTE = ("#0072b2", "#d55e00", "#009e73", "#cc79a7", "#f0e442", "#56b4e9")
+
+
+@dataclass
+class SvgCanvas:
+    """Pixel canvas with a data-space viewport and margins."""
+
+    width: int = 640
+    height: int = 420
+    margin_left: int = 64
+    margin_right: int = 20
+    margin_top: int = 36
+    margin_bottom: int = 48
+    x_min: float = 0.0
+    x_max: float = 1.0
+    y_min: float = 0.0
+    y_max: float = 1.0
+    _elements: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.x_max <= self.x_min or self.y_max <= self.y_min:
+            raise ConfigurationError("need x_max > x_min and y_max > y_min")
+        if self.width <= self.margin_left + self.margin_right:
+            raise ConfigurationError("width too small for margins")
+        if self.height <= self.margin_top + self.margin_bottom:
+            raise ConfigurationError("height too small for margins")
+
+    # ------------------------------------------------------------------
+    # Coordinate mapping
+    # ------------------------------------------------------------------
+    def px(self, x: float) -> float:
+        """Data x -> pixel x."""
+        inner = self.width - self.margin_left - self.margin_right
+        return self.margin_left + (x - self.x_min) / (
+            self.x_max - self.x_min
+        ) * inner
+
+    def py(self, y: float) -> float:
+        """Data y -> pixel y (flipped)."""
+        inner = self.height - self.margin_top - self.margin_bottom
+        return self.margin_top + (self.y_max - y) / (
+            self.y_max - self.y_min
+        ) * inner
+
+    # ------------------------------------------------------------------
+    # Primitives (data-space coordinates)
+    # ------------------------------------------------------------------
+    def line(self, x1, y1, x2, y2, color="#333", width=1.0, dash=None) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<line x1="{self.px(x1):.1f}" y1="{self.py(y1):.1f}" '
+            f'x2="{self.px(x2):.1f}" y2="{self.py(y2):.1f}" '
+            f'stroke="{color}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def polyline(self, points, color="#0072b2", width=1.5) -> None:
+        coords = " ".join(
+            f"{self.px(x):.1f},{self.py(y):.1f}" for x, y in points
+        )
+        self._elements.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def circle(self, x, y, radius=3.0, color="#0072b2", fill=True) -> None:
+        fill_attr = color if fill else "none"
+        self._elements.append(
+            f'<circle cx="{self.px(x):.1f}" cy="{self.py(y):.1f}" '
+            f'r="{radius}" fill="{fill_attr}" stroke="{color}"/>'
+        )
+
+    def rect(self, x1, y1, x2, y2, color="#0072b2", fill_opacity=0.5) -> None:
+        left, right = min(self.px(x1), self.px(x2)), max(self.px(x1), self.px(x2))
+        top, bottom = min(self.py(y1), self.py(y2)), max(self.py(y1), self.py(y2))
+        self._elements.append(
+            f'<rect x="{left:.1f}" y="{top:.1f}" width="{right - left:.1f}" '
+            f'height="{bottom - top:.1f}" fill="{color}" '
+            f'fill-opacity="{fill_opacity}" stroke="{color}"/>'
+        )
+
+    def text(self, x_px: float, y_px: float, content: str, size=12,
+             anchor="middle", color="#222") -> None:
+        """Text at *pixel* coordinates (labels live outside data space)."""
+        self._elements.append(
+            f'<text x="{x_px:.1f}" y="{y_px:.1f}" font-size="{size}" '
+            f'text-anchor="{anchor}" fill="{color}" '
+            f'font-family="sans-serif">{escape(content)}</text>'
+        )
+
+    # ------------------------------------------------------------------
+    # Decorations
+    # ------------------------------------------------------------------
+    def axes(self, title="", x_label="", y_label="",
+             x_ticks: Optional[Sequence[float]] = None,
+             y_ticks: Optional[Sequence[float]] = None,
+             x_tick_labels: Optional[Sequence[str]] = None) -> None:
+        """Draw the frame, ticks and labels."""
+        self.line(self.x_min, self.y_min, self.x_max, self.y_min)
+        self.line(self.x_min, self.y_min, self.x_min, self.y_max)
+        if title:
+            self.text(self.width / 2, self.margin_top - 14, title, size=14)
+        if x_label:
+            self.text(self.width / 2, self.height - 10, x_label)
+        if y_label:
+            x_px, y_px = 16, self.height / 2
+            self._elements.append(
+                f'<text x="{x_px}" y="{y_px}" font-size="12" '
+                f'text-anchor="middle" fill="#222" font-family="sans-serif" '
+                f'transform="rotate(-90 {x_px} {y_px})">{escape(y_label)}</text>'
+            )
+        for i, tick in enumerate(x_ticks or ()):
+            self.line(tick, self.y_min, tick,
+                      self.y_min + 0.015 * (self.y_max - self.y_min))
+            label = (
+                x_tick_labels[i]
+                if x_tick_labels is not None
+                else f"{tick:g}"
+            )
+            self.text(self.px(tick), self.py(self.y_min) + 16, label, size=10)
+        for tick in y_ticks or ():
+            self.line(self.x_min, tick,
+                      self.x_min + 0.01 * (self.x_max - self.x_min), tick)
+            self.text(self.px(self.x_min) - 6, self.py(tick) + 4,
+                      f"{tick:g}", size=10, anchor="end")
+
+    def legend(self, entries: Sequence[tuple[str, str]]) -> None:
+        """Top-right legend: (label, colour) pairs."""
+        x_px = self.width - self.margin_right - 150
+        y_px = self.margin_top + 6
+        for i, (label, color) in enumerate(entries):
+            y = y_px + i * 16
+            self._elements.append(
+                f'<rect x="{x_px}" y="{y - 9}" width="12" height="9" '
+                f'fill="{color}"/>'
+            )
+            self.text(x_px + 18, y, label, size=11, anchor="start")
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Serialize the SVG document."""
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="100%" height="100%" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render())
+        return path
+
+
+# ----------------------------------------------------------------------
+# Chart builders
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LineSeries:
+    """One named line with markers."""
+
+    label: str
+    points: tuple[tuple[float, float], ...]
+
+
+def _padded_range(low: float, high: float, pad_fraction: float = 0.05) -> tuple[float, float]:
+    """Expand a possibly-degenerate data range into a valid viewport."""
+    if high > low:
+        pad = (high - low) * pad_fraction
+        return low - pad, high + pad
+    # All points share one value: center a unit-ish window on it.
+    pad = max(abs(low) * pad_fraction, 0.5)
+    return low - pad, low + pad
+
+
+def _nice_ticks(low: float, high: float, count: int = 5) -> list[float]:
+    """Roughly ``count`` round-valued ticks covering [low, high]."""
+    span = high - low
+    if span <= 0:
+        return [low]
+    raw_step = span / count
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for factor in (1, 2, 2.5, 5, 10):
+        step = factor * magnitude
+        if span / step <= count:
+            break
+    first = math.ceil(low / step) * step
+    ticks = []
+    tick = first
+    while tick <= high + 1e-9 * span:
+        ticks.append(round(tick, 10))
+        tick += step
+    return ticks
+
+
+def line_chart(
+    series: Sequence[LineSeries],
+    title: str,
+    x_label: str,
+    y_label: str,
+    y_reference: Optional[float] = None,
+) -> SvgCanvas:
+    """Figure-1-style chart: one marker-line per series."""
+    if not series or not any(s.points for s in series):
+        raise ConfigurationError("need at least one non-empty series")
+    xs = [x for s in series for x, _ in s.points]
+    ys = [y for s in series for _, y in s.points]
+    if y_reference is not None:
+        ys.append(y_reference)
+    x_lo, x_hi = _padded_range(min(xs), max(xs))
+    y_lo, y_hi = _padded_range(min(ys), max(ys), 0.1)
+    canvas = SvgCanvas(
+        x_min=x_lo, x_max=x_hi, y_min=min(y_lo, 0.0), y_max=y_hi,
+    )
+    canvas.axes(
+        title=title, x_label=x_label, y_label=y_label,
+        x_ticks=_nice_ticks(canvas.x_min, canvas.x_max),
+        y_ticks=_nice_ticks(canvas.y_min, canvas.y_max),
+    )
+    if y_reference is not None:
+        canvas.line(canvas.x_min, y_reference, canvas.x_max, y_reference,
+                    color="#888", dash="6,4")
+    for i, line in enumerate(series):
+        color = PALETTE[i % len(PALETTE)]
+        canvas.polyline(line.points, color=color)
+        for x, y in line.points:
+            canvas.circle(x, y, color=color)
+    canvas.legend([
+        (s.label, PALETTE[i % len(PALETTE)]) for i, s in enumerate(series)
+    ])
+    return canvas
+
+
+def box_chart(
+    boxes: Sequence[tuple[str, float, float, float, float, float]],
+    title: str,
+    y_label: str,
+    y_reference: Optional[float] = None,
+) -> SvgCanvas:
+    """Figure-3-style chart: (label, p5, p25, median, p75, p95) per box."""
+    if not boxes:
+        raise ConfigurationError("need at least one box")
+    ys = [v for box in boxes for v in box[1:]]
+    if y_reference is not None:
+        ys.append(y_reference)
+    y_lo, y_hi = _padded_range(min(ys), max(ys), 0.1)
+    canvas = SvgCanvas(
+        x_min=0.0, x_max=float(len(boxes)), y_min=y_lo, y_max=y_hi,
+    )
+    centers = [i + 0.5 for i in range(len(boxes))]
+    canvas.axes(
+        title=title, y_label=y_label,
+        x_ticks=centers,
+        x_tick_labels=[box[0] for box in boxes],
+        y_ticks=_nice_ticks(canvas.y_min, canvas.y_max),
+    )
+    if y_reference is not None:
+        canvas.line(canvas.x_min, y_reference, canvas.x_max, y_reference,
+                    color="#888", dash="6,4")
+    half = 0.18
+    for center, (_, p5, p25, median, p75, p95) in zip(centers, boxes):
+        color = "#0072b2"
+        canvas.line(center, p5, center, p95, color=color)       # whisker
+        canvas.rect(center - half, p25, center + half, p75, color=color,
+                    fill_opacity=0.35)
+        canvas.line(center - half, median, center + half, median,
+                    color="#d55e00", width=2.0)
+    return canvas
+
+
+def scatter_chart(
+    groups: Sequence[tuple[str, Sequence[tuple[float, float]]]],
+    title: str,
+    x_label: str,
+    y_label: str,
+) -> SvgCanvas:
+    """Figure-4/5-style chart: one point cloud per named group."""
+    all_points = [p for _, pts in groups for p in pts]
+    if not all_points:
+        raise ConfigurationError("need at least one point")
+    xs = [x for x, _ in all_points]
+    ys = [y for _, y in all_points]
+    x_lo, x_hi = _padded_range(min(xs), max(xs))
+    y_lo, y_hi = _padded_range(min(ys), max(ys))
+    canvas = SvgCanvas(x_min=x_lo, x_max=x_hi, y_min=y_lo, y_max=y_hi)
+    canvas.axes(
+        title=title, x_label=x_label, y_label=y_label,
+        x_ticks=_nice_ticks(canvas.x_min, canvas.x_max, 4),
+        y_ticks=_nice_ticks(canvas.y_min, canvas.y_max),
+    )
+    for i, (_, points) in enumerate(groups):
+        color = PALETTE[i % len(PALETTE)]
+        for x, y in points:
+            canvas.circle(x, y, radius=1.6, color=color)
+    canvas.legend([
+        (label, PALETTE[i % len(PALETTE)]) for i, (label, _) in enumerate(groups)
+    ])
+    return canvas
+
+
+def grouped_bar_chart(
+    categories: Sequence[str],
+    groups: Sequence[tuple[str, Sequence[float]]],
+    title: str,
+    y_label: str,
+    y_reference: Optional[float] = None,
+) -> SvgCanvas:
+    """Figure-2-style chart: per category, one bar per group."""
+    if not categories or not groups:
+        raise ConfigurationError("need categories and groups")
+    for label, values in groups:
+        if len(values) != len(categories):
+            raise ConfigurationError(f"group {label!r} length mismatch")
+    ys = [v for _, values in groups for v in values]
+    if y_reference is not None:
+        ys.append(y_reference)
+    canvas = SvgCanvas(
+        x_min=0.0, x_max=float(len(categories)),
+        y_min=0.0, y_max=max(ys) * 1.1,
+    )
+    centers = [i + 0.5 for i in range(len(categories))]
+    canvas.axes(
+        title=title, y_label=y_label,
+        x_ticks=centers, x_tick_labels=list(categories),
+        y_ticks=_nice_ticks(0.0, canvas.y_max),
+    )
+    if y_reference is not None:
+        canvas.line(canvas.x_min, y_reference, canvas.x_max, y_reference,
+                    color="#888", dash="6,4")
+    group_count = len(groups)
+    slot = 0.8 / group_count
+    for gi, (_, values) in enumerate(groups):
+        color = PALETTE[gi % len(PALETTE)]
+        for ci, value in enumerate(values):
+            left = ci + 0.1 + gi * slot
+            canvas.rect(left, 0.0, left + slot * 0.9, value, color=color,
+                        fill_opacity=0.7)
+    canvas.legend([
+        (label, PALETTE[i % len(PALETTE)]) for i, (label, _) in enumerate(groups)
+    ])
+    return canvas

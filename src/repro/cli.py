@@ -1,0 +1,206 @@
+"""Command-line interface: regenerate any paper figure/table.
+
+Examples
+--------
+Full-scale reproduction of Figure 1a (ten seeds, 10^6-unit runs):
+
+    repro-pdd figure1
+
+Quick versions (scaled-down horizons/seeds) of everything:
+
+    repro-pdd all --scale 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+from .experiments.ablations import (
+    absolute_vs_relative,
+    adaptive_wtp_correction,
+    additive_convergence,
+    plr_demo,
+    quantization_sweep,
+    scheduler_comparison,
+    sdp_ratio_sweep,
+    wtp_starvation_demo,
+)
+from .experiments.figure1 import (
+    SDP_RATIO_2,
+    SDP_RATIO_4,
+    FigureOneConfig,
+    format_figure1,
+    run_figure1,
+)
+from .experiments.figure2 import FigureTwoConfig, format_figure2, run_figure2
+from .experiments.figure3 import FigureThreeConfig, format_figure3, run_figure3
+from .experiments.figure45 import MicroscopicConfig, format_figure45, run_figure45
+from .experiments.export import (
+    figure1_to_csv,
+    figure2_to_csv,
+    figure3_to_csv,
+    figure45_to_json,
+    table1_to_csv,
+)
+from .experiments.figures_svg import (
+    figure1_svg,
+    figure2_svg,
+    figure3_svg,
+    figure45_svg,
+    save_figures,
+    table1_svg,
+)
+from .experiments.reporting import format_ablation_rows
+from .experiments.table1 import TableOneConfig, format_table1, run_table1
+
+__all__ = ["main"]
+
+
+def _figure1(scale: float, export_dir: Optional[Path]) -> str:
+    parts = []
+    for sdps, label in ((SDP_RATIO_2, "1a"), (SDP_RATIO_4, "1b")):
+        config = FigureOneConfig(sdps=sdps).scaled(scale)
+        points = run_figure1(config)
+        parts.append(f"--- Figure {label} ---")
+        parts.append(format_figure1(points))
+        if export_dir is not None:
+            figure1_to_csv(points, export_dir / f"figure{label}.csv")
+            save_figures({f"figure{label}": figure1_svg(points)}, export_dir)
+    return "\n".join(parts)
+
+
+def _figure2(scale: float, export_dir: Optional[Path]) -> str:
+    parts = []
+    for sdps, label in ((SDP_RATIO_2, "2a"), (SDP_RATIO_4, "2b")):
+        config = FigureTwoConfig(sdps=sdps).scaled(scale)
+        points = run_figure2(config)
+        parts.append(f"--- Figure {label} ---")
+        parts.append(format_figure2(points))
+        if export_dir is not None:
+            figure2_to_csv(points, export_dir / f"figure{label}.csv")
+            save_figures({f"figure{label}": figure2_svg(points)}, export_dir)
+    return "\n".join(parts)
+
+
+def _figure3(scale: float, export_dir: Optional[Path]) -> str:
+    boxes = run_figure3(FigureThreeConfig().scaled(scale))
+    if export_dir is not None:
+        figure3_to_csv(boxes, export_dir / "figure3.csv")
+        save_figures({"figure3": figure3_svg(boxes)}, export_dir)
+    return format_figure3(boxes)
+
+
+def _figure45(scale: float, export_dir: Optional[Path]) -> str:
+    views = run_figure45(MicroscopicConfig().scaled(scale))
+    if export_dir is not None:
+        figure45_to_json(views, export_dir / "figure45.json")
+        charts = figure45_svg(views)
+        save_figures(
+            {("figure4" if k == "bpr" else "figure5"): v
+             for k, v in charts.items()},
+            export_dir,
+        )
+    return format_figure45(views)
+
+
+def _table1(scale: float, export_dir: Optional[Path]) -> str:
+    cells = run_table1(TableOneConfig().scaled(scale))
+    if export_dir is not None:
+        table1_to_csv(cells, export_dir / "table1.csv")
+        save_figures({"table1": table1_svg(cells)}, export_dir)
+    return format_table1(cells)
+
+
+def _selfcheck(scale: float, export_dir: Optional[Path]) -> str:
+    del scale, export_dir
+    from .validation import format_selfcheck, run_selfcheck
+
+    return format_selfcheck(run_selfcheck())
+
+
+def _ablations(scale: float, export_dir: Optional[Path]) -> str:
+    del export_dir  # nothing tabular worth exporting
+    del scale  # ablations are already laptop-sized
+    parts = [
+        format_ablation_rows(sdp_ratio_sweep(), "SDP-ratio sweep (worst rel. error)"),
+        format_ablation_rows(scheduler_comparison(), "Scheduler comparison"),
+        format_ablation_rows(additive_convergence(), "Additive model convergence"),
+        format_ablation_rows(
+            adaptive_wtp_correction(),
+            "Adaptive WTP vs WTP (mean |ratio error| vs target)",
+        ),
+        format_ablation_rows(
+            quantization_sweep(),
+            "Quantized WTP (worst ratio error vs aging-epoch size)",
+        ),
+        format_ablation_rows([wtp_starvation_demo()], "WTP starvation (Prop 2)"),
+        format_ablation_rows([plr_demo()], "PLR loss differentiation"),
+        format_ablation_rows(
+            absolute_vs_relative(),
+            "Absolute (Premium, policed) vs relative (WTP) under surges",
+        ),
+    ]
+    return "\n\n".join(parts)
+
+
+_COMMANDS: dict[str, Callable[[float, Optional[Path]], str]] = {
+    "figure1": _figure1,
+    "figure2": _figure2,
+    "figure3": _figure3,
+    "figure45": _figure45,
+    "table1": _table1,
+    "ablations": _ablations,
+    "selfcheck": _selfcheck,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (installed as ``repro-pdd``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-pdd",
+        description=(
+            "Reproduce the evaluation of 'Proportional Differentiated "
+            "Services: Delay Differentiation and Packet Scheduling' "
+            "(SIGCOMM 1999)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*_COMMANDS, "all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="scale factor for run length / seed count (1.0 = paper scale)",
+    )
+    parser.add_argument(
+        "--export-dir",
+        type=Path,
+        default=None,
+        help=(
+            "also write the result series (CSV/JSON) and rendered SVG "
+            "charts into this directory"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if not 0 < args.scale <= 1.0:
+        parser.error("--scale must be in (0, 1]")
+
+    names = list(_COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        output = _COMMANDS[name](args.scale, args.export_dir)
+        elapsed = time.perf_counter() - start
+        print(output)
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Core: the proportional differentiation model, feasibility and metrics."""
+
+from .conservation import (
+    conservation_residual,
+    fcfs_mean_delay,
+    fcfs_mean_delay_per_class,
+    fcfs_waiting_times,
+    subset_delay_function,
+)
+from .ddp import DelayDifferentiationParameters, ddps_from_sdps, sdps_from_ddps
+from .delay_curve import DelayCurve, estimate_delay_curve, thin_trace
+from .feasibility import (
+    FeasibilityReport,
+    check_feasibility,
+    check_proportional_feasibility,
+    proper_subsets,
+)
+from .metrics import (
+    EndToEndComparison,
+    PercentileSummary,
+    compare_flow_percentiles,
+    interval_rd,
+    rd_series,
+    successive_ratio_rd,
+    summarize_rd,
+)
+from .model import AdditiveDelayModel, ProportionalDelayModel
+
+__all__ = [
+    "conservation_residual",
+    "fcfs_mean_delay",
+    "fcfs_mean_delay_per_class",
+    "fcfs_waiting_times",
+    "subset_delay_function",
+    "DelayDifferentiationParameters",
+    "ddps_from_sdps",
+    "sdps_from_ddps",
+    "DelayCurve",
+    "estimate_delay_curve",
+    "thin_trace",
+    "FeasibilityReport",
+    "check_feasibility",
+    "check_proportional_feasibility",
+    "proper_subsets",
+    "EndToEndComparison",
+    "PercentileSummary",
+    "compare_flow_percentiles",
+    "interval_rd",
+    "rd_series",
+    "successive_ratio_rd",
+    "summarize_rd",
+    "AdditiveDelayModel",
+    "ProportionalDelayModel",
+]

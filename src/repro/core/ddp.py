@@ -1,0 +1,83 @@
+"""Delay Differentiation Parameters (DDPs) and their SDP duals.
+
+The proportional delay differentiation model (Eq 1) fixes the pairwise
+ratios of class average delays:
+
+    d_i / d_j = delta_i / delta_j,    delta_1 > delta_2 > ... > delta_N > 0.
+
+Class 1 is the lowest class (largest delay).  The schedulers are
+parameterized by Scheduler Differentiation Parameters (SDPs)
+s_1 < s_2 < ... < s_N, and the paper's empirical finding (Eq 13) is that
+in heavy load the achieved DDP ratios are the inverse SDP ratios:
+delta_i / delta_j = s_j / s_i.  This module holds both parameter sets
+and the conversion between them; only ratios matter, so conversions are
+normalized to delta_N = 1 and s_1 = 1 respectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["DelayDifferentiationParameters", "sdps_from_ddps", "ddps_from_sdps"]
+
+
+@dataclass(frozen=True)
+class DelayDifferentiationParameters:
+    """Validated DDP vector delta_1 > delta_2 > ... > delta_N > 0."""
+
+    deltas: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.deltas) < 2:
+            raise ConfigurationError("differentiation needs >= 2 classes")
+        if any(d <= 0 for d in self.deltas):
+            raise ConfigurationError(f"DDPs must be positive: {self.deltas}")
+        if any(b >= a for a, b in zip(self.deltas, self.deltas[1:])):
+            raise ConfigurationError(
+                "DDPs must be strictly decreasing (class 1 worst): "
+                f"{self.deltas}"
+            )
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.deltas)
+
+    def ratio(self, i: int, j: int) -> float:
+        """Target delay ratio d_i / d_j = delta_i / delta_j (0-based)."""
+        return self.deltas[i] / self.deltas[j]
+
+    def successive_ratios(self) -> list[float]:
+        """delta_i / delta_{i+1} for each successive pair (all > 1)."""
+        return [
+            self.deltas[i] / self.deltas[i + 1]
+            for i in range(self.num_classes - 1)
+        ]
+
+    def normalized(self) -> "DelayDifferentiationParameters":
+        """Scale so that the highest class has delta_N = 1."""
+        last = self.deltas[-1]
+        return DelayDifferentiationParameters(
+            tuple(d / last for d in self.deltas)
+        )
+
+
+def sdps_from_ddps(ddps: DelayDifferentiationParameters) -> tuple[float, ...]:
+    """SDPs realizing the DDPs in heavy load (Eq 13): s_i = delta_1/delta_i."""
+    first = ddps.deltas[0]
+    return tuple(first / d for d in ddps.deltas)
+
+
+def ddps_from_sdps(sdps: Sequence[float]) -> DelayDifferentiationParameters:
+    """DDPs a scheduler with these SDPs targets in heavy load (Eq 13)."""
+    values = tuple(float(s) for s in sdps)
+    if len(values) < 2:
+        raise ConfigurationError("differentiation needs >= 2 classes")
+    if any(s <= 0 for s in values):
+        raise ConfigurationError(f"SDPs must be positive: {values}")
+    if any(b <= a for a, b in zip(values, values[1:])):
+        raise ConfigurationError(f"SDPs must be strictly increasing: {values}")
+    first = values[0]
+    return DelayDifferentiationParameters(tuple(first / s for s in values))

@@ -1,0 +1,117 @@
+"""Empirical delay-vs-rate curve d(lambda) -- a Section 7 open issue.
+
+The feasibility conditions (Eq 7) and the model dynamics (Eq 6) both
+need d(.), the FCFS mean delay of this link's traffic as a function of
+the offered rate.  The paper notes that estimating d(lambda) from
+measurements of a specific link is "a challenging open issue"; this
+module provides the natural estimator it hints at:
+
+* take a measured arrival trace of the link,
+* produce lower-rate variants by *thinning* (keeping each packet
+  independently with probability p = target_rate / measured_rate,
+  which preserves the burstiness structure of the surviving points,
+  unlike rescaling time),
+* run the exact O(n) FCFS recursion on each variant.
+
+The resulting :class:`DelayCurve` interpolates d(lambda) and plugs
+straight into the Eq 6/Eq 7 machinery, giving the operator the "space
+of feasible DDPs" workflow the paper sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..traffic.trace import ArrivalTrace
+from .conservation import fcfs_mean_delay
+
+__all__ = ["DelayCurve", "estimate_delay_curve", "thin_trace"]
+
+
+def thin_trace(
+    trace: ArrivalTrace,
+    keep_probability: float,
+    rng: np.random.Generator,
+) -> ArrivalTrace:
+    """Keep each packet independently with the given probability."""
+    if not 0 < keep_probability <= 1.0:
+        raise ConfigurationError(
+            f"keep_probability must be in (0, 1]: {keep_probability}"
+        )
+    if keep_probability == 1.0:
+        return trace
+    mask = rng.random(len(trace)) < keep_probability
+    return ArrivalTrace(
+        trace.times[mask], trace.class_ids[mask], trace.sizes[mask]
+    )
+
+
+@dataclass(frozen=True)
+class DelayCurve:
+    """Piecewise-linear interpolation of d(lambda) from measured points.
+
+    ``rates`` are aggregate packet rates (ascending); ``delays`` the
+    corresponding FCFS mean queueing delays.
+    """
+
+    rates: tuple[float, ...]
+    delays: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.rates) != len(self.delays) or len(self.rates) < 2:
+            raise ConfigurationError("need >= 2 aligned (rate, delay) points")
+        if any(b <= a for a, b in zip(self.rates, self.rates[1:])):
+            raise ConfigurationError("rates must be strictly increasing")
+
+    def __call__(self, rate: float) -> float:
+        """Interpolated d(lambda); linear extrapolation outside range."""
+        return float(
+            np.interp(rate, self.rates, self.delays)
+            if self.rates[0] <= rate <= self.rates[-1]
+            else self._extrapolate(rate)
+        )
+
+    def _extrapolate(self, rate: float) -> float:
+        rates, delays = self.rates, self.delays
+        if rate < rates[0]:
+            lo, hi = 0, 1
+        else:
+            lo, hi = -2, -1
+        slope = (delays[hi] - delays[lo]) / (rates[hi] - rates[lo])
+        return max(0.0, delays[lo] + slope * (rate - rates[lo]))
+
+
+def estimate_delay_curve(
+    trace: ArrivalTrace,
+    capacity: float,
+    fractions: Sequence[float] = (0.4, 0.55, 0.7, 0.85, 1.0),
+    warmup: float = 0.0,
+    seed: int = 0,
+) -> DelayCurve:
+    """Estimate d(lambda) by thinning a measured trace.
+
+    ``fractions`` are the kept-traffic fractions (ascending, ending at
+    1.0 to include the measured operating point itself).
+    """
+    if not len(trace):
+        raise ConfigurationError("empty trace")
+    values = tuple(float(f) for f in fractions)
+    if any(b <= a for a, b in zip(values, values[1:])) or not values:
+        raise ConfigurationError("fractions must be strictly increasing")
+    if values[-1] > 1.0 or values[0] <= 0.0:
+        raise ConfigurationError("fractions must lie in (0, 1]")
+    rng = np.random.default_rng(seed)
+    horizon = float(trace.times[-1])
+    base_rate = len(trace) / horizon
+    rates, delays = [], []
+    for fraction in values:
+        thinned = thin_trace(trace, fraction, rng)
+        if not len(thinned):
+            continue
+        rates.append(fraction * base_rate)
+        delays.append(fcfs_mean_delay(thinned, capacity, warmup))
+    return DelayCurve(tuple(rates), tuple(delays))

@@ -1,0 +1,135 @@
+"""Feasibility of a set of class average delays -- Section 3, Eq 7.
+
+Coffman & Mitrani's characterization: given class rates {lambda_i} and
+the FCFS aggregate-delay function d(.), a vector of class average delays
+{d_i} is achievable by *some* work-conserving scheduler if and only if
+
+  (a) the conservation law holds with equality over all classes
+      (Eq 5:  sum_i lambda_i d_i = lambda d(lambda)), and
+  (b) for every nonempty proper subset phi of classes,
+
+        sum_{i in phi} lambda_i d_i  >=
+            (sum_{i in phi} lambda_i) * d(sum_{i in phi} lambda_i)   (Eq 7)
+
+      -- the backlog of any class subset cannot be pushed below what
+      that subset's traffic alone would build in a FCFS server.
+
+The subset delays d(sum lambda_i) depend on the traffic; callers supply
+them either analytically (Poisson: :mod:`repro.theory.mg1`) or from
+measurements of FCFS simulations of the subset traffic, exactly as the
+paper does when it verifies Figures 1 and 2 operate at feasible points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import chain, combinations
+from typing import Callable, Iterable, Sequence
+
+from ..errors import ConfigurationError
+from .ddp import DelayDifferentiationParameters
+from .model import ProportionalDelayModel
+
+__all__ = ["FeasibilityReport", "proper_subsets", "check_feasibility",
+           "check_proportional_feasibility"]
+
+
+def proper_subsets(num_classes: int) -> Iterable[tuple[int, ...]]:
+    """All 2^N - 2 nonempty proper subsets of {0, ..., N-1}."""
+    if num_classes < 1:
+        raise ConfigurationError("num_classes must be >= 1")
+    indices = range(num_classes)
+    return chain.from_iterable(
+        combinations(indices, size) for size in range(1, num_classes)
+    )
+
+
+@dataclass
+class FeasibilityReport:
+    """Outcome of a feasibility check.
+
+    ``violations`` lists (subset, lhs, rhs) triples where Eq 7 failed;
+    ``margins`` maps each checked subset to lhs - rhs (>= 0 iff
+    satisfied), useful for seeing how close an operating point is to the
+    feasibility boundary.
+    """
+
+    feasible: bool
+    violations: list[tuple[tuple[int, ...], float, float]] = field(
+        default_factory=list
+    )
+    margins: dict[tuple[int, ...], float] = field(default_factory=dict)
+    conservation_residual: float = 0.0
+
+    def worst_margin(self) -> float:
+        """Smallest subset margin (negative when infeasible)."""
+        return min(self.margins.values()) if self.margins else float("inf")
+
+
+def check_feasibility(
+    rates: Sequence[float],
+    delays: Sequence[float],
+    subset_delay: Callable[[tuple[int, ...]], float],
+    relative_tolerance: float = 1e-9,
+) -> FeasibilityReport:
+    """Evaluate Eq 7 for explicit per-class delays.
+
+    Parameters
+    ----------
+    rates, delays:
+        Per-class arrival rates and candidate average delays.
+    subset_delay:
+        Callback returning d(sum_{i in phi} lambda_i) for a subset
+        ``phi`` of class indices -- the FCFS mean delay of the combined
+        traffic of those classes.  The full set is also queried to audit
+        the conservation law.
+    relative_tolerance:
+        Slack applied to each inequality (both simulation-measured and
+        floating-point inputs need one).
+    """
+    if len(rates) != len(delays):
+        raise ConfigurationError("rates and delays must align")
+    if any(r <= 0 for r in rates):
+        raise ConfigurationError(f"class rates must be positive: {rates}")
+    if any(d < 0 for d in delays):
+        raise ConfigurationError(f"delays must be non-negative: {delays}")
+    num_classes = len(rates)
+
+    report = FeasibilityReport(feasible=True)
+    # Conservation-law residual over the full class set (Eq 5).
+    full = tuple(range(num_classes))
+    total_rate = sum(rates)
+    aggregate = subset_delay(full)
+    lhs_full = sum(r * d for r, d in zip(rates, delays))
+    rhs_full = total_rate * aggregate
+    denominator = max(abs(rhs_full), 1e-300)
+    report.conservation_residual = (lhs_full - rhs_full) / denominator
+
+    for subset in proper_subsets(num_classes):
+        subset_rate = sum(rates[i] for i in subset)
+        lhs = sum(rates[i] * delays[i] for i in subset)
+        rhs = subset_rate * subset_delay(subset)
+        report.margins[subset] = lhs - rhs
+        slack = relative_tolerance * max(abs(lhs), abs(rhs), 1.0)
+        if lhs < rhs - slack:
+            report.feasible = False
+            report.violations.append((subset, lhs, rhs))
+    return report
+
+
+def check_proportional_feasibility(
+    ddps: DelayDifferentiationParameters,
+    rates: Sequence[float],
+    subset_delay: Callable[[tuple[int, ...]], float],
+    relative_tolerance: float = 1e-9,
+) -> FeasibilityReport:
+    """Check whether a DDP vector is feasible at the given class rates.
+
+    Combines Eq 6 (the unique delay vector a proportional scheduler
+    would have to realize, given d(lambda) from ``subset_delay`` on the
+    full set) with the Eq 7 subset conditions.
+    """
+    full = tuple(range(len(rates)))
+    aggregate = subset_delay(full)
+    delays = ProportionalDelayModel(ddps).class_delays(rates, aggregate)
+    return check_feasibility(rates, delays, subset_delay, relative_tolerance)

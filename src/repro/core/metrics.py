@@ -1,0 +1,182 @@
+"""Differentiation metrics -- the paper's figures of merit.
+
+* Long-term successive-class delay ratios (Figures 1 and 2).
+* The interval metric R_D (Figure 3): per monitoring interval of length
+  tau, the average of normalized delay ratios between successive
+  *active* classes; summarized by its 5/25/50/75/95 percentiles.
+* The end-to-end metric of Table 1: per "user experiment", compare
+  per-flow delay percentiles across classes, flag inconsistent
+  differentiation, and average the normalized ratios over class pairs,
+  experiments and percentiles.
+
+Normalization: with SDP ratios s_{i+1}/s_i = r the ideal ratio between
+classes i < j is r^(j-i); when some classes are inactive in an interval
+the paper "normalizes the ratios of average delays of the active
+classes".  We take the per-class-step geometric normalization
+(d_i/d_j)^(1/(j-i)) so every pair contributes on the same scale as a
+successive pair, then average.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "PercentileSummary",
+    "interval_rd",
+    "rd_series",
+    "summarize_rd",
+    "successive_ratio_rd",
+    "EndToEndComparison",
+    "compare_flow_percentiles",
+]
+
+#: The five percentiles plotted in Figure 3.
+FIGURE3_PERCENTILES = (5.0, 25.0, 50.0, 75.0, 95.0)
+
+
+@dataclass(frozen=True)
+class PercentileSummary:
+    """5/25/50/75/95 percentiles of a sample, as plotted in Figure 3."""
+
+    p5: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    count: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "PercentileSummary":
+        data = np.asarray(samples, dtype=float)
+        data = data[~np.isnan(data)]
+        if not len(data):
+            nan = float("nan")
+            return cls(nan, nan, nan, nan, nan, 0)
+        p5, p25, p50, p75, p95 = np.percentile(data, FIGURE3_PERCENTILES)
+        return cls(float(p5), float(p25), float(p50), float(p75), float(p95),
+                   int(len(data)))
+
+
+def interval_rd(
+    means: Sequence[float], min_active: int = 2
+) -> Optional[float]:
+    """R_D of one monitoring interval from per-class mean delays.
+
+    ``means`` holds one value per class with NaN for inactive classes.
+    Successive *active* classes i < j contribute the normalized ratio
+    (d_i / d_j)^(1/(j-i)); the interval's R_D is their average.  Returns
+    None when fewer than ``min_active`` classes are active or a mean is
+    non-positive (ratio undefined).
+    """
+    active = [
+        (idx, value)
+        for idx, value in enumerate(means)
+        if not math.isnan(value)
+    ]
+    if len(active) < min_active:
+        return None
+    ratios = []
+    for (i, di), (j, dj) in zip(active, active[1:]):
+        if di <= 0 or dj <= 0:
+            return None
+        ratios.append((di / dj) ** (1.0 / (j - i)))
+    return sum(ratios) / len(ratios)
+
+
+def rd_series(interval_means: np.ndarray) -> list[float]:
+    """R_D for every interval (rows of an interval-means matrix)."""
+    series = []
+    for row in interval_means:
+        value = interval_rd(row)
+        if value is not None:
+            series.append(value)
+    return series
+
+
+def summarize_rd(interval_means: np.ndarray) -> PercentileSummary:
+    """Figure 3 box summary of the R_D distribution."""
+    return PercentileSummary.from_samples(rd_series(interval_means))
+
+
+def successive_ratio_rd(means: Sequence[float]) -> float:
+    """Average of d_i/d_{i+1} over all successive pairs (all classes
+    active) -- the long-run single-number counterpart of R_D."""
+    if any(math.isnan(m) or m <= 0 for m in means):
+        raise ConfigurationError(f"need positive means for all classes: {means}")
+    ratios = [means[i] / means[i + 1] for i in range(len(means) - 1)]
+    if not ratios:
+        raise ConfigurationError("need >= 2 classes")
+    return sum(ratios) / len(ratios)
+
+
+# ----------------------------------------------------------------------
+# End-to-end comparison (Section 6 / Table 1)
+# ----------------------------------------------------------------------
+#: The ten per-flow delay percentiles of the Table 1 methodology.
+TABLE1_PERCENTILES = (10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 99.0)
+
+
+@dataclass
+class EndToEndComparison:
+    """Outcome of comparing one user experiment's flows across classes.
+
+    ``percentile_matrix`` has one row per class (low class first) and
+    one column per percentile in :data:`TABLE1_PERCENTILES`.
+    ``inconsistencies`` counts (class pair, percentile) cells where a
+    higher class saw a *larger* delay than a lower class -- the paper's
+    definition of inconsistent differentiation.  ``rd`` is the average
+    of successive-class percentile ratios over all pairs and
+    percentiles.
+    """
+
+    percentile_matrix: np.ndarray
+    inconsistencies: int
+    rd: float
+
+    @property
+    def consistent(self) -> bool:
+        return self.inconsistencies == 0
+
+
+def compare_flow_percentiles(
+    delays_per_class: Sequence[Sequence[float]],
+    percentiles: Sequence[float] = TABLE1_PERCENTILES,
+    tolerance: float = 0.0,
+) -> EndToEndComparison:
+    """Evaluate one user experiment (Section 6 methodology).
+
+    ``delays_per_class[i]`` holds the end-to-end queueing delays of the
+    class-(i+1) flow's packets.  A cell is inconsistent when the higher
+    class's percentile exceeds the lower class's by more than
+    ``tolerance`` (relative).
+    """
+    num_classes = len(delays_per_class)
+    if num_classes < 2:
+        raise ConfigurationError("need >= 2 flows to compare")
+    if any(len(d) == 0 for d in delays_per_class):
+        raise ConfigurationError("every flow needs at least one delay sample")
+    matrix = np.asarray(
+        [
+            np.percentile(np.asarray(d, dtype=float), percentiles)
+            for d in delays_per_class
+        ]
+    )
+    inconsistencies = 0
+    ratios = []
+    for low in range(num_classes - 1):
+        high = low + 1
+        for col in range(matrix.shape[1]):
+            d_low, d_high = matrix[low, col], matrix[high, col]
+            if d_high > d_low * (1.0 + tolerance):
+                inconsistencies += 1
+            if d_high > 0:
+                ratios.append(d_low / d_high)
+    rd = float(np.mean(ratios)) if ratios else float("nan")
+    return EndToEndComparison(matrix, inconsistencies, rd)

@@ -1,0 +1,129 @@
+"""Dynamics of the proportional delay differentiation model -- Section 3.
+
+Assuming a work-conserving, lossless scheduler that enforces Eq 4
+(d_i / d_j = delta_i / delta_j) and the conservation law (Eq 5,
+sum_i lambda_i d_i = lambda * d(lambda)), the class average delays are
+pinned to
+
+    d_i = delta_i * lambda * d(lambda) / sum_j (delta_j * lambda_j)   (Eq 6)
+
+where lambda_i are the class arrival rates, lambda their sum, and
+d(lambda) the average delay the *aggregate* traffic would see in a FCFS
+server of the same capacity.  :class:`ProportionalDelayModel` evaluates
+Eq 6 and exposes the four qualitative "dynamics" properties the paper
+derives from it (used as executable checks in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from .ddp import DelayDifferentiationParameters
+
+__all__ = ["ProportionalDelayModel", "AdditiveDelayModel"]
+
+
+class ProportionalDelayModel:
+    """Closed-form class delays implied by Eq 6."""
+
+    def __init__(self, ddps: DelayDifferentiationParameters) -> None:
+        self.ddps = ddps
+
+    def class_delays(
+        self, rates: Sequence[float], aggregate_fcfs_delay: float
+    ) -> list[float]:
+        """Evaluate Eq 6 for the given class rates and d(lambda).
+
+        ``aggregate_fcfs_delay`` is d(lambda): the mean queueing delay of
+        the combined traffic through a FCFS server of the same capacity
+        (measure it with :class:`repro.core.conservation` helpers or the
+        M/G/1 formula for Poisson inputs).
+        """
+        deltas = self.ddps.deltas
+        if len(rates) != len(deltas):
+            raise ConfigurationError(
+                f"got {len(rates)} rates for {len(deltas)} classes"
+            )
+        if any(r < 0 for r in rates) or sum(rates) <= 0:
+            raise ConfigurationError(f"rates must be non-negative, sum > 0: {rates}")
+        if aggregate_fcfs_delay < 0:
+            raise ConfigurationError("d(lambda) must be non-negative")
+        total_rate = sum(rates)
+        weight = sum(d * r for d, r in zip(deltas, rates))
+        scale = total_rate * aggregate_fcfs_delay / weight
+        return [d * scale for d in deltas]
+
+    # ------------------------------------------------------------------
+    # The four dynamics properties of Section 3 (informal monotonicity
+    # statements made precise and executable).  Each returns the model
+    # delays before/after the perturbation so tests can assert the
+    # claimed direction of change.
+    # ------------------------------------------------------------------
+    def delays_after_rate_shift(
+        self,
+        rates: Sequence[float],
+        aggregate_fcfs_delay_before: float,
+        aggregate_fcfs_delay_after: float,
+        from_class: int,
+        to_class: int,
+        fraction: float,
+    ) -> tuple[list[float], list[float]]:
+        """Property 4's perturbation: move load between classes.
+
+        Moves ``fraction`` of class ``from_class``'s rate to ``to_class``
+        (aggregate unchanged, so the two d(lambda) arguments are usually
+        equal) and returns (delays_before, delays_after).
+        """
+        if not 0 <= fraction <= 1:
+            raise ConfigurationError(f"fraction must be in [0, 1]: {fraction}")
+        before = self.class_delays(rates, aggregate_fcfs_delay_before)
+        shifted = list(rates)
+        moved = shifted[from_class] * fraction
+        shifted[from_class] -= moved
+        shifted[to_class] += moved
+        after = self.class_delays(shifted, aggregate_fcfs_delay_after)
+        return before, after
+
+
+class AdditiveDelayModel:
+    """The additive alternative (Eq 3): d_i - d_j = D_ij in heavy load.
+
+    Given offsets s_1 < ... < s_N of the additive scheduler, the
+    heavy-load spacing is D_ij = s_j - s_i; combined with the
+    conservation law the class delays solve
+
+        d_i = d_N + (s_N - s_i),
+        sum_i lambda_i d_i = lambda d(lambda).
+    """
+
+    def __init__(self, offsets: Sequence[float]) -> None:
+        values = tuple(float(s) for s in offsets)
+        if len(values) < 2:
+            raise ConfigurationError("differentiation needs >= 2 classes")
+        if any(b <= a for a, b in zip(values, values[1:])):
+            raise ConfigurationError(f"offsets must be increasing: {values}")
+        self.offsets = values
+
+    def spacing(self, i: int, j: int) -> float:
+        """Heavy-load delay difference d_i - d_j (i < j, 0-based)."""
+        return self.offsets[j] - self.offsets[i]
+
+    def class_delays(
+        self, rates: Sequence[float], aggregate_fcfs_delay: float
+    ) -> list[float]:
+        """Solve the conservation law for the additive spacing."""
+        if len(rates) != len(self.offsets):
+            raise ConfigurationError(
+                f"got {len(rates)} rates for {len(self.offsets)} classes"
+            )
+        total_rate = sum(rates)
+        if total_rate <= 0:
+            raise ConfigurationError("aggregate rate must be positive")
+        s_last = self.offsets[-1]
+        # sum_i lambda_i (d_N + s_N - s_i) = lambda d(lambda)
+        offset_load = sum(
+            r * (s_last - s) for r, s in zip(rates, self.offsets)
+        )
+        d_last = (total_rate * aggregate_fcfs_delay - offset_load) / total_rate
+        return [d_last + (s_last - s) for s in self.offsets]

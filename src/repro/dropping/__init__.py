@@ -1,0 +1,16 @@
+"""Loss differentiation (the paper's future-work direction)."""
+
+from .base import DropPolicy
+from .plr import PLRDropper, validate_ldps
+from .red import REDDropper, REDGate, RIODropper
+from .tail_drop import TailDropPolicy
+
+__all__ = [
+    "DropPolicy",
+    "PLRDropper",
+    "validate_ldps",
+    "REDDropper",
+    "REDGate",
+    "RIODropper",
+    "TailDropPolicy",
+]

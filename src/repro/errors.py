@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch the whole family with one
+``except`` clause while still letting programming errors (``TypeError``,
+``KeyError``, ...) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "SchedulingError",
+    "FeasibilityError",
+    "TopologyError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Invalid user-supplied configuration (DDPs, SDPs, loads, rates...)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulation kernel reached an inconsistent state."""
+
+
+class SchedulingError(ReproError, RuntimeError):
+    """A scheduler violated its contract (e.g. select on empty backlog)."""
+
+
+class FeasibilityError(ReproError, ValueError):
+    """A requested set of delay differentiation parameters is infeasible."""
+
+
+class TopologyError(ReproError, ValueError):
+    """Invalid network topology (unknown node, disconnected path...)."""

@@ -1,0 +1,401 @@
+"""Ablation studies beyond the paper's headline figures.
+
+Each ablation exercises a design point the paper discusses in prose:
+
+* :func:`sdp_ratio_sweep` -- "the deviations increase as we widen the
+  differentiation spacing" (Section 5): accuracy of WTP/BPR vs the SDP
+  ratio at fixed load.
+* :func:`scheduler_comparison` -- all disciplines on identical traffic:
+  WTP/BPR/PAD/HPD vs the uncontrollable baselines (strict priority,
+  SCFQ capacity differentiation, FCFS, additive).
+* :func:`additive_convergence` -- Eq 3: the additive scheduler's delay
+  *differences* tend to the offset differences in heavy load.
+* :func:`wtp_starvation_demo` -- Proposition 2: with s_i/s_j < 1 - R/R1
+  an arbitrarily long high-class burst is served entirely before a
+  waiting low-class packet.
+* :func:`plr_demo` -- the loss-differentiation extension: PLR drop
+  ratios track the LDP ratios on a lossy link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..dropping.plr import PLRDropper
+from ..schedulers.registry import make_scheduler
+from ..schedulers.wtp import WTPScheduler
+from ..sim.engine import Simulator
+from ..sim.link import Link, PacketSink
+from ..sim.monitor import DelayMonitor
+from ..sim.packet import Packet
+from ..sim.rng import RandomStreams
+from ..traffic.mix import ClassLoadDistribution
+from ..traffic.pareto import ParetoInterarrivals
+from ..traffic.sizes import paper_trimodal_sizes
+from ..traffic.source import PacketIdAllocator, TrafficSource
+from ..units import PAPER_LINK_CAPACITY
+from .common import SingleHopConfig, generate_trace, replay_through_scheduler
+
+__all__ = [
+    "sdp_ratio_sweep",
+    "scheduler_comparison",
+    "additive_convergence",
+    "wtp_starvation_demo",
+    "plr_demo",
+    "adaptive_wtp_correction",
+    "quantization_sweep",
+    "absolute_vs_relative",
+    "AblationRow",
+]
+
+
+@dataclass
+class AblationRow:
+    """Generic labelled measurement row."""
+
+    label: str
+    values: dict[str, float]
+
+
+def sdp_ratio_sweep(
+    ratios: Sequence[float] = (1.5, 2.0, 4.0, 8.0),
+    schedulers: Sequence[str] = ("wtp", "bpr"),
+    utilization: float = 0.95,
+    horizon: float = 2e5,
+    warmup: float = 1e4,
+    seed: int = 3,
+) -> list[AblationRow]:
+    """Accuracy (worst relative ratio error) vs SDP spacing."""
+    rows = []
+    for ratio in ratios:
+        sdps = tuple(ratio**i for i in range(4))
+        base = SingleHopConfig(
+            sdps=sdps,
+            utilization=utilization,
+            horizon=horizon,
+            warmup=warmup,
+            seed=seed,
+        )
+        trace = generate_trace(base)
+        values = {}
+        for name in schedulers:
+            result = replay_through_scheduler(
+                trace, make_scheduler(name, sdps), base
+            )
+            errors = [
+                abs(r - t) / t
+                for r, t in zip(result.successive_ratios, result.target_ratios())
+            ]
+            values[name] = max(errors)
+        rows.append(AblationRow(label=f"sdp_ratio={ratio:g}", values=values))
+    return rows
+
+
+def scheduler_comparison(
+    schedulers: Sequence[str] = (
+        "wtp", "adaptive-wtp", "bpr", "pad", "hpd", "strict", "scfq",
+        "drr", "additive", "fcfs",
+    ),
+    utilization: float = 0.90,
+    horizon: float = 2e5,
+    warmup: float = 1e4,
+    seed: int = 5,
+) -> list[AblationRow]:
+    """All disciplines on identical traffic: mean delays + ratios."""
+    base = SingleHopConfig(
+        utilization=utilization, horizon=horizon, warmup=warmup, seed=seed
+    )
+    # Additive offsets in time units comparable to the delays at play.
+    additive_sdps = (1.0, 400.0, 800.0, 1200.0)
+    trace = generate_trace(base)
+    rows = []
+    for name in schedulers:
+        sdps = additive_sdps if name == "additive" else base.sdps
+        result = replay_through_scheduler(
+            trace, make_scheduler(name, sdps), base
+        )
+        values = {
+            f"d{i + 1}": d for i, d in enumerate(result.mean_delays)
+        }
+        for i, r in enumerate(result.successive_ratios):
+            values[f"r{i + 1}{i + 2}"] = r
+        rows.append(AblationRow(label=name, values=values))
+    return rows
+
+
+def additive_convergence(
+    offsets: tuple[float, ...] = (0.0, 500.0, 1000.0, 1500.0),
+    utilization: float = 0.95,
+    horizon: float = 4e5,
+    warmup: float = 2e4,
+    seed: int = 11,
+) -> list[AblationRow]:
+    """Measured d_i - d_{i+1} vs the additive target s_{i+1} - s_i."""
+    # AdditiveDelayScheduler wants strictly increasing offsets; the
+    # registry shifts them, so call it directly via a spec with distinct
+    # values and read back the measured differences.
+    sdps = tuple(o + 1.0 for o in offsets)  # keep registry's validation happy
+    loads = ClassLoadDistribution(
+        tuple(1.0 / len(offsets) for _ in offsets)
+    )
+    base = SingleHopConfig(
+        scheduler="additive",
+        sdps=sdps,
+        utilization=utilization,
+        loads=loads,
+        horizon=horizon,
+        warmup=warmup,
+        seed=seed,
+    )
+    trace = generate_trace(base)
+    result = replay_through_scheduler(
+        trace, make_scheduler("additive", sdps), base
+    )
+    delays = result.mean_delays
+    rows = []
+    for i in range(len(delays) - 1):
+        target = offsets[i + 1] - offsets[i]
+        measured = delays[i] - delays[i + 1]
+        rows.append(
+            AblationRow(
+                label=f"pair_{i + 1}_{i + 2}",
+                values={"target_diff": target, "measured_diff": measured},
+            )
+        )
+    return rows
+
+
+def wtp_starvation_demo(
+    burst_packets: int = 200,
+    sdps: tuple[float, float] = (1.0, 16.0),
+    peak_to_service: float = 2.0,
+) -> AblationRow:
+    """Proposition 2, executed.
+
+    A low-class packet waits while a class-2 burst arrives at peak rate
+    R1 = peak_to_service * R.  With s_1/s_2 < 1 - R/R1 every burst
+    packet is served before the low-class packet; the row reports how
+    many of the ``burst_packets`` overtook it (expected: all).
+    """
+    sim = Simulator()
+    scheduler = WTPScheduler(sdps)
+    capacity = 1.0  # 1 byte per time unit; unit-size packets
+    link = Link(sim, scheduler, capacity, target=PacketSink(keep_packets=True))
+    size = 1.0
+    peak_gap = size / (peak_to_service * capacity)
+    # A blocker occupies the server so the tagged low-class packet is
+    # *waiting* when the burst starts (Proposition 2's premise).
+    blocker = Packet(packet_id=-1, class_id=0, size=size, created_at=0.0)
+    sim.schedule(0.0, link.receive, blocker)
+    low = Packet(packet_id=0, class_id=0, size=size, created_at=0.0)
+    sim.schedule(0.0, link.receive, low)
+    for k in range(burst_packets):
+        packet = Packet(
+            packet_id=1 + k, class_id=1, size=size, created_at=k * peak_gap
+        )
+        sim.schedule(k * peak_gap, link.receive, packet)
+    sim.run()
+    sink: PacketSink = link.target  # type: ignore[assignment]
+    order = [p.packet_id for p in sink.packets]
+    overtakers = sum(1 for pid in order[: order.index(0)] if pid >= 1)
+    condition = sdps[0] / sdps[1] < 1.0 - capacity / (peak_to_service * capacity)
+    return AblationRow(
+        label="wtp_starvation",
+        values={
+            "burst_packets": float(burst_packets),
+            "overtakers": float(overtakers),
+            "condition_holds": float(condition),
+        },
+    )
+
+
+def adaptive_wtp_correction(
+    utilizations: Sequence[float] = (0.72, 0.80, 0.88, 0.95),
+    sdps: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0),
+    horizon: float = 3e5,
+    warmup: float = 1.5e4,
+    seed: int = 17,
+) -> list[AblationRow]:
+    """Extension ablation: adaptive SDPs vs plain WTP across loads.
+
+    Reports the mean absolute error of the successive-class ratios
+    against the target for both schedulers.  Expected: the adaptive
+    variant repairs the moderate-load undershoot without hurting the
+    heavy-load regime.
+    """
+    rows = []
+    for rho in utilizations:
+        base = SingleHopConfig(
+            sdps=sdps, utilization=rho, horizon=horizon, warmup=warmup,
+            seed=seed,
+        )
+        trace = generate_trace(base)
+        values = {}
+        for name in ("wtp", "adaptive-wtp"):
+            result = replay_through_scheduler(
+                trace, make_scheduler(name, sdps), base
+            )
+            errors = [
+                abs(r - t)
+                for r, t in zip(result.successive_ratios, result.target_ratios())
+            ]
+            values[name] = sum(errors) / len(errors)
+        rows.append(AblationRow(label=f"rho={rho:g}", values=values))
+    return rows
+
+
+def absolute_vs_relative(
+    surge_factors: Sequence[float] = (0.8, 1.5, 2.0),
+    horizon: float = 1e5,
+    seed: int = 37,
+) -> list[AblationRow]:
+    """Section 1's contrast, measured: Premium (absolute) vs WTP
+    (relative) when the premium user's demand surges past its profile.
+
+    A background best-effort load (rho = 0.75) shares a unit link with
+    a priority flow whose offered rate is ``surge * profile``.  Premium:
+    token-bucket policed to the profile, then strict priority -- delays
+    stay tiny but the surge is *dropped*.  Relative: same traffic into
+    the high WTP class, no policing -- nothing is lost, delays adapt.
+    (Surges are kept inside the stable region so the relative delays
+    are steady-state numbers, not a blowing-up queue.)
+    """
+    from ..policing import PremiumPolicer
+    from ..schedulers.strict_priority import StrictPriorityScheduler
+    from ..schedulers.wtp import WTPScheduler
+    from ..traffic.poisson import PoissonInterarrivals
+    from ..traffic.sizes import FixedPacketSize
+
+    profile_rate = 0.1  # bytes per time unit on a unit-capacity link
+    rows = []
+    for surge in surge_factors:
+        values = {}
+        for mode in ("premium", "relative"):
+            sim = Simulator()
+            streams = RandomStreams(seed)
+            if mode == "premium":
+                scheduler = StrictPriorityScheduler(2)
+            else:
+                scheduler = WTPScheduler((1.0, 8.0))
+            link = Link(sim, scheduler, capacity=1.0, target=PacketSink())
+            monitor = DelayMonitor(2, warmup=horizon * 0.05)
+            link.add_monitor(monitor)
+            ids = PacketIdAllocator()
+            TrafficSource(
+                sim, link, 0,
+                PoissonInterarrivals(1.0 / 0.75, streams.generator()),
+                FixedPacketSize(1.0), ids=ids,
+            ).start()
+            if mode == "premium":
+                policer = PremiumPolicer(
+                    sim, link, rate=profile_rate, burst=10.0
+                )
+                entry = policer
+            else:
+                policer = None
+                entry = link
+            TrafficSource(
+                sim, entry, 1,
+                PoissonInterarrivals(1.0 / (profile_rate * surge),
+                                     streams.generator()),
+                FixedPacketSize(1.0), ids=ids,
+            ).start()
+            sim.run(until=horizon)
+            values[f"{mode}_delay"] = monitor.mean_delay(1)
+            if policer is not None:
+                total = policer.forwarded + policer.dropped
+                values["premium_loss"] = (
+                    policer.dropped / total if total else 0.0
+                )
+        rows.append(AblationRow(label=f"surge={surge:g}x", values=values))
+    return rows
+
+
+def quantization_sweep(
+    epochs_p_units: Sequence[float] = (0.1, 1.0, 10.0, 100.0),
+    utilization: float = 0.95,
+    horizon: float = 2e5,
+    warmup: float = 1e4,
+    seed: int = 19,
+) -> list[AblationRow]:
+    """Implementability ablation (§4.2): WTP with quantized priorities.
+
+    Sweeps the aging-epoch granularity (in p-units) and reports the
+    worst successive-ratio error vs exact WTP on identical traffic.
+    Expected: sub-p-unit epochs are indistinguishable from exact WTP;
+    accuracy decays as the epoch approaches the delays being ranked.
+    """
+    from ..schedulers.quantized_wtp import QuantizedWTPScheduler
+    from ..units import PAPER_P_UNIT
+
+    sdps = (1.0, 2.0, 4.0, 8.0)
+    base = SingleHopConfig(
+        sdps=sdps, utilization=utilization, horizon=horizon, warmup=warmup,
+        seed=seed,
+    )
+    trace = generate_trace(base)
+    exact = replay_through_scheduler(trace, make_scheduler("wtp", sdps), base)
+    exact_error = max(
+        abs(r - t) for r, t in zip(exact.successive_ratios, exact.target_ratios())
+    )
+    rows = [AblationRow(label="exact", values={"worst_error": exact_error})]
+    for epoch_p in epochs_p_units:
+        scheduler = QuantizedWTPScheduler(sdps, epoch=epoch_p * PAPER_P_UNIT)
+        result = replay_through_scheduler(trace, scheduler, base)
+        error = max(
+            abs(r - t)
+            for r, t in zip(result.successive_ratios, result.target_ratios())
+        )
+        rows.append(
+            AblationRow(
+                label=f"epoch={epoch_p:g}p", values={"worst_error": error}
+            )
+        )
+    return rows
+
+
+def plr_demo(
+    ldps: tuple[float, ...] = (4.0, 2.0, 1.0),
+    window: int | None = None,
+    utilization: float = 1.3,
+    buffer_packets: int = 60,
+    horizon: float = 2e5,
+    seed: int = 23,
+) -> AblationRow:
+    """Loss-differentiation extension: measured vs target loss ratios."""
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    num_classes = len(ldps)
+    scheduler = make_scheduler("wtp", tuple(2.0**i for i in range(num_classes)))
+    dropper = PLRDropper(ldps, window=window)
+    link = Link(
+        sim,
+        scheduler,
+        PAPER_LINK_CAPACITY,
+        buffer_packets=buffer_packets,
+        drop_policy=dropper,
+    )
+    loads = ClassLoadDistribution(
+        tuple(1.0 / num_classes for _ in range(num_classes))
+    )
+    sizes_mean = paper_trimodal_sizes().mean
+    ids = PacketIdAllocator()
+    for class_id, gap in enumerate(
+        loads.mean_gaps(utilization, PAPER_LINK_CAPACITY, sizes_mean)
+    ):
+        TrafficSource(
+            sim,
+            link,
+            class_id,
+            ParetoInterarrivals(gap, rng=streams.generator()),
+            paper_trimodal_sizes(streams.generator()),
+            ids=ids,
+        ).start()
+    sim.run(until=horizon)
+    values = {}
+    for i, ratio in enumerate(dropper.loss_ratios()):
+        values[f"measured_l{i + 1}/l{i + 2}"] = ratio
+        values[f"target_l{i + 1}/l{i + 2}"] = ldps[i] / ldps[i + 1]
+    values["total_drops"] = float(link.drops)
+    return AblationRow(label="plr", values=values)

@@ -1,0 +1,116 @@
+"""Analytic overlay: simulator vs Kleinrock vs the Eq 6 ideal.
+
+The paper evaluates WTP purely by simulation ("in the absence of
+appropriate analytical tools ... we use simulations").  For Poisson
+inputs those tools *do* exist (Kleinrock's TDP solution,
+:mod:`repro.theory.kleinrock`), which buys two things at once:
+
+* a fidelity audit -- the event-driven WTP simulator should match the
+  closed-form waits at every load, bounding simulation error; and
+* an analytic restatement of the paper's central claim -- the TDP waits
+  converge to the Eq 6 ideal proportional delays as rho -> 1, and the
+  gap at each load *is* the undershoot Figure 1 shows.
+
+One overlay row per (rho, class): measured mean delay, the Kleinrock
+prediction, the ideal, and the two relative gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..schedulers.wtp import WTPScheduler
+from ..sim.engine import Simulator
+from ..sim.link import Link, PacketSink
+from ..sim.monitor import DelayMonitor
+from ..sim.rng import RandomStreams
+from ..theory import (
+    ServiceDistribution,
+    proportional_delays_mg1,
+    tdp_waits,
+)
+from ..traffic.poisson import PoissonInterarrivals
+from ..traffic.sizes import FixedPacketSize
+from ..traffic.source import PacketIdAllocator, TrafficSource
+
+__all__ = ["OverlayRow", "run_analytic_overlay", "format_overlay"]
+
+
+@dataclass
+class OverlayRow:
+    """One (rho, class) comparison."""
+
+    utilization: float
+    class_id: int              # 0-based
+    measured: float
+    kleinrock: float
+    ideal: float
+
+    @property
+    def simulation_gap(self) -> float:
+        """|measured - Kleinrock| / Kleinrock: simulator fidelity."""
+        return abs(self.measured - self.kleinrock) / self.kleinrock
+
+    @property
+    def model_gap(self) -> float:
+        """|Kleinrock - ideal| / ideal: WTP's distance from Eq 6."""
+        return abs(self.kleinrock - self.ideal) / self.ideal
+
+
+def run_analytic_overlay(
+    utilizations: Sequence[float] = (0.7, 0.8, 0.9, 0.95),
+    sdps: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0),
+    shares: tuple[float, ...] = (0.4, 0.3, 0.2, 0.1),
+    horizon: float = 3e5,
+    seed: int = 41,
+) -> list[OverlayRow]:
+    """Simulate WTP with Poisson unit-packet traffic per load; compare."""
+    service = ServiceDistribution.deterministic(1.0)
+    rows = []
+    for rho in utilizations:
+        rates = [rho * share for share in shares]
+        sim = Simulator()
+        streams = RandomStreams(seed)
+        link = Link(sim, WTPScheduler(sdps), capacity=1.0, target=PacketSink())
+        monitor = DelayMonitor(len(sdps), warmup=horizon * 0.05)
+        link.add_monitor(monitor)
+        ids = PacketIdAllocator()
+        for class_id, rate in enumerate(rates):
+            TrafficSource(
+                sim, link, class_id,
+                PoissonInterarrivals(1.0 / rate, streams.generator()),
+                FixedPacketSize(1.0), ids=ids,
+            ).start()
+        sim.run(until=horizon)
+        theory = tdp_waits(rates, sdps, service)
+        ideal = proportional_delays_mg1(rates, sdps, service)
+        for class_id, measured in enumerate(monitor.mean_delays()):
+            rows.append(
+                OverlayRow(
+                    utilization=rho,
+                    class_id=class_id,
+                    measured=measured,
+                    kleinrock=theory[class_id],
+                    ideal=ideal[class_id],
+                )
+            )
+    return rows
+
+
+def format_overlay(rows: Sequence[OverlayRow]) -> str:
+    """ASCII table of the three-way comparison."""
+    lines = [
+        "Analytic overlay: WTP simulator vs Kleinrock TDP vs Eq 6 ideal "
+        "(Poisson, unit packets)",
+        f"{'rho':>6} {'class':>6} {'measured':>9} {'kleinrock':>10} "
+        f"{'ideal':>8} {'sim gap':>8} {'model gap':>10}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.utilization:>6.2f} {row.class_id + 1:>6d} "
+            f"{row.measured:>9.3f} {row.kleinrock:>10.3f} "
+            f"{row.ideal:>8.3f} {row.simulation_gap:>7.1%} "
+            f"{row.model_gap:>9.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Shared single-hop experiment harness (Simulation Study A, Section 5).
+
+One :class:`SingleHopConfig` describes a run: N classes of Pareto
+traffic with the paper's trimodal packet sizes multiplexed onto one
+link under a chosen scheduler.  :func:`run_single_hop` executes it and
+returns measured per-class delays plus any requested interval monitors
+and packet taps.
+
+The harness generates the arrival *trace* first and replays it, for the
+two reasons the paper's methodology needs: different schedulers can be
+compared on identical arrivals (Figures 4/5), and the trace's FCFS
+subset delays feed the Eq 7 feasibility verification that Section 3
+prescribes for Figures 1 and 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.conservation import (
+    conservation_residual,
+    fcfs_mean_delay,
+    subset_delay_function,
+)
+from ..core.ddp import ddps_from_sdps
+from ..core.feasibility import FeasibilityReport, check_proportional_feasibility
+from ..errors import ConfigurationError
+from ..schedulers.base import Scheduler
+from ..schedulers.registry import make_scheduler
+from ..sim.engine import Simulator
+from ..sim.link import Link, PacketSink
+from ..sim.monitor import DelayMonitor, IntervalDelayMonitor, PacketTap
+from ..sim.rng import RandomStreams
+from ..traffic.mix import ClassLoadDistribution
+from ..traffic.pareto import ParetoInterarrivals
+from ..traffic.sizes import paper_trimodal_sizes
+from ..traffic.trace import ArrivalTrace, TraceSource, build_class_trace, merge_traces
+from ..units import PAPER_LINK_CAPACITY, PAPER_P_UNIT
+
+__all__ = ["SingleHopConfig", "SingleHopResult", "generate_trace",
+           "run_single_hop", "replay_through_scheduler"]
+
+
+@dataclass(frozen=True)
+class SingleHopConfig:
+    """One single-link simulation run (paper defaults pre-filled)."""
+
+    scheduler: str = "wtp"
+    sdps: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0)
+    utilization: float = 0.95
+    loads: ClassLoadDistribution = field(
+        default_factory=lambda: ClassLoadDistribution((0.4, 0.3, 0.2, 0.1))
+    )
+    horizon: float = 1e6            # simulation time units (paper: 10^6)
+    warmup: float = 5e4             # discarded start-up interval
+    seed: int = 1
+    capacity: float = PAPER_LINK_CAPACITY
+    pareto_shape: float = 1.9
+    #: Monitoring timescales tau, in time units, for interval monitors.
+    interval_taus: tuple[float, ...] = ()
+    #: (start, end) windows for per-packet taps.
+    tap_windows: tuple[tuple[float, float], ...] = ()
+    keep_samples: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.sdps) != self.loads.num_classes:
+            raise ConfigurationError("one SDP per class required")
+        if self.warmup >= self.horizon:
+            raise ConfigurationError("warmup must be below the horizon")
+
+    @property
+    def num_classes(self) -> int:
+        return self.loads.num_classes
+
+    @property
+    def p_unit(self) -> float:
+        """Average packet transmission time on this link (time units)."""
+        return paper_trimodal_sizes().mean / self.capacity
+
+
+@dataclass
+class SingleHopResult:
+    """Measurements of one single-hop run."""
+
+    config: SingleHopConfig
+    trace: ArrivalTrace
+    monitor: DelayMonitor
+    interval_monitors: dict[float, IntervalDelayMonitor]
+    taps: list[PacketTap]
+    link_utilization: float
+
+    @property
+    def mean_delays(self) -> list[float]:
+        return self.monitor.mean_delays()
+
+    @property
+    def successive_ratios(self) -> list[float]:
+        """Measured d_i / d_{i+1} (the paper's Figure 1/2 points)."""
+        return self.monitor.successive_ratios()
+
+    def target_ratios(self) -> list[float]:
+        """Ideal successive ratios s_{i+1} / s_i (Eq 13)."""
+        sdps = self.config.sdps
+        return [sdps[i + 1] / sdps[i] for i in range(len(sdps) - 1)]
+
+    # ------------------------------------------------------------------
+    # Paper-methodology audits
+    # ------------------------------------------------------------------
+    def fcfs_aggregate_delay(self) -> float:
+        """d(lambda): FCFS mean delay of this very trace."""
+        return fcfs_mean_delay(
+            self.trace, self.config.capacity, self.config.warmup
+        )
+
+    def conservation_residual(self) -> float:
+        """Relative Eq 5 residual of the measured class delays."""
+        rates = self.trace.class_rates(self.config.horizon)
+        return conservation_residual(
+            rates, self.mean_delays, self.fcfs_aggregate_delay()
+        )
+
+    def feasibility_report(
+        self, relative_tolerance: float = 0.05
+    ) -> FeasibilityReport:
+        """Eq 7 check of this run's DDP target at this run's traffic.
+
+        The tolerance is loose because subset delays are *measured*; the
+        paper performs the identical check by simulating the FCFS
+        server.
+        """
+        ddps = ddps_from_sdps(self.config.sdps)
+        rates = self.trace.class_rates(self.config.horizon)
+        subset_delay = subset_delay_function(
+            self.trace, self.config.capacity, self.config.warmup
+        )
+        return check_proportional_feasibility(
+            ddps, rates, subset_delay, relative_tolerance
+        )
+
+
+def generate_trace(config: SingleHopConfig) -> ArrivalTrace:
+    """Draw the per-class Pareto arrival trace for a config."""
+    streams = RandomStreams(config.seed)
+    sizes_mean = paper_trimodal_sizes().mean
+    gaps = config.loads.mean_gaps(
+        config.utilization, config.capacity, sizes_mean
+    )
+    per_class = []
+    for class_id, gap in enumerate(gaps):
+        interarrivals = ParetoInterarrivals(
+            gap, config.pareto_shape, streams.generator()
+        )
+        sizes = paper_trimodal_sizes(streams.generator())
+        per_class.append(
+            build_class_trace(class_id, interarrivals, sizes, config.horizon)
+        )
+    return merge_traces(per_class)
+
+
+def replay_through_scheduler(
+    trace: ArrivalTrace,
+    scheduler: Scheduler,
+    config: SingleHopConfig,
+) -> SingleHopResult:
+    """Replay a trace through a scheduler and collect all measurements."""
+    sim = Simulator()
+    link = Link(sim, scheduler, config.capacity, target=PacketSink())
+    monitor = DelayMonitor(
+        config.num_classes, warmup=config.warmup, keep_samples=config.keep_samples
+    )
+    link.add_monitor(monitor)
+    interval_monitors: dict[float, IntervalDelayMonitor] = {}
+    for tau in config.interval_taus:
+        interval = IntervalDelayMonitor(
+            config.num_classes, tau=tau, warmup=config.warmup
+        )
+        interval_monitors[tau] = interval
+        link.add_monitor(interval)
+    taps = []
+    for start, end in config.tap_windows:
+        tap = PacketTap(config.num_classes, start, end)
+        taps.append(tap)
+        link.add_monitor(tap)
+
+    source = TraceSource(sim, link, trace)
+    source.start()
+    sim.run(until=config.horizon)
+    for interval in interval_monitors.values():
+        interval.finalize()
+    return SingleHopResult(
+        config=config,
+        trace=trace,
+        monitor=monitor,
+        interval_monitors=interval_monitors,
+        taps=taps,
+        link_utilization=link.utilization(config.horizon),
+    )
+
+
+def run_single_hop(
+    config: SingleHopConfig, trace: Optional[ArrivalTrace] = None
+) -> SingleHopResult:
+    """Generate (or reuse) a trace and run it under ``config.scheduler``."""
+    if trace is None:
+        trace = generate_trace(config)
+    scheduler = make_scheduler(config.scheduler, config.sdps)
+    return replay_through_scheduler(trace, scheduler, config)

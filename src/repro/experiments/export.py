@@ -1,0 +1,133 @@
+"""Export experiment results to CSV/JSON for external plotting.
+
+The paper's figures are plots; this library regenerates the underlying
+*data series*.  These helpers serialize each harness's results in a
+stable schema so any plotting tool (matplotlib, gnuplot, a spreadsheet)
+can redraw the figures without re-running the simulations.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Sequence
+
+from .figure1 import FigureOnePoint
+from .figure2 import FigureTwoPoint
+from .figure3 import FigureThreeBox
+from .figure45 import MicroscopicViews
+from .table1 import TableOneCell
+
+__all__ = [
+    "figure1_to_csv",
+    "figure2_to_csv",
+    "figure3_to_csv",
+    "figure45_to_json",
+    "table1_to_csv",
+]
+
+
+def _write_csv(path: Path, header: Sequence[str], rows) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def figure1_to_csv(points: Sequence[FigureOnePoint], path: str | Path) -> Path:
+    """One row per (scheduler, utilization, class pair)."""
+    path = Path(path)
+    rows = [
+        (p.scheduler, p.utilization, i + 1, i + 2, ratio, p.target_ratios[i],
+         p.feasible)
+        for p in points
+        for i, ratio in enumerate(p.ratios)
+    ]
+    _write_csv(
+        path,
+        ("scheduler", "utilization", "class_low", "class_high",
+         "measured_ratio", "target_ratio", "feasible"),
+        rows,
+    )
+    return path
+
+
+def figure2_to_csv(points: Sequence[FigureTwoPoint], path: str | Path) -> Path:
+    """One row per (scheduler, load distribution, class pair)."""
+    path = Path(path)
+    rows = [
+        (p.scheduler, p.loads.label(), i + 1, i + 2, ratio,
+         p.target_ratios[i], p.feasible)
+        for p in points
+        for i, ratio in enumerate(p.ratios)
+    ]
+    _write_csv(
+        path,
+        ("scheduler", "loads", "class_low", "class_high",
+         "measured_ratio", "target_ratio", "feasible"),
+        rows,
+    )
+    return path
+
+
+def figure3_to_csv(boxes: Sequence[FigureThreeBox], path: str | Path) -> Path:
+    """One row per (scheduler, tau) with the five percentiles."""
+    path = Path(path)
+    rows = [
+        (b.scheduler, b.tau_p_units, b.summary.p5, b.summary.p25,
+         b.summary.median, b.summary.p75, b.summary.p95, b.summary.count)
+        for b in boxes
+    ]
+    _write_csv(
+        path,
+        ("scheduler", "tau_p_units", "p5", "p25", "median", "p75", "p95",
+         "intervals"),
+        rows,
+    )
+    return path
+
+
+def figure45_to_json(
+    views: dict[str, MicroscopicViews], path: str | Path
+) -> Path:
+    """Both microscopic views, ready to replot (JSON: floats + NaN->null)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {}
+    for name, view in views.items():
+        interval_rows = [
+            [None if value != value else float(value) for value in row]
+            for row in view.interval_means
+        ]
+        payload[name] = {
+            "interval_means": interval_rows,
+            "packet_samples": [
+                [[float(t), float(d)] for t, d in samples]
+                for samples in view.packet_samples
+            ],
+            "sawtooth_scores": [
+                None if score != score else float(score)
+                for score in view.sawtooth_scores()
+            ],
+        }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def table1_to_csv(cells: Sequence[TableOneCell], path: str | Path) -> Path:
+    """One row per Table 1 cell."""
+    path = Path(path)
+    rows = [
+        (c.hops, c.utilization, c.flow_packets, c.flow_rate_kbps, c.rd,
+         c.inconsistent, len(c.result.comparisons))
+        for c in cells
+    ]
+    _write_csv(
+        path,
+        ("hops", "utilization", "flow_packets", "flow_rate_kbps", "rd",
+         "inconsistent_experiments", "experiments"),
+        rows,
+    )
+    return path

@@ -1,0 +1,163 @@
+"""SVG renderings of the reproduced figures.
+
+Turns each experiment's result objects into an actual chart (via
+:mod:`repro.analysis.svg_plot`) so the reproduction produces *figures*,
+not just tables.  Used by the CLI's ``--figures-dir`` option.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from ..analysis.svg_plot import (
+    LineSeries,
+    SvgCanvas,
+    box_chart,
+    grouped_bar_chart,
+    line_chart,
+    scatter_chart,
+)
+from .figure1 import FigureOnePoint
+from .figure2 import FigureTwoPoint
+from .figure3 import FigureThreeBox
+from .figure45 import MicroscopicViews
+from .table1 import TableOneCell
+
+__all__ = [
+    "figure1_svg",
+    "figure2_svg",
+    "figure3_svg",
+    "figure45_svg",
+    "table1_svg",
+    "save_figures",
+]
+
+
+def figure1_svg(points: Sequence[FigureOnePoint]) -> SvgCanvas:
+    """Mean successive-class ratio vs utilization, one line per scheduler."""
+    target = points[0].target_ratios[0] if points else 2.0
+    schedulers = sorted({p.scheduler for p in points})
+    series = []
+    for scheduler in schedulers:
+        own = sorted(
+            (p for p in points if p.scheduler == scheduler),
+            key=lambda p: p.utilization,
+        )
+        series.append(
+            LineSeries(
+                label=scheduler.upper(),
+                points=tuple((p.utilization, p.mean_ratio) for p in own),
+            )
+        )
+    return line_chart(
+        series,
+        title=f"Figure 1: mean delay ratio vs load (target {target:g})",
+        x_label="link utilization",
+        y_label="ratio of successive class delays",
+        y_reference=target,
+    )
+
+
+def figure2_svg(points: Sequence[FigureTwoPoint]) -> SvgCanvas:
+    """Mean ratio per load distribution, grouped by scheduler."""
+    target = points[0].target_ratios[0] if points else 2.0
+    categories = []
+    for p in points:
+        label = p.loads.label()
+        if label not in categories:
+            categories.append(label)
+    schedulers = sorted({p.scheduler for p in points})
+    groups = []
+    for scheduler in schedulers:
+        by_label = {
+            p.loads.label(): p.mean_ratio
+            for p in points
+            if p.scheduler == scheduler
+        }
+        groups.append(
+            (scheduler.upper(), [by_label[c] for c in categories])
+        )
+    return grouped_bar_chart(
+        categories,
+        groups,
+        title=f"Figure 2: ratio vs class load distribution (target {target:g})",
+        y_label="mean successive-class delay ratio",
+        y_reference=target,
+    )
+
+
+def figure3_svg(boxes: Sequence[FigureThreeBox]) -> SvgCanvas:
+    """R_D percentile boxes per (scheduler, tau)."""
+    rows = []
+    for box in boxes:
+        s = box.summary
+        rows.append(
+            (
+                f"{box.scheduler} {box.tau_p_units:g}p",
+                s.p5, s.p25, s.median, s.p75, s.p95,
+            )
+        )
+    return box_chart(
+        rows,
+        title="Figure 3: R_D percentiles per monitoring timescale",
+        y_label="R_D",
+        y_reference=2.0,
+    )
+
+
+def figure45_svg(views: dict[str, MicroscopicViews]) -> dict[str, SvgCanvas]:
+    """Per scheduler: per-packet delay scatter (microscopic view II)."""
+    charts = {}
+    for name, view in views.items():
+        groups = [
+            (f"class {cid + 1}", view.packet_samples[cid])
+            for cid in range(len(view.packet_samples))
+            if view.packet_samples[cid]
+        ]
+        figure = "Figure 4" if name == "bpr" else "Figure 5"
+        charts[name] = scatter_chart(
+            groups,
+            title=f"{figure}: per-packet delays, {name.upper()}",
+            x_label="departure time",
+            y_label="queueing delay",
+        )
+    return charts
+
+
+def table1_svg(cells: Sequence[TableOneCell]) -> SvgCanvas:
+    """Table 1 as a grouped bar chart: R_D per cell."""
+    categories = []
+    for cell in cells:
+        label = f"K={cell.hops},{cell.utilization:.0%}"
+        if label not in categories:
+            categories.append(label)
+    columns = sorted({(c.flow_packets, c.flow_rate_kbps) for c in cells})
+    groups = []
+    for flow_packets, rate in columns:
+        values = []
+        for label in categories:
+            match = next(
+                c for c in cells
+                if f"K={c.hops},{c.utilization:.0%}" == label
+                and c.flow_packets == flow_packets
+                and c.flow_rate_kbps == rate
+            )
+            values.append(match.rd)
+        groups.append((f"F={flow_packets},Ru={rate:g}", values))
+    return grouped_bar_chart(
+        categories,
+        groups,
+        title="Table 1: end-to-end R_D (ideal 2.0)",
+        y_label="R_D",
+        y_reference=2.0,
+    )
+
+
+def save_figures(charts: dict[str, SvgCanvas], directory: str | Path) -> list[Path]:
+    """Write each named canvas to ``directory/<name>.svg``."""
+    directory = Path(directory)
+    paths = []
+    for name, canvas in charts.items():
+        paths.append(canvas.save(directory / f"{name}.svg"))
+    return paths

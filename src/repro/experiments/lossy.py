@@ -1,0 +1,152 @@
+"""Coupled delay-and-loss differentiation -- the paper's future work.
+
+Section 7 flags the extension of the proportional model to *both*
+performance metrics ("coupled delay and loss differentiation") as the
+main open problem, and warns that WTP/BPR may degrade with bounded
+buffers because they rely on long queues.  This harness measures
+exactly that regime: a bounded-buffer link running a delay scheduler
+*and* a PLR dropper simultaneously, swept across offered loads that
+straddle the loss onset.
+
+For each load the experiment reports, per class: mean queueing delay,
+loss fraction, and the successive-class delay and loss ratios against
+their proportional targets.  Expected shapes:
+
+* below the loss onset, delay ratios behave as in Figure 1 and losses
+  are zero;
+* past saturation, PLR pins the loss ratios to the LDPs, while the
+  delay ratios compress (bounded queues cap the waiting-time spread --
+  the degradation the paper predicts for WTP/BPR with small buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..dropping.plr import PLRDropper
+from ..schedulers.registry import make_scheduler
+from ..sim.engine import Simulator
+from ..sim.link import Link, PacketSink
+from ..sim.monitor import DelayMonitor
+from ..sim.rng import RandomStreams
+from ..traffic.mix import ClassLoadDistribution, PAPER_DEFAULT_LOADS
+from ..traffic.pareto import ParetoInterarrivals
+from ..traffic.sizes import paper_trimodal_sizes
+from ..traffic.source import PacketIdAllocator, TrafficSource
+from ..units import PAPER_LINK_CAPACITY
+
+__all__ = ["LossyConfig", "LossyPoint", "run_lossy_sweep", "format_lossy"]
+
+
+@dataclass(frozen=True)
+class LossyConfig:
+    """Bounded-buffer sweep parameters."""
+
+    scheduler: str = "wtp"
+    sdps: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0)
+    #: LDPs: class 1 should lose 8x as often as class 4.
+    ldps: tuple[float, ...] = (8.0, 4.0, 2.0, 1.0)
+    loads: ClassLoadDistribution = field(
+        default_factory=lambda: PAPER_DEFAULT_LOADS
+    )
+    offered_loads: tuple[float, ...] = (0.9, 1.0, 1.1, 1.3)
+    buffer_packets: int = 100
+    plr_window: int | None = None
+    horizon: float = 2e5
+    warmup: float = 1e4
+    capacity: float = PAPER_LINK_CAPACITY
+    seed: int = 29
+
+
+@dataclass
+class LossyPoint:
+    """Measurements at one offered load."""
+
+    offered_load: float
+    mean_delays: list[float]
+    loss_fractions: list[float]
+    total_drops: int
+    departures: int
+
+    def delay_ratios(self) -> list[float]:
+        return [
+            self.mean_delays[i] / self.mean_delays[i + 1]
+            for i in range(len(self.mean_delays) - 1)
+        ]
+
+    def loss_ratios(self) -> list[float]:
+        out = []
+        for a, b in zip(self.loss_fractions, self.loss_fractions[1:]):
+            out.append(a / b if b > 0 else float("nan"))
+        return out
+
+
+def run_lossy_sweep(config: LossyConfig) -> list[LossyPoint]:
+    """Run the bounded-buffer sweep; one point per offered load."""
+    points = []
+    num_classes = len(config.sdps)
+    sizes_mean = paper_trimodal_sizes().mean
+    for offered in config.offered_loads:
+        sim = Simulator()
+        streams = RandomStreams(config.seed)
+        dropper = PLRDropper(config.ldps, window=config.plr_window)
+        link = Link(
+            sim,
+            make_scheduler(config.scheduler, config.sdps),
+            config.capacity,
+            buffer_packets=config.buffer_packets,
+            drop_policy=dropper,
+            target=PacketSink(),
+        )
+        monitor = DelayMonitor(num_classes, warmup=config.warmup)
+        link.add_monitor(monitor)
+        ids = PacketIdAllocator()
+        gaps = config.loads.mean_gaps(offered, config.capacity, sizes_mean)
+        for class_id, gap in enumerate(gaps):
+            TrafficSource(
+                sim, link, class_id,
+                ParetoInterarrivals(gap, rng=streams.generator()),
+                paper_trimodal_sizes(streams.generator()),
+                ids=ids,
+            ).start()
+        sim.run(until=config.horizon)
+        fractions = [
+            dropper.drops[c] / dropper.arrivals[c] if dropper.arrivals[c] else 0.0
+            for c in range(num_classes)
+        ]
+        points.append(
+            LossyPoint(
+                offered_load=offered,
+                mean_delays=monitor.mean_delays(),
+                loss_fractions=fractions,
+                total_drops=link.drops,
+                departures=link.departures,
+            )
+        )
+    return points
+
+
+def format_lossy(points: Sequence[LossyPoint], config: LossyConfig) -> str:
+    """ASCII table: delays, losses and their ratios per offered load."""
+    n = len(config.sdps)
+    delay_targets = [config.sdps[i + 1] / config.sdps[i] for i in range(n - 1)]
+    loss_targets = [config.ldps[i] / config.ldps[i + 1] for i in range(n - 1)]
+    lines = [
+        "Coupled delay+loss differentiation (bounded buffer of "
+        f"{config.buffer_packets} packets)",
+        f"delay-ratio targets {delay_targets}, loss-ratio targets {loss_targets}",
+        f"{'load':>6} {'drops':>8} "
+        + " ".join(f"{'dR%d%d' % (i + 1, i + 2):>7}" for i in range(n - 1))
+        + " "
+        + " ".join(f"{'lR%d%d' % (i + 1, i + 2):>7}" for i in range(n - 1)),
+    ]
+    for p in points:
+        delay_r = " ".join(f"{r:>7.2f}" for r in p.delay_ratios())
+        loss_r = " ".join(
+            f"{r:>7.2f}" if r == r else f"{'--':>7}" for r in p.loss_ratios()
+        )
+        lines.append(
+            f"{p.offered_load:>6.2f} {p.total_drops:>8d} {delay_r} {loss_r}"
+        )
+    return "\n".join(lines)

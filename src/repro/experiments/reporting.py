@@ -1,0 +1,43 @@
+"""Plain-text rendering helpers shared by the CLI and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .ablations import AblationRow
+
+__all__ = ["format_ablation_rows", "format_table"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Fixed-width ASCII table (no external dependencies)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def render(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    lines = [render(headers), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_ablation_rows(rows: Sequence[AblationRow], title: str) -> str:
+    """Render a list of :class:`AblationRow` as an ASCII table."""
+    if not rows:
+        return f"{title}: no rows"
+    keys: list[str] = []
+    for row in rows:
+        for key in row.values:
+            if key not in keys:
+                keys.append(key)
+    headers = ["label", *keys]
+    body = [
+        [row.label] + [
+            f"{row.values[k]:.4g}" if k in row.values else "--" for k in keys
+        ]
+        for row in rows
+    ]
+    return f"{title}\n{format_table(headers, body)}"

@@ -1,0 +1,168 @@
+"""Declarative experiment specs: run studies from a JSON file.
+
+Downstream users often want to sweep parameters without writing
+orchestration code.  A *spec* is a JSON document describing a list of
+single-hop or multi-hop runs; :func:`run_spec` executes them and
+returns structured results, and :func:`run_spec_file` adds file I/O.
+
+Schema (all keys optional unless noted)::
+
+    {
+      "name": "my-study",
+      "runs": [
+        {
+          "kind": "single-hop",            # required: single-hop | multi-hop
+          "label": "wtp-95",
+          "scheduler": "wtp",
+          "sdps": [1, 2, 4, 8],
+          "utilization": 0.95,
+          "loads": [0.4, 0.3, 0.2, 0.1],
+          "horizon": 2e5, "warmup": 1e4, "seed": 1
+        },
+        {
+          "kind": "multi-hop",
+          "label": "chain-4",
+          "hops": 4, "utilization": 0.9,
+          "flow_packets": 10, "flow_rate_kbps": 50,
+          "experiments": 20, "warmup": 10000, "seed": 1
+        }
+      ]
+    }
+
+Unknown keys are rejected (typos should fail loudly, not silently run a
+default).  Results are plain dicts, JSON-serializable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import ConfigurationError
+from ..network.multihop import MultiHopConfig, run_multihop
+from ..traffic.mix import ClassLoadDistribution
+from .common import SingleHopConfig, run_single_hop
+
+__all__ = ["run_spec", "run_spec_file", "load_spec"]
+
+_SINGLE_HOP_KEYS = {
+    "kind", "label", "scheduler", "sdps", "utilization", "loads",
+    "horizon", "warmup", "seed",
+}
+_MULTI_HOP_KEYS = {
+    "kind", "label", "scheduler", "sdps", "hops", "utilization",
+    "flow_packets", "flow_rate_kbps", "experiments", "warmup", "seed",
+}
+
+
+def load_spec(path: str | Path) -> dict[str, Any]:
+    """Read and structurally validate a spec file."""
+    try:
+        spec = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path}: invalid JSON: {exc}") from None
+    _validate_spec(spec)
+    return spec
+
+
+def _validate_spec(spec: dict[str, Any]) -> None:
+    if not isinstance(spec, dict):
+        raise ConfigurationError("spec must be a JSON object")
+    runs = spec.get("runs")
+    if not isinstance(runs, list) or not runs:
+        raise ConfigurationError("spec needs a non-empty 'runs' list")
+    for index, run in enumerate(runs):
+        if not isinstance(run, dict):
+            raise ConfigurationError(f"runs[{index}] must be an object")
+        kind = run.get("kind")
+        if kind == "single-hop":
+            allowed = _SINGLE_HOP_KEYS
+        elif kind == "multi-hop":
+            allowed = _MULTI_HOP_KEYS
+        else:
+            raise ConfigurationError(
+                f"runs[{index}].kind must be 'single-hop' or 'multi-hop', "
+                f"got {kind!r}"
+            )
+        unknown = set(run) - allowed
+        if unknown:
+            raise ConfigurationError(
+                f"runs[{index}] has unknown keys {sorted(unknown)}; "
+                f"allowed: {sorted(allowed)}"
+            )
+
+
+def _run_single_hop(run: dict[str, Any]) -> dict[str, Any]:
+    kwargs: dict[str, Any] = {}
+    if "scheduler" in run:
+        kwargs["scheduler"] = run["scheduler"]
+    if "sdps" in run:
+        kwargs["sdps"] = tuple(float(s) for s in run["sdps"])
+    if "utilization" in run:
+        kwargs["utilization"] = float(run["utilization"])
+    if "loads" in run:
+        kwargs["loads"] = ClassLoadDistribution(
+            tuple(float(x) for x in run["loads"])
+        )
+    for key in ("horizon", "warmup"):
+        if key in run:
+            kwargs[key] = float(run[key])
+    if "seed" in run:
+        kwargs["seed"] = int(run["seed"])
+    result = run_single_hop(SingleHopConfig(**kwargs))
+    return {
+        "kind": "single-hop",
+        "label": run.get("label", ""),
+        "mean_delays": result.mean_delays,
+        "successive_ratios": result.successive_ratios,
+        "target_ratios": result.target_ratios(),
+        "conservation_residual": result.conservation_residual(),
+        "link_utilization": result.link_utilization,
+    }
+
+
+def _run_multi_hop(run: dict[str, Any]) -> dict[str, Any]:
+    kwargs: dict[str, Any] = {}
+    for key, cast in (
+        ("scheduler", str), ("hops", int), ("utilization", float),
+        ("flow_packets", int), ("flow_rate_kbps", float),
+        ("experiments", int), ("warmup", float), ("seed", int),
+    ):
+        if key in run:
+            kwargs[key] = cast(run[key])
+    if "sdps" in run:
+        kwargs["sdps"] = tuple(float(s) for s in run["sdps"])
+        kwargs["num_classes"] = len(kwargs["sdps"])
+    result = run_multihop(MultiHopConfig(**kwargs))
+    return {
+        "kind": "multi-hop",
+        "label": run.get("label", ""),
+        "rd": result.rd,
+        "experiments": len(result.comparisons),
+        "inconsistent_experiments": result.inconsistent_experiments,
+    }
+
+
+def run_spec(spec: dict[str, Any]) -> dict[str, Any]:
+    """Execute a validated spec; returns {'name', 'results': [...]}."""
+    _validate_spec(spec)
+    results = []
+    for run in spec["runs"]:
+        if run["kind"] == "single-hop":
+            results.append(_run_single_hop(run))
+        else:
+            results.append(_run_multi_hop(run))
+    return {"name": spec.get("name", ""), "results": results}
+
+
+def run_spec_file(
+    path: str | Path, output: str | Path | None = None
+) -> dict[str, Any]:
+    """Load, run and (optionally) write results as JSON next to you."""
+    outcome = run_spec(load_spec(path))
+    if output is not None:
+        output = Path(output)
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(json.dumps(outcome, indent=2))
+    return outcome

@@ -1,0 +1,25 @@
+"""Multi-hop network substrate for the Section 6 user-perspective study."""
+
+from .crosstraffic import MixedClassSource
+from .flows import FlowRecorder, UserFlow
+from .multihop import (
+    LINK_CAPACITY_BYTES_PER_MS,
+    MultiHopConfig,
+    MultiHopResult,
+    run_multihop,
+)
+from .routed import RoutedNetwork, RouteDemux
+from .topology import FlowDemux
+
+__all__ = [
+    "MixedClassSource",
+    "FlowRecorder",
+    "UserFlow",
+    "MultiHopConfig",
+    "MultiHopResult",
+    "run_multihop",
+    "LINK_CAPACITY_BYTES_PER_MS",
+    "FlowDemux",
+    "RoutedNetwork",
+    "RouteDemux",
+]

@@ -1,0 +1,38 @@
+"""Chain topology plumbing for the Section 6 study (Figure 6).
+
+The simulated path is a chain of K congested hops.  After each hop a
+:class:`FlowDemux` separates traffic: user-flow packets (``flow_id``
+set) continue to the next hop, cross-traffic packets (``flow_id`` is
+``None``) exit to a per-hop sink -- exactly the paper's configuration
+where cross-traffic enters at each node and leaves after one hop.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+from ..sim.link import PacketSink, Receiver
+from ..sim.packet import Packet
+
+__all__ = ["FlowDemux"]
+
+
+class FlowDemux:
+    """Route user flows downstream, cross-traffic to a local sink."""
+
+    def __init__(self, downstream: Receiver, cross_sink: Receiver | None = None) -> None:
+        if downstream is None:
+            raise TopologyError("demux needs a downstream receiver")
+        self.downstream = downstream
+        self.cross_sink: Receiver = (
+            cross_sink if cross_sink is not None else PacketSink()
+        )
+        self.user_packets = 0
+        self.cross_packets = 0
+
+    def receive(self, packet: Packet) -> None:
+        if packet.flow_id is None:
+            self.cross_packets += 1
+            self.cross_sink.receive(packet)
+        else:
+            self.user_packets += 1
+            self.downstream.receive(packet)

@@ -1,0 +1,5 @@
+"""Absolute-DiffServ edge behaviours (Premium/Assured), for contrast."""
+
+from .token_bucket import AssuredMarker, PremiumPolicer, TokenBucket
+
+__all__ = ["AssuredMarker", "PremiumPolicer", "TokenBucket"]

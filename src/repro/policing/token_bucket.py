@@ -1,0 +1,125 @@
+"""Token-bucket traffic policing -- the absolute-DiffServ substrate.
+
+Section 1 contrasts the paper's *relative* differentiation with the
+*absolute* DiffServ proposals: Premium Service (leased-line-like
+behaviour for traffic inside a bandwidth profile, enforced by policing
+and strict priority) and Assured Service (profile violations demoted to
+a higher drop-preference rather than dropped).  This package implements
+the common substrate -- a token bucket -- and the two edge behaviours,
+so the trade-off the paper argues (absolute services need admission
+control and waste capacity; relative services adapt) can be measured
+instead of asserted.
+
+A :class:`TokenBucket` with rate r (bytes per time unit) and burst b
+(bytes) admits a packet of size L at time t iff the bucket holds at
+least L tokens after refilling at rate r since the last check.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..sim.engine import Simulator
+from ..sim.link import Receiver
+from ..sim.packet import Packet
+
+__all__ = ["TokenBucket", "PremiumPolicer", "AssuredMarker"]
+
+
+class TokenBucket:
+    """Byte token bucket with continuous refill."""
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ConfigurationError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last_refill = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now < self._last_refill:
+            raise ConfigurationError(
+                f"time went backwards: {now} < {self._last_refill}"
+            )
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last_refill) * self.rate
+        )
+        self._last_refill = now
+
+    def conforms(self, size: float, now: float) -> bool:
+        """True (and consume tokens) iff a ``size``-byte packet conforms."""
+        self._refill(now)
+        if size <= self._tokens:
+            self._tokens -= size
+            return True
+        return False
+
+    def tokens(self, now: float) -> float:
+        """Current token level (after refilling to ``now``)."""
+        self._refill(now)
+        return self._tokens
+
+
+class PremiumPolicer:
+    """Premium Service edge: out-of-profile packets are *dropped*.
+
+    Conforming packets pass through unchanged (send them into the
+    highest class of a strict-priority link to complete the Premium
+    forwarding model).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        target: Receiver,
+        rate: float,
+        burst: float,
+    ) -> None:
+        self.sim = sim
+        self.target = target
+        self.bucket = TokenBucket(rate, burst)
+        self.forwarded = 0
+        self.dropped = 0
+
+    def receive(self, packet: Packet) -> None:
+        if self.bucket.conforms(packet.size, self.sim.now):
+            self.forwarded += 1
+            self.target.receive(packet)
+        else:
+            self.dropped += 1
+
+
+class AssuredMarker:
+    """Assured Service edge: out-of-profile packets are *demoted*.
+
+    Conforming ("In") packets keep their class; non-conforming ("Out")
+    packets are rewritten to ``demote_to`` (lowest class by default), so
+    congestion hits them first -- the drop-preference idea of [6],
+    realized here through class rather than drop colour since the
+    schedulers differentiate by class.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        target: Receiver,
+        rate: float,
+        burst: float,
+        demote_to: int = 0,
+    ) -> None:
+        if demote_to < 0:
+            raise ConfigurationError("demote_to must be a valid class index")
+        self.sim = sim
+        self.target = target
+        self.bucket = TokenBucket(rate, burst)
+        self.demote_to = demote_to
+        self.in_profile = 0
+        self.out_of_profile = 0
+
+    def receive(self, packet: Packet) -> None:
+        if self.bucket.conforms(packet.size, self.sim.now):
+            self.in_profile += 1
+        else:
+            self.out_of_profile += 1
+            packet.class_id = self.demote_to
+        self.target.receive(packet)

@@ -1,0 +1,42 @@
+"""Packet schedulers: the paper's WTP and BPR plus baselines/extensions."""
+
+from .adaptive_wtp import AdaptiveWTPScheduler
+from .additive import AdditiveDelayScheduler
+from .base import Scheduler, validate_sdps
+from .drr import DRRScheduler
+from .bpr import (
+    BPRScheduler,
+    FluidBPRTracker,
+    fluid_backlogs,
+    fluid_clearing_time,
+)
+from .fcfs import FCFSScheduler
+from .hpd import HPDScheduler
+from .pad import PADScheduler
+from .quantized_wtp import QuantizedWTPScheduler
+from .registry import available_schedulers, make_scheduler
+from .strict_priority import StrictPriorityScheduler
+from .wfq import SCFQScheduler, WFQScheduler
+from .wtp import WTPScheduler
+
+__all__ = [
+    "Scheduler",
+    "validate_sdps",
+    "AdaptiveWTPScheduler",
+    "DRRScheduler",
+    "WTPScheduler",
+    "BPRScheduler",
+    "FluidBPRTracker",
+    "fluid_backlogs",
+    "fluid_clearing_time",
+    "FCFSScheduler",
+    "StrictPriorityScheduler",
+    "SCFQScheduler",
+    "WFQScheduler",
+    "AdditiveDelayScheduler",
+    "PADScheduler",
+    "QuantizedWTPScheduler",
+    "HPDScheduler",
+    "make_scheduler",
+    "available_schedulers",
+]

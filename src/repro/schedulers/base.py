@@ -1,0 +1,103 @@
+"""Scheduler interface.
+
+A scheduler owns one FIFO per class (:class:`~repro.sim.queues.ClassQueueSet`)
+and decides, whenever the output link becomes free, which class to serve
+next.  Packets are never reordered within a class.
+
+The contract with :class:`~repro.sim.link.Link`:
+
+* ``enqueue(packet, now)`` -- a packet arrived at the queueing point.
+* ``select(now)`` -- the link is idle and at least one packet is queued;
+  pop and return the packet to transmit next.
+* ``on_departure(packet, now)`` -- transmission of ``packet`` finished
+  (hook used by schedulers that track service history, e.g. PAD/HPD).
+
+Subclasses implement :meth:`choose_class`; ``select`` handles the pop and
+bookkeeping.  ``num_classes`` follows the paper's convention: index 0 is
+paper class 1, the *lowest* class (largest delay target).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+from ..errors import ConfigurationError, SchedulingError
+from ..sim.packet import Packet
+from ..sim.queues import ClassQueueSet
+
+__all__ = ["Scheduler", "validate_sdps"]
+
+
+def validate_sdps(sdps: Sequence[float]) -> tuple[float, ...]:
+    """Validate scheduler differentiation parameters s1 < s2 < ... < sN.
+
+    The paper orders SDPs strictly increasing with the class index
+    (higher class => faster-growing priority / larger weight).  Returns
+    the SDPs as an immutable tuple.
+    """
+    values = tuple(float(s) for s in sdps)
+    if len(values) < 1:
+        raise ConfigurationError("need at least one SDP")
+    if any(s <= 0 for s in values):
+        raise ConfigurationError(f"SDPs must be positive: {values}")
+    if any(b <= a for a, b in zip(values, values[1:])):
+        raise ConfigurationError(
+            f"SDPs must be strictly increasing (s1 < ... < sN): {values}"
+        )
+    return values
+
+
+class Scheduler(ABC):
+    """Base class for all per-class packet schedulers."""
+
+    #: Short machine-readable name, overridden by subclasses.
+    name = "abstract"
+
+    def __init__(self, num_classes: int) -> None:
+        if num_classes < 1:
+            raise ConfigurationError("num_classes must be >= 1")
+        self.num_classes = num_classes
+        self.queues = ClassQueueSet(num_classes)
+
+    # ------------------------------------------------------------------
+    # Link-facing API
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet, now: float) -> None:
+        """Accept an arriving packet into its class FIFO."""
+        self.queues.push(packet)
+        self.on_enqueue(packet, now)
+
+    def select(self, now: float) -> Packet:
+        """Pop and return the next packet to transmit."""
+        if self.queues.is_empty():
+            raise SchedulingError(f"{self.name}: select() with empty backlog")
+        class_id = self.choose_class(now)
+        packet = self.queues.pop(class_id)
+        self.on_select(packet, now)
+        return packet
+
+    @property
+    def backlogged(self) -> bool:
+        """True when at least one packet is queued."""
+        return not self.queues.is_empty()
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def choose_class(self, now: float) -> int:
+        """Return the index of the backlogged class to serve next."""
+
+    def on_enqueue(self, packet: Packet, now: float) -> None:
+        """Hook: called after ``packet`` joined its queue."""
+
+    def on_select(self, packet: Packet, now: float) -> None:
+        """Hook: called after ``packet`` was popped for service."""
+
+    def on_departure(self, packet: Packet, now: float) -> None:
+        """Hook: called when ``packet`` finishes transmission."""
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(num_classes={self.num_classes})"

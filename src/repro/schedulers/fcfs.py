@@ -1,0 +1,32 @@
+"""First-Come-First-Served scheduler.
+
+No differentiation: the oldest head-of-line packet across all classes is
+served next, which is exactly a single shared FIFO.  FCFS is the
+reference server in the paper's theory: the conservation law (Eq 5)
+compares every discipline against the FCFS aggregate delay d(lambda),
+and the feasibility conditions (Eq 7) are stated in terms of FCFS delays
+of class subsets.
+"""
+
+from __future__ import annotations
+
+from .base import Scheduler
+
+__all__ = ["FCFSScheduler"]
+
+
+class FCFSScheduler(Scheduler):
+    """Serve the globally oldest packet (ties to the higher class)."""
+
+    name = "fcfs"
+
+    def choose_class(self, now: float) -> int:
+        best_class = -1
+        best_arrival = float("inf")
+        queues = self.queues
+        for cid in range(self.num_classes - 1, -1, -1):
+            head = queues.head(cid)
+            if head is not None and head.arrived_at < best_arrival:
+                best_arrival = head.arrived_at
+                best_class = cid
+        return best_class

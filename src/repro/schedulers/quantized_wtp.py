@@ -1,0 +1,59 @@
+"""Quantized WTP: a constant-ish-time approximation -- extension.
+
+Section 4.2 notes WTP's implementation costs at high speed: a priority
+must be computed for every backlogged class per departure, and packets
+must be timestamped on arrival.  Hardware schedulers avoid per-packet
+arithmetic by quantizing priorities into a finite set of levels.  This
+scheduler models that design point:
+
+* time is divided into *aging epochs* of length ``epoch``;
+* a head packet's priority is computed from its arrival epoch, not its
+  exact timestamp:  p_i = (epoch_now - epoch_arrival) * s_i, i.e. the
+  waiting time is known only to epoch granularity.
+
+With ``epoch -> 0`` this is exactly WTP; with coarse epochs the
+short-timescale differentiation degrades (ties become frequent and fall
+back to static class order).  The ablation benchmark quantifies that
+accuracy/cost trade-off, answering the paper's implementability remark
+with numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from .base import Scheduler, validate_sdps
+
+__all__ = ["QuantizedWTPScheduler"]
+
+
+class QuantizedWTPScheduler(Scheduler):
+    """WTP with waiting times quantized to aging epochs."""
+
+    name = "qwtp"
+
+    def __init__(self, sdps: Sequence[float], epoch: float) -> None:
+        self.sdps = validate_sdps(sdps)
+        if epoch <= 0:
+            raise ConfigurationError(f"epoch must be positive: {epoch}")
+        self.epoch = float(epoch)
+        super().__init__(len(self.sdps))
+
+    def choose_class(self, now: float) -> int:
+        best_class = -1
+        best_priority = -1.0
+        queues = self.queues.queues
+        sdps = self.sdps
+        epoch = self.epoch
+        now_epoch = int(now / epoch)
+        for cid in range(self.num_classes - 1, -1, -1):
+            queue = queues[cid]
+            if not queue:
+                continue
+            waited_epochs = now_epoch - int(queue[0].arrived_at / epoch)
+            priority = waited_epochs * sdps[cid]
+            if priority > best_priority:
+                best_priority = priority
+                best_class = cid
+        return best_class

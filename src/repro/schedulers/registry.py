@@ -1,0 +1,68 @@
+"""Name -> scheduler factory registry.
+
+Experiment configs and the CLI refer to schedulers by name; this module
+centralizes construction.  Every factory takes the SDP tuple (or, for
+parameterless disciplines like FCFS, the number of classes) so callers
+can build any scheduler from the same experiment description.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..errors import ConfigurationError
+from .adaptive_wtp import AdaptiveWTPScheduler
+from .additive import AdditiveDelayScheduler
+from .base import Scheduler
+from .bpr import BPRScheduler
+from .drr import DRRScheduler
+from .fcfs import FCFSScheduler
+from .hpd import HPDScheduler
+from .pad import PADScheduler
+from .quantized_wtp import QuantizedWTPScheduler
+from .strict_priority import StrictPriorityScheduler
+from .wfq import SCFQScheduler
+from .wtp import WTPScheduler
+
+__all__ = ["make_scheduler", "available_schedulers"]
+
+_FACTORIES: dict[str, Callable[[Sequence[float]], Scheduler]] = {
+    "wtp": lambda sdps: WTPScheduler(sdps),
+    "bpr": lambda sdps: BPRScheduler(sdps),
+    "pad": lambda sdps: PADScheduler(sdps),
+    "hpd": lambda sdps: HPDScheduler(sdps),
+    "adaptive-wtp": lambda sdps: AdaptiveWTPScheduler(sdps),
+    # Quantized WTP: default epoch of one paper p-unit (11.2 units).
+    "qwtp": lambda sdps: QuantizedWTPScheduler(sdps, epoch=11.2),
+    "fcfs": lambda sdps: FCFSScheduler(len(sdps)),
+    "strict": lambda sdps: StrictPriorityScheduler(len(sdps)),
+    # Capacity differentiation: SDPs double as static weights.
+    "scfq": lambda sdps: SCFQScheduler(sdps),
+    "wfq": lambda sdps: SCFQScheduler(sdps),
+    "drr": lambda sdps: DRRScheduler(sdps),
+    # Additive model: SDPs are offsets in time units; shift so s_1 = 0.
+    "additive": lambda sdps: AdditiveDelayScheduler(
+        [s - min(sdps) for s in sdps]
+    ),
+}
+
+
+def available_schedulers() -> tuple[str, ...]:
+    """Names accepted by :func:`make_scheduler`, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def make_scheduler(name: str, sdps: Sequence[float]) -> Scheduler:
+    """Build the named scheduler for the given SDPs.
+
+    ``sdps`` always has one entry per class; disciplines without
+    differentiation parameters (FCFS, strict priority) only use its
+    length.
+    """
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheduler {name!r}; available: {available_schedulers()}"
+        ) from None
+    return factory(sdps)

@@ -1,0 +1,35 @@
+"""Discrete-event simulation substrate (kernel, packets, queues, links)."""
+
+from .engine import Simulator
+from .events import EventHandle
+from .link import Link, PacketSink
+from .monitor import (
+    BacklogSampler,
+    DelayMonitor,
+    IntervalDelayMonitor,
+    PacketTap,
+    ThroughputMonitor,
+)
+from .packet import Packet
+from .process import AsyncQueue, Event, Process, spawn
+from .queues import ClassQueueSet
+from .rng import RandomStreams
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "Link",
+    "PacketSink",
+    "BacklogSampler",
+    "DelayMonitor",
+    "IntervalDelayMonitor",
+    "PacketTap",
+    "ThroughputMonitor",
+    "Packet",
+    "AsyncQueue",
+    "Event",
+    "Process",
+    "spawn",
+    "ClassQueueSet",
+    "RandomStreams",
+]

@@ -1,0 +1,65 @@
+"""Event representation for the discrete-event kernel.
+
+Events are ``(time, seq, callback, payload)`` tuples ordered by time and
+by insertion sequence for ties, so two events never compare their
+callbacks (callables are not orderable).  A thin :class:`EventHandle`
+wrapper supports cancellation without the O(n) cost of removing an entry
+from the heap: cancelled handles are skipped when popped.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["EventHandle"]
+
+
+class EventHandle:
+    """Handle to a scheduled event; allows cancellation.
+
+    Attributes
+    ----------
+    time:
+        Simulation time at which the event fires.
+    callback:
+        Zero- or one-argument callable invoked at ``time``.  ``None``
+        once cancelled.
+    payload:
+        Optional argument passed to the callback; ``None`` means the
+        callback is invoked with no arguments.
+    """
+
+    __slots__ = ("time", "seq", "callback", "payload")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        payload: Any = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.payload = payload
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.callback = None
+        self.payload = None
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self.callback is None
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else getattr(
+            self.callback, "__qualname__", repr(self.callback)
+        )
+        return f"EventHandle(t={self.time:.6g}, seq={self.seq}, {state})"

@@ -1,0 +1,194 @@
+"""Output link: a work-conserving server driving a scheduler.
+
+The link is the paper's forwarding engine for one hop: packets arrive
+(from sources or an upstream node), join the scheduler's per-class
+FIFOs, and are transmitted one at a time at ``capacity`` bytes per time
+unit.  By default the link is lossless (unbounded buffers), matching the
+paper's stable ECN-regulated operating assumption (Section 3); an
+optional packet-count buffer limit plus a drop policy turn it into a
+lossy multiplexer for the loss-differentiation extension.
+
+Departed packets are handed to ``target.receive(packet)`` (next hop or
+sink) and reported to the attached monitors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, TYPE_CHECKING
+
+from ..errors import ConfigurationError
+from .engine import Simulator
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..dropping.base import DropPolicy
+    from ..schedulers.base import Scheduler
+
+__all__ = ["Link", "PacketSink", "Receiver"]
+
+
+class Receiver(Protocol):
+    """Anything that can accept a departed packet (next hop, sink...)."""
+
+    def receive(self, packet: Packet) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class PacketSink:
+    """Terminal receiver: counts packets and optionally keeps them."""
+
+    def __init__(self, keep_packets: bool = False) -> None:
+        self.received = 0
+        self.keep_packets = keep_packets
+        self.packets: list[Packet] = []
+
+    def receive(self, packet: Packet) -> None:
+        self.received += 1
+        if self.keep_packets:
+            self.packets.append(packet)
+
+
+class Link:
+    """Single-server transmission link with pluggable scheduler."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheduler: "Scheduler",
+        capacity: float,
+        target: Optional[Receiver] = None,
+        name: str = "link",
+        buffer_packets: Optional[int] = None,
+        drop_policy: Optional["DropPolicy"] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"link capacity must be positive: {capacity}")
+        if buffer_packets is not None and buffer_packets < 1:
+            raise ConfigurationError("buffer_packets must be >= 1 when set")
+        if drop_policy is not None and buffer_packets is None:
+            raise ConfigurationError("a drop policy requires buffer_packets")
+        self.sim = sim
+        self.scheduler = scheduler
+        self.capacity = capacity
+        # Schedulers that need the link rate (e.g. BPR's Eq 9) expose
+        # bind_capacity; bind it unless the caller already fixed one.
+        bind = getattr(scheduler, "bind_capacity", None)
+        if bind is not None and getattr(scheduler, "capacity", None) is None:
+            bind(capacity)
+        self.target: Receiver = target if target is not None else PacketSink()
+        self.name = name
+        self.buffer_packets = buffer_packets
+        self.drop_policy = drop_policy
+        self.monitors: list = []
+
+        self.busy = False
+        self._in_service: Optional[Packet] = None
+        # Counters (arrivals/departures are per link; drops only with a
+        # bounded buffer).
+        self.arrivals = 0
+        self.departures = 0
+        self.drops = 0
+        self.drops_per_class = [0] * scheduler.num_classes
+        self.bytes_sent = 0.0
+        self.busy_time = 0.0
+        self._busy_since = 0.0
+
+    # ------------------------------------------------------------------
+    def add_monitor(self, monitor) -> None:
+        """Attach an object with ``on_departure(packet, now)``."""
+        self.monitors.append(monitor)
+
+    @property
+    def backlog_packets(self) -> int:
+        """Queued packets, excluding the one in service."""
+        return self.scheduler.queues.total_packets
+
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        """Packet arrival at this hop."""
+        now = self.sim.now
+        packet.arrived_at = now
+        self.arrivals += 1
+        if self.drop_policy is not None:
+            self.drop_policy.on_arrival(packet.class_id, now)
+        if (
+            self.buffer_packets is not None
+            and self.backlog_packets >= self.buffer_packets
+        ):
+            if not self._drop_for(packet):
+                return  # arriving packet itself was dropped
+        self.scheduler.enqueue(packet, now)
+        if not self.busy:
+            self._begin_busy_period(now)
+            self._start_service()
+
+    def _drop_for(self, arriving: Packet) -> bool:
+        """Make room for ``arriving``; return False if *it* was dropped."""
+        if self.drop_policy is None:
+            # Plain tail drop of the arriving packet.
+            self.drops += 1
+            self.drops_per_class[arriving.class_id] += 1
+            return False
+        victim_class = self.drop_policy.choose_victim(
+            self.scheduler.queues, arriving, self.sim.now
+        )
+        if victim_class is None:
+            self.drops += 1
+            self.drops_per_class[arriving.class_id] += 1
+            self.drop_policy.on_drop(arriving.class_id, self.sim.now)
+            return False
+        self.scheduler.queues.pop_tail(victim_class)
+        self.drops += 1
+        self.drops_per_class[victim_class] += 1
+        self.drop_policy.on_drop(victim_class, self.sim.now)
+        return True
+
+    # ------------------------------------------------------------------
+    def _begin_busy_period(self, now: float) -> None:
+        self.busy = True
+        self._busy_since = now
+
+    def _start_service(self) -> None:
+        now = self.sim.now
+        packet = self.scheduler.select(now)
+        packet.service_start = now
+        self._in_service = packet
+        self.sim.schedule(
+            now + packet.size / self.capacity, self._complete_service, packet
+        )
+
+    def _complete_service(self, packet: Packet) -> None:
+        now = self.sim.now
+        packet.departed_at = now
+        packet.hop_delays.append(packet.service_start - packet.arrived_at)
+        self.departures += 1
+        self.bytes_sent += packet.size
+        self._in_service = None
+        self.scheduler.on_departure(packet, now)
+        for monitor in self.monitors:
+            monitor.on_departure(packet, now)
+        self.target.receive(packet)
+        if self.scheduler.backlogged:
+            self._start_service()
+        else:
+            self.busy = False
+            self.busy_time += now - self._busy_since
+
+    # ------------------------------------------------------------------
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Fraction of time the server was transmitting.
+
+        If the link is busy at the end of the run the open busy period is
+        counted up to ``now``.  ``horizon`` defaults to the current clock.
+        """
+        total = self.busy_time
+        if self.busy:
+            total += self.sim.now - self._busy_since
+        span = horizon if horizon is not None else self.sim.now
+        return total / span if span > 0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Link({self.name!r}, capacity={self.capacity}, "
+            f"scheduler={self.scheduler.name})"
+        )

@@ -1,0 +1,320 @@
+"""Measurement instruments attached to links.
+
+Three instruments cover everything the paper's evaluation needs:
+
+* :class:`DelayMonitor` -- long-term per-class queueing-delay averages
+  with a warm-up cutoff (Figures 1 and 2).
+* :class:`IntervalDelayMonitor` -- per-class average delays in
+  consecutive intervals of a fixed monitoring timescale tau
+  (Figure 3's R_D distributions and the "microscopic view I" plots).
+* :class:`PacketTap` -- raw (departure time, class, delay) samples in a
+  time window (the "microscopic view II" per-packet plots).
+
+All delays are *queueing* delays: arrival at the hop to start of
+service, the quantity the paper plots throughout.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .packet import Packet
+
+__all__ = [
+    "DelayMonitor",
+    "IntervalDelayMonitor",
+    "PacketTap",
+    "ClassDelayStats",
+    "BacklogSampler",
+    "ThroughputMonitor",
+]
+
+
+class ClassDelayStats:
+    """Streaming summary of one class's queueing delays."""
+
+    __slots__ = ("count", "total", "total_sq", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, delay: float) -> None:
+        self.count += 1
+        self.total += delay
+        self.total_sq += delay * delay
+        if delay < self.min:
+            self.min = delay
+        if delay > self.max:
+            self.max = delay
+
+    @property
+    def mean(self) -> float:
+        """Average delay; NaN when no packet departed yet."""
+        return self.total / self.count if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Population variance; NaN when fewer than one sample."""
+        if not self.count:
+            return math.nan
+        mean = self.total / self.count
+        return max(self.total_sq / self.count - mean * mean, 0.0)
+
+
+class DelayMonitor:
+    """Long-term per-class average queueing delays with warm-up."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        warmup: float = 0.0,
+        keep_samples: bool = False,
+    ) -> None:
+        if num_classes < 1:
+            raise ConfigurationError("num_classes must be >= 1")
+        if warmup < 0:
+            raise ConfigurationError("warmup must be non-negative")
+        self.num_classes = num_classes
+        self.warmup = warmup
+        self.keep_samples = keep_samples
+        self.stats = [ClassDelayStats() for _ in range(num_classes)]
+        self.samples: list[list[float]] = [[] for _ in range(num_classes)]
+
+    def on_departure(self, packet: Packet, now: float) -> None:
+        if now < self.warmup:
+            return
+        delay = packet.service_start - packet.arrived_at
+        self.stats[packet.class_id].add(delay)
+        if self.keep_samples:
+            self.samples[packet.class_id].append(delay)
+
+    # ------------------------------------------------------------------
+    def mean_delay(self, class_id: int) -> float:
+        """Long-term average queueing delay of a class (NaN if idle)."""
+        return self.stats[class_id].mean
+
+    def mean_delays(self) -> list[float]:
+        """Average delay per class, in class order."""
+        return [s.mean for s in self.stats]
+
+    def counts(self) -> list[int]:
+        """Departed-packet count per class (after warm-up)."""
+        return [s.count for s in self.stats]
+
+    def successive_ratios(self) -> list[float]:
+        """d_i / d_{i+1} for each successive class pair (paper Figs 1-2)."""
+        means = self.mean_delays()
+        return [means[i] / means[i + 1] for i in range(self.num_classes - 1)]
+
+    def percentile(self, class_id: int, q: float) -> float:
+        """Delay percentile (requires ``keep_samples=True``)."""
+        if not self.keep_samples:
+            raise ConfigurationError("percentile() needs keep_samples=True")
+        data = self.samples[class_id]
+        if not data:
+            return math.nan
+        return float(np.percentile(data, q))
+
+    def jitter(self, class_id: int) -> float:
+        """Delay standard deviation of a class (population; NaN if idle).
+
+        Complements the mean-based proportional model: BPR's sawtooth
+        shows up as per-class jitter even where its means look fine.
+        """
+        variance = self.stats[class_id].variance
+        return math.sqrt(variance) if not math.isnan(variance) else math.nan
+
+
+class IntervalDelayMonitor:
+    """Per-class delay averages over consecutive intervals of length tau.
+
+    Interval k covers departures in [k*tau, (k+1)*tau).  For each
+    finished interval the per-class (sum, count) pairs are stored;
+    :meth:`interval_means` exposes them as arrays with NaN for inactive
+    classes, which is exactly the input the paper's R_D metric needs.
+    """
+
+    def __init__(self, num_classes: int, tau: float, warmup: float = 0.0) -> None:
+        if tau <= 0:
+            raise ConfigurationError("tau must be positive")
+        if warmup < 0:
+            raise ConfigurationError("warmup must be non-negative")
+        self.num_classes = num_classes
+        self.tau = tau
+        self.warmup = warmup
+        self._current_index: Optional[int] = None
+        self._sums = [0.0] * num_classes
+        self._counts = [0] * num_classes
+        #: One (index, sums, counts) triple per interval with >=1 departure.
+        self.intervals: list[tuple[int, list[float], list[int]]] = []
+
+    def on_departure(self, packet: Packet, now: float) -> None:
+        if now < self.warmup:
+            return
+        index = int(now // self.tau)
+        if self._current_index is None:
+            self._current_index = index
+        elif index != self._current_index:
+            self._flush()
+            self._current_index = index
+        delay = packet.service_start - packet.arrived_at
+        self._sums[packet.class_id] += delay
+        self._counts[packet.class_id] += 1
+
+    def _flush(self) -> None:
+        if self._current_index is not None and any(self._counts):
+            self.intervals.append(
+                (self._current_index, self._sums, self._counts)
+            )
+            self._sums = [0.0] * self.num_classes
+            self._counts = [0] * self.num_classes
+
+    def finalize(self) -> None:
+        """Flush the last open interval (call once, at end of run)."""
+        self._flush()
+        self._current_index = None
+
+    def interval_means(self) -> np.ndarray:
+        """(num_intervals, num_classes) array of means, NaN if inactive."""
+        rows = []
+        for _, sums, counts in self.intervals:
+            rows.append(
+                [
+                    sums[c] / counts[c] if counts[c] else math.nan
+                    for c in range(self.num_classes)
+                ]
+            )
+        if not rows:
+            return np.empty((0, self.num_classes))
+        return np.asarray(rows)
+
+
+class ThroughputMonitor:
+    """Per-class departed bytes in consecutive intervals of length tau.
+
+    The service-rate counterpart of :class:`IntervalDelayMonitor`: shows
+    how a scheduler redistributes bandwidth across classes over time
+    (e.g. BPR's backlog-proportional rates visibly tracking bursts).
+    """
+
+    def __init__(self, num_classes: int, tau: float, warmup: float = 0.0) -> None:
+        if tau <= 0:
+            raise ConfigurationError("tau must be positive")
+        self.num_classes = num_classes
+        self.tau = tau
+        self.warmup = warmup
+        self._current_index: Optional[int] = None
+        self._bytes = [0.0] * num_classes
+        self.intervals: list[tuple[int, list[float]]] = []
+
+    def on_departure(self, packet: Packet, now: float) -> None:
+        if now < self.warmup:
+            return
+        index = int(now // self.tau)
+        if self._current_index is None:
+            self._current_index = index
+        elif index != self._current_index:
+            self._flush()
+            self._current_index = index
+        self._bytes[packet.class_id] += packet.size
+
+    def _flush(self) -> None:
+        if self._current_index is not None and any(self._bytes):
+            self.intervals.append((self._current_index, self._bytes))
+            self._bytes = [0.0] * self.num_classes
+
+    def finalize(self) -> None:
+        """Flush the last open interval (call once, at end of run)."""
+        self._flush()
+        self._current_index = None
+
+    def rates(self) -> np.ndarray:
+        """(num_intervals, num_classes) byte-per-time-unit rates."""
+        if not self.intervals:
+            return np.empty((0, self.num_classes))
+        return np.asarray([b for _, b in self.intervals]) / self.tau
+
+
+class BacklogSampler:
+    """Samples per-class queue backlogs at a fixed period.
+
+    Unlike the departure-driven monitors, this one polls the scheduler's
+    queues on the simulator clock, capturing the backlog trajectory the
+    BPR analysis (Proposition 1) is stated in terms of.  Attach with
+    :meth:`attach`, which schedules the sampling loop.
+    """
+
+    def __init__(self, period: float, horizon: float) -> None:
+        if period <= 0 or horizon <= 0:
+            raise ConfigurationError("period and horizon must be positive")
+        self.period = period
+        self.horizon = horizon
+        self.times: list[float] = []
+        #: One row per sample: bytes queued per class.
+        self.samples: list[list[float]] = []
+        self._link = None
+        self._sim = None
+
+    def attach(self, sim, link) -> None:
+        """Start sampling ``link``'s scheduler queues on ``sim``."""
+        self._sim = sim
+        self._link = link
+        sim.schedule(sim.now + self.period, self._sample)
+
+    def _sample(self) -> None:
+        queues = self._link.scheduler.queues
+        self.times.append(self._sim.now)
+        self.samples.append(list(queues.bytes_backlog))
+        next_time = self._sim.now + self.period
+        if next_time <= self.horizon:
+            self._sim.schedule(next_time, self._sample)
+
+    def as_array(self) -> np.ndarray:
+        """(num_samples, num_classes) backlog matrix."""
+        if not self.samples:
+            return np.empty((0, 0))
+        return np.asarray(self.samples)
+
+
+class PacketTap:
+    """Raw per-packet samples inside a departure-time window."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        start: float = 0.0,
+        end: float = math.inf,
+    ) -> None:
+        if end <= start:
+            raise ConfigurationError("tap window must have end > start")
+        self.num_classes = num_classes
+        self.start = start
+        self.end = end
+        #: Per class: list of (departure_time, queueing_delay).
+        self.samples: list[list[tuple[float, float]]] = [
+            [] for _ in range(num_classes)
+        ]
+
+    def on_departure(self, packet: Packet, now: float) -> None:
+        if self.start <= now < self.end:
+            delay = packet.service_start - packet.arrived_at
+            self.samples[packet.class_id].append((now, delay))
+
+    def ipdv(self, class_id: int) -> float:
+        """Inter-packet delay variation (RFC 3393 flavour): the mean
+        absolute delay difference between consecutive departures of the
+        class inside the tap window.  NaN with fewer than 2 samples."""
+        delays = [d for _, d in self.samples[class_id]]
+        if len(delays) < 2:
+            return math.nan
+        return float(
+            np.abs(np.diff(np.asarray(delays))).mean()
+        )

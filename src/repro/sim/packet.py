@@ -1,0 +1,68 @@
+"""Packet model.
+
+One mutable object per packet; hot-path fields live in ``__slots__``.
+``class_id`` is the 0-based class index (paper class 1 == index 0, the
+*lowest* class).  Per-hop timestamps are rewritten at every queue so
+schedulers always see the waiting time at the *current* hop, while
+``hop_delays`` accumulates the queueing delay at each traversed hop for
+end-to-end analysis (Section 6 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["Packet"]
+
+
+class Packet:
+    """A single packet travelling through the simulated network."""
+
+    __slots__ = (
+        "packet_id",
+        "class_id",
+        "size",
+        "created_at",
+        "arrived_at",
+        "service_start",
+        "departed_at",
+        "flow_id",
+        "hop_delays",
+    )
+
+    def __init__(
+        self,
+        packet_id: int,
+        class_id: int,
+        size: float,
+        created_at: float,
+        flow_id: Optional[int] = None,
+    ) -> None:
+        self.packet_id = packet_id
+        self.class_id = class_id
+        self.size = size
+        self.created_at = created_at
+        #: Arrival time at the current queue (rewritten per hop).
+        self.arrived_at = created_at
+        self.service_start = -1.0
+        self.departed_at = -1.0
+        self.flow_id = flow_id
+        #: Queueing delay experienced at each hop, in order.
+        self.hop_delays: list[float] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def queueing_delay(self) -> float:
+        """Waiting time at the most recent hop (arrival -> service start)."""
+        return self.service_start - self.arrived_at
+
+    @property
+    def total_queueing_delay(self) -> float:
+        """Sum of queueing delays over all hops traversed so far."""
+        return sum(self.hop_delays)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Packet(id={self.packet_id}, class={self.class_id + 1}, "
+            f"size={self.size}, t0={self.created_at:.6g})"
+        )

@@ -1,0 +1,161 @@
+"""Coroutine processes on top of the event kernel.
+
+The library's own components are callback-driven for speed, but
+protocol logic (handshakes, retransmits, closed control loops) is far
+clearer as sequential code.  This module adds a minimal SimPy-style
+layer:
+
+* ``spawn(sim, generator)`` runs a generator as a process.  The
+  generator may ``yield``:
+
+  - a ``float``/``int`` -- sleep for that long;
+  - an :class:`Event` -- wait until it is triggered (the ``yield``
+    evaluates to the event's value);
+  - a :class:`Process` -- wait for that process to finish (evaluates
+    to its return value).
+
+* :class:`Event` -- one-shot signal carrying a value.
+* :class:`AsyncQueue` -- unbounded FIFO with blocking ``get``.
+
+Example
+-------
+>>> from repro.sim import Simulator
+>>> from repro.sim.process import spawn
+>>> sim = Simulator()
+>>> log = []
+>>> def worker():
+...     yield 5.0
+...     log.append(("woke", sim.now))
+>>> _ = spawn(sim, worker())
+>>> sim.run()
+>>> log
+[('woke', 5.0)]
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator, Optional
+
+from ..errors import SimulationError
+from .engine import Simulator
+
+__all__ = ["Event", "Process", "AsyncQueue", "spawn"]
+
+
+class Event:
+    """One-shot signal; processes yield it to wait for :meth:`succeed`."""
+
+    __slots__ = ("sim", "_value", "_triggered", "_waiters")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._value: Any = None
+        self._triggered = False
+        self._waiters: list["Process"] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> None:
+        """Trigger the event; wakes every waiting process *now*."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.sim.schedule(self.sim.now, process._resume, value)
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self._triggered:
+            self.sim.schedule(self.sim.now, process._resume, self._value)
+        else:
+            self._waiters.append(process)
+
+
+class Process:
+    """A generator being driven by the simulator."""
+
+    __slots__ = ("sim", "_generator", "done", "_finished")
+
+    def __init__(self, sim: Simulator, generator: Generator) -> None:
+        self.sim = sim
+        self._generator = generator
+        #: Triggered with the generator's return value on completion.
+        self.done = Event(sim)
+        self._finished = False
+        sim.schedule(sim.now, self._resume, None)
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    # ------------------------------------------------------------------
+    def _resume(self, value: Any = None) -> None:
+        # Default handles the kernel's no-payload convention (a None
+        # payload invokes the callback with zero arguments).
+        if self._finished:
+            return
+        try:
+            yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self._finished = True
+            self.done.succeed(stop.value)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimulationError(f"cannot sleep a negative time: {yielded}")
+            self.sim.schedule(self.sim.now + yielded, self._resume, None)
+        elif isinstance(yielded, Event):
+            yielded._add_waiter(self)
+        elif isinstance(yielded, Process):
+            yielded.done._add_waiter(self)
+        else:
+            raise SimulationError(
+                f"process yielded unsupported value: {yielded!r} "
+                "(expected a delay, an Event, or a Process)"
+            )
+
+
+class AsyncQueue:
+    """Unbounded FIFO whose ``get`` blocks the calling process."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Enqueue; wakes the oldest blocked getter, if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event to ``yield`` on; resolves to the next item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+def spawn(sim: Simulator, generator: Generator) -> Process:
+    """Run ``generator`` as a process; returns its :class:`Process`."""
+    return Process(sim, generator)

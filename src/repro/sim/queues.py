@@ -1,0 +1,107 @@
+"""Per-class FIFO queues.
+
+Schedulers in this library never reorder packets *within* a class (the
+paper's model is one FIFO per class); they only choose which class to
+serve next.  :class:`ClassQueueSet` owns one FIFO per class plus the
+byte/packet counters every scheduler needs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+from ..errors import SchedulingError
+from .packet import Packet
+
+__all__ = ["ClassQueueSet"]
+
+
+class ClassQueueSet:
+    """N per-class FIFO queues with byte and packet accounting."""
+
+    __slots__ = ("num_classes", "queues", "bytes_backlog", "_total_packets")
+
+    def __init__(self, num_classes: int) -> None:
+        if num_classes < 1:
+            raise SchedulingError("need at least one class")
+        self.num_classes = num_classes
+        self.queues: list[deque[Packet]] = [deque() for _ in range(num_classes)]
+        #: Backlog of each class in bytes.
+        self.bytes_backlog: list[float] = [0.0] * num_classes
+        self._total_packets = 0
+
+    # ------------------------------------------------------------------
+    def push(self, packet: Packet) -> None:
+        """Append ``packet`` to its class queue."""
+        cid = packet.class_id
+        if not 0 <= cid < self.num_classes:
+            raise SchedulingError(
+                f"packet class {cid} out of range [0, {self.num_classes})"
+            )
+        self.queues[cid].append(packet)
+        self.bytes_backlog[cid] += packet.size
+        self._total_packets += 1
+
+    def pop(self, class_id: int) -> Packet:
+        """Remove and return the head packet of ``class_id``."""
+        queue = self.queues[class_id]
+        if not queue:
+            raise SchedulingError(f"pop from empty class queue {class_id}")
+        packet = queue.popleft()
+        # Snap to zero on empty so float residue never leaks into
+        # backlog-driven schedulers (BPR rates) or totals.
+        self.bytes_backlog[class_id] = (
+            self.bytes_backlog[class_id] - packet.size if queue else 0.0
+        )
+        self._total_packets -= 1
+        return packet
+
+    def pop_tail(self, class_id: int) -> Packet:
+        """Remove and return the *tail* packet (used by drop policies)."""
+        queue = self.queues[class_id]
+        if not queue:
+            raise SchedulingError(f"pop_tail from empty class queue {class_id}")
+        packet = queue.pop()
+        self.bytes_backlog[class_id] = (
+            self.bytes_backlog[class_id] - packet.size if queue else 0.0
+        )
+        self._total_packets -= 1
+        return packet
+
+    # ------------------------------------------------------------------
+    def head(self, class_id: int) -> Optional[Packet]:
+        """Head packet of ``class_id`` without removing it, or ``None``."""
+        queue = self.queues[class_id]
+        return queue[0] if queue else None
+
+    def backlog_packets(self, class_id: int) -> int:
+        """Number of packets queued in ``class_id``."""
+        return len(self.queues[class_id])
+
+    def backlog_bytes(self, class_id: int) -> float:
+        """Bytes queued in ``class_id``."""
+        return self.bytes_backlog[class_id]
+
+    @property
+    def total_packets(self) -> int:
+        """Packets queued across all classes."""
+        return self._total_packets
+
+    @property
+    def total_bytes(self) -> float:
+        """Bytes queued across all classes."""
+        return sum(self.bytes_backlog)
+
+    def is_empty(self) -> bool:
+        """True when no class has a queued packet."""
+        return self._total_packets == 0
+
+    def backlogged_classes(self) -> Iterator[int]:
+        """Yield the indices of classes with at least one queued packet."""
+        for cid, queue in enumerate(self.queues):
+            if queue:
+                yield cid
+
+    def __len__(self) -> int:
+        return self._total_packets

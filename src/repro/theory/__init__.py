@@ -1,0 +1,29 @@
+"""Closed-form queueing results used to validate the simulator."""
+
+from .kleinrock import proportional_delays_mg1, tdp_heavy_load_ratio, tdp_waits
+from .mg1 import (
+    ServiceDistribution,
+    md1_mean_wait,
+    mg1_mean_wait,
+    mm1_mean_wait,
+    residual_work,
+)
+from .priority import (
+    aggregate_residual,
+    per_class_services,
+    strict_priority_waits,
+)
+
+__all__ = [
+    "proportional_delays_mg1",
+    "tdp_heavy_load_ratio",
+    "tdp_waits",
+    "ServiceDistribution",
+    "md1_mean_wait",
+    "mg1_mean_wait",
+    "mm1_mean_wait",
+    "residual_work",
+    "strict_priority_waits",
+    "aggregate_residual",
+    "per_class_services",
+]

@@ -1,0 +1,91 @@
+"""M/G/1 queueing formulas (Pollaczek-Khinchine and friends).
+
+Used to cross-check the simulator: with Poisson arrivals the FCFS mean
+waiting time is exactly
+
+    W = W_0 / (1 - rho),   W_0 = lambda * E[S^2] / 2,
+
+where S is the service time, and Eq 6 / Eq 7 can be evaluated in closed
+form (d(lambda) = W).  These results also ground the feasibility tests
+without needing measured subset delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["ServiceDistribution", "mg1_mean_wait", "mm1_mean_wait", "md1_mean_wait",
+           "residual_work"]
+
+
+@dataclass(frozen=True)
+class ServiceDistribution:
+    """First two moments of the service-time distribution."""
+
+    mean: float
+    second_moment: float
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0:
+            raise ConfigurationError(f"mean service time must be positive: {self.mean}")
+        if self.second_moment < self.mean**2:
+            raise ConfigurationError(
+                "second moment below mean^2 is impossible: "
+                f"E[S]={self.mean}, E[S^2]={self.second_moment}"
+            )
+
+    @classmethod
+    def from_packet_mix(
+        cls,
+        sizes: Sequence[float],
+        probabilities: Sequence[float],
+        capacity: float,
+    ) -> "ServiceDistribution":
+        """Service moments of a discrete packet-size mix on a link."""
+        if len(sizes) != len(probabilities):
+            raise ConfigurationError("sizes and probabilities must align")
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive: {capacity}")
+        mean = sum(p * s / capacity for p, s in zip(probabilities, sizes))
+        second = sum(p * (s / capacity) ** 2 for p, s in zip(probabilities, sizes))
+        return cls(mean, second)
+
+    @classmethod
+    def deterministic(cls, service_time: float) -> "ServiceDistribution":
+        return cls(service_time, service_time**2)
+
+    @classmethod
+    def exponential(cls, mean_service: float) -> "ServiceDistribution":
+        return cls(mean_service, 2.0 * mean_service**2)
+
+
+def residual_work(arrival_rate: float, service: ServiceDistribution) -> float:
+    """W_0 = lambda E[S^2] / 2: mean residual service seen at arrival."""
+    if arrival_rate < 0:
+        raise ConfigurationError(f"arrival rate must be >= 0: {arrival_rate}")
+    return arrival_rate * service.second_moment / 2.0
+
+
+def mg1_mean_wait(arrival_rate: float, service: ServiceDistribution) -> float:
+    """Pollaczek-Khinchine mean waiting time (queueing delay only)."""
+    rho = arrival_rate * service.mean
+    if rho >= 1.0:
+        raise ConfigurationError(f"unstable system: rho={rho:.4f} >= 1")
+    return residual_work(arrival_rate, service) / (1.0 - rho)
+
+
+def mm1_mean_wait(arrival_rate: float, mean_service: float) -> float:
+    """M/M/1 mean wait: rho * E[S] / (1 - rho)."""
+    return mg1_mean_wait(
+        arrival_rate, ServiceDistribution.exponential(mean_service)
+    )
+
+
+def md1_mean_wait(arrival_rate: float, service_time: float) -> float:
+    """M/D/1 mean wait: rho * E[S] / (2 (1 - rho))."""
+    return mg1_mean_wait(
+        arrival_rate, ServiceDistribution.deterministic(service_time)
+    )

@@ -1,0 +1,76 @@
+"""Cobham's formula: M/G/1 with non-preemptive *strict* priorities.
+
+Strict priority is both a baseline scheduler (Section 2.1) and the
+b_N >> ... >> b_1 limit of Kleinrock's time-dependent priorities, so
+these closed forms anchor two cross-checks: the strict-priority
+simulator and the limiting behaviour of :mod:`repro.theory.kleinrock`.
+
+With class N the *highest* priority (this library's convention) and
+sigma_p = sum_{i >= p} rho_i:
+
+    W_p = W_0 / ((1 - sigma_{p+1}) (1 - sigma_p)),   sigma_{N+1} = 0.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from ..errors import ConfigurationError
+from .mg1 import ServiceDistribution
+
+__all__ = ["strict_priority_waits", "per_class_services", "aggregate_residual"]
+
+ServiceSpec = Union[ServiceDistribution, Sequence[ServiceDistribution]]
+
+
+def per_class_services(
+    service: ServiceSpec, num_classes: int
+) -> list[ServiceDistribution]:
+    """Normalize a service spec to one distribution per class.
+
+    The paper's single-link study uses one packet-length distribution
+    for all classes; the theory (Cobham, Kleinrock) holds class-by-class
+    too, so both forms are accepted everywhere.
+    """
+    if isinstance(service, ServiceDistribution):
+        return [service] * num_classes
+    services = list(service)
+    if len(services) != num_classes:
+        raise ConfigurationError(
+            f"got {len(services)} service distributions for "
+            f"{num_classes} classes"
+        )
+    return services
+
+
+def aggregate_residual(
+    rates: Sequence[float], services: Sequence[ServiceDistribution]
+) -> float:
+    """W_0 = sum_i lambda_i E[S_i^2] / 2 over heterogeneous classes."""
+    return sum(r * s.second_moment for r, s in zip(rates, services)) / 2.0
+
+
+def strict_priority_waits(
+    arrival_rates: Sequence[float],
+    service: ServiceSpec,
+) -> list[float]:
+    """Cobham's mean waits per class (index 0 = lowest priority).
+
+    ``service`` is either one distribution shared by all classes (the
+    paper's assumption) or one per class.
+    """
+    rates = [float(r) for r in arrival_rates]
+    if any(r < 0 for r in rates):
+        raise ConfigurationError(f"rates must be non-negative: {rates}")
+    services = per_class_services(service, len(rates))
+    rhos = [r * s.mean for r, s in zip(rates, services)]
+    if sum(rhos) >= 1.0:
+        raise ConfigurationError(f"unstable system: rho={sum(rhos):.4f} >= 1")
+    w0 = aggregate_residual(rates, services)
+    n = len(rates)
+    waits = []
+    for p in range(n):
+        sigma_p = sum(rhos[p:])
+        sigma_above = sum(rhos[p + 1 :])
+        waits.append(w0 / ((1.0 - sigma_above) * (1.0 - sigma_p)))
+    return waits

@@ -1,0 +1,44 @@
+"""Traffic models: interarrival processes, packet sizes, load mixes."""
+
+from .base import InterarrivalProcess, PacketSizeSampler
+from .deterministic import ConstantInterarrivals
+from .ecn import ECNMarker, ECNSource
+from .io import load_trace, load_trace_csv, save_trace, save_trace_csv
+from .mix import (
+    FIGURE2_LOAD_DISTRIBUTIONS,
+    PAPER_DEFAULT_LOADS,
+    ClassLoadDistribution,
+    uniform_loads,
+)
+from .mmpp import MMPPInterarrivals
+from .onoff import OnOffInterarrivals
+from .pareto import PAPER_PARETO_SHAPE, ParetoInterarrivals
+from .poisson import PoissonInterarrivals
+from .sizes import DiscretePacketSizes, FixedPacketSize, paper_trimodal_sizes
+from .source import PacketIdAllocator, TrafficSource
+
+__all__ = [
+    "InterarrivalProcess",
+    "PacketSizeSampler",
+    "ConstantInterarrivals",
+    "ECNMarker",
+    "ECNSource",
+    "load_trace",
+    "load_trace_csv",
+    "save_trace",
+    "save_trace_csv",
+    "ClassLoadDistribution",
+    "PAPER_DEFAULT_LOADS",
+    "FIGURE2_LOAD_DISTRIBUTIONS",
+    "uniform_loads",
+    "MMPPInterarrivals",
+    "OnOffInterarrivals",
+    "ParetoInterarrivals",
+    "PAPER_PARETO_SHAPE",
+    "PoissonInterarrivals",
+    "DiscretePacketSizes",
+    "FixedPacketSize",
+    "paper_trimodal_sizes",
+    "PacketIdAllocator",
+    "TrafficSource",
+]

@@ -1,0 +1,50 @@
+"""Interfaces for traffic generation.
+
+Two small protocols compose into a source:
+
+* :class:`InterarrivalProcess` -- draws the gaps between consecutive
+  packet arrivals of one class (Pareto in the paper, Poisson/CBR/on-off
+  for validation and extensions).
+* :class:`PacketSizeSampler` -- draws packet sizes in bytes (the paper's
+  trimodal mix, or fixed sizes for the multi-hop study).
+
+Both expose their analytic means so that experiment harnesses can solve
+for the rates that hit a requested utilization exactly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["InterarrivalProcess", "PacketSizeSampler"]
+
+
+class InterarrivalProcess(ABC):
+    """Generator of interarrival gaps with a known mean."""
+
+    @abstractmethod
+    def next_gap(self) -> float:
+        """Draw the next interarrival time (strictly positive)."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Analytic mean interarrival time."""
+
+    @property
+    def rate(self) -> float:
+        """Analytic arrival rate (packets per time unit)."""
+        return 1.0 / self.mean
+
+
+class PacketSizeSampler(ABC):
+    """Generator of packet sizes with a known mean."""
+
+    @abstractmethod
+    def next_size(self) -> float:
+        """Draw the next packet size in bytes."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Analytic mean packet size in bytes."""

@@ -1,0 +1,29 @@
+"""Deterministic (CBR / periodic) interarrival process.
+
+The multi-hop study's user flows are periodic: F packets of 500 bytes
+sent back-to-back at a fixed period.  A constant-gap process also makes
+scheduler unit tests exactly predictable.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .base import InterarrivalProcess
+
+__all__ = ["ConstantInterarrivals"]
+
+
+class ConstantInterarrivals(InterarrivalProcess):
+    """Every gap equals ``gap`` exactly."""
+
+    def __init__(self, gap: float) -> None:
+        if gap <= 0:
+            raise ConfigurationError(f"gap must be positive: {gap}")
+        self.gap = float(gap)
+
+    def next_gap(self) -> float:
+        return self.gap
+
+    @property
+    def mean(self) -> float:
+        return self.gap

@@ -1,0 +1,110 @@
+"""Class load distributions.
+
+A :class:`ClassLoadDistribution` is the fraction of the aggregate load
+carried by each class.  The paper's default is 40/30/20/10 % for classes
+1..4; Figure 2 sweeps seven distributions at 95% utilization.  Helpers
+here validate the shares and convert (utilization, shares, capacity,
+mean packet size) into per-class mean interarrival gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "ClassLoadDistribution",
+    "PAPER_DEFAULT_LOADS",
+    "FIGURE2_LOAD_DISTRIBUTIONS",
+    "uniform_loads",
+]
+
+
+@dataclass(frozen=True)
+class ClassLoadDistribution:
+    """Per-class shares of the aggregate offered load (sum to 1)."""
+
+    shares: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shares:
+            raise ConfigurationError("need at least one class share")
+        if any(s <= 0 for s in self.shares):
+            raise ConfigurationError(
+                f"class shares must be positive: {self.shares}"
+            )
+        total = sum(self.shares)
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"class shares must sum to 1, got {total}: {self.shares}"
+            )
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.shares)
+
+    def class_rates(
+        self,
+        utilization: float,
+        capacity: float,
+        mean_packet_size: float,
+    ) -> list[float]:
+        """Per-class packet arrival rates achieving ``utilization``.
+
+        The utilization factor is the paper's: mean service time over
+        mean aggregate interarrival, i.e. rho = lambda * E[L] / R.
+        """
+        if not 0 < utilization:
+            raise ConfigurationError(f"utilization must be positive: {utilization}")
+        if capacity <= 0 or mean_packet_size <= 0:
+            raise ConfigurationError("capacity and packet size must be positive")
+        aggregate_rate = utilization * capacity / mean_packet_size
+        return [share * aggregate_rate for share in self.shares]
+
+    def mean_gaps(
+        self,
+        utilization: float,
+        capacity: float,
+        mean_packet_size: float,
+    ) -> list[float]:
+        """Per-class mean interarrival gaps for ``utilization``."""
+        return [
+            1.0 / rate
+            for rate in self.class_rates(utilization, capacity, mean_packet_size)
+        ]
+
+    def label(self) -> str:
+        """Compact percentage label, e.g. ``40/30/20/10``."""
+        return "/".join(f"{share * 100:g}" for share in self.shares)
+
+
+def uniform_loads(num_classes: int) -> ClassLoadDistribution:
+    """Equal share per class."""
+    if num_classes < 1:
+        raise ConfigurationError("num_classes must be >= 1")
+    return ClassLoadDistribution(tuple([1.0 / num_classes] * num_classes))
+
+
+#: The paper's default 4-class distribution (class 1 carries the most).
+PAPER_DEFAULT_LOADS = ClassLoadDistribution((0.4, 0.3, 0.2, 0.1))
+
+#: The seven distributions swept in Figure 2 (bars, left to right).  The
+#: printed figure labels them by the four class fractions; the exact
+#: seven tuples are not enumerated in the text, so we use a symmetric
+#: sweep from "low classes loaded" through uniform to "high classes
+#: loaded", which reproduces the phenomenon the figure demonstrates
+#: (WTP insensitive, BPR biased against heavily loaded classes).
+FIGURE2_LOAD_DISTRIBUTIONS: tuple[ClassLoadDistribution, ...] = tuple(
+    ClassLoadDistribution(shares)
+    for shares in (
+        (0.70, 0.10, 0.10, 0.10),
+        (0.40, 0.30, 0.20, 0.10),
+        (0.40, 0.40, 0.10, 0.10),
+        (0.25, 0.25, 0.25, 0.25),
+        (0.10, 0.10, 0.40, 0.40),
+        (0.10, 0.20, 0.30, 0.40),
+        (0.10, 0.10, 0.10, 0.70),
+    )
+)

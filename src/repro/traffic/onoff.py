@@ -1,0 +1,65 @@
+"""On-off bursty interarrival process (extension workload).
+
+Alternates exponentially distributed ON periods, during which packets
+arrive at a constant peak gap, with exponentially distributed OFF
+periods with no arrivals.  The classic model for bursty sources with a
+*peak rate* -- useful for exercising Proposition 2 (WTP short-term
+starvation needs a bounded peak input rate R1) and for ablations on
+burstier-than-Pareto inputs.
+
+Mean gap: each ON period emits on average ``mean_on / peak_gap``
+packets; a full on+off cycle lasts ``mean_on + mean_off``, so
+
+    mean = (mean_on + mean_off) * peak_gap / mean_on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import InterarrivalProcess
+
+__all__ = ["OnOffInterarrivals"]
+
+
+class OnOffInterarrivals(InterarrivalProcess):
+    """Exponential ON/OFF periods; constant peak-rate gaps while ON."""
+
+    def __init__(
+        self,
+        peak_gap: float,
+        mean_on: float,
+        mean_off: float,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if peak_gap <= 0:
+            raise ConfigurationError(f"peak_gap must be positive: {peak_gap}")
+        if mean_on <= 0 or mean_off < 0:
+            raise ConfigurationError(
+                f"mean_on must be > 0 and mean_off >= 0: {mean_on}, {mean_off}"
+            )
+        self.peak_gap = float(peak_gap)
+        self.mean_on = float(mean_on)
+        self.mean_off = float(mean_off)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._remaining_on = self._rng.exponential(self.mean_on)
+
+    def next_gap(self) -> float:
+        gap = self.peak_gap
+        self._remaining_on -= self.peak_gap
+        while self._remaining_on <= 0:
+            # Burst ended: insert an OFF period, then start a new burst.
+            if self.mean_off > 0:
+                gap += self._rng.exponential(self.mean_off)
+            self._remaining_on += self._rng.exponential(self.mean_on)
+        return gap
+
+    @property
+    def mean(self) -> float:
+        return (self.mean_on + self.mean_off) * self.peak_gap / self.mean_on
+
+    @property
+    def peak_rate(self) -> float:
+        """Peak packet rate 1/peak_gap (Proposition 2's R1, in packets)."""
+        return 1.0 / self.peak_gap

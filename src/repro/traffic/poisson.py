@@ -1,0 +1,35 @@
+"""Poisson (exponential-gap) interarrival process.
+
+Not used in the paper's headline figures, but essential here: with
+Poisson arrivals the M/G/1 and Kleinrock time-dependent-priority
+formulas in :mod:`repro.theory` apply, giving closed-form cross-checks
+for the simulator and the WTP scheduler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import InterarrivalProcess
+
+__all__ = ["PoissonInterarrivals"]
+
+
+class PoissonInterarrivals(InterarrivalProcess):
+    """Exponentially distributed gaps with the given mean."""
+
+    def __init__(
+        self, mean_gap: float, rng: np.random.Generator | None = None
+    ) -> None:
+        if mean_gap <= 0:
+            raise ConfigurationError(f"mean_gap must be positive: {mean_gap}")
+        self._mean = float(mean_gap)
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def next_gap(self) -> float:
+        return self._rng.exponential(self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean

@@ -1,0 +1,76 @@
+"""Packet-size distributions.
+
+The paper's single-link study uses a trimodal Internet-like mix: 40% of
+packets are 40 bytes, 50% are 550 bytes and 10% are 1500 bytes (mean
+441 B).  The multi-hop study uses fixed 500-byte packets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import PacketSizeSampler
+
+__all__ = ["FixedPacketSize", "DiscretePacketSizes", "paper_trimodal_sizes"]
+
+
+class FixedPacketSize(PacketSizeSampler):
+    """Every packet has the same size."""
+
+    def __init__(self, size: float) -> None:
+        if size <= 0:
+            raise ConfigurationError(f"packet size must be positive: {size}")
+        self.size = float(size)
+
+    def next_size(self) -> float:
+        return self.size
+
+    @property
+    def mean(self) -> float:
+        return self.size
+
+
+class DiscretePacketSizes(PacketSizeSampler):
+    """Sizes drawn from a finite distribution {size: probability}."""
+
+    def __init__(
+        self,
+        sizes: Sequence[float],
+        probabilities: Sequence[float],
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if len(sizes) != len(probabilities) or not sizes:
+            raise ConfigurationError("sizes and probabilities must align")
+        if any(s <= 0 for s in sizes):
+            raise ConfigurationError(f"sizes must be positive: {sizes}")
+        if any(p < 0 for p in probabilities):
+            raise ConfigurationError("probabilities must be non-negative")
+        total = float(sum(probabilities))
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(f"probabilities must sum to 1: {total}")
+        self.sizes = np.asarray(sizes, dtype=float)
+        self.probabilities = np.asarray(probabilities, dtype=float) / total
+        self._cum = np.cumsum(self.probabilities)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._mean = float(np.dot(self.sizes, self.probabilities))
+
+    def next_size(self) -> float:
+        u = self._rng.random()
+        index = int(np.searchsorted(self._cum, u, side="right"))
+        if index >= len(self.sizes):  # guard for u == 1.0 edge
+            index = len(self.sizes) - 1
+        return float(self.sizes[index])
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+
+def paper_trimodal_sizes(
+    rng: np.random.Generator | None = None,
+) -> DiscretePacketSizes:
+    """The paper's mix: 40 B (40%), 550 B (50%), 1500 B (10%)."""
+    return DiscretePacketSizes([40.0, 550.0, 1500.0], [0.4, 0.5, 0.1], rng=rng)

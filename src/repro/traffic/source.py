@@ -1,0 +1,95 @@
+"""Traffic sources: bind an interarrival process and a size sampler to a
+class and feed packets into a receiver (usually a link).
+
+A :class:`TrafficSource` schedules its own arrival events on the
+simulator, one at a time, so arbitrarily many sources multiplex onto the
+same event calendar.  ``packet_id`` values are unique per source via a
+(source_id, counter) pairing flattened into one integer namespace by the
+:class:`PacketIdAllocator`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..sim.engine import Simulator
+from ..sim.link import Receiver
+from ..sim.packet import Packet
+from .base import InterarrivalProcess, PacketSizeSampler
+
+__all__ = ["TrafficSource", "PacketIdAllocator"]
+
+
+class PacketIdAllocator:
+    """Monotonically increasing packet ids shared across sources."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def next_id(self) -> int:
+        return next(self._counter)
+
+
+class TrafficSource:
+    """Open-loop packet source for one class."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        target: Receiver,
+        class_id: int,
+        interarrivals: InterarrivalProcess,
+        sizes: PacketSizeSampler,
+        ids: Optional[PacketIdAllocator] = None,
+        flow_id: Optional[int] = None,
+        start_time: float = 0.0,
+        stop_time: Optional[float] = None,
+    ) -> None:
+        if class_id < 0:
+            raise ConfigurationError(f"class_id must be >= 0: {class_id}")
+        if stop_time is not None and stop_time <= start_time:
+            raise ConfigurationError("stop_time must exceed start_time")
+        self.sim = sim
+        self.target = target
+        self.class_id = class_id
+        self.interarrivals = interarrivals
+        self.sizes = sizes
+        self.ids = ids if ids is not None else PacketIdAllocator()
+        self.flow_id = flow_id
+        self.stop_time = stop_time
+        self.packets_emitted = 0
+        self.bytes_emitted = 0.0
+        self._started = False
+        self._start_time = start_time
+
+    def start(self) -> None:
+        """Schedule the first arrival.  Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        first = self._start_time + self.interarrivals.next_gap()
+        if self.stop_time is None or first < self.stop_time:
+            self.sim.schedule(first, self._emit)
+
+    def _emit(self) -> None:
+        now = self.sim.now
+        packet = Packet(
+            packet_id=self.ids.next_id(),
+            class_id=self.class_id,
+            size=self.sizes.next_size(),
+            created_at=now,
+            flow_id=self.flow_id,
+        )
+        self.packets_emitted += 1
+        self.bytes_emitted += packet.size
+        self.target.receive(packet)
+        next_time = now + self.interarrivals.next_gap()
+        if self.stop_time is None or next_time < self.stop_time:
+            self.sim.schedule(next_time, self._emit)
+
+    @property
+    def offered_rate_bytes(self) -> float:
+        """Analytic offered load in bytes per time unit."""
+        return self.sizes.mean / self.interarrivals.mean

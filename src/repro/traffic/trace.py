@@ -1,0 +1,145 @@
+"""Arrival traces: precomputed (time, class, size) arrival streams.
+
+Traces serve two purposes that mirror the paper's methodology:
+
+* The *same* arrival stream can be replayed through different schedulers
+  (the microscopic views in Figures 4 and 5 show BPR and WTP on "the
+  same arriving packet streams in each class").
+* Feasibility verification (Eq 7) needs the FCFS delay of every class
+  *subset* of the very traffic being scheduled; filtering a trace by
+  class and running the Lindley recursion gives exactly that.
+
+A trace is three aligned numpy arrays sorted by arrival time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..sim.engine import Simulator
+from ..sim.link import Receiver
+from ..sim.packet import Packet
+from .base import InterarrivalProcess, PacketSizeSampler
+
+__all__ = ["ArrivalTrace", "TraceSource", "build_class_trace", "merge_traces"]
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """Aligned arrays of arrival times, class ids and sizes (time-sorted)."""
+
+    times: np.ndarray
+    class_ids: np.ndarray
+    sizes: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.times) == len(self.class_ids) == len(self.sizes)):
+            raise ConfigurationError("trace arrays must have equal length")
+        if len(self.times) > 1 and np.any(np.diff(self.times) < 0):
+            raise ConfigurationError("trace times must be sorted")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.class_ids.max()) + 1 if len(self) else 0
+
+    def filter_classes(self, subset: Sequence[int]) -> "ArrivalTrace":
+        """Sub-trace containing only the given classes (order kept)."""
+        mask = np.isin(self.class_ids, np.asarray(subset, dtype=self.class_ids.dtype))
+        return ArrivalTrace(
+            self.times[mask], self.class_ids[mask], self.sizes[mask]
+        )
+
+    def class_rates(self, horizon: Optional[float] = None) -> list[float]:
+        """Empirical per-class packet arrival rates over the horizon."""
+        if not len(self):
+            return []
+        span = horizon if horizon is not None else float(self.times[-1])
+        if span <= 0:
+            raise ConfigurationError("horizon must be positive")
+        counts = np.bincount(self.class_ids, minlength=self.num_classes)
+        return [float(c) / span for c in counts]
+
+    def offered_load(self, capacity: float, horizon: Optional[float] = None) -> float:
+        """Empirical utilization: offered bytes / (capacity * horizon)."""
+        if not len(self):
+            return 0.0
+        span = horizon if horizon is not None else float(self.times[-1])
+        return float(self.sizes.sum()) / (capacity * span)
+
+
+def build_class_trace(
+    class_id: int,
+    interarrivals: InterarrivalProcess,
+    sizes: PacketSizeSampler,
+    horizon: float,
+    start_time: float = 0.0,
+) -> ArrivalTrace:
+    """Generate one class's arrivals on [start_time, horizon)."""
+    if horizon <= start_time:
+        raise ConfigurationError("horizon must exceed start_time")
+    times: list[float] = []
+    t = start_time + interarrivals.next_gap()
+    while t < horizon:
+        times.append(t)
+        t += interarrivals.next_gap()
+    count = len(times)
+    return ArrivalTrace(
+        np.asarray(times),
+        np.full(count, class_id, dtype=np.int64),
+        np.asarray([sizes.next_size() for _ in range(count)]),
+    )
+
+
+def merge_traces(traces: Sequence[ArrivalTrace]) -> ArrivalTrace:
+    """Merge per-class traces into one time-sorted aggregate trace."""
+    non_empty = [t for t in traces if len(t)]
+    if not non_empty:
+        raise ConfigurationError("nothing to merge")
+    times = np.concatenate([t.times for t in non_empty])
+    class_ids = np.concatenate([t.class_ids for t in non_empty])
+    sizes = np.concatenate([t.sizes for t in non_empty])
+    order = np.argsort(times, kind="stable")
+    return ArrivalTrace(times[order], class_ids[order], sizes[order])
+
+
+class TraceSource:
+    """Replays an :class:`ArrivalTrace` into a receiver via the kernel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        target: Receiver,
+        trace: ArrivalTrace,
+        first_packet_id: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.target = target
+        self.trace = trace
+        self.first_packet_id = first_packet_id
+        self._cursor = 0
+
+    def start(self) -> None:
+        """Schedule the first replayed arrival.  Idempotent."""
+        if self._cursor == 0 and len(self.trace):
+            self.sim.schedule(float(self.trace.times[0]), self._emit)
+
+    def _emit(self) -> None:
+        trace = self.trace
+        index = self._cursor
+        packet = Packet(
+            packet_id=self.first_packet_id + index,
+            class_id=int(trace.class_ids[index]),
+            size=float(trace.sizes[index]),
+            created_at=float(trace.times[index]),
+        )
+        self._cursor += 1
+        self.target.receive(packet)
+        if self._cursor < len(trace):
+            self.sim.schedule(float(trace.times[self._cursor]), self._emit)

@@ -1,0 +1,66 @@
+"""Unit conventions shared across the library.
+
+The paper normalizes time to an arbitrary unit and expresses results in
+"p-units" -- multiples of the *average packet transmission time*.  With
+the paper's trimodal packet-size mix (40% x 40 B, 50% x 550 B, 10% x
+1500 B) the average packet is 441 bytes, and the paper fixes the average
+transmission time at 11.2 time units, which pins the normalized link
+capacity at 441 / 11.2 = 39.375 bytes per time unit.
+
+All simulator internals use (bytes, time units, bytes-per-time-unit).
+Helpers below convert to and from SI-flavoured quantities (bits per
+second, seconds) for the multi-hop study, which the paper states in
+Mbps/kbps.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_MEAN_PACKET_BYTES",
+    "PAPER_P_UNIT",
+    "PAPER_LINK_CAPACITY",
+    "p_units_to_time",
+    "time_to_p_units",
+    "bits_per_second_to_bytes_per_unit",
+    "transmission_time",
+]
+
+#: Mean packet size of the paper's trimodal mix, in bytes.
+PAPER_MEAN_PACKET_BYTES = 0.4 * 40 + 0.5 * 550 + 0.1 * 1500  # = 441.0
+
+#: One "p-unit": the average packet transmission time, in time units.
+PAPER_P_UNIT = 11.2
+
+#: Normalized link capacity implied by the two constants above
+#: (bytes per time unit).
+PAPER_LINK_CAPACITY = PAPER_MEAN_PACKET_BYTES / PAPER_P_UNIT  # = 39.375
+
+
+def p_units_to_time(p_units: float, p_unit: float = PAPER_P_UNIT) -> float:
+    """Convert a duration expressed in p-units to simulator time units."""
+    return p_units * p_unit
+
+
+def time_to_p_units(time_units: float, p_unit: float = PAPER_P_UNIT) -> float:
+    """Convert a duration in simulator time units to p-units."""
+    return time_units / p_unit
+
+
+def bits_per_second_to_bytes_per_unit(
+    bits_per_second: float, seconds_per_unit: float = 1.0
+) -> float:
+    """Convert a rate in bits/s to bytes per simulator time unit.
+
+    ``seconds_per_unit`` sets how much wall-clock time one simulator time
+    unit represents.  The multi-hop experiments use one unit == one
+    second divided by an arbitrary scale; only ratios matter because the
+    paper reports only queueing delays.
+    """
+    return bits_per_second / 8.0 * seconds_per_unit
+
+
+def transmission_time(size_bytes: float, capacity_bytes_per_unit: float) -> float:
+    """Time to serialize ``size_bytes`` on a link of the given capacity."""
+    if capacity_bytes_per_unit <= 0:
+        raise ValueError("link capacity must be positive")
+    return size_bytes / capacity_bytes_per_unit

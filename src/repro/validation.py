@@ -1,0 +1,231 @@
+"""Built-in self-check battery (``repro-pdd selfcheck``).
+
+Runs the cross-validations that anchor this reproduction and reports
+pass/fail with the measured numbers:
+
+1. the event-driven FCFS link reproduces the Lindley recursion exactly;
+2. simulated M/D/1 waits match Pollaczek-Khinchine;
+3. the event-driven WTP scheduler matches Kleinrock's time-dependent-
+   priority solution (Poisson traffic);
+4. strict priority matches Cobham's formula;
+5. the conservation law (Eq 5) holds on a Pareto run;
+6. the paper's default operating point is Eq 7-feasible;
+7. Proposition 1 (fluid BPR simultaneous clearing) and Proposition 2
+   (WTP burst overtaking) hold constructively.
+
+Each check is cheap (a few seconds total); the battery doubles as an
+install verification and as a fixture for the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["CheckResult", "run_selfcheck", "format_selfcheck"]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one self-check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def _check_fcfs_lindley() -> CheckResult:
+    from .core.conservation import fcfs_waiting_times
+    from .schedulers import FCFSScheduler
+    from .sim import Link, PacketSink, Simulator
+    from .sim.rng import RandomStreams
+    from .traffic import FixedPacketSize, PoissonInterarrivals
+    from .traffic.trace import TraceSource, build_class_trace
+
+    streams = RandomStreams(101)
+    trace = build_class_trace(
+        0, PoissonInterarrivals(1.2, streams.generator()),
+        FixedPacketSize(1.0), 2000.0,
+    )
+    sim = Simulator()
+    sink = PacketSink(keep_packets=True)
+    link = Link(sim, FCFSScheduler(1), capacity=1.0, target=sink)
+    TraceSource(sim, link, trace).start()
+    sim.run()
+    expected = fcfs_waiting_times(trace.times, trace.sizes, 1.0)
+    measured = np.array([p.queueing_delay for p in sink.packets])
+    worst = float(np.abs(measured - expected).max()) if len(measured) else 0.0
+    return CheckResult(
+        "fcfs-vs-lindley", worst < 1e-9,
+        f"max |sim - recursion| = {worst:.2e} over {len(measured)} packets",
+    )
+
+
+def _md1_check() -> CheckResult:
+    from .schedulers import FCFSScheduler
+    from .sim import DelayMonitor, Link, PacketSink, Simulator
+    from .sim.rng import RandomStreams
+    from .theory import ServiceDistribution, mg1_mean_wait
+    from .traffic import FixedPacketSize, PacketIdAllocator, PoissonInterarrivals, TrafficSource
+
+    sim = Simulator()
+    streams = RandomStreams(102)
+    link = Link(sim, FCFSScheduler(1), capacity=1.0, target=PacketSink())
+    monitor = DelayMonitor(1, warmup=5e3)
+    link.add_monitor(monitor)
+    TrafficSource(
+        sim, link, 0, PoissonInterarrivals(1.25, streams.generator()),
+        FixedPacketSize(1.0), ids=PacketIdAllocator(),
+    ).start()
+    sim.run(until=2e5)
+    expected = mg1_mean_wait(0.8, ServiceDistribution.deterministic(1.0))
+    measured = monitor.mean_delay(0)
+    error = abs(measured - expected) / expected
+    return CheckResult(
+        "md1-vs-pollaczek-khinchine", error < 0.05,
+        f"measured {measured:.3f} vs P-K {expected:.3f} (rel err {error:.1%})",
+    )
+
+
+def _tdp_check() -> CheckResult:
+    from .schedulers import WTPScheduler
+    from .sim import DelayMonitor, Link, PacketSink, Simulator
+    from .sim.rng import RandomStreams
+    from .theory import ServiceDistribution, tdp_waits
+    from .traffic import FixedPacketSize, PacketIdAllocator, PoissonInterarrivals, TrafficSource
+
+    rates = [0.32, 0.24, 0.16, 0.08]
+    sdps = (1.0, 2.0, 4.0, 8.0)
+    sim = Simulator()
+    streams = RandomStreams(103)
+    link = Link(sim, WTPScheduler(sdps), capacity=1.0, target=PacketSink())
+    monitor = DelayMonitor(4, warmup=5e3)
+    link.add_monitor(monitor)
+    ids = PacketIdAllocator()
+    for cid, rate in enumerate(rates):
+        TrafficSource(
+            sim, link, cid, PoissonInterarrivals(1.0 / rate, streams.generator()),
+            FixedPacketSize(1.0), ids=ids,
+        ).start()
+    sim.run(until=3e5)
+    theory = tdp_waits(rates, sdps, ServiceDistribution.deterministic(1.0))
+    measured = monitor.mean_delays()
+    worst = max(abs(m - t) / t for m, t in zip(measured, theory))
+    return CheckResult(
+        "wtp-vs-kleinrock-tdp", worst < 0.10,
+        f"worst per-class rel err {worst:.1%} "
+        f"(measured {[round(m, 2) for m in measured]})",
+    )
+
+
+def _cobham_check() -> CheckResult:
+    from .schedulers import StrictPriorityScheduler
+    from .sim import DelayMonitor, Link, PacketSink, Simulator
+    from .sim.rng import RandomStreams
+    from .theory import ServiceDistribution, strict_priority_waits
+    from .traffic import FixedPacketSize, PacketIdAllocator, PoissonInterarrivals, TrafficSource
+
+    rates = [0.4, 0.3, 0.1]
+    sim = Simulator()
+    streams = RandomStreams(104)
+    link = Link(sim, StrictPriorityScheduler(3), capacity=1.0, target=PacketSink())
+    monitor = DelayMonitor(3, warmup=5e3)
+    link.add_monitor(monitor)
+    ids = PacketIdAllocator()
+    for cid, rate in enumerate(rates):
+        TrafficSource(
+            sim, link, cid, PoissonInterarrivals(1.0 / rate, streams.generator()),
+            FixedPacketSize(1.0), ids=ids,
+        ).start()
+    sim.run(until=3e5)
+    theory = strict_priority_waits(rates, ServiceDistribution.deterministic(1.0))
+    measured = monitor.mean_delays()
+    worst = max(abs(m - t) / t for m, t in zip(measured, theory))
+    return CheckResult(
+        "strict-vs-cobham", worst < 0.10,
+        f"worst per-class rel err {worst:.1%}",
+    )
+
+
+def _conservation_check() -> CheckResult:
+    from .experiments import SingleHopConfig, run_single_hop
+
+    result = run_single_hop(
+        SingleHopConfig(utilization=0.9, horizon=1.5e5, warmup=7.5e3, seed=105)
+    )
+    residual = abs(result.conservation_residual())
+    return CheckResult(
+        "conservation-law-eq5", residual < 0.08,
+        f"relative Eq 5 residual {residual:.2%} on a Pareto run",
+    )
+
+
+def _feasibility_check() -> CheckResult:
+    from .experiments import SingleHopConfig, run_single_hop
+
+    result = run_single_hop(
+        SingleHopConfig(utilization=0.95, horizon=1.5e5, warmup=7.5e3, seed=106)
+    )
+    report = result.feasibility_report()
+    return CheckResult(
+        "feasibility-eq7", report.feasible,
+        f"worst subset margin {report.worst_margin():.1f} over "
+        f"{len(report.margins)} subsets",
+    )
+
+
+def _propositions_check() -> CheckResult:
+    from .experiments.ablations import wtp_starvation_demo
+    from .schedulers import fluid_backlogs, fluid_clearing_time
+
+    q0 = [120.0, 60.0, 20.0]
+    t_clear = fluid_clearing_time(q0, capacity=10.0)
+    near_end = fluid_backlogs(q0, (1.0, 2.0, 4.0), 10.0, t_clear * (1 - 1e-9))
+    prop1 = all(q > 0 for q in near_end)
+    row = wtp_starvation_demo(burst_packets=150)
+    prop2 = row.values["overtakers"] == 150.0 and row.values["condition_holds"]
+    return CheckResult(
+        "propositions-1-and-2", bool(prop1 and prop2),
+        f"P1: all queues positive until t={t_clear:g}; "
+        f"P2: {int(row.values['overtakers'])}/150 burst packets overtook",
+    )
+
+
+_CHECKS: tuple[Callable[[], CheckResult], ...] = (
+    _check_fcfs_lindley,
+    _md1_check,
+    _tdp_check,
+    _cobham_check,
+    _conservation_check,
+    _feasibility_check,
+    _propositions_check,
+)
+
+
+def run_selfcheck() -> list[CheckResult]:
+    """Run the whole battery; never raises, failures are reported."""
+    results = []
+    for check in _CHECKS:
+        try:
+            results.append(check())
+        except Exception as exc:  # noqa: BLE001 - a crash IS the finding
+            results.append(
+                CheckResult(check.__name__.strip("_"), False, f"crashed: {exc!r}")
+            )
+    return results
+
+
+def format_selfcheck(results: list[CheckResult]) -> str:
+    """Human-readable battery report."""
+    lines = ["Self-check battery (theory vs simulator cross-validation):"]
+    for result in results:
+        status = "PASS" if result.passed else "FAIL"
+        lines.append(f"  [{status}] {result.name}: {result.detail}")
+    failed = sum(1 for r in results if not r.passed)
+    lines.append(
+        f"{len(results) - failed}/{len(results)} checks passed"
+        + ("" if not failed else " -- INSTALLATION PROBLEM, see failures")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import DelayMonitor, Link, PacketSink, Simulator
+from repro.sim.packet import Packet
+from repro.sim.rng import RandomStreams
+from repro.traffic import (
+    FixedPacketSize,
+    PacketIdAllocator,
+    PoissonInterarrivals,
+    TrafficSource,
+)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_packet(
+    packet_id: int = 0,
+    class_id: int = 0,
+    size: float = 100.0,
+    created_at: float = 0.0,
+    flow_id: int | None = None,
+) -> Packet:
+    """Packet factory with sensible defaults."""
+    return Packet(packet_id, class_id, size, created_at, flow_id)
+
+
+def run_poisson_link(
+    scheduler,
+    rates,
+    horizon: float = 5e4,
+    capacity: float = 1.0,
+    packet_size: float = 1.0,
+    seed: int = 0,
+    warmup_fraction: float = 0.05,
+):
+    """Drive a scheduler with per-class Poisson traffic; return
+    (mean delays per class, link).  Used across scheduler tests."""
+    simulator = Simulator()
+    streams = RandomStreams(seed)
+    link = Link(simulator, scheduler, capacity, target=PacketSink())
+    monitor = DelayMonitor(
+        scheduler.num_classes, warmup=horizon * warmup_fraction
+    )
+    link.add_monitor(monitor)
+    ids = PacketIdAllocator()
+    for class_id, rate in enumerate(rates):
+        TrafficSource(
+            simulator,
+            link,
+            class_id,
+            PoissonInterarrivals(1.0 / rate, streams.generator()),
+            FixedPacketSize(packet_size),
+            ids=ids,
+        ).start()
+    simulator.run(until=horizon)
+    return monitor.mean_delays(), link

@@ -1,0 +1,106 @@
+"""Tests of the public API surface and the error hierarchy.
+
+A downstream user programs against ``repro``'s top-level exports; these
+tests pin that surface so refactors cannot silently break it.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    FeasibilityError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TopologyError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ConfigurationError, FeasibilityError, SchedulingError,
+                    SimulationError, TopologyError):
+            assert issubclass(exc, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(FeasibilityError, ValueError)
+        assert issubclass(TopologyError, ValueError)
+
+    def test_runtime_errors(self):
+        assert issubclass(SimulationError, RuntimeError)
+        assert issubclass(SchedulingError, RuntimeError)
+
+    def test_one_except_clause_catches_everything(self):
+        caught = []
+        for exc in (ConfigurationError, SimulationError, TopologyError):
+            try:
+                raise exc("boom")
+            except ReproError as err:
+                caught.append(type(err))
+        assert len(caught) == 3
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_is_semver_like(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "SingleHopConfig", "run_single_hop", "MultiHopConfig",
+            "run_multihop", "WTPScheduler", "BPRScheduler", "Simulator",
+            "Link", "Packet", "ParetoInterarrivals",
+            "ProportionalDelayModel", "check_proportional_feasibility",
+        ],
+    )
+    def test_key_entry_points_exported(self, name):
+        assert name in repro.__all__
+
+    def test_subpackages_importable(self):
+        for module in (
+            "repro.core", "repro.sim", "repro.traffic", "repro.schedulers",
+            "repro.network", "repro.dropping", "repro.theory",
+            "repro.experiments", "repro.analysis", "repro.cli",
+        ):
+            assert importlib.import_module(module) is not None
+
+    def test_subpackage_all_lists_resolve(self):
+        for module_name in (
+            "repro.core", "repro.sim", "repro.traffic", "repro.schedulers",
+            "repro.network", "repro.dropping", "repro.theory",
+            "repro.experiments", "repro.analysis",
+        ):
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module_name}.{name}"
+
+
+class TestQuickstartContract:
+    """The README quickstart must keep working verbatim."""
+
+    def test_readme_quickstart(self):
+        from repro import SingleHopConfig, run_single_hop
+
+        result = run_single_hop(SingleHopConfig(
+            scheduler="wtp",
+            sdps=(1.0, 2.0, 4.0, 8.0),
+            utilization=0.95,
+            horizon=5e4, warmup=2e3, seed=7,
+        ))
+        ratios = result.successive_ratios
+        assert len(ratios) == 3
+        assert all(1.0 < r < 3.0 for r in ratios)
+        assert isinstance(result.conservation_residual(), float)
+        assert result.feasibility_report().feasible in (True, False)

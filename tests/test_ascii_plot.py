@@ -1,0 +1,96 @@
+"""Tests for the terminal plotting helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import bar_chart, box_row, scatter, sparkline
+from repro.errors import ConfigurationError
+
+
+class TestSparkline:
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(line) == 4
+        assert line == "".join(sorted(line))
+
+    def test_nan_renders_as_space(self):
+        line = sparkline([1.0, math.nan, 3.0])
+        assert line[1] == " "
+
+    def test_constant_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_all_nan(self):
+        assert sparkline([math.nan, math.nan]) == "  "
+
+    def test_explicit_bounds_clamp(self):
+        wide = sparkline([0.0, 10.0], minimum=0.0, maximum=100.0)
+        assert wide[1] != "█"  # 10 of 100 is a low level
+
+
+class TestBoxRow:
+    def test_median_marker_and_box(self):
+        row = box_row(1.0, 2.0, 3.0, 4.0, 5.0, low=0.0, high=6.0, width=60)
+        assert "|" in row
+        assert "=" in row and "-" in row
+        assert len(row) == 60
+
+    def test_out_of_range_values_clamped(self):
+        row = box_row(-10.0, 0.0, 1.0, 2.0, 50.0, low=0.0, high=4.0)
+        assert len(row) == 50
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            box_row(1, 2, 3, 4, 5, low=0, high=0)
+        with pytest.raises(ConfigurationError):
+            box_row(1, 2, 3, 4, 5, low=0, high=6, width=5)
+
+    def test_tight_distribution_is_narrow(self):
+        tight = box_row(2.9, 2.95, 3.0, 3.05, 3.1, low=0.0, high=6.0)
+        wide = box_row(0.5, 1.5, 3.0, 4.5, 5.5, low=0.0, high=6.0)
+        assert tight.count("-") + tight.count("=") < (
+            wide.count("-") + wide.count("=")
+        )
+
+
+class TestScatter:
+    def test_dimensions_and_markers(self):
+        text = scatter([(0.0, 0.0), (1.0, 1.0)], width=20, height=5)
+        lines = text.splitlines()
+        assert len(lines) == 6  # grid + axis line
+        assert all(len(line) == 20 for line in lines[:-1])
+        assert sum(line.count("*") for line in lines) == 2
+
+    def test_empty(self):
+        assert scatter([]) == "(no points)"
+
+    def test_higher_y_is_higher_row(self):
+        text = scatter([(0.0, 0.0), (1.0, 10.0)], width=10, height=4)
+        lines = text.splitlines()[:-1]
+        top_index = next(i for i, l in enumerate(lines) if "*" in l)
+        bottom_index = max(i for i, l in enumerate(lines) if "*" in l)
+        assert top_index < bottom_index
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            scatter([(0, 0)], width=1)
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") < lines[1].count("#")
+        assert lines[1].count("#") == 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [0.0])
+
+    def test_empty(self):
+        assert bar_chart([], []) == "(no bars)"

@@ -1,0 +1,155 @@
+"""Tests for DDPs, Eq 6 dynamics, and the additive model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DelayDifferentiationParameters,
+    ProportionalDelayModel,
+    ddps_from_sdps,
+    sdps_from_ddps,
+)
+from repro.core.model import AdditiveDelayModel
+from repro.errors import ConfigurationError
+
+
+def ddps(*deltas: float) -> DelayDifferentiationParameters:
+    return DelayDifferentiationParameters(tuple(deltas))
+
+
+class TestDDPValidation:
+    def test_strictly_decreasing_required(self):
+        with pytest.raises(ConfigurationError):
+            ddps(1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ddps(1.0, 2.0)
+
+    def test_positive_required(self):
+        with pytest.raises(ConfigurationError):
+            ddps(1.0, 0.0)
+
+    def test_at_least_two_classes(self):
+        with pytest.raises(ConfigurationError):
+            DelayDifferentiationParameters((1.0,))
+
+    def test_ratio_and_successive_ratios(self):
+        params = ddps(8.0, 4.0, 2.0, 1.0)
+        assert params.ratio(0, 3) == pytest.approx(8.0)
+        assert params.successive_ratios() == pytest.approx([2.0, 2.0, 2.0])
+
+    def test_normalized_sets_last_to_one(self):
+        params = ddps(8.0, 4.0, 2.0).normalized()
+        assert params.deltas == pytest.approx((4.0, 2.0, 1.0))
+
+
+class TestSdpDdpDuality:
+    def test_round_trip(self):
+        sdps = (1.0, 2.0, 4.0, 8.0)
+        back = sdps_from_ddps(ddps_from_sdps(sdps))
+        assert back == pytest.approx(sdps)
+
+    def test_inverse_ratio_relation(self):
+        """Eq 13: delta_i / delta_j == s_j / s_i."""
+        sdps = (1.0, 3.0, 9.0)
+        params = ddps_from_sdps(sdps)
+        for i in range(3):
+            for j in range(3):
+                assert params.ratio(i, j) == pytest.approx(sdps[j] / sdps[i])
+
+    def test_invalid_sdps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ddps_from_sdps((2.0, 1.0))
+
+
+class TestEq6Dynamics:
+    """The four 'dynamics' properties of Section 3, as executable checks."""
+
+    model = ProportionalDelayModel(
+        DelayDifferentiationParameters((4.0, 2.0, 1.0))
+    )
+
+    def test_eq6_closed_form(self):
+        rates = [2.0, 1.0, 1.0]
+        d_agg = 10.0
+        delays = self.model.class_delays(rates, d_agg)
+        # Eq 6: d_i = delta_i * lambda * d(lambda) / sum_j delta_j lambda_j
+        weight = 4.0 * 2.0 + 2.0 * 1.0 + 1.0 * 1.0  # = 11
+        scale = sum(rates) * d_agg / weight           # = 40 / 11
+        assert delays == pytest.approx([4.0 * scale, 2.0 * scale, 1.0 * scale])
+
+    def test_ratios_match_ddps_for_any_rates(self):
+        delays = self.model.class_delays([5.0, 0.1, 2.0], 3.0)
+        assert delays[0] / delays[1] == pytest.approx(2.0)
+        assert delays[1] / delays[2] == pytest.approx(2.0)
+
+    def test_conservation_law_satisfied(self):
+        rates = [2.0, 1.0, 0.5]
+        d_agg = 7.0
+        delays = self.model.class_delays(rates, d_agg)
+        assert sum(r * d for r, d in zip(rates, delays)) == pytest.approx(
+            sum(rates) * d_agg
+        )
+
+    def test_property3_raising_a_ddp_raises_own_delay_lowers_others(self):
+        """Increasing delta_1 (keeping d(lambda) fixed) increases d_1
+        and decreases every other class's delay."""
+        rates = [1.0, 1.0, 1.0]
+        base = self.model.class_delays(rates, 10.0)
+        bumped_model = ProportionalDelayModel(
+            DelayDifferentiationParameters((6.0, 2.0, 1.0))
+        )
+        bumped = bumped_model.class_delays(rates, 10.0)
+        assert bumped[0] > base[0]
+        assert bumped[1] < base[1]
+        assert bumped[2] < base[2]
+
+    def test_property4_shift_low_to_high_raises_all_delays(self):
+        """Moving load from class 1 to class 3 (i < j in paper indexing
+        means our from_class < to_class... the paper: shifting toward a
+        *higher* class raises every class's delay, Eq 6 denominator
+        shrinks because delta_3 < delta_1)."""
+        rates = [2.0, 1.0, 1.0]
+        before, after = self.model.delays_after_rate_shift(
+            rates, 10.0, 10.0, from_class=0, to_class=2, fraction=0.5
+        )
+        assert all(b < a for b, a in zip(before, after))
+
+    def test_property4_shift_high_to_low_lowers_all_delays(self):
+        rates = [2.0, 1.0, 1.0]
+        before, after = self.model.delays_after_rate_shift(
+            rates, 10.0, 10.0, from_class=2, to_class=0, fraction=0.5
+        )
+        assert all(b > a for b, a in zip(before, after))
+
+    def test_rate_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.model.class_delays([1.0], 1.0)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.model.delays_after_rate_shift(
+                [1.0, 1.0, 1.0], 1.0, 1.0, 0, 1, 1.5
+            )
+
+
+class TestAdditiveModel:
+    def test_spacing(self):
+        model = AdditiveDelayModel((0.0, 5.0, 15.0))
+        assert model.spacing(0, 1) == 5.0
+        assert model.spacing(0, 2) == 15.0
+
+    def test_class_delays_satisfy_conservation_and_spacing(self):
+        model = AdditiveDelayModel((0.0, 5.0, 15.0))
+        rates = [1.0, 2.0, 1.0]
+        d_agg = 30.0
+        delays = model.class_delays(rates, d_agg)
+        assert delays[0] - delays[1] == pytest.approx(5.0)
+        assert delays[0] - delays[2] == pytest.approx(15.0)
+        assert sum(r * d for r, d in zip(rates, delays)) == pytest.approx(
+            sum(rates) * d_agg
+        )
+
+    def test_non_increasing_offsets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdditiveDelayModel((5.0, 5.0))

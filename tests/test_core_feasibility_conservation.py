@@ -1,0 +1,196 @@
+"""Tests for the Eq 7 feasibility conditions and Eq 5 conservation law."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DelayDifferentiationParameters,
+    check_feasibility,
+    check_proportional_feasibility,
+    conservation_residual,
+    fcfs_mean_delay,
+    fcfs_mean_delay_per_class,
+    proper_subsets,
+    subset_delay_function,
+)
+from repro.core.conservation import fcfs_waiting_times
+from repro.errors import ConfigurationError
+from repro.theory import ServiceDistribution, mg1_mean_wait
+from repro.traffic import FixedPacketSize, PoissonInterarrivals
+from repro.traffic.trace import build_class_trace, merge_traces
+
+
+def mg1_subset_delay(rates, service):
+    """Analytic subset-delay callback for Poisson classes."""
+
+    def subset_delay(subset):
+        return mg1_mean_wait(sum(rates[i] for i in subset), service)
+
+    return subset_delay
+
+
+class TestProperSubsets:
+    def test_count_is_2n_minus_2(self):
+        assert len(list(proper_subsets(4))) == 2**4 - 2
+
+    def test_excludes_empty_and_full(self):
+        subsets = list(proper_subsets(3))
+        assert () not in subsets
+        assert (0, 1, 2) not in subsets
+
+    def test_single_class(self):
+        assert list(proper_subsets(1)) == []
+
+
+class TestLindleyRecursion:
+    def test_no_queueing_when_spaced_out(self):
+        times = np.array([0.0, 10.0, 20.0])
+        sizes = np.array([1.0, 1.0, 1.0])
+        waits = fcfs_waiting_times(times, sizes, capacity=1.0)
+        assert waits.tolist() == [0.0, 0.0, 0.0]
+
+    def test_back_to_back_accumulates(self):
+        times = np.array([0.0, 0.0, 0.0])
+        sizes = np.array([2.0, 2.0, 2.0])
+        waits = fcfs_waiting_times(times, sizes, capacity=1.0)
+        assert waits.tolist() == [0.0, 2.0, 4.0]
+
+    def test_partial_drain(self):
+        times = np.array([0.0, 1.0])
+        sizes = np.array([3.0, 1.0])
+        waits = fcfs_waiting_times(times, sizes, capacity=1.0)
+        assert waits.tolist() == [0.0, 2.0]
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fcfs_waiting_times(
+                np.array([1.0, 0.0]), np.array([1.0, 1.0]), 1.0
+            )
+
+    def test_matches_pollaczek_khinchine(self, rng):
+        """Empirical FCFS mean wait ~ M/D/1 formula."""
+        rate = 0.8
+        trace = build_class_trace(
+            0, PoissonInterarrivals(1.0 / rate, rng), FixedPacketSize(1.0),
+            horizon=2e5,
+        )
+        measured = fcfs_mean_delay(trace, capacity=1.0, warmup=1e3)
+        expected = mg1_mean_wait(rate, ServiceDistribution.deterministic(1.0))
+        assert measured == pytest.approx(expected, rel=0.05)
+
+
+class TestConservationResidual:
+    def test_zero_for_exact_model(self):
+        rates = [1.0, 2.0]
+        delays = [4.0, 3.0]
+        aggregate = (1.0 * 4.0 + 2.0 * 3.0) / 3.0
+        assert conservation_residual(rates, delays, aggregate) == pytest.approx(0.0)
+
+    def test_sign_of_residual(self):
+        assert conservation_residual([1.0], [5.0], 4.0) > 0
+        assert conservation_residual([1.0], [3.0], 4.0) < 0
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            conservation_residual([1.0], [1.0, 2.0], 1.0)
+
+
+class TestFeasibilityAnalytic:
+    """Eq 7 evaluated with exact M/G/1 subset delays (Poisson classes)."""
+
+    service = ServiceDistribution.deterministic(1.0)
+    rates = [0.32, 0.24, 0.16, 0.08]  # rho = 0.8, 40/30/20/10 split
+
+    def test_fcfs_delays_are_feasible(self):
+        """Equal delays (the FCFS outcome) always satisfy Eq 7."""
+        aggregate = mg1_mean_wait(sum(self.rates), self.service)
+        report = check_feasibility(
+            self.rates,
+            [aggregate] * 4,
+            mg1_subset_delay(self.rates, self.service),
+        )
+        assert report.feasible
+        assert report.conservation_residual == pytest.approx(0.0, abs=1e-12)
+
+    def test_moderate_ddps_feasible_at_high_load(self):
+        ddps = DelayDifferentiationParameters((8.0, 4.0, 2.0, 1.0))
+        report = check_proportional_feasibility(
+            ddps, self.rates, mg1_subset_delay(self.rates, self.service)
+        )
+        assert report.feasible
+        assert report.worst_margin() >= 0.0
+
+    def test_extreme_ddps_infeasible_at_low_load(self):
+        """At rho = 0.3 no scheduler can push class 4's delay a factor
+        512 below class 1's: the subset backlog bound (Eq 7) bites."""
+        low_rates = [r * 0.3 / 0.8 for r in self.rates]
+        ddps = DelayDifferentiationParameters((512.0, 64.0, 8.0, 1.0))
+        report = check_proportional_feasibility(
+            ddps, low_rates, mg1_subset_delay(low_rates, self.service)
+        )
+        assert not report.feasible
+        assert report.violations
+        subset, lhs, rhs = report.violations[0]
+        assert lhs < rhs
+
+    def test_violating_subset_identified(self):
+        """Hand-built infeasible vector: class 1 far below its FCFS floor."""
+        aggregate = mg1_mean_wait(sum(self.rates), self.service)
+        subset_delay = mg1_subset_delay(self.rates, self.service)
+        delays = [0.0, aggregate, aggregate, aggregate]
+        # Rebalance class 1's share onto class 4 to keep Eq 5 plausible.
+        delays[3] += (
+            self.rates[0] * aggregate / self.rates[3]
+        )
+        report = check_feasibility(self.rates, delays, subset_delay)
+        assert not report.feasible
+        violating = {s for s, _, _ in report.violations}
+        assert (0,) in violating
+
+    def test_margins_reported_for_all_subsets(self):
+        aggregate = mg1_mean_wait(sum(self.rates), self.service)
+        report = check_feasibility(
+            self.rates,
+            [aggregate] * 4,
+            mg1_subset_delay(self.rates, self.service),
+        )
+        assert len(report.margins) == 2**4 - 2
+
+    def test_invalid_inputs_rejected(self):
+        subset_delay = mg1_subset_delay(self.rates, self.service)
+        with pytest.raises(ConfigurationError):
+            check_feasibility([0.0, 1.0], [1.0, 1.0], subset_delay)
+        with pytest.raises(ConfigurationError):
+            check_feasibility([1.0], [1.0, 2.0], subset_delay)
+
+
+class TestFeasibilityEmpirical:
+    """Eq 7 with measured (trace-based) subset delays, as the paper does."""
+
+    def test_subset_delay_function_memoizes_and_matches_direct(self, rng):
+        traces = [
+            build_class_trace(
+                cid, PoissonInterarrivals(4.0, rng), FixedPacketSize(1.0), 1e4
+            )
+            for cid in range(3)
+        ]
+        trace = merge_traces(traces)
+        subset_delay = subset_delay_function(trace, capacity=1.0)
+        direct = fcfs_mean_delay(trace.filter_classes((0, 2)), 1.0)
+        assert subset_delay((0, 2)) == pytest.approx(direct)
+        assert subset_delay((2, 0)) == pytest.approx(direct)  # cache key sorted
+
+    def test_per_class_fcfs_delays_average_to_aggregate(self, rng):
+        traces = [
+            build_class_trace(
+                cid, PoissonInterarrivals(3.0, rng), FixedPacketSize(1.0), 5e4
+            )
+            for cid in range(2)
+        ]
+        trace = merge_traces(traces)
+        per_class = fcfs_mean_delay_per_class(trace, 1.0)
+        counts = np.bincount(trace.class_ids)
+        blended = float(np.dot(per_class, counts) / counts.sum())
+        assert blended == pytest.approx(fcfs_mean_delay(trace, 1.0), rel=1e-9)

@@ -1,0 +1,145 @@
+"""Tests for the R_D interval metric and end-to-end comparisons."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    PercentileSummary,
+    compare_flow_percentiles,
+    interval_rd,
+    rd_series,
+    successive_ratio_rd,
+    summarize_rd,
+)
+from repro.errors import ConfigurationError
+
+
+class TestIntervalRd:
+    def test_all_active_perfect_ratio(self):
+        assert interval_rd([8.0, 4.0, 2.0, 1.0]) == pytest.approx(2.0)
+
+    def test_mixed_ratios_average(self):
+        value = interval_rd([9.0, 3.0, 1.0])  # ratios 3 and 3
+        assert value == pytest.approx(3.0)
+
+    def test_inactive_class_uses_normalized_ratio(self):
+        """Classes 1 and 3 active (gap of 2 steps): (d1/d3)^(1/2)."""
+        value = interval_rd([8.0, math.nan, 2.0])
+        assert value == pytest.approx(2.0)
+
+    def test_single_active_class_is_undefined(self):
+        assert interval_rd([math.nan, 5.0, math.nan]) is None
+
+    def test_no_active_classes_is_undefined(self):
+        assert interval_rd([math.nan, math.nan]) is None
+
+    def test_zero_mean_is_undefined(self):
+        assert interval_rd([2.0, 0.0]) is None
+
+    def test_inverted_differentiation_gives_rd_below_one(self):
+        assert interval_rd([1.0, 2.0]) == pytest.approx(0.5)
+
+
+class TestRdSeries:
+    def test_skips_undefined_intervals(self):
+        means = np.array(
+            [
+                [4.0, 2.0],
+                [math.nan, 3.0],
+                [6.0, 3.0],
+            ]
+        )
+        series = rd_series(means)
+        assert series == pytest.approx([2.0, 2.0])
+
+    def test_empty_matrix(self):
+        assert rd_series(np.empty((0, 3))) == []
+
+
+class TestPercentileSummary:
+    def test_five_point_summary(self):
+        samples = list(range(1, 101))
+        summary = PercentileSummary.from_samples(samples)
+        assert summary.median == pytest.approx(50.5)
+        assert summary.p5 < summary.p25 < summary.median
+        assert summary.median < summary.p75 < summary.p95
+        assert summary.count == 100
+
+    def test_nan_samples_dropped(self):
+        summary = PercentileSummary.from_samples([1.0, math.nan, 3.0])
+        assert summary.count == 2
+        assert summary.median == pytest.approx(2.0)
+
+    def test_empty_gives_nan(self):
+        summary = PercentileSummary.from_samples([])
+        assert summary.count == 0
+        assert math.isnan(summary.median)
+
+    def test_summarize_rd_pipeline(self):
+        means = np.array([[4.0, 2.0]] * 10 + [[8.0, 2.0]] * 10)
+        summary = summarize_rd(means)
+        assert summary.count == 20
+        assert summary.p5 == pytest.approx(2.0)
+        assert summary.p95 == pytest.approx(4.0)
+
+
+class TestSuccessiveRatioRd:
+    def test_average_of_pairs(self):
+        assert successive_ratio_rd([8.0, 4.0, 1.0]) == pytest.approx(3.0)
+
+    def test_requires_positive_means(self):
+        with pytest.raises(ConfigurationError):
+            successive_ratio_rd([1.0, 0.0])
+
+    def test_requires_two_classes(self):
+        with pytest.raises(ConfigurationError):
+            successive_ratio_rd([1.0])
+
+
+class TestEndToEndComparison:
+    def test_consistent_experiment(self):
+        low = [10.0, 12.0, 14.0, 16.0, 20.0] * 4
+        high = [d / 2 for d in low]
+        outcome = compare_flow_percentiles([low, high])
+        assert outcome.consistent
+        assert outcome.rd == pytest.approx(2.0)
+        assert outcome.percentile_matrix.shape == (2, 10)
+
+    def test_inconsistency_detected(self):
+        low = [1.0] * 20
+        high = [2.0] * 20  # higher class strictly worse
+        outcome = compare_flow_percentiles([low, high])
+        assert not outcome.consistent
+        assert outcome.inconsistencies == 10  # every percentile cell
+
+    def test_ties_are_consistent(self):
+        same = [5.0] * 20
+        outcome = compare_flow_percentiles([same, list(same)])
+        assert outcome.consistent
+        assert outcome.rd == pytest.approx(1.0)
+
+    def test_three_classes_pairwise(self):
+        flows = [[8.0] * 10, [4.0] * 10, [2.0] * 10]
+        outcome = compare_flow_percentiles(flows)
+        assert outcome.consistent
+        assert outcome.rd == pytest.approx(2.0)
+
+    def test_tolerance_absorbs_small_violation(self):
+        low = [1.0] * 10
+        high = [1.05] * 10
+        strict = compare_flow_percentiles([low, high])
+        lax = compare_flow_percentiles([low, high], tolerance=0.10)
+        assert not strict.consistent
+        assert lax.consistent
+
+    def test_single_flow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_flow_percentiles([[1.0]])
+
+    def test_empty_flow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_flow_percentiles([[1.0], []])

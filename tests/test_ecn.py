@@ -1,0 +1,141 @@
+"""Tests for the ECN marker and AIMD sources (the Section 3 regime)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schedulers import WTPScheduler
+from repro.sim import DelayMonitor, Link, PacketSink, Simulator
+from repro.sim.rng import RandomStreams
+from repro.traffic import ECNMarker, ECNSource, FixedPacketSize, PacketIdAllocator
+
+from .conftest import make_packet
+
+
+def build_link(sim, capacity=1.0, num_classes=2):
+    link = Link(sim, WTPScheduler(tuple(2.0**i for i in range(num_classes))),
+                capacity=capacity, target=PacketSink())
+    return link
+
+
+class TestECNMarker:
+    def test_marks_only_when_backlogged_past_threshold(self, sim):
+        link = build_link(sim)
+        marker = ECNMarker(link, threshold_packets=2)
+        link.add_monitor(marker)
+        # Three back-to-back packets: when #0 departs, 2 remain (mark);
+        # when #1 departs, 1 remains (no mark); etc.
+        for i in range(3):
+            sim.schedule(0.0, link.receive, make_packet(i, size=1.0, flow_id=9))
+        sim.run()
+        assert marker.seen == 3
+        assert marker.marked == 1
+        assert marker.consume_mark(9) is True
+        assert marker.consume_mark(9) is False  # one signal per poll
+
+    def test_no_marks_when_idle(self, sim):
+        link = build_link(sim)
+        marker = ECNMarker(link, threshold_packets=1)
+        link.add_monitor(marker)
+        sim.schedule(0.0, link.receive, make_packet(0, size=1.0))
+        sim.schedule(10.0, link.receive, make_packet(1, size=1.0))
+        sim.run()
+        assert marker.marked == 0
+        assert marker.mark_fraction == 0.0
+
+    def test_threshold_validated(self, sim):
+        with pytest.raises(ConfigurationError):
+            ECNMarker(build_link(sim), threshold_packets=0)
+
+
+class TestECNSource:
+    def test_parameter_validation(self, sim):
+        link = build_link(sim)
+        marker = ECNMarker(link, 10)
+        with pytest.raises(ConfigurationError):
+            ECNSource(sim, link, marker, 0, FixedPacketSize(1.0),
+                      initial_rate=2.0, min_rate=3.0, max_rate=4.0,
+                      additive_increase=0.1)
+        with pytest.raises(ConfigurationError):
+            ECNSource(sim, link, marker, 0, FixedPacketSize(1.0),
+                      initial_rate=1.0, min_rate=0.5, max_rate=2.0,
+                      additive_increase=0.1, multiplicative_decrease=1.0)
+
+    def test_uncongested_source_ramps_to_max(self, sim):
+        """With a fast link and high threshold, AIMD climbs to max."""
+        link = build_link(sim, capacity=100.0)
+        marker = ECNMarker(link, threshold_packets=50)
+        link.add_monitor(marker)
+        source = ECNSource(
+            sim, link, marker, class_id=0, sizes=FixedPacketSize(1.0),
+            initial_rate=1.0, min_rate=0.1, max_rate=5.0,
+            additive_increase=0.05, flow_id=1,
+        )
+        source.start()
+        sim.run(until=500.0)
+        assert source.rate == pytest.approx(5.0)
+
+    def test_population_stabilizes_lossless_high_utilization(self):
+        """The paper's operating regime, closed-loop: several AIMD
+        sources on one WTP link settle at high utilization with bounded
+        queues and zero drops."""
+        sim = Simulator()
+        streams = RandomStreams(4)
+        link = build_link(sim, capacity=1.0, num_classes=2)
+        marker = ECNMarker(link, threshold_packets=30)
+        link.add_monitor(marker)
+        monitor = DelayMonitor(2, warmup=2e3)
+        link.add_monitor(monitor)
+        ids = PacketIdAllocator()
+        for flow in range(6):
+            ECNSource(
+                sim, link, marker,
+                class_id=flow % 2,
+                sizes=FixedPacketSize(1.0),
+                initial_rate=0.05, min_rate=0.01, max_rate=1.0,
+                additive_increase=0.004, multiplicative_decrease=0.7,
+                flow_id=flow, ids=ids,
+                jitter_rng=streams.generator(),
+            ).start()
+        sim.run(until=2e4)
+        assert link.drops == 0
+        utilization = link.utilization()
+        assert 0.8 < utilization <= 1.0
+        # Queue stays bounded near the marking threshold.
+        assert link.backlog_packets < 8 * 30
+        # And the scheduler still differentiates inside this regime.
+        delays = monitor.mean_delays()
+        assert delays[0] > delays[1]
+
+    def test_marks_cut_rate_multiplicatively(self, sim):
+        """A congested link forces the source's rate down from its cap."""
+        link = build_link(sim, capacity=0.2)
+        marker = ECNMarker(link, threshold_packets=3)
+        link.add_monitor(marker)
+        source = ECNSource(
+            sim, link, marker, class_id=0, sizes=FixedPacketSize(1.0),
+            initial_rate=1.0, min_rate=0.01, max_rate=1.0,
+            additive_increase=0.001, flow_id=2,
+        )
+        source.start()
+        sim.run(until=2000.0)
+        assert source.rate < 1.0
+        rates = [r for _, r in source.rate_history]
+        assert min(rates) < 0.6  # at least one multiplicative cut bit
+
+    def test_rate_never_leaves_bounds(self, sim):
+        link = build_link(sim, capacity=0.5)
+        marker = ECNMarker(link, threshold_packets=2)
+        link.add_monitor(marker)
+        source = ECNSource(
+            sim, link, marker, class_id=0, sizes=FixedPacketSize(1.0),
+            initial_rate=0.4, min_rate=0.1, max_rate=0.8,
+            additive_increase=0.05, flow_id=3,
+        )
+        source.start()
+        sim.run(until=3000.0)
+        rates = np.array([r for _, r in source.rate_history])
+        assert rates.min() >= 0.1 - 1e-12
+        assert rates.max() <= 0.8 + 1e-12

@@ -1,0 +1,157 @@
+"""Tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        fired = []
+        sim.schedule(5.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(3.0, fired.append, "middle")
+        sim.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_same_time_events_fire_in_insertion_order(self, sim):
+        fired = []
+        for label in "abc":
+            sim.schedule(2.0, fired.append, label)
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        sim.schedule(7.5, lambda: None)
+        sim.run()
+        assert sim.now == 7.5
+
+    def test_schedule_in_past_raises(self, sim):
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule(5.0, lambda: None)
+
+    def test_schedule_at_current_time_allowed(self, sim):
+        fired = []
+        sim.schedule(3.0, lambda: sim.schedule(3.0, fired.append, "x"))
+        sim.run()
+        assert fired == ["x"]
+
+    def test_schedule_after_relative_delay(self, sim):
+        fired = []
+        sim.schedule(2.0, lambda: sim.schedule_after(3.0, fired.append, "x"))
+        sim.run()
+        assert fired == ["x"]
+        assert sim.now == 5.0
+
+    def test_schedule_after_negative_delay_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_after(-1.0, lambda: None)
+
+    def test_callback_without_payload_called_with_no_args(self, sim):
+        calls = []
+        sim.schedule(1.0, lambda: calls.append("no-arg"))
+        sim.run()
+        assert calls == ["no-arg"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_cancel_one_of_many(self, sim):
+        fired = []
+        keep = sim.schedule(1.0, fired.append, "keep")
+        drop = sim.schedule(2.0, fired.append, "drop")
+        drop.cancel()
+        sim.run()
+        assert fired == ["keep"]
+        assert not keep.cancelled
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        assert fired == ["a"]
+        assert sim.now == 5.0
+
+    def test_run_until_fires_event_at_boundary(self, sim):
+        fired = []
+        sim.schedule(5.0, fired.append, "edge")
+        sim.run(until=5.0)
+        assert fired == ["edge"]
+
+    def test_run_until_can_resume(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        sim.run(until=20.0)
+        assert fired == ["a", "b"]
+        assert sim.now == 20.0
+
+    def test_run_is_not_reentrant(self, sim):
+        def recurse():
+            sim.run()
+
+        sim.schedule(1.0, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_scheduled_during_run_fire(self, sim):
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule_after(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+
+
+class TestIntrospection:
+    def test_events_processed_counts_fired_only(self, sim):
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        sim.run()
+        assert sim.events_processed == 1
+
+    def test_peek_skips_cancelled(self, sim):
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek() == 2.0
+
+    def test_peek_empty_returns_none(self, sim):
+        assert sim.peek() is None
+
+    def test_pending_counts_heap_entries(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+
+    def test_step_returns_false_when_drained(self, sim):
+        assert sim.step() is False
+        sim.schedule(1.0, lambda: None)
+        assert sim.step() is True
+        assert sim.step() is False

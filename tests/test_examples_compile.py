@@ -1,0 +1,51 @@
+"""Guard rails for the examples directory.
+
+Examples rot silently; these tests compile every script and fully run
+the cheapest one so a refactor that breaks the public API surface the
+examples use fails CI rather than a reader's first session.
+"""
+
+from __future__ import annotations
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {script.name for script in SCRIPTS}
+        assert "quickstart.py" in names
+        assert len(SCRIPTS) >= 8
+
+    @pytest.mark.parametrize(
+        "script", SCRIPTS, ids=[s.name for s in SCRIPTS]
+    )
+    def test_example_compiles(self, script):
+        py_compile.compile(str(script), doraise=True)
+
+    @pytest.mark.parametrize(
+        "script", SCRIPTS, ids=[s.name for s in SCRIPTS]
+    )
+    def test_example_has_docstring_and_main(self, script):
+        source = script.read_text()
+        assert source.lstrip().startswith(("#!", '"""')), script.name
+        assert "def main()" in source, script.name
+        assert '__name__ == "__main__"' in source, script.name
+
+    def test_quickstart_runs_end_to_end(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Measured vs target delay ratios" in result.stdout
+        assert "FEASIBLE" in result.stdout

@@ -1,0 +1,112 @@
+"""Tests for the export helpers and unit conversions."""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import PercentileSummary
+from repro.experiments.export import (
+    figure1_to_csv,
+    figure2_to_csv,
+    figure3_to_csv,
+    figure45_to_json,
+    table1_to_csv,
+)
+from repro.experiments.figure1 import FigureOnePoint
+from repro.experiments.figure2 import FigureTwoPoint
+from repro.experiments.figure3 import FigureThreeBox
+from repro.experiments.figure45 import MicroscopicViews
+from repro.experiments.table1 import TableOneCell
+from repro.network.multihop import MultiHopConfig, MultiHopResult
+from repro.traffic.mix import PAPER_DEFAULT_LOADS
+from repro.units import (
+    PAPER_LINK_CAPACITY,
+    PAPER_MEAN_PACKET_BYTES,
+    PAPER_P_UNIT,
+    bits_per_second_to_bytes_per_unit,
+    p_units_to_time,
+    time_to_p_units,
+    transmission_time,
+)
+
+
+class TestUnits:
+    def test_p_unit_round_trip(self):
+        assert time_to_p_units(p_units_to_time(7.0)) == pytest.approx(7.0)
+
+    def test_paper_constants(self):
+        assert PAPER_MEAN_PACKET_BYTES == pytest.approx(441.0)
+        assert PAPER_LINK_CAPACITY == pytest.approx(39.375)
+        assert PAPER_P_UNIT == pytest.approx(11.2)
+
+    def test_bits_per_second_conversion(self):
+        # 25 Mbps with 1 ms time units -> 3125 bytes/ms.
+        assert bits_per_second_to_bytes_per_unit(25e6, 1e-3) == pytest.approx(3125.0)
+
+    def test_transmission_time(self):
+        assert transmission_time(441.0, PAPER_LINK_CAPACITY) == pytest.approx(11.2)
+
+    def test_transmission_time_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            transmission_time(100.0, 0.0)
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestExports:
+    def test_figure1_csv(self, tmp_path):
+        points = [
+            FigureOnePoint("wtp", 0.95, [1.9, 1.8, 1.85], [2.0, 2.0, 2.0], True)
+        ]
+        path = figure1_to_csv(points, tmp_path / "f1.csv")
+        rows = read_csv(path)
+        assert rows[0][0] == "scheduler"
+        assert len(rows) == 4  # header + 3 pairs
+        assert rows[1][:2] == ["wtp", "0.95"]
+
+    def test_figure2_csv(self, tmp_path):
+        points = [
+            FigureTwoPoint("bpr", PAPER_DEFAULT_LOADS, [1.5, 1.6, 1.4],
+                           [2.0, 2.0, 2.0], True)
+        ]
+        path = figure2_to_csv(points, tmp_path / "f2.csv")
+        rows = read_csv(path)
+        assert rows[1][1] == "40/30/20/10"
+
+    def test_figure3_csv(self, tmp_path):
+        summary = PercentileSummary(1.0, 1.5, 2.0, 2.5, 3.0, 42)
+        boxes = [FigureThreeBox("wtp", 100.0, summary)]
+        path = figure3_to_csv(boxes, tmp_path / "f3.csv")
+        rows = read_csv(path)
+        assert rows[1] == ["wtp", "100.0", "1.0", "1.5", "2.0", "2.5",
+                           "3.0", "42"]
+
+    def test_figure45_json_handles_nan(self, tmp_path):
+        views = {
+            "bpr": MicroscopicViews(
+                scheduler="bpr",
+                interval_means=np.array([[1.0, math.nan]]),
+                packet_samples=[[(1.0, 2.0)], []],
+            )
+        }
+        path = figure45_to_json(views, tmp_path / "f45.json")
+        payload = json.loads(path.read_text())
+        assert payload["bpr"]["interval_means"][0] == [1.0, None]
+        assert payload["bpr"]["packet_samples"][0] == [[1.0, 2.0]]
+        assert payload["bpr"]["sawtooth_scores"][1] is None
+
+    def test_table1_csv(self, tmp_path):
+        result = MultiHopResult(config=MultiHopConfig())
+        cells = [TableOneCell(4, 0.85, 10, 50.0, result)]
+        path = table1_to_csv(cells, tmp_path / "t1.csv")
+        rows = read_csv(path)
+        assert rows[1][0] == "4"
+        assert rows[1][6] == "0"  # no experiments recorded

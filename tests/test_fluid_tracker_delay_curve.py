@@ -1,0 +1,156 @@
+"""Tests for the fluid BPR tracker and the d(lambda) curve estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DelayCurve, estimate_delay_curve, thin_trace
+from repro.core.conservation import fcfs_mean_delay
+from repro.errors import ConfigurationError
+from repro.schedulers import FluidBPRTracker
+from repro.theory import ServiceDistribution, mg1_mean_wait
+from repro.traffic import PoissonInterarrivals, FixedPacketSize
+from repro.traffic.trace import build_class_trace
+
+
+class TestFluidBPRTracker:
+    def test_simultaneous_clearing_with_arrivals(self):
+        """Proposition 1 survives mid-busy-period arrivals: queues that
+        are backlogged always empty together."""
+        tracker = FluidBPRTracker((1.0, 2.0), capacity=10.0)
+        tracker.add_fluid(0, 100.0)
+        tracker.add_fluid(1, 40.0)
+        tracker.advance(5.0)  # drains 50 of 140
+        assert all(q > 0 for q in tracker.backlogs)
+        tracker.add_fluid(1, 60.0)  # burst into the high class
+        clearing = tracker.clearing_time()
+        assert clearing == pytest.approx(5.0 + (140.0 - 50.0 + 60.0) / 10.0)
+        tracker.advance(clearing)
+        assert tracker.empty
+
+    def test_total_drain_rate_is_capacity(self):
+        tracker = FluidBPRTracker((1.0, 4.0), capacity=8.0)
+        tracker.add_fluid(0, 40.0)
+        tracker.add_fluid(1, 40.0)
+        tracker.advance(3.0)
+        assert sum(tracker.backlogs) == pytest.approx(80.0 - 24.0, rel=1e-6)
+
+    def test_higher_class_drains_proportionally_faster(self):
+        tracker = FluidBPRTracker((1.0, 4.0), capacity=8.0)
+        tracker.add_fluid(0, 40.0)
+        tracker.add_fluid(1, 40.0)
+        tracker.advance(3.0)
+        assert tracker.backlogs[1] < tracker.backlogs[0]
+
+    def test_idle_advance_is_noop(self):
+        tracker = FluidBPRTracker((1.0, 2.0), capacity=1.0)
+        tracker.advance(100.0)
+        assert tracker.now == 100.0
+        assert tracker.empty
+
+    def test_backward_advance_rejected(self):
+        tracker = FluidBPRTracker((1.0, 2.0), capacity=1.0)
+        tracker.advance(10.0)
+        with pytest.raises(ConfigurationError):
+            tracker.advance(5.0)
+
+    def test_negative_fluid_rejected(self):
+        tracker = FluidBPRTracker((1.0, 2.0), capacity=1.0)
+        with pytest.raises(ConfigurationError):
+            tracker.add_fluid(0, -1.0)
+
+
+class TestThinTrace:
+    def test_thinning_preserves_order_and_rate(self, rng):
+        trace = build_class_trace(
+            0, PoissonInterarrivals(1.0, rng), FixedPacketSize(1.0), 5e4
+        )
+        thinned = thin_trace(trace, 0.5, rng)
+        assert np.all(np.diff(thinned.times) >= 0)
+        assert len(thinned) == pytest.approx(0.5 * len(trace), rel=0.05)
+
+    def test_keep_all_returns_same_object(self, rng):
+        trace = build_class_trace(
+            0, PoissonInterarrivals(1.0, rng), FixedPacketSize(1.0), 100.0
+        )
+        assert thin_trace(trace, 1.0, rng) is trace
+
+    def test_invalid_probability_rejected(self, rng):
+        trace = build_class_trace(
+            0, PoissonInterarrivals(1.0, rng), FixedPacketSize(1.0), 100.0
+        )
+        with pytest.raises(ConfigurationError):
+            thin_trace(trace, 0.0, rng)
+
+
+class TestDelayCurve:
+    def test_interpolation_and_extrapolation(self):
+        curve = DelayCurve((1.0, 2.0, 3.0), (10.0, 20.0, 40.0))
+        assert curve(1.5) == pytest.approx(15.0)
+        assert curve(2.0) == pytest.approx(20.0)
+        assert curve(3.5) == pytest.approx(50.0)   # slope 20 past the end
+        assert curve(0.5) == pytest.approx(5.0)    # slope 10 before start
+        assert curve(-10.0) == 0.0                 # clamped at zero
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DelayCurve((1.0,), (2.0,))
+        with pytest.raises(ConfigurationError):
+            DelayCurve((2.0, 1.0), (1.0, 2.0))
+
+    def test_estimated_curve_is_increasing_in_rate(self, rng):
+        """Poisson thinning of Poisson stays Poisson: the estimated
+        curve must rise with rate and roughly track M/D/1."""
+        trace = build_class_trace(
+            0, PoissonInterarrivals(1.0 / 0.9, rng), FixedPacketSize(1.0),
+            2e5,
+        )
+        curve = estimate_delay_curve(
+            trace, capacity=1.0, fractions=(0.5, 0.7, 0.9, 1.0), warmup=1e3
+        )
+        assert all(
+            b > a for a, b in zip(curve.delays, curve.delays[1:])
+        )
+        service = ServiceDistribution.deterministic(1.0)
+        for rate, measured in zip(curve.rates, curve.delays):
+            expected = mg1_mean_wait(rate, service)
+            assert measured == pytest.approx(expected, rel=0.25)
+
+    def test_curve_feeds_feasibility_workflow(self, rng):
+        """End-to-end operator workflow: curve -> Eq 6 -> Eq 7."""
+        from repro.core import (
+            check_proportional_feasibility,
+            ddps_from_sdps,
+        )
+
+        traces = [
+            build_class_trace(
+                cid, PoissonInterarrivals(4.0 / 0.85, rng),
+                FixedPacketSize(1.0), 2e5,
+            )
+            for cid in range(4)
+        ]
+        from repro.traffic.trace import merge_traces
+
+        trace = merge_traces(traces)
+        curve = estimate_delay_curve(trace, capacity=1.0, warmup=1e3)
+        rates = trace.class_rates()
+
+        def subset_delay(subset):
+            return curve(sum(rates[i] for i in subset))
+
+        report = check_proportional_feasibility(
+            ddps_from_sdps((1.0, 2.0, 4.0, 8.0)), rates, subset_delay,
+            relative_tolerance=0.05,
+        )
+        assert report.feasible
+
+    def test_estimate_rejects_bad_fractions(self, rng):
+        trace = build_class_trace(
+            0, PoissonInterarrivals(1.0, rng), FixedPacketSize(1.0), 1e3
+        )
+        with pytest.raises(ConfigurationError):
+            estimate_delay_curve(trace, 1.0, fractions=(0.5, 0.5))
+        with pytest.raises(ConfigurationError):
+            estimate_delay_curve(trace, 1.0, fractions=(0.5, 1.5))

@@ -1,0 +1,177 @@
+"""Cross-module integration tests: the paper's central claims, end to end.
+
+These run scaled-down versions of the paper's experiments and assert
+the *shape* of the published results (who wins, direction of trends),
+tying together traffic generation, the kernel, schedulers, monitors and
+the analysis layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import summarize_rd
+from repro.experiments import (
+    MicroscopicConfig,
+    SingleHopConfig,
+    generate_trace,
+    replay_through_scheduler,
+    run_figure45,
+    run_single_hop,
+)
+from repro.network import MultiHopConfig, run_multihop
+from repro.schedulers import make_scheduler
+
+
+pytestmark = pytest.mark.integration
+
+
+QUICK = dict(horizon=2e5, warmup=1e4)
+
+
+class TestHeadlineClaims:
+    def test_wtp_converges_to_inverse_sdp_ratios_in_heavy_load(self):
+        """Eq 13 at rho=0.999 on Pareto traffic: ratios within 5%."""
+        result = run_single_hop(
+            SingleHopConfig(scheduler="wtp", utilization=0.999, seed=4, **QUICK)
+        )
+        for ratio in result.successive_ratios:
+            assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_ratio_accuracy_improves_with_load(self):
+        errors = {}
+        for rho in (0.72, 0.97):
+            result = run_single_hop(
+                SingleHopConfig(scheduler="wtp", utilization=rho, seed=4, **QUICK)
+            )
+            errors[rho] = max(
+                abs(r - 2.0) / 2.0 for r in result.successive_ratios
+            )
+        assert errors[0.97] < errors[0.72]
+
+    def test_moderate_load_undershoots_target(self):
+        """Paper: at 70% utilization the ratio is ~1.5 when it should
+        be 2 -- the schedulers' documented weakness."""
+        result = run_single_hop(
+            SingleHopConfig(scheduler="wtp", utilization=0.70, seed=4, **QUICK)
+        )
+        mean_ratio = float(np.mean(result.successive_ratios))
+        assert 1.2 < mean_ratio < 1.8
+
+    def test_wtp_beats_bpr_at_95_percent(self):
+        """The paper's headline comparison on identical arrivals."""
+        config = SingleHopConfig(utilization=0.95, seed=6, **QUICK)
+        trace = generate_trace(config)
+        errors = {}
+        for name in ("wtp", "bpr"):
+            result = replay_through_scheduler(
+                trace, make_scheduler(name, config.sdps), config
+            )
+            errors[name] = float(
+                np.mean([abs(r - 2.0) for r in result.successive_ratios])
+            )
+        assert errors["wtp"] < errors["bpr"]
+
+    def test_bpr_biased_against_heavily_loaded_classes(self):
+        """Figure 2's finding: when class 4 carries most load, BPR gives
+        it relatively worse delays than the SDPs specify, while WTP
+        stays near target."""
+        from repro.traffic.mix import ClassLoadDistribution
+
+        loads = ClassLoadDistribution((0.1, 0.1, 0.1, 0.7))
+        config = SingleHopConfig(
+            utilization=0.95, loads=loads, seed=8, **QUICK
+        )
+        trace = generate_trace(config)
+        wtp = replay_through_scheduler(
+            trace, make_scheduler("wtp", config.sdps), config
+        )
+        bpr = replay_through_scheduler(
+            trace, make_scheduler("bpr", config.sdps), config
+        )
+        wtp_error = abs(wtp.successive_ratios[-1] - 2.0)
+        bpr_error = abs(bpr.successive_ratios[-1] - 2.0)
+        assert wtp_error < bpr_error
+
+    def test_feasibility_and_conservation_at_figure_points(self):
+        """Section 3's audit: the Figure 1/2 operating points are
+        feasible, so deviations are scheduler inefficiency."""
+        for rho in (0.75, 0.95):
+            result = run_single_hop(
+                SingleHopConfig(utilization=rho, seed=3, **QUICK)
+            )
+            assert result.feasibility_report().feasible
+            assert abs(result.conservation_residual()) < 0.08
+
+
+class TestShortTimescales:
+    def test_wtp_interquartile_range_tighter_than_bpr_at_small_tau(self):
+        """Figure 3's comparison at tau = 100 p-units."""
+        from repro.units import PAPER_P_UNIT
+
+        tau = 100.0 * PAPER_P_UNIT
+        config = SingleHopConfig(
+            utilization=0.95, seed=5, interval_taus=(tau,), **QUICK
+        )
+        trace = generate_trace(config)
+        spreads = {}
+        for name in ("wtp", "bpr"):
+            result = replay_through_scheduler(
+                trace, make_scheduler(name, config.sdps), config
+            )
+            summary = summarize_rd(
+                result.interval_monitors[tau].interval_means()
+            )
+            spreads[name] = summary.p75 - summary.p25
+        assert spreads["wtp"] < spreads["bpr"]
+
+    def test_microscopic_views_show_bpr_sawtooth(self):
+        views = run_figure45(MicroscopicConfig(horizon=1.5e5, warmup=1e4))
+        bpr = np.nanmean(views["bpr"].sawtooth_scores())
+        wtp = np.nanmean(views["wtp"].sawtooth_scores())
+        assert bpr > 1.3 * wtp
+
+
+class TestEndToEnd:
+    def test_consistent_differentiation_across_path(self):
+        """Section 6's main result, scaled down: local class-based WTP
+        yields consistent end-to-end flow differentiation."""
+        config = MultiHopConfig(
+            hops=4, utilization=0.90, flow_packets=10, flow_rate_kbps=200.0,
+            experiments=12, warmup=8000.0, experiment_period=800.0,
+            drain=4000.0, seed=3,
+        )
+        result = run_multihop(config)
+        assert len(result.comparisons) == 12
+        assert result.rd == pytest.approx(2.0, rel=0.25)
+        # The paper observed zero inconsistent experiments; allow a
+        # small number at this reduced scale.
+        assert result.inconsistent_experiments <= 2
+
+    def test_e2e_delay_is_sum_of_per_hop_delays(self):
+        from repro.network import FlowRecorder, UserFlow
+        from repro.schedulers import WTPScheduler
+        from repro.sim import Link, Simulator
+        from repro.network.topology import FlowDemux
+
+        sim = Simulator()
+        recorder = FlowRecorder()
+        second = Link(
+            sim, WTPScheduler((1.0, 2.0)), capacity=1.0,
+            target=FlowDemux(recorder),
+        )
+        first = Link(
+            sim, WTPScheduler((1.0, 2.0)), capacity=1.0,
+            target=FlowDemux(second),
+        )
+        flow = UserFlow(sim, first, flow_id=0, class_id=0, num_packets=3,
+                        packet_size=2.0, period=1.0)
+        flow.launch(0.0)
+        sim.run()
+        # Back-to-back 2-byte packets on a rate-1 link: the second
+        # packet waits 1 at hop 1, then inter-departure spacing equals
+        # service time so hop 2 adds no wait.
+        delays = recorder.flow_delays(0)
+        assert delays == pytest.approx([0.0, 1.0, 2.0])
+        assert recorder.hops_seen[0] == 2

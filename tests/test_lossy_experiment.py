@@ -1,0 +1,92 @@
+"""Tests for the coupled delay+loss experiment harness."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.lossy import (
+    LossyConfig,
+    LossyPoint,
+    format_lossy,
+    run_lossy_sweep,
+)
+
+
+QUICK = dict(horizon=6e4, warmup=3e3)
+
+
+class TestLossyPoint:
+    def test_ratios(self):
+        point = LossyPoint(
+            offered_load=1.0,
+            mean_delays=[8.0, 4.0, 2.0],
+            loss_fractions=[0.4, 0.2, 0.1],
+            total_drops=10,
+            departures=100,
+        )
+        assert point.delay_ratios() == pytest.approx([2.0, 2.0])
+        assert point.loss_ratios() == pytest.approx([2.0, 2.0])
+
+    def test_zero_loss_gives_nan_ratio(self):
+        point = LossyPoint(1.0, [2.0, 1.0], [0.1, 0.0], 5, 50)
+        assert math.isnan(point.loss_ratios()[0])
+
+
+class TestSweep:
+    def test_no_drops_below_saturation(self):
+        config = LossyConfig(offered_loads=(0.85,), **QUICK)
+        (point,) = run_lossy_sweep(config)
+        assert point.total_drops == 0
+        assert point.departures > 1000
+
+    def test_overload_drops_and_proportional_losses(self):
+        config = LossyConfig(offered_loads=(1.3,), **QUICK)
+        (point,) = run_lossy_sweep(config)
+        assert point.total_drops > 200
+        for ratio in point.loss_ratios():
+            assert ratio == pytest.approx(2.0, rel=0.3)
+
+    def test_delays_stay_ordered_under_loss(self):
+        config = LossyConfig(offered_loads=(1.2,), **QUICK)
+        (point,) = run_lossy_sweep(config)
+        delays = point.mean_delays
+        assert delays[0] > delays[1] > delays[2] > delays[3]
+
+    def test_windowed_plr_variant_runs(self):
+        config = LossyConfig(
+            offered_loads=(1.2,), plr_window=1000, **QUICK
+        )
+        (point,) = run_lossy_sweep(config)
+        assert point.total_drops > 0
+
+    def test_format_contains_all_loads(self):
+        config = LossyConfig(offered_loads=(0.9, 1.2), **QUICK)
+        text = format_lossy(run_lossy_sweep(config), config)
+        assert "0.90" in text and "1.20" in text
+        assert "dR12" in text and "lR34" in text
+
+
+class TestAnalyticOverlay:
+    def test_rows_and_fidelity(self):
+        from repro.experiments import format_overlay, run_analytic_overlay
+
+        rows = run_analytic_overlay(utilizations=(0.8,), horizon=1e5)
+        assert len(rows) == 4
+        for row in rows:
+            assert row.simulation_gap < 0.10
+        text = format_overlay(rows)
+        assert "kleinrock" in text and "0.80" in text
+
+    def test_model_gap_shrinks_with_load(self):
+        from repro.experiments import run_analytic_overlay
+
+        rows = run_analytic_overlay(utilizations=(0.7, 0.95), horizon=1e5)
+        by_rho = {}
+        for row in rows:
+            by_rho.setdefault(row.utilization, []).append(row.model_gap)
+        assert (
+            sum(by_rho[0.95]) / len(by_rho[0.95])
+            < sum(by_rho[0.7]) / len(by_rho[0.7])
+        )

@@ -1,0 +1,119 @@
+"""Tests for Packet and ClassQueueSet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.queues import ClassQueueSet
+
+from .conftest import make_packet
+
+
+class TestPacket:
+    def test_queueing_delay_is_wait_until_service(self):
+        packet = make_packet(created_at=10.0)
+        packet.arrived_at = 10.0
+        packet.service_start = 25.0
+        assert packet.queueing_delay == 15.0
+
+    def test_total_queueing_delay_sums_hops(self):
+        packet = make_packet()
+        packet.hop_delays.extend([3.0, 4.5, 0.5])
+        assert packet.total_queueing_delay == 8.0
+
+    def test_new_packet_has_no_hop_history(self):
+        assert make_packet().hop_delays == []
+
+    def test_arrived_at_initialized_to_creation(self):
+        packet = make_packet(created_at=42.0)
+        assert packet.arrived_at == 42.0
+
+    def test_flow_id_defaults_to_none(self):
+        assert make_packet().flow_id is None
+
+    def test_hop_delays_are_per_instance(self):
+        a, b = make_packet(0), make_packet(1)
+        a.hop_delays.append(1.0)
+        assert b.hop_delays == []
+
+
+class TestClassQueueSet:
+    def test_push_pop_fifo_within_class(self):
+        queues = ClassQueueSet(2)
+        first = make_packet(0, class_id=1)
+        second = make_packet(1, class_id=1)
+        queues.push(first)
+        queues.push(second)
+        assert queues.pop(1) is first
+        assert queues.pop(1) is second
+
+    def test_byte_accounting(self):
+        queues = ClassQueueSet(2)
+        queues.push(make_packet(0, class_id=0, size=100.0))
+        queues.push(make_packet(1, class_id=0, size=50.0))
+        queues.push(make_packet(2, class_id=1, size=25.0))
+        assert queues.backlog_bytes(0) == 150.0
+        assert queues.backlog_bytes(1) == 25.0
+        assert queues.total_bytes == 175.0
+        queues.pop(0)
+        assert queues.backlog_bytes(0) == 50.0
+
+    def test_packet_accounting(self):
+        queues = ClassQueueSet(3)
+        for i in range(5):
+            queues.push(make_packet(i, class_id=i % 3))
+        assert queues.total_packets == 5
+        assert len(queues) == 5
+        assert queues.backlog_packets(0) == 2
+        assert queues.backlog_packets(2) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SchedulingError):
+            ClassQueueSet(1).pop(0)
+
+    def test_pop_tail_removes_newest(self):
+        queues = ClassQueueSet(1)
+        first = make_packet(0)
+        second = make_packet(1)
+        queues.push(first)
+        queues.push(second)
+        assert queues.pop_tail(0) is second
+        assert queues.pop(0) is first
+
+    def test_pop_tail_empty_raises(self):
+        with pytest.raises(SchedulingError):
+            ClassQueueSet(1).pop_tail(0)
+
+    def test_head_peeks_without_removal(self):
+        queues = ClassQueueSet(1)
+        packet = make_packet(0)
+        queues.push(packet)
+        assert queues.head(0) is packet
+        assert queues.total_packets == 1
+
+    def test_head_of_empty_is_none(self):
+        assert ClassQueueSet(2).head(1) is None
+
+    def test_out_of_range_class_raises(self):
+        queues = ClassQueueSet(2)
+        with pytest.raises(SchedulingError):
+            queues.push(make_packet(0, class_id=5))
+
+    def test_backlogged_classes_iterates_nonempty(self):
+        queues = ClassQueueSet(4)
+        queues.push(make_packet(0, class_id=1))
+        queues.push(make_packet(1, class_id=3))
+        assert list(queues.backlogged_classes()) == [1, 3]
+
+    def test_is_empty(self):
+        queues = ClassQueueSet(1)
+        assert queues.is_empty()
+        queues.push(make_packet(0))
+        assert not queues.is_empty()
+        queues.pop(0)
+        assert queues.is_empty()
+
+    def test_zero_classes_rejected(self):
+        with pytest.raises(SchedulingError):
+            ClassQueueSet(0)

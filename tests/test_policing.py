@@ -1,0 +1,164 @@
+"""Tests for the token bucket and the absolute-service edge behaviours."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.policing import AssuredMarker, PremiumPolicer, TokenBucket
+from repro.schedulers import StrictPriorityScheduler, WTPScheduler
+from repro.sim import DelayMonitor, Link, PacketSink, Simulator
+from repro.sim.rng import RandomStreams
+from repro.traffic import (
+    ConstantInterarrivals,
+    FixedPacketSize,
+    PacketIdAllocator,
+    PoissonInterarrivals,
+    TrafficSource,
+)
+
+from .conftest import make_packet
+
+
+class TestTokenBucket:
+    def test_burst_admits_up_to_bucket_depth(self):
+        bucket = TokenBucket(rate=1.0, burst=10.0)
+        assert bucket.conforms(6.0, 0.0)
+        assert bucket.conforms(4.0, 0.0)
+        assert not bucket.conforms(1.0, 0.0)
+
+    def test_refill_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=10.0)
+        assert bucket.conforms(10.0, 0.0)
+        assert not bucket.conforms(5.0, 1.0)   # only 2 tokens back
+        assert bucket.conforms(5.0, 2.5)       # 2 + 3 more = 5
+
+    def test_tokens_capped_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=10.0)
+        assert bucket.tokens(1000.0) == 10.0
+
+    def test_time_going_backwards_rejected(self):
+        bucket = TokenBucket(1.0, 1.0)
+        bucket.conforms(0.5, 10.0)
+        with pytest.raises(ConfigurationError):
+            bucket.conforms(0.5, 5.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(1.0, 0.0)
+
+
+class TestPremiumPolicer:
+    def test_in_profile_passes_excess_drops(self, sim):
+        sink = PacketSink(keep_packets=True)
+        policer = PremiumPolicer(sim, sink, rate=1.0, burst=100.0)
+        # Source at twice the profile: 100-byte packets every 50 units.
+        source = TrafficSource(
+            sim, policer, 1, ConstantInterarrivals(50.0),
+            FixedPacketSize(100.0), stop_time=2000.0,
+        )
+        source.start()
+        sim.run()
+        assert policer.forwarded + policer.dropped == source.packets_emitted
+        assert policer.dropped > 0
+        # Long-run forwarded byte rate ~ the profile rate (1 byte/unit).
+        forwarded_bytes = policer.forwarded * 100.0
+        assert forwarded_bytes <= 1.0 * 2000.0 + 100.0  # rate + one burst
+
+    def test_premium_delay_bounded_under_cross_load(self):
+        """The §1 claim: policed EF traffic behind strict priority sees
+        leased-line-like (tiny, load-independent) delays."""
+        sim = Simulator()
+        streams = RandomStreams(8)
+        link = Link(sim, StrictPriorityScheduler(2), capacity=1.0,
+                    target=PacketSink())
+        monitor = DelayMonitor(2, warmup=1e3)
+        link.add_monitor(monitor)
+        ids = PacketIdAllocator()
+        # Heavy best-effort class-1 load.
+        TrafficSource(
+            sim, link, 0, PoissonInterarrivals(1.15, streams.generator()),
+            FixedPacketSize(1.0), ids=ids,
+        ).start()
+        # Premium class-2 flow policed to 10% of the link.
+        policer = PremiumPolicer(sim, link, rate=0.1, burst=2.0)
+        TrafficSource(
+            sim, policer, 1, PoissonInterarrivals(10.0, streams.generator()),
+            FixedPacketSize(1.0), ids=ids,
+        ).start()
+        sim.run(until=5e4)
+        # EF waits at most ~ one best-effort packet + its own small burst.
+        assert monitor.mean_delay(1) < 3.0
+        assert monitor.mean_delay(0) > 3.0  # best effort pays for it
+
+    def test_relative_vs_absolute_tradeoff(self):
+        """The flip side: if the Premium user exceeds the profile, the
+        excess is *lost*; under WTP nothing is lost, delays adapt."""
+        def run_premium(rate_factor):
+            sim = Simulator()
+            sink = PacketSink()
+            policer = PremiumPolicer(sim, sink, rate=0.05, burst=2.0)
+            source = TrafficSource(
+                sim, policer, 1,
+                ConstantInterarrivals(1.0 / (0.05 * rate_factor)),
+                FixedPacketSize(1.0), stop_time=1e4,
+            )
+            source.start()
+            sim.run()
+            return policer.dropped / source.packets_emitted
+
+        assert run_premium(rate_factor=0.9) == 0.0      # within profile
+        assert run_premium(rate_factor=2.0) > 0.4        # half the excess lost
+
+
+class TestAssuredMarker:
+    def test_out_of_profile_demoted_not_dropped(self, sim):
+        sink = PacketSink(keep_packets=True)
+        marker = AssuredMarker(sim, sink, rate=1.0, burst=100.0, demote_to=0)
+        source = TrafficSource(
+            sim, marker, 3, ConstantInterarrivals(50.0),
+            FixedPacketSize(100.0), stop_time=2000.0,
+        )
+        source.start()
+        sim.run()
+        assert sink.received == source.packets_emitted  # nothing lost
+        assert marker.out_of_profile > 0
+        demoted = sum(1 for p in sink.packets if p.class_id == 0)
+        kept = sum(1 for p in sink.packets if p.class_id == 3)
+        assert demoted == marker.out_of_profile
+        assert kept == marker.in_profile
+
+    def test_demoted_packets_get_worse_service(self):
+        """End to end: an Assured flow's out-of-profile packets see the
+        low class's delays at a congested WTP link."""
+        sim = Simulator()
+        streams = RandomStreams(14)
+        link = Link(sim, WTPScheduler((1.0, 2.0, 4.0, 8.0)), capacity=1.0,
+                    target=PacketSink(keep_packets=True))
+        ids = PacketIdAllocator()
+        # Background load.
+        TrafficSource(
+            sim, link, 0, PoissonInterarrivals(1.25, streams.generator()),
+            FixedPacketSize(1.0), ids=ids,
+        ).start()
+        marker = AssuredMarker(sim, link, rate=0.05, burst=3.0, demote_to=0)
+        TrafficSource(
+            sim, marker, 3, PoissonInterarrivals(5.0, streams.generator()),
+            FixedPacketSize(1.0), ids=ids, flow_id=77,
+        ).start()
+        sim.run(until=5e4)
+        sink = link.target
+        in_profile = [p.queueing_delay for p in sink.packets
+                      if p.flow_id == 77 and p.class_id == 3]
+        demoted = [p.queueing_delay for p in sink.packets
+                   if p.flow_id == 77 and p.class_id == 0]
+        assert in_profile and demoted
+        assert (sum(demoted) / len(demoted)) > (
+            sum(in_profile) / len(in_profile)
+        )
+
+    def test_invalid_demote_class(self, sim):
+        with pytest.raises(ConfigurationError):
+            AssuredMarker(sim, PacketSink(), 1.0, 1.0, demote_to=-1)

@@ -1,0 +1,100 @@
+"""Tests for the active probing estimator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import ProbeInjector
+from repro.errors import ConfigurationError
+from repro.schedulers import WTPScheduler
+from repro.sim import DelayMonitor, Link, PacketSink, Simulator
+from repro.sim.rng import RandomStreams
+from repro.traffic import (
+    PacketIdAllocator,
+    ParetoInterarrivals,
+    TrafficSource,
+    paper_trimodal_sizes,
+)
+from repro.units import PAPER_LINK_CAPACITY
+
+
+def build_probed_link(utilization=0.95, horizon=1.5e5, probe_period=500.0,
+                      seed=31):
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    link = Link(
+        sim, WTPScheduler((1.0, 2.0, 4.0, 8.0)), PAPER_LINK_CAPACITY,
+        target=PacketSink(),
+    )
+    truth = DelayMonitor(4, warmup=horizon * 0.05)
+    link.add_monitor(truth)
+    probes = ProbeInjector(sim, link, num_classes=4, period=probe_period)
+    link.add_monitor(probes)
+    probes.start()
+    ids = PacketIdAllocator()
+    sizes_mean = paper_trimodal_sizes().mean
+    shares = (0.4, 0.3, 0.2, 0.1)
+    for cid, share in enumerate(shares):
+        rate = utilization * PAPER_LINK_CAPACITY / sizes_mean * share
+        TrafficSource(
+            sim, link, cid,
+            ParetoInterarrivals(1.0 / rate, rng=streams.generator()),
+            paper_trimodal_sizes(streams.generator()), ids=ids,
+        ).start()
+    sim.run(until=horizon)
+    return probes, truth, link
+
+
+class TestProbeInjector:
+    def test_validation(self, sim):
+        with pytest.raises(ConfigurationError):
+            ProbeInjector(sim, PacketSink(), 0, period=1.0)
+        with pytest.raises(ConfigurationError):
+            ProbeInjector(sim, PacketSink(), 2, period=0.0)
+
+    def test_probe_load_is_negligible(self, sim):
+        probes = ProbeInjector(sim, PacketSink(), 4, period=500.0)
+        assert probes.offered_probe_load() < 0.01 * PAPER_LINK_CAPACITY
+
+    def test_probes_emitted_periodically(self, sim):
+        sink = PacketSink(keep_packets=True)
+        probes = ProbeInjector(sim, sink, num_classes=2, period=10.0)
+        probes.start()
+        sim.run(until=100.0)
+        assert probes.probes_sent() == sink.received
+        assert probes.probes_sent() >= 18
+        classes = {p.class_id for p in sink.packets}
+        assert classes == {0, 1}
+
+    def test_start_idempotent(self, sim):
+        sink = PacketSink()
+        probes = ProbeInjector(sim, sink, 1, period=10.0)
+        probes.start()
+        probes.start()
+        sim.run(until=55.0)
+        assert sink.received == 5
+
+    def test_estimates_track_ground_truth(self):
+        probes, truth, _ = build_probed_link()
+        estimated = probes.estimated_delays()
+        actual = truth.mean_delays()
+        for cid in range(4):
+            assert not math.isnan(estimated[cid])
+            # Probes are sparse samples of a heavy-tailed process: accept
+            # a generous band, but they must be the right magnitude.
+            assert 0.3 * actual[cid] < estimated[cid] < 3.0 * actual[cid]
+
+    def test_estimated_ratios_show_differentiation(self):
+        probes, _, _ = build_probed_link()
+        ratios = probes.estimated_ratios()
+        assert all(r > 1.1 for r in ratios)  # ordering clearly visible
+
+    def test_ignores_non_probe_traffic(self):
+        probes, truth, link = build_probed_link(horizon=5e4)
+        total_probe_samples = sum(len(d) for d in probes.probe_delays)
+        assert total_probe_samples == probes.probes_sent() - link.backlog_packets \
+            or total_probe_samples <= probes.probes_sent()
+        # Ground-truth monitor saw vastly more packets than probes.
+        assert sum(truth.counts()) > 10 * total_probe_samples

@@ -1,0 +1,138 @@
+"""Property-based tests for the extension modules (PLR, DRR, trace IO)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dropping import PLRDropper
+from repro.schedulers import DRRScheduler
+from repro.sim import Link, PacketSink, Simulator
+from repro.traffic import load_trace_csv, save_trace, load_trace, save_trace_csv
+from repro.traffic.trace import ArrivalTrace
+
+from .conftest import make_packet
+
+
+class TestPLRWindowInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),  # class
+                st.booleans(),                          # drop after arrival?
+            ),
+            max_size=200,
+        ),
+        st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_windowed_counts_stay_consistent(self, events, window):
+        """Windowed drops never exceed windowed arrivals per class, and
+        window totals never exceed the window size."""
+        dropper = PLRDropper((4.0, 2.0, 1.0), window=window)
+        for cid, dropped in events:
+            dropper.on_arrival(cid, 0.0)
+            if dropped:
+                dropper.on_drop(cid, 0.0)
+            for c in range(3):
+                assert 0 <= dropper._win_drops[c] <= dropper._win_arrivals[c]
+            assert sum(dropper._win_arrivals) <= window
+            fraction = dropper.loss_fraction(cid)
+            assert 0.0 <= fraction <= 1.0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=2), st.booleans()),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_infinite_window_fractions_bounded(self, events):
+        dropper = PLRDropper((4.0, 2.0, 1.0))
+        for cid, dropped in events:
+            dropper.on_arrival(cid, 0.0)
+            if dropped:
+                dropper.on_drop(cid, 0.0)
+        for c in range(3):
+            assert 0.0 <= dropper.loss_fraction(c) <= 1.0
+            assert dropper.drops[c] <= dropper.arrivals[c]
+
+
+class TestDRRProperties:
+    @given(
+        st.lists(st.floats(min_value=0.5, max_value=4.0),
+                 min_size=2, max_size=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_persistent_backlog_shares_track_weights(self, raw_weights):
+        """For any weight vector, long-run byte shares of persistently
+        backlogged classes approximate the normalized weights."""
+        weights = tuple(raw_weights)
+        num_classes = len(weights)
+        sim = Simulator()
+        sink = PacketSink(keep_packets=True)
+        link = Link(sim, DRRScheduler(weights), capacity=100.0, target=sink)
+        per_class = 300
+        for cid in range(num_classes):
+            for k in range(per_class):
+                sim.schedule(
+                    0.0, link.receive,
+                    make_packet(cid * 10_000 + k, class_id=cid, size=100.0),
+                )
+        # Serve only a fraction of the total work so even the most
+        # favoured class keeps a backlog throughout (max weight share
+        # is < 1, so per_class served packets cannot exhaust a class).
+        sim.run(until=float(per_class) * 0.9)
+        served = [0.0] * num_classes
+        for packet in sink.packets:
+            served[packet.class_id] += packet.size
+        total_served = sum(served)
+        total_weight = sum(weights)
+        for cid in range(num_classes):
+            expected = weights[cid] / total_weight
+            assert abs(served[cid] / total_served - expected) < 0.08
+
+
+trace_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e4),
+        st.integers(min_value=0, max_value=3),
+        st.floats(min_value=1.0, max_value=1500.0),
+    ),
+    min_size=1,
+    max_size=100,
+)
+
+
+class TestTraceIOProperties:
+    @given(trace_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_npz_round_trip_exact(self, tmp_path_factory, rows):
+        rows.sort()
+        trace = ArrivalTrace(
+            np.array([t for t, _, _ in rows]),
+            np.array([c for _, c, _ in rows], dtype=np.int64),
+            np.array([s for _, _, s in rows]),
+        )
+        path = tmp_path_factory.mktemp("io") / "t.npz"
+        loaded = load_trace(save_trace(trace, path))
+        assert np.array_equal(loaded.times, trace.times)
+        assert np.array_equal(loaded.class_ids, trace.class_ids)
+        assert np.array_equal(loaded.sizes, trace.sizes)
+
+    @given(trace_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_csv_round_trip_exact(self, tmp_path_factory, rows):
+        rows.sort()
+        trace = ArrivalTrace(
+            np.array([t for t, _, _ in rows]),
+            np.array([c for _, c, _ in rows], dtype=np.int64),
+            np.array([s for _, _, s in rows]),
+        )
+        path = tmp_path_factory.mktemp("io") / "t.csv"
+        loaded = load_trace_csv(save_trace_csv(trace, path))
+        # repr() round-trips floats exactly through CSV.
+        assert np.array_equal(loaded.times, trace.times)
+        assert np.array_equal(loaded.class_ids, trace.class_ids)
+        assert np.array_equal(loaded.sizes, trace.sizes)

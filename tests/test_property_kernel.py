@@ -1,0 +1,103 @@
+"""Property-based tests for the simulation kernel and queues."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.sim.queues import ClassQueueSet
+
+from .conftest import make_packet
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_events_fire_in_nondecreasing_time_order(self, times):
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.schedule(t, fired.append, t)
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1, max_size=30),
+        st.sets(st.integers(min_value=0, max_value=29)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cancelled_events_never_fire(self, times, cancel_indices):
+        sim = Simulator()
+        fired = []
+        handles = [sim.schedule(t, fired.append, i) for i, t in enumerate(times)]
+        for index in cancel_indices:
+            if index < len(handles):
+                handles[index].cancel()
+        sim.run()
+        surviving = {
+            i for i in range(len(times))
+            if i not in cancel_indices or i >= len(handles)
+        }
+        assert set(fired) == {i for i in surviving if i < len(times)}
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=30),
+           st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_run_until_is_exhaustive_and_exact(self, times, until):
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.schedule(t, fired.append, t)
+        sim.run(until=until)
+        assert all(t <= until for t in fired)
+        assert sorted(fired) == sorted(t for t in times if t <= until)
+        assert sim.now == until
+
+
+class TestQueueProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),   # class
+                st.floats(min_value=1.0, max_value=1500.0),  # size
+            ),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_byte_and_packet_accounting_invariants(self, arrivals):
+        queues = ClassQueueSet(4)
+        pushed_bytes = [0.0] * 4
+        pushed_counts = [0] * 4
+        for i, (cid, size) in enumerate(arrivals):
+            queues.push(make_packet(i, class_id=cid, size=size))
+            pushed_bytes[cid] += size
+            pushed_counts[cid] += 1
+        for cid in range(4):
+            assert queues.backlog_packets(cid) == pushed_counts[cid]
+            assert queues.backlog_bytes(cid) == pushed_bytes[cid]
+        assert queues.total_packets == sum(pushed_counts)
+        # Drain everything; totals must return exactly to zero.
+        for cid in range(4):
+            while queues.backlog_packets(cid):
+                queues.pop(cid)
+        assert queues.total_packets == 0
+        assert queues.total_bytes == 0.0
+        assert queues.is_empty()
+
+    @given(st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_fifo_order_within_every_class(self, class_sequence):
+        queues = ClassQueueSet(3)
+        for i, cid in enumerate(class_sequence):
+            queues.push(make_packet(i, class_id=cid))
+        for cid in range(3):
+            popped = []
+            while queues.backlog_packets(cid):
+                popped.append(queues.pop(cid).packet_id)
+            expected = [
+                i for i, c in enumerate(class_sequence) if c == cid
+            ]
+            assert popped == expected

@@ -1,0 +1,165 @@
+"""Property-based tests on the model layer (Eq 5/6/7, FCFS, metrics)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DelayDifferentiationParameters,
+    ProportionalDelayModel,
+    check_feasibility,
+    interval_rd,
+)
+from repro.core.conservation import fcfs_waiting_times
+from repro.theory import ServiceDistribution, mg1_mean_wait, tdp_waits
+
+positive = st.floats(min_value=1e-3, max_value=1e3)
+
+
+def ddp_strategy(num_classes: int):
+    """Strictly decreasing positive delta vectors via ratio products."""
+    return st.lists(
+        st.floats(min_value=1.1, max_value=8.0),
+        min_size=num_classes - 1,
+        max_size=num_classes - 1,
+    ).map(
+        lambda ratios: DelayDifferentiationParameters(
+            tuple(
+                float(np.prod(ratios[i:])) for i in range(len(ratios))
+            )
+            + (1.0,)
+        )
+    )
+
+
+class TestEq6Properties:
+    @given(
+        ddp_strategy(4),
+        st.lists(positive, min_size=4, max_size=4),
+        positive,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_eq6_always_satisfies_both_constraint_sets(self, ddps, rates, d_agg):
+        """Eq 6 delays always honour the DDP ratios AND Eq 5."""
+        model = ProportionalDelayModel(ddps)
+        delays = model.class_delays(rates, d_agg)
+        for i in range(4):
+            for j in range(4):
+                assert math.isclose(
+                    delays[i] / delays[j], ddps.ratio(i, j), rel_tol=1e-9
+                )
+        lhs = sum(r * d for r, d in zip(rates, delays))
+        rhs = sum(rates) * d_agg
+        assert math.isclose(lhs, rhs, rel_tol=1e-9)
+
+    @given(ddp_strategy(4), st.lists(positive, min_size=4, max_size=4), positive)
+    @settings(max_examples=200, deadline=None)
+    def test_delays_ordered_like_ddps(self, ddps, rates, d_agg):
+        delays = ProportionalDelayModel(ddps).class_delays(rates, d_agg)
+        assert all(a > b for a, b in zip(delays, delays[1:]))
+
+
+class TestLindleyProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=10.0),  # gap to next
+                st.floats(min_value=0.1, max_value=20.0),  # size
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_waits_nonnegative_and_bounded_by_backlog(self, gaps_sizes):
+        times = np.cumsum([g for g, _ in gaps_sizes])
+        sizes = np.array([s for _, s in gaps_sizes])
+        waits = fcfs_waiting_times(times, sizes, capacity=1.0)
+        assert np.all(waits >= 0)
+        # A packet can never wait longer than all prior service combined.
+        for k in range(len(waits)):
+            assert waits[k] <= sizes[:k].sum() + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=5.0),
+                 min_size=2, max_size=100)
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_scaling_invariance(self, gaps):
+        """Scaling times AND sizes by c scales waits by c."""
+        times = np.cumsum(gaps)
+        sizes = np.ones(len(gaps))
+        base = fcfs_waiting_times(times, sizes, 1.0)
+        scaled = fcfs_waiting_times(times * 3.0, sizes * 3.0, 1.0)
+        assert np.allclose(scaled, base * 3.0)
+
+
+class TestFeasibilityProperties:
+    service = ServiceDistribution.exponential(1.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=0.2),
+                 min_size=3, max_size=3),
+        st.lists(st.floats(min_value=1.1, max_value=4.0),
+                 min_size=2, max_size=2),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_tdp_outcomes_always_feasible(self, rates, ratios):
+        """Whatever waits Kleinrock's TDP discipline produces must
+        satisfy Eq 7 -- it is a realizable work-conserving scheduler."""
+        assume(sum(rates) * self.service.mean < 0.95)
+        sdps = [1.0, ratios[0], ratios[0] * ratios[1]]
+        delays = tdp_waits(rates, sdps, self.service)
+
+        def subset_delay(subset):
+            return mg1_mean_wait(
+                sum(rates[i] for i in subset), self.service
+            )
+
+        report = check_feasibility(
+            rates, delays, subset_delay, relative_tolerance=1e-7
+        )
+        assert report.feasible
+        assert abs(report.conservation_residual) < 1e-7
+
+
+class TestMetricProperties:
+    @given(
+        st.lists(
+            st.one_of(
+                st.floats(min_value=0.1, max_value=1e4), st.just(math.nan)
+            ),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_interval_rd_defined_iff_two_active(self, means):
+        active = [m for m in means if not math.isnan(m)]
+        value = interval_rd(means)
+        if len(active) < 2:
+            assert value is None
+        else:
+            assert value is not None and value > 0
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=100.0),
+                 min_size=2, max_size=6),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_interval_rd_scale_invariant(self, means, scale):
+        base = interval_rd(means)
+        scaled = interval_rd([m * scale for m in means])
+        assert math.isclose(base, scaled, rel_tol=1e-9)
+
+    @given(st.floats(min_value=1.01, max_value=8.0),
+           st.integers(min_value=2, max_value=6))
+    @settings(max_examples=100, deadline=None)
+    def test_interval_rd_exact_on_geometric_profiles(self, ratio, n):
+        means = [ratio ** (n - 1 - i) for i in range(n)]
+        assert math.isclose(interval_rd(means), ratio, rel_tol=1e-9)

@@ -1,0 +1,117 @@
+"""Property-based tests on scheduler invariants.
+
+Random arrival patterns are pushed through every scheduler; the
+invariants checked are the ones the paper's theory rests on:
+
+* losslessness: every arrival eventually departs (unbounded buffers);
+* work conservation: the server is never idle while packets wait, so
+  the makespan of a single 0-started busy period equals total service;
+* FIFO within a class;
+* the conservation law: class-weighted mean delays are
+  scheduler-independent (equal to the FCFS aggregate).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers import available_schedulers, make_scheduler
+from repro.sim import Link, PacketSink, Simulator
+
+from .conftest import make_packet
+
+SDPS = (1.0, 2.0, 4.0)
+
+arrival_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=200.0),   # arrival time
+        st.integers(min_value=0, max_value=2),       # class
+        st.floats(min_value=1.0, max_value=50.0),    # size
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def drive(scheduler_name, arrivals):
+    """Run a scheduler over the given arrivals; return (sink, link, sim)."""
+    sim = Simulator()
+    scheduler = make_scheduler(scheduler_name, SDPS)
+    sink = PacketSink(keep_packets=True)
+    link = Link(sim, scheduler, capacity=1.0, target=sink)
+    for i, (t, cid, size) in enumerate(sorted(arrivals)):
+        packet = make_packet(i, class_id=cid, size=size, created_at=t)
+        sim.schedule(t, link.receive, packet)
+    sim.run()
+    return sink, link, sim
+
+
+class TestUniversalSchedulerInvariants:
+    @given(arrival_strategy, st.sampled_from(sorted(available_schedulers())))
+    @settings(max_examples=120, deadline=None)
+    def test_lossless_every_arrival_departs(self, arrivals, name):
+        sink, link, _ = drive(name, arrivals)
+        assert sink.received == len(arrivals)
+        assert link.drops == 0
+
+    @given(arrival_strategy, st.sampled_from(sorted(available_schedulers())))
+    @settings(max_examples=120, deadline=None)
+    def test_work_conservation_busy_time(self, arrivals, name):
+        sink, link, sim = drive(name, arrivals)
+        total_service = sum(size for _, _, size in arrivals)
+        # Every byte is transmitted exactly once at capacity 1, so the
+        # accumulated busy time equals the total service demand.
+        assert math.isclose(link.busy_time, total_service, rel_tol=1e-9)
+        # The final departure can never precede the earliest possible
+        # completion (work conservation lower bound).
+        last_departure = max(p.departed_at for p in sink.packets)
+        first_arrival = min(t for t, _, _ in arrivals)
+        assert last_departure >= first_arrival + max(
+            size for _, _, size in arrivals
+        ) - 1e-9
+        assert last_departure == sim.now
+
+    @given(arrival_strategy, st.sampled_from(sorted(available_schedulers())))
+    @settings(max_examples=120, deadline=None)
+    def test_fifo_within_class(self, arrivals, name):
+        sink, _, _ = drive(name, arrivals)
+        per_class_service: dict[int, list[float]] = {}
+        ordered = sorted(arrivals)
+        for packet in sink.packets:
+            per_class_service.setdefault(packet.class_id, []).append(
+                packet.packet_id
+            )
+        for cid, served_ids in per_class_service.items():
+            arrival_order = [
+                i for i, (_, c, _) in enumerate(ordered) if c == cid
+            ]
+            assert served_ids == arrival_order
+
+    @given(arrival_strategy, st.sampled_from(sorted(available_schedulers())))
+    @settings(max_examples=120, deadline=None)
+    def test_nonnegative_delays_and_causality(self, arrivals, name):
+        sink, _, _ = drive(name, arrivals)
+        for packet in sink.packets:
+            assert packet.service_start >= packet.arrived_at - 1e-12
+            assert packet.departed_at >= packet.service_start
+
+    @given(arrival_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_law_across_schedulers(self, arrivals):
+        """Sample-path conservation law (the basis of Eq 5): the
+        *byte-weighted* total waiting time sum_p(size_p * wait_p) equals
+        the time integral of unfinished work minus the fixed service
+        term, so it is identical for every work-conserving,
+        non-preemptive scheduler on the same arrivals."""
+        totals = {}
+        for name in ("fcfs", "wtp", "bpr", "strict", "pad", "scfq"):
+            sink, _, _ = drive(name, arrivals)
+            totals[name] = sum(p.size * p.queueing_delay for p in sink.packets)
+        reference = totals["fcfs"]
+        for name, value in totals.items():
+            assert math.isclose(value, reference, rel_tol=1e-9, abs_tol=1e-6), (
+                name, value, reference,
+            )

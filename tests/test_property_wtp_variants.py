@@ -1,0 +1,73 @@
+"""Property tests tying the WTP variants back to exact WTP."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers import (
+    AdaptiveWTPScheduler,
+    QuantizedWTPScheduler,
+    WTPScheduler,
+)
+from repro.sim import Link, PacketSink, Simulator
+
+from .conftest import make_packet
+
+SDPS = (1.0, 2.0, 4.0)
+
+arrival_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0),
+        st.integers(min_value=0, max_value=2),
+        st.floats(min_value=1.0, max_value=20.0),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+def departure_order(scheduler, arrivals):
+    sim = Simulator()
+    sink = PacketSink(keep_packets=True)
+    link = Link(sim, scheduler, capacity=1.0, target=sink)
+    for i, (t, cid, size) in enumerate(sorted(arrivals)):
+        sim.schedule(t, link.receive, make_packet(i, class_id=cid, size=size))
+    sim.run()
+    return [p.packet_id for p in sink.packets]
+
+
+class TestVariantEquivalences:
+    @given(arrival_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_tiny_epoch_quantized_wtp_equals_wtp(self, arrivals):
+        """As epoch -> 0 the quantized scheduler's service order
+        converges to exact WTP's on any arrival pattern."""
+        exact = departure_order(WTPScheduler(SDPS), arrivals)
+        quantized = departure_order(
+            QuantizedWTPScheduler(SDPS, epoch=1e-9), arrivals
+        )
+        assert quantized == exact
+
+    @given(arrival_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_zero_gain_adaptive_wtp_equals_wtp(self, arrivals):
+        """gain = 0 freezes the effective SDPs at nominal: identical
+        service order to exact WTP."""
+        exact = departure_order(WTPScheduler(SDPS), arrivals)
+        adaptive = departure_order(
+            AdaptiveWTPScheduler(SDPS, gain=0.0), arrivals
+        )
+        assert adaptive == exact
+
+    @given(arrival_strategy, st.floats(min_value=0.1, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_adaptive_wtp_effective_sdps_stay_ordered(self, arrivals, gain):
+        """Whatever the controller does, the effective SDPs must keep
+        the class ordering (higher class ages faster)."""
+        scheduler = AdaptiveWTPScheduler(SDPS, gain=gain, max_drift=1.3)
+        departure_order(scheduler, arrivals)
+        effective = scheduler.effective_sdps
+        # Nominal ratios are 2x; drift is capped at 1.3x either way, so
+        # adjacent effective SDPs can never cross.
+        assert effective[0] < effective[1] < effective[2]

@@ -1,0 +1,159 @@
+"""Tests for the RED/RIO queue management (Assured Service substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dropping import REDDropper, REDGate, RIODropper
+from repro.dropping.red import _RedCurve
+from repro.errors import ConfigurationError
+from repro.policing import AssuredMarker
+from repro.schedulers import FCFSScheduler, WTPScheduler
+from repro.sim import Link, PacketSink, Simulator
+from repro.sim.rng import RandomStreams
+from repro.traffic import (
+    FixedPacketSize,
+    PacketIdAllocator,
+    PoissonInterarrivals,
+    TrafficSource,
+)
+
+
+class TestRedCurve:
+    def test_zero_below_min(self):
+        curve = _RedCurve(5.0, 15.0, 0.1, weight=1.0)
+        curve.update(3.0)
+        assert curve.drop_probability() == 0.0
+
+    def test_one_above_max(self):
+        curve = _RedCurve(5.0, 15.0, 0.1, weight=1.0)
+        curve.update(20.0)
+        assert curve.drop_probability() == 1.0
+
+    def test_linear_ramp(self):
+        curve = _RedCurve(5.0, 15.0, 0.1, weight=1.0)
+        curve.update(10.0)
+        assert curve.drop_probability() == pytest.approx(0.05)
+
+    def test_ewma_smooths(self):
+        curve = _RedCurve(5.0, 15.0, 0.1, weight=0.1)
+        curve.update(100.0)
+        assert curve.average == pytest.approx(10.0)
+        curve.update(100.0)
+        assert curve.average == pytest.approx(19.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _RedCurve(15.0, 5.0, 0.1, 0.1)
+        with pytest.raises(ConfigurationError):
+            _RedCurve(5.0, 15.0, 0.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            _RedCurve(5.0, 15.0, 0.1, 0.0)
+
+
+def overloaded_gate(dropper, utilization=1.2, horizon=3e4, seed=5,
+                    scheduler=None, class_rates=None):
+    """Run sources through a REDGate into a link; return (gate, link)."""
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    scheduler = scheduler or FCFSScheduler(2)
+    link = Link(sim, scheduler, capacity=1.0, target=PacketSink())
+    gate = REDGate(dropper, link)
+    ids = PacketIdAllocator()
+    rates = class_rates or [utilization / 2, utilization / 2]
+    for cid, rate in enumerate(rates):
+        TrafficSource(
+            sim, gate, cid, PoissonInterarrivals(1.0 / rate, streams.generator()),
+            FixedPacketSize(1.0), ids=ids,
+        ).start()
+    sim.run(until=horizon)
+    return gate, link, sim
+
+
+class TestREDGate:
+    def test_early_drops_keep_queue_near_thresholds(self):
+        dropper = REDDropper(
+            min_threshold=5.0, max_threshold=15.0, max_probability=0.5,
+            weight=0.05, rng=np.random.default_rng(1),
+        )
+        gate, link, _ = overloaded_gate(dropper)
+        assert gate.dropped > 0
+        assert gate.admitted + gate.dropped > 0
+        # The EWMA hovers around the control band, far below what an
+        # unmanaged queue would reach at 120% load.
+        assert dropper.curve.average < 30.0
+
+    def test_no_drops_below_min_threshold(self):
+        dropper = REDDropper(
+            min_threshold=1e5, max_threshold=2e5, rng=np.random.default_rng(2)
+        )
+        gate, _, _ = overloaded_gate(dropper, utilization=0.5)
+        assert gate.dropped == 0
+
+    def test_forced_overflow_falls_back_to_tail_drop(self):
+        sim = Simulator()
+        dropper = REDDropper(rng=np.random.default_rng(3))
+        link = Link(sim, FCFSScheduler(1), capacity=0.001, buffer_packets=2,
+                    drop_policy=dropper)
+        from .conftest import make_packet
+
+        for i in range(6):
+            sim.schedule(0.0, link.receive, make_packet(i, size=1.0))
+        sim.run(until=1.0)
+        assert dropper.forced_drops == 3
+        assert link.drops == 3
+
+
+class TestRIO:
+    def test_out_classes_required(self):
+        with pytest.raises(ConfigurationError):
+            RIODropper(out_classes=())
+
+    def test_out_packets_dropped_preferentially(self):
+        """At an overloaded link, Out traffic (class 0) loses far more
+        than In traffic (class 1) -- the Assured Service promise."""
+        dropper = RIODropper(
+            out_classes=(0,),
+            in_curve=(20.0, 60.0, 0.02),
+            out_curve=(2.0, 10.0, 0.5),
+            weight=0.05,
+            rng=np.random.default_rng(7),
+        )
+        gate, _, _ = overloaded_gate(dropper, utilization=1.3, horizon=5e4)
+        assert dropper.out_drops > 0
+        # Per-arrival drop rate comparison (arrivals are symmetric).
+        assert dropper.out_drops > 5 * max(dropper.in_drops, 1)
+
+    def test_composes_with_assured_marker(self):
+        """Edge-to-queue Assured Service: AssuredMarker demotes
+        out-of-profile packets into the Out class; RIO then drops them
+        preferentially under congestion.  In-profile traffic survives
+        almost untouched."""
+        sim = Simulator()
+        streams = RandomStreams(11)
+        dropper = RIODropper(
+            out_classes=(0,),
+            in_curve=(30.0, 90.0, 0.02),
+            out_curve=(2.0, 8.0, 0.6),
+            weight=0.05,
+            rng=streams.generator(),
+        )
+        link = Link(sim, WTPScheduler((1.0, 4.0)), capacity=1.0,
+                    target=PacketSink(keep_packets=True))
+        gate = REDGate(dropper, link)
+        # Assured flow: profile 0.4; offered 1.1 -> ~64% is out-of-profile.
+        marker = AssuredMarker(sim, gate, rate=0.4, burst=5.0, demote_to=0)
+        TrafficSource(
+            sim, marker, 1, PoissonInterarrivals(1.0 / 1.1, streams.generator()),
+            FixedPacketSize(1.0), ids=PacketIdAllocator(),
+        ).start()
+        sim.run(until=5e4)
+        assert marker.out_of_profile > 0
+        sink = link.target
+        delivered_in = sum(1 for p in sink.packets if p.class_id == 1)
+        delivered_out = sum(1 for p in sink.packets if p.class_id == 0)
+        in_loss = 1.0 - delivered_in / marker.in_profile
+        out_loss = 1.0 - delivered_out / marker.out_of_profile
+        assert out_loss > 0.1
+        assert in_loss < out_loss / 3

@@ -1,0 +1,170 @@
+"""Tests for the general routed-topology substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network import FlowRecorder, RoutedNetwork, UserFlow
+from repro.schedulers import WTPScheduler
+from repro.sim import PacketSink, Simulator
+
+from .conftest import make_packet
+
+
+def build_y_network(sim):
+    """Two ingress branches merging into one trunk: a -> c -> d and
+    b -> c -> d."""
+    net = RoutedNetwork(sim)
+    for node in ("a", "b", "c", "d"):
+        net.add_node(node)
+    net.add_link("a", "c", WTPScheduler((1.0, 2.0)), capacity=1.0)
+    net.add_link("b", "c", WTPScheduler((1.0, 2.0)), capacity=1.0)
+    net.add_link("c", "d", WTPScheduler((1.0, 2.0)), capacity=1.0)
+    return net
+
+
+class TestConstruction:
+    def test_unknown_node_rejected(self, sim):
+        net = RoutedNetwork(sim)
+        net.add_node("a")
+        with pytest.raises(TopologyError):
+            net.add_link("a", "zz", WTPScheduler((1.0, 2.0)), 1.0)
+
+    def test_duplicate_edge_rejected(self, sim):
+        net = RoutedNetwork(sim)
+        net.add_node("a")
+        net.add_node("b")
+        net.add_link("a", "b", WTPScheduler((1.0, 2.0)), 1.0)
+        with pytest.raises(TopologyError):
+            net.add_link("a", "b", WTPScheduler((1.0, 2.0)), 1.0)
+
+    def test_route_must_use_existing_edges(self, sim):
+        net = build_y_network(sim)
+        with pytest.raises(TopologyError):
+            net.add_route(1, ("a", "d"))
+
+    def test_route_needs_two_nodes(self, sim):
+        net = build_y_network(sim)
+        with pytest.raises(TopologyError):
+            net.add_route(1, ("a",))
+
+    def test_duplicate_flow_rejected(self, sim):
+        net = build_y_network(sim)
+        net.add_route(1, ("a", "c", "d"))
+        with pytest.raises(TopologyError):
+            net.add_route(1, ("b", "c", "d"))
+
+    def test_missing_edge_lookup(self, sim):
+        net = build_y_network(sim)
+        with pytest.raises(TopologyError):
+            net.edge_link("d", "a")
+
+    def test_unrouted_flow_ingress_rejected(self, sim):
+        net = build_y_network(sim)
+        with pytest.raises(TopologyError):
+            net.ingress(99)
+
+
+class TestShortestPathRouting:
+    def build_diamond(self, sim):
+        """a -> b -> d (2 hops) and a -> c1 -> c2 -> d (3 hops)."""
+        net = RoutedNetwork(sim)
+        for node in ("a", "b", "c1", "c2", "d"):
+            net.add_node(node)
+        for edge in (("a", "b"), ("b", "d"), ("a", "c1"),
+                     ("c1", "c2"), ("c2", "d")):
+            net.add_link(*edge, WTPScheduler((1.0, 2.0)), capacity=1.0)
+        return net
+
+    def test_hop_count_shortest_path(self, sim):
+        net = self.build_diamond(sim)
+        assert net.shortest_path("a", "d") == ["a", "b", "d"]
+
+    def test_weighted_path_avoids_expensive_edge(self, sim):
+        net = self.build_diamond(sim)
+
+        def weight(src, dst, link):
+            return 100.0 if (src, dst) == ("a", "b") else 1.0
+
+        assert net.shortest_path("a", "d", weight) == ["a", "c1", "c2", "d"]
+
+    def test_no_path_raises(self, sim):
+        net = self.build_diamond(sim)
+        net.add_node("island")
+        with pytest.raises(TopologyError):
+            net.shortest_path("a", "island")
+
+    def test_auto_route_delivers_traffic(self, sim):
+        net = self.build_diamond(sim)
+        recorder = FlowRecorder()
+        path = net.add_auto_route(9, "a", "d", terminal=recorder)
+        assert path == ["a", "b", "d"]
+        UserFlow(sim, net.ingress(9), flow_id=9, class_id=1,
+                 num_packets=3, packet_size=1.0, period=2.0).launch(0.0)
+        sim.run()
+        assert recorder.packet_count(9) == 3
+        assert recorder.hops_seen[9] == 2
+
+
+class TestForwarding:
+    def test_flow_follows_its_route(self, sim):
+        net = build_y_network(sim)
+        recorder = FlowRecorder()
+        net.add_route(7, ("a", "c", "d"), terminal=recorder)
+        flow = UserFlow(sim, net.ingress(7), flow_id=7, class_id=1,
+                        num_packets=3, packet_size=1.0, period=5.0)
+        flow.launch(0.0)
+        sim.run()
+        assert recorder.packet_count(7) == 3
+        assert recorder.hops_seen[7] == 2  # a->c and c->d
+
+    def test_merging_flows_share_the_trunk(self, sim):
+        net = build_y_network(sim)
+        rec_a, rec_b = FlowRecorder(), FlowRecorder()
+        net.add_route(1, ("a", "c", "d"), terminal=rec_a)
+        net.add_route(2, ("b", "c", "d"), terminal=rec_b)
+        for fid, cls in ((1, 0), (2, 1)):
+            UserFlow(sim, net.ingress(fid), flow_id=fid, class_id=cls,
+                     num_packets=5, packet_size=1.0, period=1.0).launch(0.0)
+        sim.run()
+        assert rec_a.packet_count(1) == 5
+        assert rec_b.packet_count(2) == 5
+        trunk = net.edge_link("c", "d")
+        assert trunk.departures == 10
+
+    def test_cross_traffic_exits_at_local_sink(self, sim):
+        net = build_y_network(sim)
+        net.add_route(1, ("a", "c", "d"))
+        link = net.edge_link("a", "c")
+        sim.schedule(0.0, link.receive, make_packet(0, flow_id=None))
+        sim.run()
+        demux = link.target
+        assert demux.local_sink.received == 1
+        assert net.edge_link("c", "d").departures == 0
+
+    def test_stray_flow_on_foreign_edge_is_swallowed(self, sim):
+        """A packet whose flow is routed elsewhere never loops."""
+        net = build_y_network(sim)
+        net.add_route(1, ("a", "c", "d"))
+        foreign = net.edge_link("b", "c")
+        sim.schedule(0.0, foreign.receive, make_packet(0, flow_id=1))
+        sim.run()
+        # Not forwarded to c->d: the (b, c) edge is not on flow 1's route.
+        assert net.edge_link("c", "d").departures == 0
+
+    def test_trunk_differentiates_between_branch_flows(self, sim):
+        """Class differentiation happens wherever flows share a link,
+        even when they arrive from different branches."""
+        net = build_y_network(sim)
+        rec = {1: FlowRecorder(), 2: FlowRecorder()}
+        net.add_route(1, ("a", "c", "d"), terminal=rec[1])
+        net.add_route(2, ("b", "c", "d"), terminal=rec[2])
+        # Saturate the trunk: both branches deliver back-to-back.
+        for fid, cls in ((1, 0), (2, 1)):
+            UserFlow(sim, net.ingress(fid), flow_id=fid, class_id=cls,
+                     num_packets=40, packet_size=1.0, period=1.0).launch(0.0)
+        sim.run()
+        low = sum(rec[1].flow_delays(1)) / 40
+        high = sum(rec[2].flow_delays(2)) / 40
+        assert high <= low

@@ -1,0 +1,223 @@
+"""Behavioural tests for WTP, FCFS and strict priority schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conservation import fcfs_waiting_times
+from repro.errors import ConfigurationError, SchedulingError
+from repro.schedulers import (
+    FCFSScheduler,
+    StrictPriorityScheduler,
+    WTPScheduler,
+    validate_sdps,
+)
+from repro.sim import Link, PacketSink, Simulator
+from repro.traffic import FixedPacketSize, PoissonInterarrivals
+from repro.traffic.trace import build_class_trace, merge_traces, TraceSource
+
+from .conftest import make_packet, run_poisson_link
+
+
+class TestValidateSdps:
+    def test_valid(self):
+        assert validate_sdps([1, 2, 4]) == (1.0, 2.0, 4.0)
+
+    def test_not_increasing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_sdps([1.0, 1.0])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_sdps([0.0, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_sdps([])
+
+
+class TestWTPSelection:
+    def test_highest_waiting_time_priority_wins(self):
+        scheduler = WTPScheduler((1.0, 2.0))
+        old_low = make_packet(0, class_id=0, created_at=0.0)
+        young_high = make_packet(1, class_id=1, created_at=8.0)
+        scheduler.enqueue(old_low, 0.0)
+        scheduler.enqueue(young_high, 8.0)
+        # At t=10: low priority = 10*1 = 10, high = 2*2 = 4.
+        assert scheduler.select(10.0) is old_low
+
+    def test_sdp_scales_priority(self):
+        scheduler = WTPScheduler((1.0, 8.0))
+        low = make_packet(0, class_id=0, created_at=0.0)
+        high = make_packet(1, class_id=1, created_at=8.0)
+        scheduler.enqueue(low, 0.0)
+        scheduler.enqueue(high, 8.0)
+        # At t=10: low = 10, high = 2*8 = 16.
+        assert scheduler.select(10.0) is high
+
+    def test_tie_goes_to_higher_class(self):
+        scheduler = WTPScheduler((1.0, 2.0))
+        low = make_packet(0, class_id=0, created_at=0.0)
+        high = make_packet(1, class_id=1, created_at=5.0)
+        scheduler.enqueue(low, 0.0)
+        scheduler.enqueue(high, 5.0)
+        # At t=10: low = 10*1, high = 5*2 -> tie.
+        assert scheduler.select(10.0) is high
+
+    def test_fifo_within_class(self):
+        scheduler = WTPScheduler((1.0, 2.0))
+        first = make_packet(0, class_id=0, created_at=0.0)
+        second = make_packet(1, class_id=0, created_at=1.0)
+        scheduler.enqueue(first, 0.0)
+        scheduler.enqueue(second, 1.0)
+        assert scheduler.select(5.0) is first
+        assert scheduler.select(5.0) is second
+
+    def test_select_empty_raises(self):
+        with pytest.raises(SchedulingError):
+            WTPScheduler((1.0, 2.0)).select(0.0)
+
+    def test_single_backlogged_class_always_chosen(self):
+        scheduler = WTPScheduler((1.0, 2.0, 4.0))
+        packet = make_packet(0, class_id=1, created_at=0.0)
+        scheduler.enqueue(packet, 0.0)
+        assert scheduler.select(0.5) is packet
+
+
+class TestWTPHeavyLoad:
+    def test_ratios_approach_inverse_sdp_ratios(self):
+        """Paper Eq 13 with Poisson traffic at rho = 0.95."""
+        rho = 0.95
+        rates = [rho * share for share in (0.4, 0.3, 0.2, 0.1)]
+        delays, _ = run_poisson_link(
+            WTPScheduler((1.0, 2.0, 4.0, 8.0)), rates, horizon=2e5
+        )
+        for i in range(3):
+            assert delays[i] / delays[i + 1] == pytest.approx(2.0, rel=0.15)
+
+    def test_classes_ordered_even_in_moderate_load(self):
+        rates = [0.75 * s for s in (0.4, 0.3, 0.2, 0.1)]
+        delays, _ = run_poisson_link(
+            WTPScheduler((1.0, 2.0, 4.0, 8.0)), rates, horizon=1e5
+        )
+        assert delays[0] > delays[1] > delays[2] > delays[3]
+
+
+class TestWTPStarvation:
+    def test_proposition_2_burst_overtakes(self):
+        """s1/s2 < 1 - R/R1 => the whole burst precedes a waiting class-1
+        packet, for an arbitrarily long burst."""
+        sim = Simulator()
+        sink = PacketSink(keep_packets=True)
+        link = Link(sim, WTPScheduler((1.0, 16.0)), capacity=1.0, target=sink)
+        peak_gap = 0.5  # R1 = 2 R; condition: 1/16 < 1 - 1/2 holds
+        sim.schedule(0.0, link.receive, make_packet(-1, class_id=0, size=1.0))
+        sim.schedule(0.0, link.receive, make_packet(0, class_id=0, size=1.0))
+        burst = 64
+        for k in range(burst):
+            sim.schedule(
+                k * peak_gap,
+                link.receive,
+                make_packet(1 + k, class_id=1, size=1.0, created_at=k * peak_gap),
+            )
+        sim.run()
+        order = [p.packet_id for p in sink.packets]
+        served_before_low = order[: order.index(0)]
+        assert sum(1 for pid in served_before_low if pid >= 1) == burst
+
+    def test_no_starvation_when_condition_fails(self):
+        """s1/s2 > 1 - R/R1 => the low packet is served mid-burst."""
+        sim = Simulator()
+        sink = PacketSink(keep_packets=True)
+        link = Link(sim, WTPScheduler((1.0, 1.5)), capacity=1.0, target=sink)
+        peak_gap = 0.5  # 1/1.5 = 0.67 > 0.5: condition (12) fails
+        sim.schedule(0.0, link.receive, make_packet(-1, class_id=0, size=1.0))
+        sim.schedule(0.0, link.receive, make_packet(0, class_id=0, size=1.0))
+        burst = 64
+        for k in range(burst):
+            sim.schedule(
+                k * peak_gap,
+                link.receive,
+                make_packet(1 + k, class_id=1, size=1.0, created_at=k * peak_gap),
+            )
+        sim.run()
+        order = [p.packet_id for p in sink.packets]
+        overtakers = sum(1 for pid in order[: order.index(0)] if pid >= 1)
+        assert overtakers < burst
+
+
+class TestFCFS:
+    def test_serves_globally_oldest(self):
+        scheduler = FCFSScheduler(2)
+        late_high = make_packet(0, class_id=1, created_at=5.0)
+        early_low = make_packet(1, class_id=0, created_at=1.0)
+        scheduler.enqueue(early_low, 1.0)
+        scheduler.enqueue(late_high, 5.0)
+        assert scheduler.select(10.0) is early_low
+
+    def test_no_differentiation_between_classes(self):
+        rates = [0.85 * s for s in (0.5, 0.5)]
+        delays, _ = run_poisson_link(FCFSScheduler(2), rates, horizon=2e5)
+        assert delays[0] == pytest.approx(delays[1], rel=0.1)
+
+    def test_event_sim_matches_lindley_recursion(self, rng):
+        """The event-driven FCFS link reproduces the analytic recursion
+        used for conservation/feasibility checks, packet by packet."""
+        traces = [
+            build_class_trace(
+                cid, PoissonInterarrivals(2.5, rng), FixedPacketSize(1.0), 500.0
+            )
+            for cid in range(2)
+        ]
+        trace = merge_traces(traces)
+        sim = Simulator()
+        sink = PacketSink(keep_packets=True)
+        link = Link(sim, FCFSScheduler(2), capacity=1.0, target=sink)
+        TraceSource(sim, link, trace).start()
+        sim.run()
+        expected = fcfs_waiting_times(trace.times, trace.sizes, 1.0)
+        measured = [p.queueing_delay for p in sink.packets]
+        assert measured == pytest.approx(expected.tolist())
+
+
+class TestStrictPriority:
+    def test_highest_class_always_first(self):
+        scheduler = StrictPriorityScheduler(3)
+        low = make_packet(0, class_id=0, created_at=0.0)
+        high = make_packet(1, class_id=2, created_at=9.0)
+        scheduler.enqueue(low, 0.0)
+        scheduler.enqueue(high, 9.0)
+        assert scheduler.select(10.0) is high
+
+    def test_low_class_starves_under_high_load(self):
+        """Sustained high-class overload starves class 1 (Section 2.1)."""
+        sim = Simulator()
+        sink = PacketSink(keep_packets=True)
+        link = Link(sim, StrictPriorityScheduler(2), capacity=1.0, target=sink)
+        # Class 2 saturates the link; one class-1 packet waits throughout.
+        # The first high-class packet arrives just ahead of the low one
+        # so the low packet queues instead of grabbing the idle server.
+        low = make_packet(0, class_id=0, size=1.0)
+        sim.schedule(0.0, link.receive, make_packet(999, class_id=1, size=1.0))
+        sim.schedule(0.0, link.receive, low)
+        for k in range(50):
+            sim.schedule(
+                k * 1.0,
+                link.receive,
+                make_packet(1 + k, class_id=1, size=1.0, created_at=k * 1.0),
+            )
+        sim.run()
+        order = [p.packet_id for p in sink.packets]
+        assert order.index(0) >= 50  # low-class packet served dead last
+
+    def test_no_quality_spacing_knob(self):
+        """Strict priority ratios drift with load (not controllable):
+        the class-delay ratio differs wildly between two load points."""
+        ratios = []
+        for rho in (0.6, 0.95):
+            rates = [rho * 0.5, rho * 0.5]
+            delays, _ = run_poisson_link(
+                StrictPriorityScheduler(2), rates, horizon=2e5
+            )
+            ratios.append(delays[0] / delays[1])
+        assert ratios[1] / ratios[0] > 2.0

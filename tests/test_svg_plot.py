@@ -1,0 +1,178 @@
+"""Tests for the SVG chart renderer and figure builders."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.analysis.svg_plot import (
+    LineSeries,
+    SvgCanvas,
+    box_chart,
+    grouped_bar_chart,
+    line_chart,
+    scatter_chart,
+)
+from repro.core.metrics import PercentileSummary
+from repro.errors import ConfigurationError
+from repro.experiments.figure1 import FigureOnePoint
+from repro.experiments.figure2 import FigureTwoPoint
+from repro.experiments.figure3 import FigureThreeBox
+from repro.experiments.figure45 import MicroscopicViews
+from repro.experiments.figures_svg import (
+    figure1_svg,
+    figure2_svg,
+    figure3_svg,
+    figure45_svg,
+    save_figures,
+)
+from repro.traffic.mix import PAPER_DEFAULT_LOADS
+
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(canvas: SvgCanvas) -> ET.Element:
+    """Render and parse; raises if the SVG is not well-formed XML."""
+    return ET.fromstring(canvas.render())
+
+
+class TestSvgCanvas:
+    def test_coordinate_mapping(self):
+        canvas = SvgCanvas(x_min=0.0, x_max=10.0, y_min=0.0, y_max=10.0)
+        assert canvas.px(0.0) == canvas.margin_left
+        assert canvas.px(10.0) == canvas.width - canvas.margin_right
+        # y is flipped.
+        assert canvas.py(0.0) > canvas.py(10.0)
+
+    def test_render_is_valid_xml(self):
+        canvas = SvgCanvas(x_min=0, x_max=1, y_min=0, y_max=1)
+        canvas.line(0, 0, 1, 1)
+        canvas.circle(0.5, 0.5)
+        canvas.text(10, 10, "hello & <world>")
+        root = parse(canvas)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_text_is_escaped(self):
+        canvas = SvgCanvas(x_min=0, x_max=1, y_min=0, y_max=1)
+        canvas.text(10, 10, "a<b&c")
+        assert "a&lt;b&amp;c" in canvas.render()
+
+    def test_invalid_viewport_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SvgCanvas(x_min=1.0, x_max=1.0, y_min=0, y_max=1)
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas(x_min=0, x_max=1, y_min=0, y_max=1)
+        path = canvas.save(tmp_path / "chart.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+
+class TestChartBuilders:
+    def test_line_chart_structure(self):
+        canvas = line_chart(
+            [LineSeries("a", ((0.7, 1.5), (0.95, 1.9)))],
+            title="t", x_label="x", y_label="y", y_reference=2.0,
+        )
+        root = parse(canvas)
+        polylines = root.findall(f"{SVG_NS}polyline")
+        circles = root.findall(f"{SVG_NS}circle")
+        assert len(polylines) == 1
+        assert len(circles) == 2
+
+    def test_line_chart_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([], "t", "x", "y")
+
+    def test_box_chart_structure(self):
+        canvas = box_chart(
+            [("wtp", 1.0, 1.5, 2.0, 2.5, 3.0), ("bpr", 0.5, 1.0, 1.8, 2.2, 3.5)],
+            title="t", y_label="y", y_reference=2.0,
+        )
+        root = parse(canvas)
+        rects = root.findall(f"{SVG_NS}rect")
+        # background + 2 boxes (+ no legend rects).
+        assert len(rects) >= 3
+
+    def test_scatter_chart_structure(self):
+        canvas = scatter_chart(
+            [("c1", [(0.0, 1.0), (1.0, 2.0)]), ("c2", [(0.5, 0.5)])],
+            title="t", x_label="x", y_label="y",
+        )
+        root = parse(canvas)
+        assert len(root.findall(f"{SVG_NS}circle")) == 3
+
+    def test_grouped_bar_chart_structure(self):
+        canvas = grouped_bar_chart(
+            ["a", "b"], [("g1", [1.0, 2.0]), ("g2", [1.5, 0.5])],
+            title="t", y_label="y",
+        )
+        root = parse(canvas)
+        rects = root.findall(f"{SVG_NS}rect")
+        assert len(rects) >= 5  # background + 4 bars + legend swatches
+
+    def test_grouped_bar_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grouped_bar_chart(["a"], [("g", [1.0, 2.0])], "t", "y")
+
+
+class TestFigureBuilders:
+    def test_figure1_svg(self):
+        points = [
+            FigureOnePoint("wtp", 0.7, [1.5, 1.4, 1.3], [2.0] * 3, True),
+            FigureOnePoint("wtp", 0.95, [1.9, 1.9, 1.8], [2.0] * 3, True),
+            FigureOnePoint("bpr", 0.7, [1.3, 1.2, 1.1], [2.0] * 3, True),
+            FigureOnePoint("bpr", 0.95, [1.8, 1.7, 1.5], [2.0] * 3, True),
+        ]
+        root = parse(figure1_svg(points))
+        assert len(root.findall(f"{SVG_NS}polyline")) == 2
+
+    def test_figure2_svg(self):
+        points = [
+            FigureTwoPoint("wtp", PAPER_DEFAULT_LOADS, [1.9] * 3, [2.0] * 3, True),
+            FigureTwoPoint("bpr", PAPER_DEFAULT_LOADS, [1.6] * 3, [2.0] * 3, True),
+        ]
+        root = parse(figure2_svg(points))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_figure3_svg(self):
+        summary = PercentileSummary(1.0, 1.5, 2.0, 2.5, 3.0, 10)
+        boxes = [FigureThreeBox("wtp", 10.0, summary),
+                 FigureThreeBox("bpr", 10.0, summary)]
+        root = parse(figure3_svg(boxes))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_figure45_svg_names_figures(self):
+        views = {
+            "bpr": MicroscopicViews("bpr", np.empty((0, 2)),
+                                    [[(1.0, 2.0)], [(1.5, 1.0)]]),
+            "wtp": MicroscopicViews("wtp", np.empty((0, 2)),
+                                    [[(1.0, 1.5)], []]),
+        }
+        charts = figure45_svg(views)
+        assert set(charts) == {"bpr", "wtp"}
+        assert "Figure 4" in charts["bpr"].render()
+        assert "Figure 5" in charts["wtp"].render()
+
+    def test_save_figures(self, tmp_path):
+        canvas = SvgCanvas(x_min=0, x_max=1, y_min=0, y_max=1)
+        paths = save_figures({"one": canvas, "two": canvas}, tmp_path)
+        assert sorted(p.name for p in paths) == ["one.svg", "two.svg"]
+        for p in paths:
+            assert p.exists()
+
+
+class TestCliFigureExport:
+    def test_export_dir_writes_svg(self, capsys, tmp_path):
+        from repro.cli import main
+
+        assert main(
+            ["figure3", "--scale", "0.05", "--export-dir", str(tmp_path)]
+        ) == 0
+        capsys.readouterr()
+        assert (tmp_path / "figure3.svg").exists()
+        assert (tmp_path / "figure3.csv").exists()
+        ET.parse(tmp_path / "figure3.svg")  # well-formed

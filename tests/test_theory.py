@@ -1,0 +1,273 @@
+"""Tests for the analytic queueing results (M/G/1, Cobham, Kleinrock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schedulers import StrictPriorityScheduler, WTPScheduler
+from repro.theory import (
+    ServiceDistribution,
+    md1_mean_wait,
+    mg1_mean_wait,
+    mm1_mean_wait,
+    residual_work,
+    strict_priority_waits,
+    tdp_heavy_load_ratio,
+    tdp_waits,
+)
+
+from .conftest import run_poisson_link
+
+
+class TestServiceDistribution:
+    def test_deterministic_moments(self):
+        service = ServiceDistribution.deterministic(2.0)
+        assert service.mean == 2.0
+        assert service.second_moment == 4.0
+
+    def test_exponential_moments(self):
+        service = ServiceDistribution.exponential(2.0)
+        assert service.second_moment == 8.0
+
+    def test_from_packet_mix_matches_paper(self):
+        service = ServiceDistribution.from_packet_mix(
+            [40.0, 550.0, 1500.0], [0.4, 0.5, 0.1], capacity=39.375
+        )
+        assert service.mean == pytest.approx(11.2)
+
+    def test_impossible_moments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceDistribution(2.0, 1.0)
+
+
+class TestMG1:
+    def test_md1_is_half_mm1(self):
+        rate, service_time = 0.8, 1.0
+        assert md1_mean_wait(rate, service_time) == pytest.approx(
+            mm1_mean_wait(rate, service_time) / 2.0
+        )
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mm1_mean_wait(1.0, 1.0)
+
+    def test_residual_work(self):
+        service = ServiceDistribution.deterministic(1.0)
+        assert residual_work(0.8, service) == pytest.approx(0.4)
+
+    def test_wait_grows_without_bound_near_saturation(self):
+        service = ServiceDistribution.deterministic(1.0)
+        assert mg1_mean_wait(0.99, service) > 10 * mg1_mean_wait(0.8, service)
+
+
+class TestCobham:
+    service = ServiceDistribution.deterministic(1.0)
+
+    def test_two_class_closed_form(self):
+        rates = [0.4, 0.4]
+        w = strict_priority_waits(rates, self.service)
+        w0 = residual_work(0.8, self.service)
+        assert w[1] == pytest.approx(w0 / (1 - 0.4))
+        assert w[0] == pytest.approx(w0 / ((1 - 0.8) * (1 - 0.4)))
+
+    def test_conservation_law_holds(self):
+        rates = [0.3, 0.3, 0.2]
+        w = strict_priority_waits(rates, self.service)
+        fcfs = mg1_mean_wait(sum(rates), self.service)
+        lhs = sum(r * wi for r, wi in zip(rates, w))
+        assert lhs == pytest.approx(sum(rates) * fcfs, rel=1e-9)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            strict_priority_waits([0.6, 0.6], self.service)
+
+    def test_matches_simulation(self):
+        rates = [0.32, 0.24, 0.16, 0.08]
+        theory = strict_priority_waits(rates, self.service)
+        measured, _ = run_poisson_link(
+            StrictPriorityScheduler(4), rates, horizon=3e5, seed=1
+        )
+        for m, t in zip(measured, theory):
+            assert m == pytest.approx(t, rel=0.10)
+
+
+class TestKleinrockTDP:
+    service = ServiceDistribution.deterministic(1.0)
+
+    def test_equal_sdps_reduce_to_fcfs(self):
+        rates = [0.3, 0.3, 0.2]
+        w = tdp_waits(rates, [1.0, 1.0, 1.0], self.service)
+        fcfs = mg1_mean_wait(sum(rates), self.service)
+        assert w == pytest.approx([fcfs] * 3, rel=1e-9)
+
+    def test_extreme_sdps_reduce_to_cobham(self):
+        rates = [0.3, 0.3, 0.2]
+        w = tdp_waits(rates, [1.0, 1e7, 1e14], self.service)
+        cobham = strict_priority_waits(rates, self.service)
+        assert w == pytest.approx(cobham, rel=1e-4)
+
+    def test_conservation_law_holds(self):
+        rates = [0.32, 0.24, 0.16, 0.08]
+        w = tdp_waits(rates, [1.0, 2.0, 4.0, 8.0], self.service)
+        fcfs = mg1_mean_wait(sum(rates), self.service)
+        lhs = sum(r * wi for r, wi in zip(rates, w))
+        assert lhs == pytest.approx(sum(rates) * fcfs, rel=1e-9)
+
+    def test_heavy_load_ratio_limit(self):
+        """W_i / W_j -> s_j / s_i as rho -> 1 (paper Eq 13)."""
+        sdps = [1.0, 2.0, 4.0, 8.0]
+        for rho, tolerance in ((0.9, 0.25), (0.99, 0.05), (0.999, 0.01)):
+            rates = [rho * s for s in (0.4, 0.3, 0.2, 0.1)]
+            w = tdp_waits(rates, sdps, self.service)
+            for i in range(3):
+                target = tdp_heavy_load_ratio(sdps, i, i + 1)
+                assert w[i] / w[i + 1] == pytest.approx(target, rel=tolerance)
+
+    def test_waits_ordered_by_sdp(self):
+        rates = [0.2, 0.2, 0.2, 0.2]
+        w = tdp_waits(rates, [1.0, 2.0, 4.0, 8.0], self.service)
+        assert w[0] > w[1] > w[2] > w[3]
+
+    def test_matches_wtp_simulation(self):
+        """The linear system reproduces the event-driven WTP scheduler
+        under Poisson traffic (the validation the paper lacked analytic
+        tools for; see module docstring of repro.theory.kleinrock)."""
+        rates = [0.32, 0.24, 0.16, 0.08]
+        sdps = (1.0, 2.0, 4.0, 8.0)
+        theory = tdp_waits(rates, sdps, self.service)
+        measured, _ = run_poisson_link(
+            WTPScheduler(sdps), rates, horizon=4e5, seed=0
+        )
+        for m, t in zip(measured, theory):
+            assert m == pytest.approx(t, rel=0.08)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tdp_waits([0.6, 0.6], [1.0, 2.0], self.service)
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tdp_waits([0.5], [1.0, 2.0], self.service)
+
+    def test_per_class_services_shared_equals_single(self):
+        rates = [0.3, 0.3, 0.2]
+        sdps = [1.0, 2.0, 4.0]
+        single = tdp_waits(rates, sdps, self.service)
+        shared = tdp_waits(rates, sdps, [self.service] * 3)
+        assert shared == pytest.approx(single)
+
+    def test_per_class_service_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            tdp_waits([0.3, 0.3], [1.0, 2.0], [self.service])
+
+
+class TestProportionalDelaysMG1:
+    """The ideal-scheduler yardstick (Eq 6 + P-K)."""
+
+    service = ServiceDistribution.deterministic(1.0)
+
+    def test_ratios_exactly_inverse_sdps(self):
+        from repro.theory import proportional_delays_mg1
+
+        rates = [0.32, 0.24, 0.16, 0.08]
+        delays = proportional_delays_mg1(rates, [1.0, 2.0, 4.0, 8.0],
+                                         self.service)
+        for i in range(3):
+            assert delays[i] / delays[i + 1] == pytest.approx(2.0)
+
+    def test_satisfies_conservation_law(self):
+        from repro.theory import proportional_delays_mg1
+
+        rates = [0.32, 0.24, 0.16, 0.08]
+        delays = proportional_delays_mg1(rates, [1.0, 2.0, 4.0, 8.0],
+                                         self.service)
+        fcfs = mg1_mean_wait(sum(rates), self.service)
+        lhs = sum(r * d for r, d in zip(rates, delays))
+        assert lhs == pytest.approx(sum(rates) * fcfs, rel=1e-12)
+
+    def test_tdp_converges_to_ideal_in_heavy_load(self):
+        """WTP's exact M/G/1 waits approach the Eq 6 ideal as rho -> 1;
+        at moderate load they differ (the paper's undershoot)."""
+        from repro.theory import proportional_delays_mg1
+
+        sdps = [1.0, 2.0, 4.0, 8.0]
+
+        def gap(rho):
+            rates = [rho * s for s in (0.4, 0.3, 0.2, 0.1)]
+            ideal = proportional_delays_mg1(rates, sdps, self.service)
+            actual = tdp_waits(rates, sdps, self.service)
+            return max(abs(a - i) / i for a, i in zip(actual, ideal))
+
+        assert gap(0.999) < 0.02
+        assert gap(0.70) > 0.15
+        assert gap(0.999) < gap(0.95) < gap(0.70)
+
+    def test_invalid_inputs(self):
+        from repro.theory import proportional_delays_mg1
+
+        with pytest.raises(ConfigurationError):
+            proportional_delays_mg1([0.5], [1.0, 2.0], self.service)
+        with pytest.raises(ConfigurationError):
+            proportional_delays_mg1([0.0], [1.0], self.service)
+
+
+class TestPerClassServices:
+    """Heterogeneous packet sizes: the generalized theory vs simulation."""
+
+    def test_tdp_heterogeneous_matches_simulation(self):
+        from repro.theory import ServiceDistribution
+
+        rates = [0.5, 0.2, 0.1]
+        sizes = [0.8, 1.2, 2.0]  # rho = 0.84
+        sdps = (1.0, 2.0, 8.0)
+        services = [ServiceDistribution.deterministic(s) for s in sizes]
+        theory = tdp_waits(rates, sdps, services)
+
+        from repro.schedulers import WTPScheduler
+        from repro.sim import DelayMonitor, Link, PacketSink, Simulator
+        from repro.sim.rng import RandomStreams
+        from repro.traffic import (
+            FixedPacketSize,
+            PacketIdAllocator,
+            PoissonInterarrivals,
+            TrafficSource,
+        )
+
+        sim = Simulator()
+        streams = RandomStreams(0)
+        link = Link(sim, WTPScheduler(sdps), capacity=1.0, target=PacketSink())
+        monitor = DelayMonitor(3, warmup=2e4)
+        link.add_monitor(monitor)
+        ids = PacketIdAllocator()
+        for cid, (rate, size) in enumerate(zip(rates, sizes)):
+            TrafficSource(
+                sim, link, cid,
+                PoissonInterarrivals(1.0 / rate, streams.generator()),
+                FixedPacketSize(size), ids=ids,
+            ).start()
+        sim.run(until=4e5)
+        for measured, expected in zip(monitor.mean_delays(), theory):
+            assert measured == pytest.approx(expected, rel=0.08)
+
+    def test_cobham_heterogeneous_conservation(self):
+        """Generalized conservation law: sum rho_i W_i is invariant
+        (equal to rho * W_FCFS computed with the aggregate moments)."""
+        from repro.theory import (
+            ServiceDistribution,
+            aggregate_residual,
+            strict_priority_waits,
+        )
+
+        rates = [0.4, 0.2, 0.1]
+        services = [
+            ServiceDistribution.deterministic(0.5),
+            ServiceDistribution.exponential(1.0),
+            ServiceDistribution.deterministic(2.0),
+        ]
+        waits = strict_priority_waits(rates, services)
+        rhos = [r * s.mean for r, s in zip(rates, services)]
+        w0 = aggregate_residual(rates, services)
+        lhs = sum(rho * w for rho, w in zip(rhos, waits))
+        rhs = sum(rhos) * w0 / (1.0 - sum(rhos))
+        assert lhs == pytest.approx(rhs, rel=1e-9)

@@ -1,0 +1,151 @@
+"""Tests for trace persistence and the analysis statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import batch_means, mser_warmup
+from repro.errors import ConfigurationError
+from repro.traffic import (
+    FixedPacketSize,
+    PoissonInterarrivals,
+    load_trace,
+    load_trace_csv,
+    save_trace,
+    save_trace_csv,
+)
+from repro.traffic.trace import ArrivalTrace, build_class_trace, merge_traces
+
+
+@pytest.fixture
+def sample_trace(rng):
+    traces = [
+        build_class_trace(
+            cid, PoissonInterarrivals(2.0, rng), FixedPacketSize(100.0 + cid),
+            horizon=500.0,
+        )
+        for cid in range(3)
+    ]
+    return merge_traces(traces)
+
+
+class TestNpzRoundTrip:
+    def test_exact_round_trip(self, sample_trace, tmp_path):
+        path = save_trace(sample_trace, tmp_path / "trace.npz")
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.times, sample_trace.times)
+        assert np.array_equal(loaded.class_ids, sample_trace.class_ids)
+        assert np.array_equal(loaded.sizes, sample_trace.sizes)
+
+    def test_extension_normalization(self, sample_trace, tmp_path):
+        path = save_trace(sample_trace, tmp_path / "trace")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_wrong_archive_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, sample_trace, tmp_path):
+        path = save_trace_csv(sample_trace, tmp_path / "trace.csv")
+        loaded = load_trace_csv(path)
+        assert np.allclose(loaded.times, sample_trace.times)
+        assert np.array_equal(loaded.class_ids, sample_trace.class_ids)
+        assert np.allclose(loaded.sizes, sample_trace.sizes)
+
+    def test_classes_stored_one_based(self, sample_trace, tmp_path):
+        path = save_trace_csv(sample_trace, tmp_path / "trace.csv")
+        body = path.read_text().splitlines()
+        classes_in_file = {int(line.split(",")[1]) for line in body[1:]}
+        assert min(classes_in_file) == 1
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0,1,100\n")
+        with pytest.raises(ConfigurationError):
+            load_trace_csv(path)
+
+    def test_zero_based_class_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,class,size\n1.0,0,100\n")
+        with pytest.raises(ConfigurationError):
+            load_trace_csv(path)
+
+
+class TestBatchMeans:
+    def test_recovers_known_mean(self, rng):
+        samples = rng.normal(5.0, 2.0, size=10_000)
+        result = batch_means(samples, num_batches=20)
+        assert result.contains(5.0)
+        assert result.half_width < 0.2
+
+    def test_half_width_shrinks_with_samples(self, rng):
+        small = batch_means(rng.normal(0, 1, 400), num_batches=20)
+        large = batch_means(rng.normal(0, 1, 40_000), num_batches=20)
+        assert large.half_width < small.half_width
+
+    def test_interval_is_symmetric(self, rng):
+        result = batch_means(rng.normal(0, 1, 1000))
+        low, high = result.interval
+        assert (low + high) / 2 == pytest.approx(result.mean)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            batch_means([1.0] * 10, num_batches=20)
+
+    def test_too_few_batches_rejected(self):
+        with pytest.raises(ConfigurationError):
+            batch_means([1.0] * 100, num_batches=1)
+
+
+class TestMserWarmup:
+    def test_detects_transient(self, rng):
+        """A decaying start-up transient should be (mostly) cut."""
+        transient = np.linspace(50.0, 0.0, 200)
+        steady = rng.normal(0.0, 1.0, 2000)
+        cut = mser_warmup(np.concatenate([transient, steady]))
+        assert 100 <= cut <= 400
+
+    def test_stationary_series_keeps_everything(self, rng):
+        cut = mser_warmup(rng.normal(3.0, 1.0, 1000))
+        assert cut <= 100  # little or nothing removed
+
+    def test_cut_is_multiple_of_batch_size(self, rng):
+        cut = mser_warmup(rng.normal(0, 1, 500), batch_size=5)
+        assert cut % 5 == 0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mser_warmup([1.0] * 10, batch_size=5)
+
+    def test_end_to_end_with_simulated_delays(self):
+        """MSER + batch means on real simulator output: the CI must
+        cover the M/D/1 value."""
+        from repro.schedulers import FCFSScheduler
+        from repro.sim import DelayMonitor, Link, PacketSink, Simulator
+        from repro.sim.rng import RandomStreams
+        from repro.traffic import PacketIdAllocator, TrafficSource
+        from repro.theory import ServiceDistribution, mg1_mean_wait
+
+        sim = Simulator()
+        streams = RandomStreams(9)
+        link = Link(sim, FCFSScheduler(1), capacity=1.0, target=PacketSink())
+        monitor = DelayMonitor(1, warmup=0.0, keep_samples=True)
+        link.add_monitor(monitor)
+        TrafficSource(
+            sim, link, 0, PoissonInterarrivals(1.25, streams.generator()),
+            FixedPacketSize(1.0), ids=PacketIdAllocator(),
+        ).start()
+        sim.run(until=3e5)
+        samples = np.asarray(monitor.samples[0])
+        cut = mser_warmup(samples)
+        result = batch_means(samples[cut:], num_batches=20)
+        expected = mg1_mean_wait(0.8, ServiceDistribution.deterministic(1.0))
+        # Batch means on autocorrelated data underestimate variance, so
+        # accept the CI inflated by 3x.
+        assert abs(result.mean - expected) < 3 * max(result.half_width, 0.05)

@@ -1,0 +1,137 @@
+"""Tests for the interarrival processes (statistics and contracts)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic import (
+    ConstantInterarrivals,
+    MMPPInterarrivals,
+    OnOffInterarrivals,
+    ParetoInterarrivals,
+    PoissonInterarrivals,
+)
+
+
+def sample_mean(process, n=200_000):
+    return float(np.mean([process.next_gap() for _ in range(n)]))
+
+
+class TestPareto:
+    def test_gaps_respect_scale_floor(self, rng):
+        process = ParetoInterarrivals(10.0, shape=1.9, rng=rng)
+        gaps = [process.next_gap() for _ in range(10_000)]
+        assert min(gaps) >= process.scale
+        assert process.scale == pytest.approx(10.0 * 0.9 / 1.9)
+
+    def test_empirical_mean_near_requested(self, rng):
+        # alpha = 2.5 keeps the variance finite so the sample mean
+        # converges at a testable rate (the paper's 1.9 does not).
+        process = ParetoInterarrivals(5.0, shape=2.5, rng=rng)
+        assert sample_mean(process) == pytest.approx(5.0, rel=0.05)
+
+    def test_heavy_tail_produces_large_bursts(self, rng):
+        """alpha=1.9: max gap dwarfs the mean even in modest samples."""
+        process = ParetoInterarrivals(1.0, shape=1.9, rng=rng)
+        gaps = [process.next_gap() for _ in range(100_000)]
+        assert max(gaps) > 50.0 * 1.0
+
+    def test_rate_is_inverse_mean(self, rng):
+        process = ParetoInterarrivals(4.0, rng=rng)
+        assert process.rate == pytest.approx(0.25)
+
+    def test_shape_must_exceed_one(self, rng):
+        with pytest.raises(ConfigurationError):
+            ParetoInterarrivals(1.0, shape=1.0, rng=rng)
+
+    def test_mean_must_be_positive(self, rng):
+        with pytest.raises(ConfigurationError):
+            ParetoInterarrivals(0.0, rng=rng)
+
+    def test_reproducible_with_seeded_rng(self):
+        a = ParetoInterarrivals(1.0, rng=np.random.default_rng(7))
+        b = ParetoInterarrivals(1.0, rng=np.random.default_rng(7))
+        assert [a.next_gap() for _ in range(10)] == [
+            b.next_gap() for _ in range(10)
+        ]
+
+
+class TestPoisson:
+    def test_empirical_mean(self, rng):
+        process = PoissonInterarrivals(3.0, rng=rng)
+        assert sample_mean(process) == pytest.approx(3.0, rel=0.03)
+
+    def test_memoryless_cv_close_to_one(self, rng):
+        process = PoissonInterarrivals(1.0, rng=rng)
+        gaps = np.array([process.next_gap() for _ in range(100_000)])
+        cv = gaps.std() / gaps.mean()
+        assert cv == pytest.approx(1.0, abs=0.03)
+
+    def test_invalid_mean_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            PoissonInterarrivals(-1.0, rng=rng)
+
+
+class TestConstant:
+    def test_every_gap_identical(self):
+        process = ConstantInterarrivals(2.5)
+        assert [process.next_gap() for _ in range(5)] == [2.5] * 5
+        assert process.mean == 2.5
+
+    def test_invalid_gap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantInterarrivals(0.0)
+
+
+class TestOnOff:
+    def test_mean_matches_formula(self, rng):
+        process = OnOffInterarrivals(
+            peak_gap=1.0, mean_on=50.0, mean_off=50.0, rng=rng
+        )
+        assert process.mean == pytest.approx(2.0)
+        assert sample_mean(process, 100_000) == pytest.approx(2.0, rel=0.1)
+
+    def test_zero_off_time_degenerates_to_cbr(self, rng):
+        process = OnOffInterarrivals(
+            peak_gap=1.0, mean_on=10.0, mean_off=0.0, rng=rng
+        )
+        gaps = [process.next_gap() for _ in range(1000)]
+        assert all(g == 1.0 for g in gaps)
+        assert process.mean == pytest.approx(1.0)
+
+    def test_peak_rate(self, rng):
+        process = OnOffInterarrivals(0.25, 1.0, 1.0, rng=rng)
+        assert process.peak_rate == 4.0
+
+    def test_gaps_at_least_peak_gap(self, rng):
+        process = OnOffInterarrivals(2.0, 5.0, 5.0, rng=rng)
+        assert all(process.next_gap() >= 2.0 for _ in range(5000))
+
+    def test_invalid_params_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            OnOffInterarrivals(0.0, 1.0, 1.0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            OnOffInterarrivals(1.0, 0.0, 1.0, rng=rng)
+
+
+class TestMMPP:
+    def test_mean_matches_stationary_formula(self, rng):
+        process = MMPPInterarrivals(
+            rate_a=2.0, rate_b=0.5, mean_sojourn_a=100.0,
+            mean_sojourn_b=100.0, rng=rng,
+        )
+        expected = 1.0 / (0.5 * 2.0 + 0.5 * 0.5)
+        assert process.mean == pytest.approx(expected)
+        assert sample_mean(process, 100_000) == pytest.approx(expected, rel=0.1)
+
+    def test_identical_states_reduce_to_poisson_mean(self, rng):
+        process = MMPPInterarrivals(1.0, 1.0, 10.0, 10.0, rng=rng)
+        assert process.mean == pytest.approx(1.0)
+
+    def test_invalid_params_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            MMPPInterarrivals(0.0, 1.0, 1.0, 1.0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            MMPPInterarrivals(1.0, 1.0, 0.0, 1.0, rng=rng)

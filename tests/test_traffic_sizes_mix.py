@@ -1,0 +1,133 @@
+"""Tests for packet sizes, load distributions, and RNG streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStreams
+from repro.traffic import (
+    ClassLoadDistribution,
+    DiscretePacketSizes,
+    FIGURE2_LOAD_DISTRIBUTIONS,
+    FixedPacketSize,
+    PAPER_DEFAULT_LOADS,
+    paper_trimodal_sizes,
+    uniform_loads,
+)
+from repro.units import PAPER_LINK_CAPACITY, PAPER_MEAN_PACKET_BYTES, PAPER_P_UNIT
+
+
+class TestFixedPacketSize:
+    def test_constant_output(self):
+        sizes = FixedPacketSize(500.0)
+        assert sizes.next_size() == 500.0
+        assert sizes.mean == 500.0
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedPacketSize(-1.0)
+
+
+class TestDiscretePacketSizes:
+    def test_paper_mix_mean_is_441(self):
+        assert paper_trimodal_sizes().mean == pytest.approx(441.0)
+
+    def test_only_listed_sizes_drawn(self, rng):
+        sizes = paper_trimodal_sizes(rng)
+        drawn = {sizes.next_size() for _ in range(1000)}
+        assert drawn <= {40.0, 550.0, 1500.0}
+
+    def test_empirical_frequencies(self, rng):
+        sizes = paper_trimodal_sizes(rng)
+        drawn = np.array([sizes.next_size() for _ in range(100_000)])
+        assert np.mean(drawn == 40.0) == pytest.approx(0.4, abs=0.01)
+        assert np.mean(drawn == 550.0) == pytest.approx(0.5, abs=0.01)
+        assert np.mean(drawn == 1500.0) == pytest.approx(0.1, abs=0.01)
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            DiscretePacketSizes([40.0, 550.0], [0.5, 0.4])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiscretePacketSizes([40.0], [0.5, 0.5])
+
+    def test_non_positive_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiscretePacketSizes([0.0, 100.0], [0.5, 0.5])
+
+
+class TestPaperUnits:
+    def test_p_unit_consistency(self):
+        """capacity * p-unit == mean packet size (paper normalization)."""
+        assert PAPER_LINK_CAPACITY * PAPER_P_UNIT == pytest.approx(
+            PAPER_MEAN_PACKET_BYTES
+        )
+
+
+class TestClassLoadDistribution:
+    def test_paper_default_shares(self):
+        assert PAPER_DEFAULT_LOADS.shares == (0.4, 0.3, 0.2, 0.1)
+        assert PAPER_DEFAULT_LOADS.num_classes == 4
+
+    def test_rates_hit_requested_utilization(self):
+        rates = PAPER_DEFAULT_LOADS.class_rates(
+            utilization=0.9, capacity=PAPER_LINK_CAPACITY,
+            mean_packet_size=441.0,
+        )
+        offered = sum(rates) * 441.0
+        assert offered / PAPER_LINK_CAPACITY == pytest.approx(0.9)
+
+    def test_rates_split_by_share(self):
+        rates = PAPER_DEFAULT_LOADS.class_rates(0.8, 10.0, 1.0)
+        total = sum(rates)
+        assert [r / total for r in rates] == pytest.approx([0.4, 0.3, 0.2, 0.1])
+
+    def test_mean_gaps_are_inverse_rates(self):
+        rates = PAPER_DEFAULT_LOADS.class_rates(0.5, 10.0, 1.0)
+        gaps = PAPER_DEFAULT_LOADS.mean_gaps(0.5, 10.0, 1.0)
+        for rate, gap in zip(rates, gaps):
+            assert gap == pytest.approx(1.0 / rate)
+
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            ClassLoadDistribution((0.5, 0.4))
+
+    def test_non_positive_share_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClassLoadDistribution((1.0, 0.0))
+
+    def test_uniform_loads(self):
+        loads = uniform_loads(4)
+        assert loads.shares == pytest.approx((0.25,) * 4)
+
+    def test_figure2_distributions_are_valid_and_distinct(self):
+        assert len(FIGURE2_LOAD_DISTRIBUTIONS) == 7
+        labels = {d.label() for d in FIGURE2_LOAD_DISTRIBUTIONS}
+        assert len(labels) == 7
+        for dist in FIGURE2_LOAD_DISTRIBUTIONS:
+            assert dist.num_classes == 4
+
+    def test_label_format(self):
+        assert PAPER_DEFAULT_LOADS.label() == "40/30/20/10"
+
+
+class TestRandomStreams:
+    def test_same_seed_same_streams(self):
+        a, b = RandomStreams(42), RandomStreams(42)
+        ga, gb = a.generator(), b.generator()
+        assert ga.random(5).tolist() == gb.random(5).tolist()
+
+    def test_children_are_independent(self):
+        streams = RandomStreams(42)
+        first = streams.generator().random(5)
+        second = streams.generator().random(5)
+        assert not np.allclose(first, second)
+
+    def test_spawn_counter(self):
+        streams = RandomStreams(0)
+        streams.generator()
+        streams.generator()
+        assert streams.spawned == 2

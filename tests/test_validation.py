@@ -1,0 +1,31 @@
+"""Tests for the self-check battery."""
+
+from __future__ import annotations
+
+from repro.validation import CheckResult, format_selfcheck, run_selfcheck
+
+
+class TestSelfCheck:
+    def test_battery_all_pass(self):
+        results = run_selfcheck()
+        assert len(results) == 7
+        failures = [r for r in results if not r.passed]
+        assert not failures, format_selfcheck(results)
+
+    def test_format_reports_status(self):
+        results = [
+            CheckResult("good", True, "fine"),
+            CheckResult("bad", False, "broken"),
+        ]
+        text = format_selfcheck(results)
+        assert "[PASS] good" in text
+        assert "[FAIL] bad" in text
+        assert "1/2 checks passed" in text
+        assert "INSTALLATION PROBLEM" in text
+
+    def test_cli_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "7/7 checks passed" in out
