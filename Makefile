@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples selfcheck reproduce-quick reproduce-full clean
+.PHONY: install test bench bench-record examples selfcheck figures-fast reproduce-quick reproduce-full clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -13,11 +13,19 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
+# Dump kernel/sweep throughput numbers to BENCH_<date>.json.
+bench-record:
+	$(PYTHON) benchmarks/record_bench.py
+
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script; done
 
 selfcheck:
 	$(PYTHON) -m repro.cli selfcheck
+
+# All figures at reduced scale, fanned out over every core, cached.
+figures-fast:
+	$(PYTHON) -m repro.cli all --scale 0.1 --jobs 0 --export-dir results/fast
 
 # Scaled-down end-to-end reproduction (~10 minutes).
 reproduce-quick:

@@ -75,3 +75,68 @@ def test_lindley_recursion_throughput(benchmark):
     sizes = np.ones(100_000)
     waits = benchmark(fcfs_waiting_times, times, sizes, 1.0)
     assert len(waits) == 100_000
+
+
+def run_cancellable_events(num_events: int) -> int:
+    """Handle-based scheduling: the slow path the tuple heap avoids."""
+    sim = Simulator()
+
+    def chain(remaining: int) -> None:
+        if remaining:
+            sim.schedule_cancellable(sim.now + 1.0, chain, remaining - 1)
+
+    sim.schedule_cancellable(0.0, chain, num_events)
+    sim.run()
+    return sim.events_processed
+
+
+def test_cancellable_event_throughput(benchmark):
+    processed = benchmark(run_cancellable_events, 20_000)
+    assert processed == 20_001
+
+
+def replay_trace(num_packets: int) -> int:
+    """TraceSource replay throughput (batched numpy -> list conversion)."""
+    from repro.traffic.trace import ArrivalTrace, TraceSource
+
+    rng = np.random.default_rng(3)
+    trace = ArrivalTrace(
+        times=np.cumsum(rng.exponential(1.1, size=num_packets)),
+        class_ids=rng.integers(0, 4, size=num_packets),
+        sizes=np.ones(num_packets),
+    )
+    sim = Simulator()
+    scheduler = make_scheduler("wtp", (1.0, 2.0, 4.0, 8.0))
+    link = Link(sim, scheduler, capacity=1.0, target=PacketSink())
+    TraceSource(sim, link, trace).start()
+    sim.run()
+    return link.departures
+
+
+def test_trace_replay_throughput(benchmark):
+    departures = benchmark(replay_trace, 20_000)
+    assert departures == 20_000
+
+
+def run_small_sweep(jobs: int) -> int:
+    """SweepRunner overhead on a small cache-less single-hop sweep."""
+    from repro.experiments.common import SingleHopConfig
+    from repro.runner import SingleHopTask, SweepRunner, single_hop_summary
+
+    runner = SweepRunner(jobs=jobs, cache=None)
+    tasks = [
+        SingleHopTask(
+            config=SingleHopConfig(
+                scheduler="wtp", utilization=0.9, horizon=2e3,
+                warmup=100.0, seed=seed,
+            )
+        )
+        for seed in range(1, 5)
+    ]
+    summaries = runner.map(single_hop_summary, tasks)
+    return len(summaries)
+
+
+def test_sweep_runner_serial_throughput(benchmark):
+    completed = benchmark(run_small_sweep, 1)
+    assert completed == 4

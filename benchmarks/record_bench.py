@@ -1,0 +1,108 @@
+"""Record kernel and sweep throughput to a dated JSON file.
+
+Runs the headline microbenchmarks (no pytest-benchmark machinery, just
+best-of-N wall-clock timing) and dumps the numbers to
+``BENCH_<YYYY-MM-DD>.json`` in the repository root, so successive
+optimization PRs leave a comparable paper trail:
+
+    PYTHONPATH=src python benchmarks/record_bench.py
+    PYTHONPATH=src python benchmarks/record_bench.py --out custom.json
+
+Recorded metrics (events or packets per second, higher is better):
+
+* ``kernel_events_per_sec``       -- plain tuple-heap event chain
+* ``cancellable_events_per_sec``  -- handle-based (cancellable) chain
+* ``trace_replay_packets_per_sec`` -- TraceSource -> WTP link replay
+* ``sweep_runs_per_sec``          -- SweepRunner over a small single-hop
+  sweep (serial, cache disabled): runner dispatch overhead + simulation
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_engine import (  # noqa: E402
+    forward_packets,
+    replay_trace,
+    run_cancellable_events,
+    run_kernel_events,
+    run_small_sweep,
+)
+
+
+def best_rate(fn, arg, work_units: int, repeats: int = 3) -> float:
+    """Best-of-``repeats`` throughput of ``fn(arg)`` in units/second."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(arg)
+        best = min(best, time.perf_counter() - start)
+    return work_units / best
+
+
+def collect(repeats: int) -> dict:
+    kernel_events = 100_000
+    trace_packets = 50_000
+    sweep_runs = 4
+    metrics = {
+        "kernel_events_per_sec": best_rate(
+            run_kernel_events, kernel_events, kernel_events, repeats
+        ),
+        "cancellable_events_per_sec": best_rate(
+            run_cancellable_events, kernel_events, kernel_events, repeats
+        ),
+        "trace_replay_packets_per_sec": best_rate(
+            replay_trace, trace_packets, trace_packets, repeats
+        ),
+        "wtp_forwarded_packets_per_sec": best_rate(
+            forward_packets, "wtp", forward_packets("wtp"), repeats
+        ),
+        "sweep_runs_per_sec": best_rate(
+            run_small_sweep, 1, sweep_runs, repeats
+        ),
+    }
+    return {
+        "date": datetime.date.today().isoformat(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "metrics": {k: round(v, 1) for k, v in metrics.items()},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output path (default: BENCH_<date>.json in the repo root)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats per metric"
+    )
+    args = parser.parse_args(argv)
+
+    record = collect(args.repeats)
+    out = args.out
+    if out is None:
+        out = REPO_ROOT / f"BENCH_{record['date']}.json"
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    for name, value in record["metrics"].items():
+        print(f"{name:>32}: {value:>14,.1f}")
+    print(f"written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,7 @@ from .experiments import (
     run_single_hop,
 )
 from .network import MultiHopConfig, MultiHopResult, RoutedNetwork, run_multihop
+from .runner import ResultCache, SweepRunner, serial_runner
 from .schedulers import (
     AdaptiveWTPScheduler,
     BPRScheduler,
@@ -97,6 +98,10 @@ __all__ = [
     "MultiHopResult",
     "RoutedNetwork",
     "run_multihop",
+    # runner
+    "ResultCache",
+    "SweepRunner",
+    "serial_runner",
     # schedulers
     "AdaptiveWTPScheduler",
     "BPRScheduler",

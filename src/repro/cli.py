@@ -6,14 +6,21 @@ Full-scale reproduction of Figure 1a (ten seeds, 10^6-unit runs):
 
     repro-pdd figure1
 
-Quick versions (scaled-down horizons/seeds) of everything:
+Quick versions (scaled-down horizons/seeds) of everything, using all
+cores and the on-disk result cache:
 
-    repro-pdd all --scale 0.05
+    repro-pdd all --scale 0.05 --jobs 0
+
+``--jobs 0`` (the default) means "one worker per CPU"; ``--jobs 1``
+forces serial execution.  Re-running an identical sweep is served from
+the content-addressed cache under ``--cache-dir`` (default
+``.repro-cache/``); pass ``--no-cache`` to disable it.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -56,15 +63,16 @@ from .experiments.figures_svg import (
 )
 from .experiments.reporting import format_ablation_rows
 from .experiments.table1 import TableOneConfig, format_table1, run_table1
+from .runner import DEFAULT_CACHE_DIR, ResultCache, SweepRunner
 
 __all__ = ["main"]
 
 
-def _figure1(scale: float, export_dir: Optional[Path]) -> str:
+def _figure1(scale: float, export_dir: Optional[Path], runner: SweepRunner) -> str:
     parts = []
     for sdps, label in ((SDP_RATIO_2, "1a"), (SDP_RATIO_4, "1b")):
         config = FigureOneConfig(sdps=sdps).scaled(scale)
-        points = run_figure1(config)
+        points = run_figure1(config, runner=runner)
         parts.append(f"--- Figure {label} ---")
         parts.append(format_figure1(points))
         if export_dir is not None:
@@ -73,11 +81,11 @@ def _figure1(scale: float, export_dir: Optional[Path]) -> str:
     return "\n".join(parts)
 
 
-def _figure2(scale: float, export_dir: Optional[Path]) -> str:
+def _figure2(scale: float, export_dir: Optional[Path], runner: SweepRunner) -> str:
     parts = []
     for sdps, label in ((SDP_RATIO_2, "2a"), (SDP_RATIO_4, "2b")):
         config = FigureTwoConfig(sdps=sdps).scaled(scale)
-        points = run_figure2(config)
+        points = run_figure2(config, runner=runner)
         parts.append(f"--- Figure {label} ---")
         parts.append(format_figure2(points))
         if export_dir is not None:
@@ -86,16 +94,16 @@ def _figure2(scale: float, export_dir: Optional[Path]) -> str:
     return "\n".join(parts)
 
 
-def _figure3(scale: float, export_dir: Optional[Path]) -> str:
-    boxes = run_figure3(FigureThreeConfig().scaled(scale))
+def _figure3(scale: float, export_dir: Optional[Path], runner: SweepRunner) -> str:
+    boxes = run_figure3(FigureThreeConfig().scaled(scale), runner=runner)
     if export_dir is not None:
         figure3_to_csv(boxes, export_dir / "figure3.csv")
         save_figures({"figure3": figure3_svg(boxes)}, export_dir)
     return format_figure3(boxes)
 
 
-def _figure45(scale: float, export_dir: Optional[Path]) -> str:
-    views = run_figure45(MicroscopicConfig().scaled(scale))
+def _figure45(scale: float, export_dir: Optional[Path], runner: SweepRunner) -> str:
+    views = run_figure45(MicroscopicConfig().scaled(scale), runner=runner)
     if export_dir is not None:
         figure45_to_json(views, export_dir / "figure45.json")
         charts = figure45_svg(views)
@@ -107,34 +115,38 @@ def _figure45(scale: float, export_dir: Optional[Path]) -> str:
     return format_figure45(views)
 
 
-def _table1(scale: float, export_dir: Optional[Path]) -> str:
-    cells = run_table1(TableOneConfig().scaled(scale))
+def _table1(scale: float, export_dir: Optional[Path], runner: SweepRunner) -> str:
+    cells = run_table1(TableOneConfig().scaled(scale), runner=runner)
     if export_dir is not None:
         table1_to_csv(cells, export_dir / "table1.csv")
         save_figures({"table1": table1_svg(cells)}, export_dir)
     return format_table1(cells)
 
 
-def _selfcheck(scale: float, export_dir: Optional[Path]) -> str:
-    del scale, export_dir
+def _selfcheck(scale: float, export_dir: Optional[Path], runner: SweepRunner) -> str:
+    del scale, export_dir, runner
     from .validation import format_selfcheck, run_selfcheck
 
     return format_selfcheck(run_selfcheck())
 
 
-def _ablations(scale: float, export_dir: Optional[Path]) -> str:
+def _ablations(scale: float, export_dir: Optional[Path], runner: SweepRunner) -> str:
     del export_dir  # nothing tabular worth exporting
     del scale  # ablations are already laptop-sized
     parts = [
-        format_ablation_rows(sdp_ratio_sweep(), "SDP-ratio sweep (worst rel. error)"),
-        format_ablation_rows(scheduler_comparison(), "Scheduler comparison"),
+        format_ablation_rows(
+            sdp_ratio_sweep(runner=runner), "SDP-ratio sweep (worst rel. error)"
+        ),
+        format_ablation_rows(
+            scheduler_comparison(runner=runner), "Scheduler comparison"
+        ),
         format_ablation_rows(additive_convergence(), "Additive model convergence"),
         format_ablation_rows(
-            adaptive_wtp_correction(),
+            adaptive_wtp_correction(runner=runner),
             "Adaptive WTP vs WTP (mean |ratio error| vs target)",
         ),
         format_ablation_rows(
-            quantization_sweep(),
+            quantization_sweep(runner=runner),
             "Quantized WTP (worst ratio error vs aging-epoch size)",
         ),
         format_ablation_rows([wtp_starvation_demo()], "WTP starvation (Prop 2)"),
@@ -147,7 +159,7 @@ def _ablations(scale: float, export_dir: Optional[Path]) -> str:
     return "\n\n".join(parts)
 
 
-_COMMANDS: dict[str, Callable[[float, Optional[Path]], str]] = {
+_COMMANDS: dict[str, Callable[[float, Optional[Path], SweepRunner], str]] = {
     "figure1": _figure1,
     "figure2": _figure2,
     "figure3": _figure3,
@@ -188,16 +200,48 @@ def main(argv: list[str] | None = None) -> int:
             "charts into this directory"
         ),
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help=(
+            "worker processes for independent simulation runs "
+            "(0 = one per CPU, 1 = serial; default: 0)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=Path(DEFAULT_CACHE_DIR),
+        help=(
+            "directory of the content-addressed result cache "
+            f"(default: {DEFAULT_CACHE_DIR})"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache entirely",
+    )
     args = parser.parse_args(argv)
     if not 0 < args.scale <= 1.0:
         parser.error("--scale must be in (0, 1]")
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
+
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = SweepRunner(jobs=jobs, cache=cache)
 
     names = list(_COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.perf_counter()
-        output = _COMMANDS[name](args.scale, args.export_dir)
+        first_report = len(runner.reports)
+        output = _COMMANDS[name](args.scale, args.export_dir, runner)
         elapsed = time.perf_counter() - start
         print(output)
+        for report in runner.reports[first_report:]:
+            print(f"[sweep] {report.summary()}")
         print(f"[{name} finished in {elapsed:.1f}s]\n")
     return 0
 

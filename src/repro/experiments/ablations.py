@@ -20,9 +20,10 @@ Each ablation exercises a design point the paper discusses in prose:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..dropping.plr import PLRDropper
+from ..runner import SingleHopTask, SweepRunner, serial_runner, single_hop_summary
 from ..schedulers.registry import make_scheduler
 from ..schedulers.wtp import WTPScheduler
 from ..sim.engine import Simulator
@@ -65,9 +66,16 @@ def sdp_ratio_sweep(
     horizon: float = 2e5,
     warmup: float = 1e4,
     seed: int = 3,
+    runner: Optional[SweepRunner] = None,
 ) -> list[AblationRow]:
-    """Accuracy (worst relative ratio error) vs SDP spacing."""
-    rows = []
+    """Accuracy (worst relative ratio error) vs SDP spacing.
+
+    Every scheduler still sees identical arrivals per ratio: each worker
+    regenerates the same deterministic trace from the shared seed.
+    """
+    if runner is None:
+        runner = serial_runner()
+    tasks = []
     for ratio in ratios:
         sdps = tuple(ratio**i for i in range(4))
         base = SingleHopConfig(
@@ -77,15 +85,20 @@ def sdp_ratio_sweep(
             warmup=warmup,
             seed=seed,
         )
-        trace = generate_trace(base)
+        for name in schedulers:
+            tasks.append(SingleHopTask(config=base, scheduler=name))
+    summaries = runner.map(single_hop_summary, tasks)
+
+    rows = []
+    cursor = 0
+    for ratio in ratios:
         values = {}
         for name in schedulers:
-            result = replay_through_scheduler(
-                trace, make_scheduler(name, sdps), base
-            )
+            summary = summaries[cursor]
+            cursor += 1
             errors = [
                 abs(r - t) / t
-                for r, t in zip(result.successive_ratios, result.target_ratios())
+                for r, t in zip(summary["ratios"], summary["target_ratios"])
             ]
             values[name] = max(errors)
         rows.append(AblationRow(label=f"sdp_ratio={ratio:g}", values=values))
@@ -101,24 +114,32 @@ def scheduler_comparison(
     horizon: float = 2e5,
     warmup: float = 1e4,
     seed: int = 5,
+    runner: Optional[SweepRunner] = None,
 ) -> list[AblationRow]:
     """All disciplines on identical traffic: mean delays + ratios."""
+    if runner is None:
+        runner = serial_runner()
     base = SingleHopConfig(
         utilization=utilization, horizon=horizon, warmup=warmup, seed=seed
     )
     # Additive offsets in time units comparable to the delays at play.
     additive_sdps = (1.0, 400.0, 800.0, 1200.0)
-    trace = generate_trace(base)
-    rows = []
-    for name in schedulers:
-        sdps = additive_sdps if name == "additive" else base.sdps
-        result = replay_through_scheduler(
-            trace, make_scheduler(name, sdps), base
+    tasks = [
+        SingleHopTask(
+            config=base,
+            scheduler=name,
+            sdps=additive_sdps if name == "additive" else None,
         )
+        for name in schedulers
+    ]
+    summaries = runner.map(single_hop_summary, tasks)
+
+    rows = []
+    for name, summary in zip(schedulers, summaries):
         values = {
-            f"d{i + 1}": d for i, d in enumerate(result.mean_delays)
+            f"d{i + 1}": d for i, d in enumerate(summary["mean_delays"])
         }
-        for i, r in enumerate(result.successive_ratios):
+        for i, r in enumerate(summary["ratios"]):
             values[f"r{i + 1}{i + 2}"] = r
         rows.append(AblationRow(label=name, values=values))
     return rows
@@ -216,6 +237,7 @@ def adaptive_wtp_correction(
     horizon: float = 3e5,
     warmup: float = 1.5e4,
     seed: int = 17,
+    runner: Optional[SweepRunner] = None,
 ) -> list[AblationRow]:
     """Extension ablation: adaptive SDPs vs plain WTP across loads.
 
@@ -224,21 +246,32 @@ def adaptive_wtp_correction(
     variant repairs the moderate-load undershoot without hurting the
     heavy-load regime.
     """
-    rows = []
-    for rho in utilizations:
-        base = SingleHopConfig(
-            sdps=sdps, utilization=rho, horizon=horizon, warmup=warmup,
-            seed=seed,
+    if runner is None:
+        runner = serial_runner()
+    names = ("wtp", "adaptive-wtp")
+    tasks = [
+        SingleHopTask(
+            config=SingleHopConfig(
+                sdps=sdps, utilization=rho, horizon=horizon, warmup=warmup,
+                seed=seed,
+            ),
+            scheduler=name,
         )
-        trace = generate_trace(base)
+        for rho in utilizations
+        for name in names
+    ]
+    summaries = runner.map(single_hop_summary, tasks)
+
+    rows = []
+    cursor = 0
+    for rho in utilizations:
         values = {}
-        for name in ("wtp", "adaptive-wtp"):
-            result = replay_through_scheduler(
-                trace, make_scheduler(name, sdps), base
-            )
+        for name in names:
+            summary = summaries[cursor]
+            cursor += 1
             errors = [
                 abs(r - t)
-                for r, t in zip(result.successive_ratios, result.target_ratios())
+                for r, t in zip(summary["ratios"], summary["target_ratios"])
             ]
             values[name] = sum(errors) / len(errors)
         rows.append(AblationRow(label=f"rho={rho:g}", values=values))
@@ -318,6 +351,7 @@ def quantization_sweep(
     horizon: float = 2e5,
     warmup: float = 1e4,
     seed: int = 19,
+    runner: Optional[SweepRunner] = None,
 ) -> list[AblationRow]:
     """Implementability ablation (§4.2): WTP with quantized priorities.
 
@@ -326,32 +360,29 @@ def quantization_sweep(
     Expected: sub-p-unit epochs are indistinguishable from exact WTP;
     accuracy decays as the epoch approaches the delays being ranked.
     """
-    from ..schedulers.quantized_wtp import QuantizedWTPScheduler
     from ..units import PAPER_P_UNIT
 
+    if runner is None:
+        runner = serial_runner()
     sdps = (1.0, 2.0, 4.0, 8.0)
     base = SingleHopConfig(
         sdps=sdps, utilization=utilization, horizon=horizon, warmup=warmup,
         seed=seed,
     )
-    trace = generate_trace(base)
-    exact = replay_through_scheduler(trace, make_scheduler("wtp", sdps), base)
-    exact_error = max(
-        abs(r - t) for r, t in zip(exact.successive_ratios, exact.target_ratios())
-    )
-    rows = [AblationRow(label="exact", values={"worst_error": exact_error})]
-    for epoch_p in epochs_p_units:
-        scheduler = QuantizedWTPScheduler(sdps, epoch=epoch_p * PAPER_P_UNIT)
-        result = replay_through_scheduler(trace, scheduler, base)
+    tasks = [SingleHopTask(config=base, scheduler="wtp")] + [
+        SingleHopTask(config=base, epoch=epoch_p * PAPER_P_UNIT)
+        for epoch_p in epochs_p_units
+    ]
+    summaries = runner.map(single_hop_summary, tasks)
+
+    labels = ["exact"] + [f"epoch={epoch_p:g}p" for epoch_p in epochs_p_units]
+    rows = []
+    for label, summary in zip(labels, summaries):
         error = max(
             abs(r - t)
-            for r, t in zip(result.successive_ratios, result.target_ratios())
+            for r, t in zip(summary["ratios"], summary["target_ratios"])
         )
-        rows.append(
-            AblationRow(
-                label=f"epoch={epoch_p:g}p", values={"worst_error": error}
-            )
-        )
+        rows.append(AblationRow(label=label, values={"worst_error": error}))
     return rows
 
 

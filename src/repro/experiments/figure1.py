@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
+from ..runner import SingleHopTask, SweepRunner, serial_runner, single_hop_summary
 from ..traffic.mix import PAPER_DEFAULT_LOADS, ClassLoadDistribution
-from .common import SingleHopConfig, run_single_hop
+from .common import SingleHopConfig
 
 __all__ = [
     "FigureOneConfig",
@@ -90,33 +91,63 @@ class FigureOnePoint:
         )
 
 
-def run_figure1(config: FigureOneConfig) -> list[FigureOnePoint]:
-    """Regenerate the Figure 1 series (one point per scheduler x rho)."""
+def figure1_tasks(config: FigureOneConfig) -> list[SingleHopTask]:
+    """The sweep grid, flattened in deterministic (rho, sched, seed) order."""
+    tasks = []
+    for utilization in config.utilizations:
+        for scheduler in config.schedulers:
+            for seed_index, seed in enumerate(config.seeds):
+                tasks.append(
+                    SingleHopTask(
+                        config=SingleHopConfig(
+                            scheduler=scheduler,
+                            sdps=config.sdps,
+                            utilization=utilization,
+                            loads=config.loads,
+                            horizon=config.horizon,
+                            warmup=config.warmup,
+                            seed=seed,
+                        ),
+                        # The paper verifies Figures 1-2 operate at feasible
+                        # DDPs (Section 3); checking one seed per point
+                        # suffices.
+                        compute_feasibility=(
+                            config.check_feasibility and seed_index == 0
+                        ),
+                    )
+                )
+    return tasks
+
+
+def run_figure1(
+    config: FigureOneConfig, runner: Optional[SweepRunner] = None
+) -> list[FigureOnePoint]:
+    """Regenerate the Figure 1 series (one point per scheduler x rho).
+
+    All (scheduler, rho, seed) runs are independent; they fan out over
+    ``runner`` (inline/serial when omitted) and are aggregated here in
+    fixed order, so parallel results equal serial ones exactly.
+    """
+    if runner is None:
+        runner = serial_runner()
+    summaries = runner.map(single_hop_summary, figure1_tasks(config))
+
     points = []
+    cursor = 0
+    count = len(config.seeds)
     for utilization in config.utilizations:
         for scheduler in config.schedulers:
             per_pair_sums = [0.0] * (len(config.sdps) - 1)
             feasible = True
             target = None
-            for seed_index, seed in enumerate(config.seeds):
-                run_config = SingleHopConfig(
-                    scheduler=scheduler,
-                    sdps=config.sdps,
-                    utilization=utilization,
-                    loads=config.loads,
-                    horizon=config.horizon,
-                    warmup=config.warmup,
-                    seed=seed,
-                )
-                result = run_single_hop(run_config)
-                target = result.target_ratios()
-                for i, ratio in enumerate(result.successive_ratios):
+            for seed_index in range(count):
+                summary = summaries[cursor]
+                cursor += 1
+                target = summary["target_ratios"]
+                for i, ratio in enumerate(summary["ratios"]):
                     per_pair_sums[i] += ratio
-                # The paper verifies Figures 1-2 operate at feasible DDPs
-                # (Section 3); checking one seed per point suffices.
-                if config.check_feasibility and seed_index == 0:
-                    feasible = result.feasibility_report().feasible
-            count = len(config.seeds)
+                if "feasible" in summary and seed_index == 0:
+                    feasible = summary["feasible"]
             ratios = [s / count for s in per_pair_sums]
             if any(math.isnan(r) for r in ratios):
                 raise RuntimeError(

@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
+from ..runner import SingleHopTask, SweepRunner, serial_runner, single_hop_summary
 from ..traffic.mix import FIGURE2_LOAD_DISTRIBUTIONS, ClassLoadDistribution
-from .common import SingleHopConfig, run_single_hop
+from .common import SingleHopConfig
 from .figure1 import SDP_RATIO_2
 
 __all__ = ["FigureTwoConfig", "FigureTwoPoint", "run_figure2", "format_figure2"]
@@ -68,31 +69,55 @@ class FigureTwoPoint:
         )
 
 
-def run_figure2(config: FigureTwoConfig) -> list[FigureTwoPoint]:
-    """Regenerate the Figure 2 bars."""
+def figure2_tasks(config: FigureTwoConfig) -> list[SingleHopTask]:
+    """The sweep grid, flattened in deterministic (loads, sched, seed) order."""
+    tasks = []
+    for loads in config.distributions:
+        for scheduler in config.schedulers:
+            for seed_index, seed in enumerate(config.seeds):
+                tasks.append(
+                    SingleHopTask(
+                        config=SingleHopConfig(
+                            scheduler=scheduler,
+                            sdps=config.sdps,
+                            utilization=config.utilization,
+                            loads=loads,
+                            horizon=config.horizon,
+                            warmup=config.warmup,
+                            seed=seed,
+                        ),
+                        compute_feasibility=(
+                            config.check_feasibility and seed_index == 0
+                        ),
+                    )
+                )
+    return tasks
+
+
+def run_figure2(
+    config: FigureTwoConfig, runner: Optional[SweepRunner] = None
+) -> list[FigureTwoPoint]:
+    """Regenerate the Figure 2 bars (fanned out over ``runner``)."""
+    if runner is None:
+        runner = serial_runner()
+    summaries = runner.map(single_hop_summary, figure2_tasks(config))
+
     points = []
+    cursor = 0
+    count = len(config.seeds)
     for loads in config.distributions:
         for scheduler in config.schedulers:
             per_pair_sums = [0.0] * (len(config.sdps) - 1)
             feasible = True
             target = None
-            for seed_index, seed in enumerate(config.seeds):
-                run_config = SingleHopConfig(
-                    scheduler=scheduler,
-                    sdps=config.sdps,
-                    utilization=config.utilization,
-                    loads=loads,
-                    horizon=config.horizon,
-                    warmup=config.warmup,
-                    seed=seed,
-                )
-                result = run_single_hop(run_config)
-                target = result.target_ratios()
-                for i, ratio in enumerate(result.successive_ratios):
+            for seed_index in range(count):
+                summary = summaries[cursor]
+                cursor += 1
+                target = summary["target_ratios"]
+                for i, ratio in enumerate(summary["ratios"]):
                     per_pair_sums[i] += ratio
-                if config.check_feasibility and seed_index == 0:
-                    feasible = result.feasibility_report().feasible
-            count = len(config.seeds)
+                if "feasible" in summary and seed_index == 0:
+                    feasible = summary["feasible"]
             ratios = [s / count for s in per_pair_sums]
             if any(math.isnan(r) for r in ratios):
                 raise RuntimeError(f"no departures for some class: {loads}")

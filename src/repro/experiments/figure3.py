@@ -12,12 +12,13 @@ already near the target while BPR's spread is much wider.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
-from ..core.metrics import PercentileSummary, summarize_rd
+from ..core.metrics import PercentileSummary
+from ..runner import SingleHopTask, SweepRunner, serial_runner, single_hop_summary
 from ..traffic.mix import PAPER_DEFAULT_LOADS, ClassLoadDistribution
 from ..units import PAPER_P_UNIT
-from .common import SingleHopConfig, run_single_hop
+from .common import SingleHopConfig
 from .figure1 import SDP_RATIO_2
 
 __all__ = ["FigureThreeConfig", "FigureThreeBox", "run_figure3", "format_figure3"]
@@ -63,33 +64,52 @@ class FigureThreeBox:
     summary: PercentileSummary
 
 
-def run_figure3(config: FigureThreeConfig) -> list[FigureThreeBox]:
+def run_figure3(
+    config: FigureThreeConfig, runner: Optional[SweepRunner] = None
+) -> list[FigureThreeBox]:
     """Regenerate the Figure 3 boxes.
 
     All taus are monitored in a single run per scheduler (the paper's
-    measurement is a post-processing of the same departure stream).
+    measurement is a post-processing of the same departure stream); the
+    per-scheduler runs fan out over ``runner``.
     """
+    if runner is None:
+        runner = serial_runner()
     taus_time_units = tuple(t * PAPER_P_UNIT for t in config.taus_p_units)
-    boxes = []
-    for scheduler in config.schedulers:
-        run_config = SingleHopConfig(
-            scheduler=scheduler,
-            sdps=config.sdps,
-            utilization=config.utilization,
-            loads=config.loads,
-            horizon=config.horizon,
-            warmup=config.warmup,
-            seed=config.seed,
-            interval_taus=taus_time_units,
+    tasks = [
+        SingleHopTask(
+            config=SingleHopConfig(
+                scheduler=scheduler,
+                sdps=config.sdps,
+                utilization=config.utilization,
+                loads=config.loads,
+                horizon=config.horizon,
+                warmup=config.warmup,
+                seed=config.seed,
+                interval_taus=taus_time_units,
+            )
         )
-        result = run_single_hop(run_config)
+        for scheduler in config.schedulers
+    ]
+    summaries = runner.map(single_hop_summary, tasks)
+
+    boxes = []
+    for scheduler, summary in zip(config.schedulers, summaries):
+        by_tau = {tau: stats for tau, stats in summary["interval_rd"]}
         for tau_p, tau in zip(config.taus_p_units, taus_time_units):
-            monitor = result.interval_monitors[tau]
+            stats = by_tau[tau]
             boxes.append(
                 FigureThreeBox(
                     scheduler=scheduler,
                     tau_p_units=tau_p,
-                    summary=summarize_rd(monitor.interval_means()),
+                    summary=PercentileSummary(
+                        p5=stats["p5"],
+                        p25=stats["p25"],
+                        median=stats["median"],
+                        p75=stats["p75"],
+                        p95=stats["p95"],
+                        count=stats["count"],
+                    ),
                 )
             )
     return boxes

@@ -20,14 +20,14 @@ normalized by the mean delay (higher = noisier).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-from ..schedulers.registry import make_scheduler
+from ..runner import MicroscopicTask, SweepRunner, microscopic_summary, serial_runner
 from ..traffic.mix import ClassLoadDistribution
 from ..units import PAPER_P_UNIT
-from .common import SingleHopConfig, generate_trace, replay_through_scheduler
+from .common import SingleHopConfig
 
 __all__ = [
     "MicroscopicConfig",
@@ -102,9 +102,18 @@ def sawtooth_score(samples: Sequence[tuple[float, float]]) -> float:
 
 
 def run_figure45(
-    config: MicroscopicConfig, schedulers: tuple[str, str] = ("bpr", "wtp")
+    config: MicroscopicConfig,
+    schedulers: tuple[str, str] = ("bpr", "wtp"),
+    runner: Optional[SweepRunner] = None,
 ) -> dict[str, MicroscopicViews]:
-    """Replay one trace through both schedulers; return both view sets."""
+    """Replay one trace through both schedulers; return both view sets.
+
+    Each worker regenerates the identical trace from the shared seed, so
+    both schedulers still see "the same arriving packet streams" while
+    the two replays run in parallel.
+    """
+    if runner is None:
+        runner = serial_runner()
     view1_tau = config.view1_tau_p_units * PAPER_P_UNIT
     # Both windows start after warm-up, inside the steady-state region.
     view1_start = config.warmup + 0.25 * (config.horizon - config.warmup)
@@ -112,46 +121,44 @@ def run_figure45(
     view2_start = view1_start
     view2_end = view2_start + config.view2_window_p_units * PAPER_P_UNIT
 
-    base = SingleHopConfig(
-        scheduler=schedulers[0],
-        sdps=config.sdps,
-        utilization=config.utilization,
-        loads=config.loads,
-        horizon=config.horizon,
-        warmup=config.warmup,
-        seed=config.seed,
-        interval_taus=(view1_tau,),
-        tap_windows=((view2_start, view2_end),),
-    )
-    trace = generate_trace(base)
+    tasks = [
+        MicroscopicTask(
+            config=SingleHopConfig(
+                scheduler=name,
+                sdps=config.sdps,
+                utilization=config.utilization,
+                loads=config.loads,
+                horizon=config.horizon,
+                warmup=config.warmup,
+                seed=config.seed,
+                interval_taus=(view1_tau,),
+                tap_windows=((view2_start, view2_end),),
+            ),
+            scheduler=name,
+            view1_tau=view1_tau,
+            view1_start=view1_start,
+            view1_end=view1_end,
+        )
+        for name in schedulers
+    ]
+    summaries = runner.map(microscopic_summary, tasks)
 
     views = {}
-    for name in schedulers:
-        run_config = SingleHopConfig(
-            scheduler=name,
-            sdps=base.sdps,
-            utilization=base.utilization,
-            loads=base.loads,
-            horizon=base.horizon,
-            warmup=base.warmup,
-            seed=base.seed,
-            interval_taus=base.interval_taus,
-            tap_windows=base.tap_windows,
-        )
-        result = replay_through_scheduler(
-            trace, make_scheduler(name, base.sdps), run_config
-        )
-        interval_monitor = result.interval_monitors[view1_tau]
-        means = interval_monitor.interval_means()
-        # Restrict view I to its window.
-        indices = np.asarray([idx for idx, _, _ in interval_monitor.intervals])
-        window_mask = (indices * view1_tau >= view1_start) & (
-            indices * view1_tau < view1_end
+    for name, summary in zip(schedulers, summaries):
+        num_classes = len(config.sdps)
+        rows = summary["interval_means"]
+        means = (
+            np.asarray(rows, dtype=float)
+            if rows
+            else np.empty((0, num_classes))
         )
         views[name] = MicroscopicViews(
             scheduler=name,
-            interval_means=means[window_mask],
-            packet_samples=result.taps[0].samples,
+            interval_means=means,
+            packet_samples=[
+                [(t, d) for t, d in samples]
+                for samples in summary["packet_samples"]
+            ],
         )
     return views
 

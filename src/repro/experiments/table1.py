@@ -11,9 +11,13 @@ between 2.0 and 2.3, improving with K and rho).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
-from ..network.multihop import MultiHopConfig, MultiHopResult, run_multihop
+import numpy as np
+
+from ..core.metrics import EndToEndComparison
+from ..network.multihop import MultiHopConfig, MultiHopResult
+from ..runner import MultiHopTask, SweepRunner, multihop_summary, serial_runner
 
 __all__ = ["TableOneConfig", "TableOneCell", "run_table1", "format_table1"]
 
@@ -61,31 +65,63 @@ class TableOneCell:
         return self.result.inconsistent_experiments
 
 
-def run_table1(config: TableOneConfig) -> list[TableOneCell]:
-    """Run every cell of the Table 1 grid."""
-    cells = []
+def table1_tasks(config: TableOneConfig) -> list[MultiHopTask]:
+    """The sixteen-cell grid, flattened in the paper's row-major order."""
+    tasks = []
     for hops in config.hops_values:
         for rho in config.utilizations:
             for flow_packets in config.flow_packets_values:
                 for rate in config.flow_rates_kbps:
-                    mh_config = MultiHopConfig(
-                        hops=hops,
-                        utilization=rho,
-                        flow_packets=flow_packets,
-                        flow_rate_kbps=rate,
-                        experiments=config.experiments,
-                        warmup=config.warmup,
-                        seed=config.seed,
-                    )
-                    cells.append(
-                        TableOneCell(
-                            hops=hops,
-                            utilization=rho,
-                            flow_packets=flow_packets,
-                            flow_rate_kbps=rate,
-                            result=run_multihop(mh_config),
+                    tasks.append(
+                        MultiHopTask(
+                            config=MultiHopConfig(
+                                hops=hops,
+                                utilization=rho,
+                                flow_packets=flow_packets,
+                                flow_rate_kbps=rate,
+                                experiments=config.experiments,
+                                warmup=config.warmup,
+                                seed=config.seed,
+                            )
                         )
                     )
+    return tasks
+
+
+def run_table1(
+    config: TableOneConfig, runner: Optional[SweepRunner] = None
+) -> list[TableOneCell]:
+    """Run every cell of the Table 1 grid (cells fan out over ``runner``)."""
+    if runner is None:
+        runner = serial_runner()
+    tasks = table1_tasks(config)
+    summaries = runner.map(multihop_summary, tasks)
+
+    cells = []
+    for task, summary in zip(tasks, summaries):
+        mh_config = task.config
+        result = MultiHopResult(
+            config=mh_config,
+            comparisons=[
+                EndToEndComparison(
+                    percentile_matrix=np.asarray(
+                        c["percentile_matrix"], dtype=float
+                    ),
+                    inconsistencies=c["inconsistencies"],
+                    rd=c["rd"],
+                )
+                for c in summary["comparisons"]
+            ],
+        )
+        cells.append(
+            TableOneCell(
+                hops=mh_config.hops,
+                utilization=mh_config.utilization,
+                flow_packets=mh_config.flow_packets,
+                flow_rate_kbps=mh_config.flow_rate_kbps,
+                result=result,
+            )
+        )
     return cells
 
 

@@ -1,0 +1,38 @@
+"""Parallel sweep runner with a content-addressed result cache.
+
+The training-sweep-shaped orchestrator behind every figure/table
+driver: fan independent seeded runs out over processes
+(:class:`SweepRunner`), memoize their summaries on disk keyed by config
+hash + code version (:class:`ResultCache`), and keep parallel output
+bit-identical to serial by aggregating in deterministic task order.
+"""
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .hashing import canonical_payload, code_version, fingerprint
+from .runner import SweepReport, SweepRunner, cache_key, serial_runner
+from .tasks import (
+    MicroscopicTask,
+    MultiHopTask,
+    SingleHopTask,
+    microscopic_summary,
+    multihop_summary,
+    single_hop_summary,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "canonical_payload",
+    "code_version",
+    "fingerprint",
+    "SweepReport",
+    "SweepRunner",
+    "cache_key",
+    "serial_runner",
+    "SingleHopTask",
+    "MicroscopicTask",
+    "MultiHopTask",
+    "single_hop_summary",
+    "microscopic_summary",
+    "multihop_summary",
+]

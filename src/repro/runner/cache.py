@@ -1,0 +1,98 @@
+"""Content-addressed on-disk result cache for sweep runs.
+
+Layout: one JSON blob per result under ``<cache_dir>/<key[:2]>/<key>.json``
+where ``key`` is the SHA-256 cache key of (worker, code version, task).
+Writes are atomic (temp file + rename) so a killed sweep never leaves a
+truncated entry, and a corrupt/unreadable entry reads as a miss rather
+than an error.  Invalidation is implicit: a changed config hashes to a
+new key, and a changed ``repro`` source tree changes the code-version
+component of every key (see :mod:`repro.runner.hashing`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = ["ResultCache", "DEFAULT_CACHE_DIR"]
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """Get/put JSON payloads addressed by content hash."""
+
+    def __init__(self, directory: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """Where the blob for ``key`` lives (two-level fan-out)."""
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Cached payload for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as blob:
+                entry = json.load(blob)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if entry.get("key") != key:  # paranoia: moved/renamed blob
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["result"]
+
+    def put(self, key: str, result: Any, meta: Optional[dict] = None) -> Path:
+        """Atomically store ``result`` (a JSON-able payload) under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key, "result": result}
+        if meta:
+            entry["meta"] = meta
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as blob:
+                json.dump(entry, blob, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached blob; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for blob in self.directory.glob("*/*.json"):
+                blob.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ResultCache({str(self.directory)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

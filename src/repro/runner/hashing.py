@@ -1,0 +1,79 @@
+"""Stable content hashes for sweep configs and for the code itself.
+
+Two ingredients feed every cache key:
+
+* :func:`fingerprint` -- a canonical-JSON SHA-256 of an arbitrary
+  (frozen-dataclass-shaped) task description.  Dataclasses are encoded
+  with their qualified type name plus field dict, tuples as lists, so
+  the hash is stable across processes and Python hash randomization.
+* :func:`code_version` -- a SHA-256 over the source text of every
+  module in the installed ``repro`` package.  Any code change anywhere
+  in the package invalidates previously cached results, which is the
+  conservative (always-correct) invalidation rule for a simulator whose
+  output can depend on any module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+__all__ = ["fingerprint", "canonical_payload", "code_version"]
+
+
+def canonical_payload(obj: Any) -> Any:
+    """Recursively convert ``obj`` into canonical JSON-able structure.
+
+    Supported: dataclass instances (frozen configs), dicts with string
+    keys, tuples/lists, and JSON scalars.  Numpy scalars are accepted
+    via their ``item()`` method.  Anything else raises ``TypeError`` so
+    un-hashable state never silently degrades cache correctness.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        return {
+            "__dataclass__": f"{cls.__module__}.{cls.__qualname__}",
+            "fields": {
+                field.name: canonical_payload(getattr(obj, field.name))
+                for field in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, (list, tuple)):
+        return [canonical_payload(item) for item in obj]
+    if isinstance(obj, dict):
+        if not all(isinstance(k, str) for k in obj):
+            raise TypeError(f"non-string dict keys are not fingerprintable: {obj!r}")
+        return {k: canonical_payload(obj[k]) for k in sorted(obj)}
+    item = getattr(obj, "item", None)  # numpy scalar
+    if callable(item):
+        return canonical_payload(item())
+    raise TypeError(f"cannot fingerprint object of type {type(obj).__name__}: {obj!r}")
+
+
+def fingerprint(obj: Any) -> str:
+    """Hex SHA-256 of the canonical JSON encoding of ``obj``."""
+    payload = json.dumps(
+        canonical_payload(obj), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Hex SHA-256 over every ``.py`` source file of the repro package."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()

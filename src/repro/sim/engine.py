@@ -1,7 +1,7 @@
 """Discrete-event simulation kernel.
 
-A deliberately small, fast core: a binary-heap calendar of
-:class:`~repro.sim.events.EventHandle` objects and a run loop.  All
+A deliberately small, fast core: a binary-heap calendar of plain
+``(time, seq, callback, payload)`` tuples and a run loop.  All
 higher-level machinery (links, sources, monitors, network nodes) is
 built out of callbacks scheduled here.
 
@@ -10,8 +10,16 @@ Design notes
 * Time is a ``float`` in arbitrary units (see :mod:`repro.units`).
 * Events scheduled for the same instant fire in insertion order, which
   makes runs deterministic given deterministic callbacks and seeds.
-* Cancellation is lazy: cancelled handles stay in the heap and are
-  skipped when popped, so cancel is O(1).
+* Heap entries are tuples, not objects: ``(time, seq)`` is unique per
+  event, so heap comparisons stay in C and never reach the callback.
+  This is the kernel's hottest path -- a simulation run is essentially
+  one ``heappush``/``heappop`` pair per event.
+* Cancellation needs identity, which tuples cannot give, so only
+  :meth:`Simulator.schedule_cancellable` allocates an
+  :class:`~repro.sim.events.EventHandle` facade; the heap entry then
+  carries the handle in its payload slot behind a private sentinel.
+  Cancellation stays lazy: cancelled handles remain in the heap and
+  are skipped when popped, so cancel is O(1).
 """
 
 from __future__ import annotations
@@ -24,6 +32,10 @@ from .events import EventHandle
 
 __all__ = ["Simulator"]
 
+#: Marks heap entries whose payload slot holds an :class:`EventHandle`
+#: (the cancellable slow path) instead of a plain callback payload.
+_CANCELLABLE: Any = object()
+
 
 class Simulator:
     """Event calendar plus current-time clock.
@@ -32,8 +44,8 @@ class Simulator:
     --------
     >>> sim = Simulator()
     >>> fired = []
-    >>> _ = sim.schedule(5.0, fired.append, "a")
-    >>> _ = sim.schedule(2.0, fired.append, "b")
+    >>> sim.schedule(5.0, fired.append, "a")
+    >>> sim.schedule(2.0, fired.append, "b")
     >>> sim.run()
     >>> fired
     ['b', 'a']
@@ -44,7 +56,7 @@ class Simulator:
     __slots__ = ("_heap", "_seq", "now", "_running", "_events_processed")
 
     def __init__(self) -> None:
-        self._heap: list[EventHandle] = []
+        self._heap: list[tuple[float, int, Any, Any]] = []
         self._seq = 0
         #: Current simulation time.
         self.now = 0.0
@@ -59,19 +71,34 @@ class Simulator:
         time: float,
         callback: Callable[..., None],
         payload: Any = None,
-    ) -> EventHandle:
-        """Schedule ``callback`` at absolute ``time``.
+    ) -> None:
+        """Schedule ``callback`` at absolute ``time`` (fast path).
 
         ``payload`` (if not ``None``) is passed as the single positional
-        argument.  Returns a handle that can be cancelled.
+        argument.  The event cannot be cancelled; use
+        :meth:`schedule_cancellable` when cancellation is needed.
         """
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule event in the past: {time} < now={self.now}"
             )
-        handle = EventHandle(time, self._seq, callback, payload)
+        heapq.heappush(self._heap, (time, self._seq, callback, payload))
         self._seq += 1
-        heapq.heappush(self._heap, handle)
+
+    def schedule_cancellable(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        payload: Any = None,
+    ) -> EventHandle:
+        """Schedule ``callback`` at ``time``; returns a cancellable handle."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now={self.now}"
+            )
+        handle = EventHandle(time, self._seq, callback, payload)
+        heapq.heappush(self._heap, (time, self._seq, _CANCELLABLE, handle))
+        self._seq += 1
         return handle
 
     def schedule_after(
@@ -79,11 +106,11 @@ class Simulator:
         delay: float,
         callback: Callable[..., None],
         payload: Any = None,
-    ) -> EventHandle:
+    ) -> None:
         """Schedule ``callback`` after a relative ``delay >= 0``."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.schedule(self.now + delay, callback, payload)
+        self.schedule(self.now + delay, callback, payload)
 
     # ------------------------------------------------------------------
     # Execution
@@ -92,16 +119,18 @@ class Simulator:
         """Fire the next pending event.  Returns False if none remain."""
         heap = self._heap
         while heap:
-            handle = heapq.heappop(heap)
-            callback = handle.callback
-            if callback is None:  # cancelled
-                continue
-            self.now = handle.time
+            time, _, callback, payload = heapq.heappop(heap)
+            if callback is _CANCELLABLE:
+                callback = payload.callback
+                if callback is None:  # cancelled
+                    continue
+                payload = payload.payload
+            self.now = time
             self._events_processed += 1
-            if handle.payload is None:
+            if payload is None:
                 callback()
             else:
-                callback(handle.payload)
+                callback(payload)
             return True
         return False
 
@@ -111,31 +140,50 @@ class Simulator:
         When ``until`` is given, every event with ``time <= until`` is
         fired and the clock is left at ``until`` (even if the last event
         fired earlier), mirroring classic DES semantics so that
-        rate/interval statistics cover the full horizon.
+        rate/interval statistics cover the full horizon.  Running to a
+        horizon already in the past is rejected.
         """
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
+        if until is not None and until < self.now:
+            raise SimulationError(
+                f"cannot run to a horizon in the past: {until} < now={self.now}"
+            )
         self._running = True
         try:
             heap = self._heap
+            pop = heapq.heappop
             if until is None:
-                while self.step():
-                    pass
+                while heap:
+                    time, _, callback, payload = pop(heap)
+                    if callback is _CANCELLABLE:
+                        callback = payload.callback
+                        if callback is None:
+                            continue
+                        payload = payload.payload
+                    self.now = time
+                    self._events_processed += 1
+                    if payload is None:
+                        callback()
+                    else:
+                        callback(payload)
                 return
             while heap:
-                handle = heap[0]
-                if handle.time > until:
+                time = heap[0][0]
+                if time > until:
                     break
-                heapq.heappop(heap)
-                callback = handle.callback
-                if callback is None:
-                    continue
-                self.now = handle.time
+                _, _, callback, payload = pop(heap)
+                if callback is _CANCELLABLE:
+                    callback = payload.callback
+                    if callback is None:
+                        continue
+                    payload = payload.payload
+                self.now = time
                 self._events_processed += 1
-                if handle.payload is None:
+                if payload is None:
                     callback()
                 else:
-                    callback(handle.payload)
+                    callback(payload)
             if until > self.now:
                 self.now = until
         finally:
@@ -157,6 +205,10 @@ class Simulator:
     def peek(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the heap is empty."""
         heap = self._heap
-        while heap and heap[0].callback is None:
-            heapq.heappop(heap)
-        return heap[0].time if heap else None
+        while heap:
+            entry = heap[0]
+            if entry[2] is _CANCELLABLE and entry[3].callback is None:
+                heapq.heappop(heap)
+                continue
+            return entry[0]
+        return None

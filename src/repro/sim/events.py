@@ -1,10 +1,12 @@
-"""Event representation for the discrete-event kernel.
+"""Cancellable-event facade for the discrete-event kernel.
 
-Events are ``(time, seq, callback, payload)`` tuples ordered by time and
-by insertion sequence for ties, so two events never compare their
-callbacks (callables are not orderable).  A thin :class:`EventHandle`
-wrapper supports cancellation without the O(n) cost of removing an entry
-from the heap: cancelled handles are skipped when popped.
+The kernel's heap holds plain ``(time, seq, callback, payload)`` tuples
+ordered by time and by insertion sequence for ties, so heap comparisons
+never reach the callbacks (callables are not orderable) and stay in C.
+Only :meth:`repro.sim.engine.Simulator.schedule_cancellable` allocates
+this thin :class:`EventHandle` facade, which supports cancellation
+without the O(n) cost of removing an entry from the heap: cancelled
+handles are skipped when popped.
 """
 
 from __future__ import annotations

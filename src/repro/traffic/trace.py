@@ -110,7 +110,15 @@ def merge_traces(traces: Sequence[ArrivalTrace]) -> ArrivalTrace:
 
 
 class TraceSource:
-    """Replays an :class:`ArrivalTrace` into a receiver via the kernel."""
+    """Replays an :class:`ArrivalTrace` into a receiver via the kernel.
+
+    The replay is lazy -- exactly one pending heap entry at a time, the
+    next arrival -- so a million-packet trace never bloats the event
+    calendar.  ``start`` batch-converts the numpy arrays to plain Python
+    lists once (one C-level pass) so the per-packet hot path does no
+    numpy scalar indexing, which costs an order of magnitude more than
+    a list index.
+    """
 
     def __init__(
         self,
@@ -124,22 +132,28 @@ class TraceSource:
         self.trace = trace
         self.first_packet_id = first_packet_id
         self._cursor = 0
+        self._times: list[float] = []
+        self._class_ids: list[int] = []
+        self._sizes: list[float] = []
 
     def start(self) -> None:
         """Schedule the first replayed arrival.  Idempotent."""
-        if self._cursor == 0 and len(self.trace):
-            self.sim.schedule(float(self.trace.times[0]), self._emit)
+        if self._cursor == 0 and not self._times and len(self.trace):
+            self._times = self.trace.times.tolist()
+            self._class_ids = self.trace.class_ids.tolist()
+            self._sizes = self.trace.sizes.tolist()
+            self.sim.schedule(self._times[0], self._emit)
 
     def _emit(self) -> None:
-        trace = self.trace
         index = self._cursor
+        times = self._times
         packet = Packet(
             packet_id=self.first_packet_id + index,
-            class_id=int(trace.class_ids[index]),
-            size=float(trace.sizes[index]),
-            created_at=float(trace.times[index]),
+            class_id=self._class_ids[index],
+            size=self._sizes[index],
+            created_at=times[index],
         )
-        self._cursor += 1
+        self._cursor = index = index + 1
         self.target.receive(packet)
-        if self._cursor < len(trace):
-            self.sim.schedule(float(trace.times[self._cursor]), self._emit)
+        if index < len(times):
+            self.sim.schedule(times[index], self._emit)

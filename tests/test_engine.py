@@ -60,27 +60,41 @@ class TestScheduling:
 
 
 class TestCancellation:
+    def test_cancellable_event_fires_like_plain(self, sim):
+        fired = []
+        sim.schedule_cancellable(2.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "a")
+        sim.run()
+        assert fired == ["a", "b"]
+        assert sim.events_processed == 2
+
     def test_cancelled_event_does_not_fire(self, sim):
         fired = []
-        handle = sim.schedule(1.0, fired.append, "x")
+        handle = sim.schedule_cancellable(1.0, fired.append, "x")
         handle.cancel()
         sim.run()
         assert fired == []
 
     def test_cancel_is_idempotent(self, sim):
-        handle = sim.schedule(1.0, lambda: None)
+        handle = sim.schedule_cancellable(1.0, lambda: None)
         handle.cancel()
         handle.cancel()
         assert handle.cancelled
 
     def test_cancel_one_of_many(self, sim):
         fired = []
-        keep = sim.schedule(1.0, fired.append, "keep")
-        drop = sim.schedule(2.0, fired.append, "drop")
+        keep = sim.schedule_cancellable(1.0, fired.append, "keep")
+        drop = sim.schedule_cancellable(2.0, fired.append, "drop")
         drop.cancel()
         sim.run()
         assert fired == ["keep"]
         assert not keep.cancelled
+
+    def test_cancellable_in_past_raises(self, sim):
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_cancellable(5.0, lambda: None)
 
 
 class TestRunUntil:
@@ -107,6 +121,19 @@ class TestRunUntil:
         assert fired == ["a", "b"]
         assert sim.now == 20.0
 
+    def test_run_until_in_past_raises(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=5.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=2.0)
+        # The clock and calendar are untouched by the rejected call.
+        assert sim.now == 5.0
+
+    def test_run_until_now_is_a_noop(self, sim):
+        sim.run(until=5.0)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
     def test_run_is_not_reentrant(self, sim):
         def recurse():
             sim.run()
@@ -131,13 +158,13 @@ class TestRunUntil:
 class TestIntrospection:
     def test_events_processed_counts_fired_only(self, sim):
         sim.schedule(1.0, lambda: None)
-        handle = sim.schedule(2.0, lambda: None)
+        handle = sim.schedule_cancellable(2.0, lambda: None)
         handle.cancel()
         sim.run()
         assert sim.events_processed == 1
 
     def test_peek_skips_cancelled(self, sim):
-        first = sim.schedule(1.0, lambda: None)
+        first = sim.schedule_cancellable(1.0, lambda: None)
         sim.schedule(2.0, lambda: None)
         first.cancel()
         assert sim.peek() == 2.0

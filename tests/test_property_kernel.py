@@ -31,7 +31,10 @@ class TestEngineProperties:
     def test_cancelled_events_never_fire(self, times, cancel_indices):
         sim = Simulator()
         fired = []
-        handles = [sim.schedule(t, fired.append, i) for i, t in enumerate(times)]
+        handles = [
+            sim.schedule_cancellable(t, fired.append, i)
+            for i, t in enumerate(times)
+        ]
         for index in cancel_indices:
             if index < len(handles):
                 handles[index].cancel()
