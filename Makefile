@@ -2,12 +2,18 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-record examples selfcheck figures-fast reproduce-quick reproduce-full clean
+.PHONY: install test test-fast bench bench-record examples selfcheck figures-fast reproduce-quick reproduce-full clean
 
 install:
 	$(PYTHON) setup.py develop
 
+# Everything, including tests marked `slow` (overrides the tier-1
+# default `-m 'not slow'` from pyproject.toml).
 test:
+	$(PYTHON) -m pytest tests/ -m ""
+
+# Tier-1 selection: skips tests marked `slow`.
+test-fast:
 	$(PYTHON) -m pytest tests/
 
 bench:

@@ -68,10 +68,12 @@ from .runner import DEFAULT_CACHE_DIR, ResultCache, SweepRunner
 __all__ = ["main"]
 
 
-def _figure1(scale: float, export_dir: Optional[Path], runner: SweepRunner) -> str:
+def _figure1(
+    scale: float, export_dir: Optional[Path], runner: SweepRunner, checked: bool
+) -> str:
     parts = []
     for sdps, label in ((SDP_RATIO_2, "1a"), (SDP_RATIO_4, "1b")):
-        config = FigureOneConfig(sdps=sdps).scaled(scale)
+        config = FigureOneConfig(sdps=sdps, check_invariants=checked).scaled(scale)
         points = run_figure1(config, runner=runner)
         parts.append(f"--- Figure {label} ---")
         parts.append(format_figure1(points))
@@ -81,10 +83,12 @@ def _figure1(scale: float, export_dir: Optional[Path], runner: SweepRunner) -> s
     return "\n".join(parts)
 
 
-def _figure2(scale: float, export_dir: Optional[Path], runner: SweepRunner) -> str:
+def _figure2(
+    scale: float, export_dir: Optional[Path], runner: SweepRunner, checked: bool
+) -> str:
     parts = []
     for sdps, label in ((SDP_RATIO_2, "2a"), (SDP_RATIO_4, "2b")):
-        config = FigureTwoConfig(sdps=sdps).scaled(scale)
+        config = FigureTwoConfig(sdps=sdps, check_invariants=checked).scaled(scale)
         points = run_figure2(config, runner=runner)
         parts.append(f"--- Figure {label} ---")
         parts.append(format_figure2(points))
@@ -94,16 +98,22 @@ def _figure2(scale: float, export_dir: Optional[Path], runner: SweepRunner) -> s
     return "\n".join(parts)
 
 
-def _figure3(scale: float, export_dir: Optional[Path], runner: SweepRunner) -> str:
-    boxes = run_figure3(FigureThreeConfig().scaled(scale), runner=runner)
+def _figure3(
+    scale: float, export_dir: Optional[Path], runner: SweepRunner, checked: bool
+) -> str:
+    config = FigureThreeConfig(check_invariants=checked).scaled(scale)
+    boxes = run_figure3(config, runner=runner)
     if export_dir is not None:
         figure3_to_csv(boxes, export_dir / "figure3.csv")
         save_figures({"figure3": figure3_svg(boxes)}, export_dir)
     return format_figure3(boxes)
 
 
-def _figure45(scale: float, export_dir: Optional[Path], runner: SweepRunner) -> str:
-    views = run_figure45(MicroscopicConfig().scaled(scale), runner=runner)
+def _figure45(
+    scale: float, export_dir: Optional[Path], runner: SweepRunner, checked: bool
+) -> str:
+    config = MicroscopicConfig(check_invariants=checked).scaled(scale)
+    views = run_figure45(config, runner=runner)
     if export_dir is not None:
         figure45_to_json(views, export_dir / "figure45.json")
         charts = figure45_svg(views)
@@ -115,24 +125,31 @@ def _figure45(scale: float, export_dir: Optional[Path], runner: SweepRunner) -> 
     return format_figure45(views)
 
 
-def _table1(scale: float, export_dir: Optional[Path], runner: SweepRunner) -> str:
-    cells = run_table1(TableOneConfig().scaled(scale), runner=runner)
+def _table1(
+    scale: float, export_dir: Optional[Path], runner: SweepRunner, checked: bool
+) -> str:
+    config = TableOneConfig(check_invariants=checked).scaled(scale)
+    cells = run_table1(config, runner=runner)
     if export_dir is not None:
         table1_to_csv(cells, export_dir / "table1.csv")
         save_figures({"table1": table1_svg(cells)}, export_dir)
     return format_table1(cells)
 
 
-def _selfcheck(scale: float, export_dir: Optional[Path], runner: SweepRunner) -> str:
-    del scale, export_dir, runner
+def _selfcheck(
+    scale: float, export_dir: Optional[Path], runner: SweepRunner, checked: bool
+) -> str:
+    del scale, export_dir, runner, checked
     from .validation import format_selfcheck, run_selfcheck
 
     return format_selfcheck(run_selfcheck())
 
 
-def _ablations(scale: float, export_dir: Optional[Path], runner: SweepRunner) -> str:
+def _ablations(
+    scale: float, export_dir: Optional[Path], runner: SweepRunner, checked: bool
+) -> str:
     del export_dir  # nothing tabular worth exporting
-    del scale  # ablations are already laptop-sized
+    del scale, checked  # ablations are already laptop-sized and unchecked
     parts = [
         format_ablation_rows(
             sdp_ratio_sweep(runner=runner), "SDP-ratio sweep (worst rel. error)"
@@ -159,7 +176,7 @@ def _ablations(scale: float, export_dir: Optional[Path], runner: SweepRunner) ->
     return "\n\n".join(parts)
 
 
-_COMMANDS: dict[str, Callable[[float, Optional[Path], SweepRunner], str]] = {
+_COMMANDS: dict[str, Callable[[float, Optional[Path], SweepRunner, bool], str]] = {
     "figure1": _figure1,
     "figure2": _figure2,
     "figure3": _figure3,
@@ -223,6 +240,16 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable the on-disk result cache entirely",
     )
+    parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help=(
+            "run every simulation under the runtime invariant checker "
+            "(per-class FIFO, causality, work conservation, "
+            "losslessness, scheduler dispatch oracles, Eq 5); checked "
+            "results are cached separately from unchecked ones"
+        ),
+    )
     args = parser.parse_args(argv)
     if not 0 < args.scale <= 1.0:
         parser.error("--scale must be in (0, 1]")
@@ -237,7 +264,9 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         start = time.perf_counter()
         first_report = len(runner.reports)
-        output = _COMMANDS[name](args.scale, args.export_dir, runner)
+        output = _COMMANDS[name](
+            args.scale, args.export_dir, runner, args.check_invariants
+        )
         elapsed = time.perf_counter() - start
         print(output)
         for report in runner.reports[first_report:]:

@@ -44,27 +44,28 @@ def fcfs_waiting_times(
 
     W_1 = 0;  W_{k+1} = max(0, W_k + S_k - (t_{k+1} - t_k))  with
     S_k = sizes_k / capacity.  Arrival times must be sorted.
+
+    Evaluated in vectorized form via the random-walk solution of the
+    recursion: with X_k = S_k - gap_k and C_k = X_1 + ... + X_k
+    (C_0 = 0),  W_{k+1} = C_k - min(C_0, ..., C_k),  so one ``cumsum``
+    and one ``minimum.accumulate`` replace the Python loop.  The
+    invariant subsystem runs this over every checked trace, so the O(n)
+    loop constant matters.
     """
     if capacity <= 0:
         raise ConfigurationError(f"capacity must be positive: {capacity}")
     n = len(times)
     if len(sizes) != n:
         raise ConfigurationError("times and sizes must align")
-    waits = np.empty(n)
     if not n:
-        return waits
+        return np.empty(0)
     gaps = np.diff(times)
     if len(gaps) and gaps.min() < 0:
         raise ConfigurationError("arrival times must be sorted")
-    service = sizes / capacity
-    w = 0.0
-    waits[0] = 0.0
-    for k in range(1, n):
-        w = w + service[k - 1] - gaps[k - 1]
-        if w < 0.0:
-            w = 0.0
-        waits[k] = w
-    return waits
+    walk = np.empty(n)
+    walk[0] = 0.0
+    np.cumsum(sizes[:-1] / capacity - gaps, out=walk[1:])
+    return walk - np.minimum.accumulate(walk)
 
 
 def fcfs_mean_delay(

@@ -8,6 +8,8 @@ Every error raised deliberately by this library derives from
 
 from __future__ import annotations
 
+from typing import Optional
+
 __all__ = [
     "ReproError",
     "ConfigurationError",
@@ -15,6 +17,7 @@ __all__ = [
     "SchedulingError",
     "FeasibilityError",
     "TopologyError",
+    "InvariantViolation",
 ]
 
 
@@ -40,3 +43,37 @@ class FeasibilityError(ReproError, ValueError):
 
 class TopologyError(ReproError, ValueError):
     """Invalid network topology (unknown node, disconnected path...)."""
+
+
+class InvariantViolation(ReproError, RuntimeError):
+    """A runtime invariant check failed (see :mod:`repro.invariants`).
+
+    Structured so test harnesses and operators can locate the offending
+    event: ``invariant`` names the violated property, and the optional
+    ``packet_id`` / ``class_id`` (0-based) / ``sim_time`` pin it to one
+    packet and simulation instant.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        detail: str,
+        *,
+        packet_id: Optional[int] = None,
+        class_id: Optional[int] = None,
+        sim_time: Optional[float] = None,
+    ) -> None:
+        self.invariant = invariant
+        self.detail = detail
+        self.packet_id = packet_id
+        self.class_id = class_id
+        self.sim_time = sim_time
+        where = []
+        if packet_id is not None:
+            where.append(f"packet={packet_id}")
+        if class_id is not None:
+            where.append(f"class={class_id}")
+        if sim_time is not None:
+            where.append(f"t={sim_time:.6g}")
+        suffix = f" ({', '.join(where)})" if where else ""
+        super().__init__(f"[{invariant}] {detail}{suffix}")

@@ -26,6 +26,7 @@ from ..core.conservation import (
 from ..core.ddp import ddps_from_sdps
 from ..core.feasibility import FeasibilityReport, check_proportional_feasibility
 from ..errors import ConfigurationError
+from ..invariants import InvariantChecker, InvariantReport, verify_conservation_law
 from ..schedulers.base import Scheduler
 from ..schedulers.registry import make_scheduler
 from ..sim.engine import Simulator
@@ -89,6 +90,9 @@ class SingleHopResult:
     interval_monitors: dict[float, IntervalDelayMonitor]
     taps: list[PacketTap]
     link_utilization: float
+    #: What the runtime invariant checker verified (``None`` when the
+    #: run executed unchecked).
+    invariants: Optional[InvariantReport] = None
 
     @property
     def mean_delays(self) -> list[float]:
@@ -162,8 +166,19 @@ def replay_through_scheduler(
     trace: ArrivalTrace,
     scheduler: Scheduler,
     config: SingleHopConfig,
+    check_invariants: bool = False,
+    conservation_tolerance: float = 0.25,
 ) -> SingleHopResult:
-    """Replay a trace through a scheduler and collect all measurements."""
+    """Replay a trace through a scheduler and collect all measurements.
+
+    With ``check_invariants`` the run is self-verifying: an
+    :class:`~repro.invariants.InvariantChecker` attaches to the link,
+    the kernel executes through
+    :meth:`~repro.sim.engine.Simulator.run_checked`, and Kleinrock's
+    conservation law (Eq 5) is checked post-run against the trace's
+    FCFS reference delay within ``conservation_tolerance``.  Any
+    violation raises :class:`~repro.errors.InvariantViolation`.
+    """
     sim = Simulator()
     link = Link(sim, scheduler, config.capacity, target=PacketSink())
     monitor = DelayMonitor(
@@ -185,9 +200,23 @@ def replay_through_scheduler(
 
     source = TraceSource(sim, link, trace)
     source.start()
-    sim.run(until=config.horizon)
+    checker = InvariantChecker(link).attach() if check_invariants else None
+    if checker is not None:
+        sim.run_checked(until=config.horizon)
+    else:
+        sim.run(until=config.horizon)
     for interval in interval_monitors.values():
         interval.finalize()
+    invariants = None
+    if checker is not None:
+        invariants = checker.finalize()
+        invariants.conservation_residual = verify_conservation_law(
+            trace.class_rates(config.horizon),
+            monitor.mean_delays(),
+            fcfs_mean_delay(trace, config.capacity, config.warmup),
+            tolerance=conservation_tolerance,
+            sim_time=sim.now,
+        )
     return SingleHopResult(
         config=config,
         trace=trace,
@@ -195,14 +224,19 @@ def replay_through_scheduler(
         interval_monitors=interval_monitors,
         taps=taps,
         link_utilization=link.utilization(config.horizon),
+        invariants=invariants,
     )
 
 
 def run_single_hop(
-    config: SingleHopConfig, trace: Optional[ArrivalTrace] = None
+    config: SingleHopConfig,
+    trace: Optional[ArrivalTrace] = None,
+    check_invariants: bool = False,
 ) -> SingleHopResult:
     """Generate (or reuse) a trace and run it under ``config.scheduler``."""
     if trace is None:
         trace = generate_trace(config)
     scheduler = make_scheduler(config.scheduler, config.sdps)
-    return replay_through_scheduler(trace, scheduler, config)
+    return replay_through_scheduler(
+        trace, scheduler, config, check_invariants=check_invariants
+    )

@@ -53,6 +53,8 @@ class FigureOneConfig:
     horizon: float = 1e6
     warmup: float = 5e4
     check_feasibility: bool = True
+    #: Run every point under the runtime invariant checker.
+    check_invariants: bool = False
 
     def scaled(self, factor: float) -> "FigureOneConfig":
         """Shrink run length and seed count by ``factor`` (0 < f <= 1)."""
@@ -66,6 +68,7 @@ class FigureOneConfig:
             horizon=max(5e4, self.horizon * factor),
             warmup=max(2e3, self.warmup * factor),
             check_feasibility=self.check_feasibility,
+            check_invariants=self.check_invariants,
         )
 
 
@@ -114,6 +117,7 @@ def figure1_tasks(config: FigureOneConfig) -> list[SingleHopTask]:
                         compute_feasibility=(
                             config.check_feasibility and seed_index == 0
                         ),
+                        check_invariants=config.check_invariants,
                     )
                 )
     return tasks

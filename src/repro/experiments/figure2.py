@@ -33,6 +33,8 @@ class FigureTwoConfig:
     horizon: float = 1e6
     warmup: float = 5e4
     check_feasibility: bool = True
+    #: Run every point under the runtime invariant checker.
+    check_invariants: bool = False
 
     def scaled(self, factor: float) -> "FigureTwoConfig":
         seeds = self.seeds[: max(1, round(len(self.seeds) * factor))]
@@ -45,6 +47,7 @@ class FigureTwoConfig:
             horizon=max(5e4, self.horizon * factor),
             warmup=max(2e3, self.warmup * factor),
             check_feasibility=self.check_feasibility,
+            check_invariants=self.check_invariants,
         )
 
 
@@ -89,6 +92,7 @@ def figure2_tasks(config: FigureTwoConfig) -> list[SingleHopTask]:
                         compute_feasibility=(
                             config.check_feasibility and seed_index == 0
                         ),
+                        check_invariants=config.check_invariants,
                     )
                 )
     return tasks

@@ -41,6 +41,8 @@ class FigureThreeConfig:
     seed: int = 1
     horizon: float = 1e6
     warmup: float = 5e4
+    #: Run every point under the runtime invariant checker.
+    check_invariants: bool = False
 
     def scaled(self, factor: float) -> "FigureThreeConfig":
         return FigureThreeConfig(
@@ -52,6 +54,7 @@ class FigureThreeConfig:
             seed=self.seed,
             horizon=max(1e5, self.horizon * factor),
             warmup=max(2e3, self.warmup * factor),
+            check_invariants=self.check_invariants,
         )
 
 
@@ -87,7 +90,8 @@ def run_figure3(
                 warmup=config.warmup,
                 seed=config.seed,
                 interval_taus=taus_time_units,
-            )
+            ),
+            check_invariants=config.check_invariants,
         )
         for scheduler in config.schedulers
     ]

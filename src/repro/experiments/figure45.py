@@ -60,6 +60,8 @@ class MicroscopicConfig:
     view1_window_p_units: float = 15000.0
     #: View II: per-packet samples over a window this long (p-units).
     view2_window_p_units: float = 1000.0
+    #: Run both replays under the runtime invariant checker.
+    check_invariants: bool = False
 
     def scaled(self, factor: float) -> "MicroscopicConfig":
         return MicroscopicConfig(
@@ -72,6 +74,7 @@ class MicroscopicConfig:
             view1_tau_p_units=self.view1_tau_p_units,
             view1_window_p_units=self.view1_window_p_units,
             view2_window_p_units=self.view2_window_p_units,
+            check_invariants=self.check_invariants,
         )
 
 
@@ -138,6 +141,7 @@ def run_figure45(
             view1_tau=view1_tau,
             view1_start=view1_start,
             view1_end=view1_end,
+            check_invariants=config.check_invariants,
         )
         for name in schedulers
     ]

@@ -33,6 +33,8 @@ class TableOneConfig:
     experiments: int = 100
     warmup: float = 100_000.0
     seed: int = 1
+    #: Run every cell under the runtime invariant checker (one per hop).
+    check_invariants: bool = False
 
     def scaled(self, factor: float) -> "TableOneConfig":
         return TableOneConfig(
@@ -43,6 +45,7 @@ class TableOneConfig:
             experiments=max(5, round(self.experiments * factor)),
             warmup=max(5_000.0, self.warmup * factor),
             seed=self.seed,
+            check_invariants=self.check_invariants,
         )
 
 
@@ -82,7 +85,8 @@ def table1_tasks(config: TableOneConfig) -> list[MultiHopTask]:
                                 experiments=config.experiments,
                                 warmup=config.warmup,
                                 seed=config.seed,
-                            )
+                            ),
+                            check_invariants=config.check_invariants,
                         )
                     )
     return tasks

@@ -1,0 +1,274 @@
+"""Pluggable per-discipline dispatch invariants.
+
+Each check is an *independent reference implementation* of one
+scheduler's selection rule, deliberately written out again here instead
+of calling into the scheduler: a bug in the production formula must not
+silently validate itself.  Checks replicate the schedulers'
+floating-point arithmetic operation for operation, so a correct
+scheduler matches the reference *exactly* -- no tolerance is needed for
+the priority comparisons -- while any deviation (inverted priorities,
+wrong tie-break direction, stale state) raises
+:class:`~repro.errors.InvariantViolation` at the first offending
+dispatch.
+
+The registry is keyed by the scheduler's ``name`` class attribute (the
+same key :mod:`repro.schedulers.registry` uses), so subclasses that keep
+the name are checked against the named discipline's contract, and new
+disciplines can register their own check via
+:func:`register_scheduler_check`.
+
+Registered entries are *factories*: ``factory(scheduler)`` is called
+once when a checker attaches and returns the bound per-dispatch check.
+Binding at attach time lets a factory capture the scheduler's constant
+state (SDPs, capacity, the in-place-mutated backlog and rate lists) in
+closure locals, keeping the per-dispatch cost to the comparison itself.
+The bound check runs immediately *after* ``select`` returned, against
+the live post-pop queues::
+
+    check(queues, now, chosen)
+
+where ``queues[c]`` is class ``c``'s FIFO deque (``queues[c][0]`` its
+head) and ``chosen`` is the packet the scheduler picked.  Only the
+chosen packet's own queue changed since the decision, so a check
+compares ``chosen`` against the heads of every *other* class -- the
+argmax rule "chosen attains the maximum, ties to the higher class" is
+equivalent to "no other class strictly beats chosen, and no equal class
+sits above it", which needs no pre-pop snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from ..errors import InvariantViolation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections import deque
+
+    from ..schedulers.base import Scheduler
+    from ..sim.packet import Packet
+
+__all__ = [
+    "BoundDispatchCheck",
+    "DispatchCheckFactory",
+    "register_scheduler_check",
+    "registered_scheduler_checks",
+    "scheduler_check_for",
+]
+
+#: The bound per-dispatch check: ``check(queues, now, chosen)``.
+BoundDispatchCheck = Callable[[Sequence["deque"], float, "Packet"], None]
+#: What gets registered: binds a scheduler instance to its check.
+DispatchCheckFactory = Callable[["Scheduler"], BoundDispatchCheck]
+
+_REGISTRY: dict[str, DispatchCheckFactory] = {}
+
+
+def register_scheduler_check(name: str, factory: DispatchCheckFactory) -> None:
+    """Register (or replace) the dispatch-check factory for ``name``."""
+    _REGISTRY[name] = factory
+
+
+def registered_scheduler_checks() -> tuple[str, ...]:
+    """Scheduler names with a registered dispatch check, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def scheduler_check_for(scheduler: "Scheduler") -> Optional[BoundDispatchCheck]:
+    """The bound dispatch check for ``scheduler`` (by name), or ``None``."""
+    factory = _REGISTRY.get(scheduler.name)
+    return factory(scheduler) if factory is not None else None
+
+
+def _violation(
+    invariant: str, detail: str, chosen: "Packet", now: float
+) -> InvariantViolation:
+    return InvariantViolation(
+        invariant,
+        detail,
+        packet_id=chosen.packet_id,
+        class_id=chosen.class_id,
+        sim_time=now,
+    )
+
+
+# ----------------------------------------------------------------------
+# WTP family: priority-order property (paper Eq 11, ties to the higher
+# class)
+# ----------------------------------------------------------------------
+def make_wtp_check(scheduler: "Scheduler") -> BoundDispatchCheck:
+    """WTP must serve the backlogged head with maximal w_i(t) * s_i."""
+    sdps = scheduler.sdps
+    top = len(sdps) - 1
+
+    def check(queues: Sequence["deque"], now: float, chosen: "Packet") -> None:
+        ccid = chosen.class_id
+        chosen_priority = (now - chosen.arrived_at) * sdps[ccid]
+        for cid in range(top, -1, -1):
+            if cid == ccid:
+                continue
+            queue = queues[cid]
+            if not queue:
+                continue
+            priority = (now - queue[0].arrived_at) * sdps[cid]
+            if priority > chosen_priority or (
+                priority == chosen_priority and cid > ccid
+            ):
+                raise _violation(
+                    "wtp-priority-order",
+                    f"served class {ccid} with priority "
+                    f"{chosen_priority:.6g} but class {cid} held "
+                    f"{priority:.6g} (ties go to the higher class)",
+                    chosen,
+                    now,
+                )
+
+    return check
+
+
+def make_quantized_wtp_check(scheduler: "Scheduler") -> BoundDispatchCheck:
+    """Quantized WTP: same rule with epoch-granular waiting times."""
+    sdps = scheduler.sdps
+    epoch = scheduler.epoch
+    top = len(sdps) - 1
+
+    def check(queues: Sequence["deque"], now: float, chosen: "Packet") -> None:
+        ccid = chosen.class_id
+        now_epoch = int(now / epoch)
+        chosen_priority = (
+            now_epoch - int(chosen.arrived_at / epoch)
+        ) * sdps[ccid]
+        for cid in range(top, -1, -1):
+            if cid == ccid:
+                continue
+            queue = queues[cid]
+            if not queue:
+                continue
+            priority = (
+                now_epoch - int(queue[0].arrived_at / epoch)
+            ) * sdps[cid]
+            if priority > chosen_priority or (
+                priority == chosen_priority and cid > ccid
+            ):
+                raise _violation(
+                    "qwtp-priority-order",
+                    f"served class {ccid} with quantized priority "
+                    f"{chosen_priority:.6g} but class {cid} held "
+                    f"{priority:.6g} (ties go to the higher class)",
+                    chosen,
+                    now,
+                )
+
+    return check
+
+
+# ----------------------------------------------------------------------
+# BPR: backlog-proportional rate allocation (paper Eqs 8-9)
+# ----------------------------------------------------------------------
+def make_bpr_check(
+    scheduler: "Scheduler", relative_tolerance: float = 1e-9
+) -> BoundDispatchCheck:
+    """After a BPR selection, rates must satisfy r_i = s_i q_i R / sum.
+
+    ``on_select`` recomputes the rates over the post-pop backlogs; this
+    re-derives them from the same state and requires agreement within
+    ``relative_tolerance`` (the scheduler and the reference perform the
+    identical float operations, so real implementations match exactly).
+    Also enforces Eq 9: the rates of backlogged classes sum to the link
+    capacity R, i.e. BPR never leaves capacity unallocated.
+
+    The backlog and rate lists are mutated in place by the scheduler, so
+    capturing the references here reads live state with no per-dispatch
+    attribute chasing.
+    """
+    capacity = scheduler.capacity
+    backlog = scheduler.queues.bytes_backlog
+    sdps = scheduler.sdps
+    rates = scheduler._rates
+    num_classes = len(sdps)
+    tolerance = relative_tolerance * capacity
+
+    def check(queues: Sequence["deque"], now: float, chosen: "Packet") -> None:
+        weight_sum = 0.0
+        for cid in range(num_classes):
+            weight_sum += sdps[cid] * backlog[cid]
+        scale = capacity / weight_sum if weight_sum > 0.0 else 0.0
+        total = 0.0
+        for cid in range(num_classes):
+            rate = rates[cid]
+            want = sdps[cid] * backlog[cid] * scale
+            if abs(rate - want) > tolerance or rate != rate:  # NaN-safe
+                raise _violation(
+                    "bpr-rate-allocation",
+                    f"Eq 8 violated for class {cid}: rate {rate:.9g} but "
+                    f"s_i q_i R / sum(s_j q_j) = {want:.9g} "
+                    f"(backlog={backlog[cid]:.9g} bytes)",
+                    chosen,
+                    now,
+                )
+            total += rate
+        if weight_sum > 0.0 and abs(total - capacity) > tolerance:
+            raise _violation(
+                "bpr-rate-allocation",
+                f"Eq 9 violated: allocated rates sum to {total:.9g} "
+                f"instead of the link capacity {capacity:.9g}",
+                chosen,
+                now,
+            )
+
+    return check
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+def make_fcfs_check(scheduler: "Scheduler") -> BoundDispatchCheck:
+    """FCFS must serve the globally oldest head (ties to higher class)."""
+    top = scheduler.num_classes - 1
+
+    def check(queues: Sequence["deque"], now: float, chosen: "Packet") -> None:
+        ccid = chosen.class_id
+        arrived = chosen.arrived_at
+        for cid in range(top, -1, -1):
+            if cid == ccid:
+                continue
+            queue = queues[cid]
+            if not queue:
+                continue
+            other = queue[0].arrived_at
+            if other < arrived or (other == arrived and cid > ccid):
+                raise _violation(
+                    "fcfs-order",
+                    f"served class {ccid} (arrived {arrived:.6g}) but "
+                    f"class {cid} held an older head "
+                    f"(arrived {other:.6g})",
+                    chosen,
+                    now,
+                )
+
+    return check
+
+
+def make_strict_priority_check(scheduler: "Scheduler") -> BoundDispatchCheck:
+    """Strict priority must serve the highest backlogged class."""
+    top = scheduler.num_classes - 1
+
+    def check(queues: Sequence["deque"], now: float, chosen: "Packet") -> None:
+        for cid in range(top, chosen.class_id, -1):
+            if queues[cid]:
+                raise _violation(
+                    "strict-priority-order",
+                    f"served class {chosen.class_id} while the higher "
+                    f"class {cid} was backlogged",
+                    chosen,
+                    now,
+                )
+
+    return check
+
+
+register_scheduler_check("wtp", make_wtp_check)
+register_scheduler_check("qwtp", make_quantized_wtp_check)
+register_scheduler_check("bpr", make_bpr_check)
+register_scheduler_check("fcfs", make_fcfs_check)
+register_scheduler_check("strict", make_strict_priority_check)

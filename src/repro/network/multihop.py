@@ -24,6 +24,7 @@ from typing import Sequence
 
 from ..core.metrics import EndToEndComparison, compare_flow_percentiles
 from ..errors import ConfigurationError
+from ..invariants import InvariantChecker, InvariantReport
 from ..sim.engine import Simulator
 from ..sim.link import Link, PacketSink
 from ..sim.rng import RandomStreams
@@ -127,6 +128,9 @@ class MultiHopResult:
 
     config: MultiHopConfig
     comparisons: list[EndToEndComparison] = field(default_factory=list)
+    #: One report per hop when the run executed under the invariant
+    #: checker (``None`` for an unchecked run).
+    invariants: list[InvariantReport] | None = None
 
     @property
     def rd(self) -> float:
@@ -145,8 +149,17 @@ class MultiHopResult:
         return sum(c.inconsistencies for c in self.comparisons)
 
 
-def run_multihop(config: MultiHopConfig) -> MultiHopResult:
-    """Simulate one Table 1 cell and return its user-experiment results."""
+def run_multihop(
+    config: MultiHopConfig, check_invariants: bool = False
+) -> MultiHopResult:
+    """Simulate one Table 1 cell and return its user-experiment results.
+
+    With ``check_invariants`` every hop's link carries its own
+    :class:`~repro.invariants.InvariantChecker` (per-class FIFO,
+    causality, work conservation, losslessness, and the WTP dispatch
+    oracle at each hop) and the kernel runs through
+    :meth:`~repro.sim.engine.Simulator.run_checked`.
+    """
     sim = Simulator()
     streams = RandomStreams(config.seed)
     ids = PacketIdAllocator()
@@ -223,9 +236,19 @@ def run_multihop(config: MultiHopConfig) -> MultiHopResult:
         + flow_duration
         + config.drain
     )
-    sim.run(until=horizon)
+    checkers = (
+        [InvariantChecker(link).attach() for link in links]
+        if check_invariants
+        else None
+    )
+    if checkers is not None:
+        sim.run_checked(until=horizon)
+    else:
+        sim.run(until=horizon)
 
     result = MultiHopResult(config=config)
+    if checkers is not None:
+        result.invariants = [checker.finalize() for checker in checkers]
     for flow_ids in experiment_flows:
         delays = [recorder.flow_delays(fid) for fid in flow_ids]
         if any(len(d) < config.flow_packets for d in delays):

@@ -36,6 +36,13 @@ class SingleHopTask:
     different discipline or SDP vector.  ``epoch`` selects the
     quantized-WTP scheduler with that aging epoch instead of a registry
     name.  ``compute_feasibility`` additionally runs the Eq 7 audit.
+
+    ``check_invariants`` runs the simulation under the runtime invariant
+    checker (:mod:`repro.invariants`) and records the verification
+    report in the summary.  The flag is part of the task, hence part of
+    its cache fingerprint: a cached result remembers whether it was
+    produced by a validated run, and checked/unchecked sweeps never
+    serve each other's entries.
     """
 
     config: "SingleHopConfig"  # noqa: F821 - imported lazily below
@@ -43,6 +50,7 @@ class SingleHopTask:
     sdps: Optional[tuple[float, ...]] = None
     epoch: Optional[float] = None
     compute_feasibility: bool = False
+    check_invariants: bool = False
 
 
 @dataclass(frozen=True)
@@ -54,6 +62,7 @@ class MicroscopicTask:
     view1_tau: float
     view1_start: float
     view1_end: float
+    check_invariants: bool = False
 
 
 @dataclass(frozen=True)
@@ -61,6 +70,7 @@ class MultiHopTask:
     """One Table 1 cell (a full multi-hop user-experiment run)."""
 
     config: "MultiHopConfig"  # noqa: F821
+    check_invariants: bool = False
 
 
 # ----------------------------------------------------------------------
@@ -81,7 +91,9 @@ def single_hop_summary(task: SingleHopTask) -> dict:
         name = task.scheduler if task.scheduler is not None else config.scheduler
         scheduler = make_scheduler(name, sdps)
     trace = generate_trace(config)
-    result = replay_through_scheduler(trace, scheduler, config)
+    result = replay_through_scheduler(
+        trace, scheduler, config, check_invariants=task.check_invariants
+    )
 
     summary: dict = {
         "mean_delays": result.mean_delays,
@@ -89,6 +101,8 @@ def single_hop_summary(task: SingleHopTask) -> dict:
         "target_ratios": result.target_ratios(),
         "link_utilization": result.link_utilization,
     }
+    if result.invariants is not None:
+        summary["invariants"] = result.invariants.to_dict()
     if task.compute_feasibility:
         summary["feasible"] = bool(result.feasibility_report().feasible)
     if config.interval_taus:
@@ -120,7 +134,10 @@ def microscopic_summary(task: MicroscopicTask) -> dict:
     config = task.config
     trace = generate_trace(config)
     result = replay_through_scheduler(
-        trace, make_scheduler(task.scheduler, config.sdps), config
+        trace,
+        make_scheduler(task.scheduler, config.sdps),
+        config,
+        check_invariants=task.check_invariants,
     )
     interval_monitor = result.interval_monitors[task.view1_tau]
     means = interval_monitor.interval_means()
@@ -134,23 +151,26 @@ def microscopic_summary(task: MicroscopicTask) -> dict:
         window_means = means
     # NaNs (inactive class in an interval) survive JSON via Python's
     # permissive encoder; keep them -- the views expect NaN markers.
-    return {
+    summary = {
         "interval_means": [list(row) for row in window_means],
         "packet_samples": [
             [[t, d] for t, d in samples] for samples in result.taps[0].samples
         ],
     }
+    if result.invariants is not None:
+        summary["invariants"] = result.invariants.to_dict()
+    return summary
 
 
 def multihop_summary(task: MultiHopTask) -> dict:
     """Execute one Table 1 cell; return its per-experiment comparisons."""
     from ..network.multihop import run_multihop
 
-    result = run_multihop(task.config)
+    result = run_multihop(task.config, check_invariants=task.check_invariants)
     # NaN rd values survive JSON round-trips (Python's encoder emits
     # bare NaN tokens and the decoder restores them), so the cached and
     # fresh payloads stay bit-identical.
-    return {
+    summary = {
         "comparisons": [
             {
                 "percentile_matrix": [list(row) for row in c.percentile_matrix],
@@ -160,3 +180,6 @@ def multihop_summary(task: MultiHopTask) -> dict:
             for c in result.comparisons
         ],
     }
+    if result.invariants is not None:
+        summary["invariants"] = [report.to_dict() for report in result.invariants]
+    return summary

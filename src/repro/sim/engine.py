@@ -20,6 +20,10 @@ Design notes
   carries the handle in its payload slot behind a private sentinel.
   Cancellation stays lazy: cancelled handles remain in the heap and
   are skipped when popped, so cancel is O(1).
+* Runtime verification lives in a *separate* loop,
+  :meth:`Simulator.run_checked`, which the invariant subsystem
+  (:mod:`repro.invariants`) drives; :meth:`Simulator.run` itself never
+  pays for checks it does not perform.
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
-from ..errors import SimulationError
+from ..errors import InvariantViolation, SimulationError
 from .events import EventHandle
 
 __all__ = ["Simulator"]
@@ -185,6 +189,64 @@ class Simulator:
                 else:
                     callback(payload)
             if until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+
+    def run_checked(
+        self,
+        until: Optional[float] = None,
+        on_event: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        """Like :meth:`run`, but with kernel-level invariant checks.
+
+        The invariant-checking subsystem (:mod:`repro.invariants`) runs
+        simulations through this entry point instead of :meth:`run`, so
+        the unchecked hot loop carries *zero* extra work when checks are
+        disabled.  Per event this loop additionally verifies event
+        causality at the calendar level -- the clock never moves
+        backwards, even if a callback tampered with ``now`` -- and
+        reports each dispatch to the optional ``on_event(now)`` hook.
+
+        Raises :class:`~repro.errors.InvariantViolation` on a time
+        regression, with the offending event time attached.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        if until is not None and until < self.now:
+            raise SimulationError(
+                f"cannot run to a horizon in the past: {until} < now={self.now}"
+            )
+        self._running = True
+        try:
+            heap = self._heap
+            pop = heapq.heappop
+            while heap:
+                time = heap[0][0]
+                if until is not None and time > until:
+                    break
+                if time < self.now:
+                    raise InvariantViolation(
+                        "event-causality",
+                        f"event calendar time regression: next event at "
+                        f"{time} but clock already at {self.now}",
+                        sim_time=self.now,
+                    )
+                _, _, callback, payload = pop(heap)
+                if callback is _CANCELLABLE:
+                    callback = payload.callback
+                    if callback is None:
+                        continue
+                    payload = payload.payload
+                self.now = time
+                self._events_processed += 1
+                if payload is None:
+                    callback()
+                else:
+                    callback(payload)
+                if on_event is not None:
+                    on_event(time)
+            if until is not None and until > self.now:
                 self.now = until
         finally:
             self._running = False

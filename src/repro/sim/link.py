@@ -10,6 +10,13 @@ lossy multiplexer for the loss-differentiation extension.
 
 Departed packets are handed to ``target.receive(packet)`` (next hop or
 sink) and reported to the attached monitors.
+
+The runtime invariant checker (:mod:`repro.invariants`) attaches to a
+link by *replacing bound methods on the instance* (``receive`` and
+``_complete_service``), so an unchecked link runs the exact original
+code with no hook branches; ``_start_service`` deliberately looks up
+``self._complete_service`` at call time so the per-instance override
+takes effect.
 """
 
 from __future__ import annotations
@@ -102,6 +109,20 @@ class Link:
     def backlog_packets(self) -> int:
         """Queued packets, excluding the one in service."""
         return self.scheduler.queues.total_packets
+
+    @property
+    def in_service(self) -> Optional[Packet]:
+        """The packet currently being transmitted, if any.
+
+        Exposed read-only for instrumentation (monitors, the invariant
+        checker); the link alone mutates the underlying slot.
+        """
+        return self._in_service
+
+    @property
+    def busy_since(self) -> float:
+        """Start time of the current busy period (valid while ``busy``)."""
+        return self._busy_since
 
     # ------------------------------------------------------------------
     def receive(self, packet: Packet) -> None:

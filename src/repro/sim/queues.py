@@ -97,6 +97,14 @@ class ClassQueueSet:
         """True when no class has a queued packet."""
         return self._total_packets == 0
 
+    def heads(self) -> list[Optional[Packet]]:
+        """Head packet of every class (``None`` for empty queues).
+
+        Used by the invariant checker to snapshot the dispatch
+        candidates before a scheduler's ``select`` pops one of them.
+        """
+        return [queue[0] if queue else None for queue in self.queues]
+
     def backlogged_classes(self) -> Iterator[int]:
         """Yield the indices of classes with at least one queued packet."""
         for cid, queue in enumerate(self.queues):

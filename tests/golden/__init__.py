@@ -1,0 +1,10 @@
+"""Golden-run regression corpus.
+
+Fixed-seed scenarios (see :mod:`tests.golden.scenarios`) whose worker
+summaries are committed as JSON next to this file.  The golden test
+re-runs every scenario and compares against the committed summary with
+explicit tolerances; regenerate the corpus after an *intentional*
+behaviour change with::
+
+    PYTHONPATH=src python -m tests.golden.regenerate
+"""

@@ -1,0 +1,44 @@
+"""Regenerate the committed golden summaries.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python -m tests.golden.regenerate
+
+Only run this after an *intentional* behaviour change, and review the
+resulting JSON diff like any other code change: the corpus exists to
+make silent numeric drift loud.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from .scenarios import (
+    ABSOLUTE_TOLERANCE,
+    RELATIVE_TOLERANCE,
+    golden_scenarios,
+)
+
+
+def regenerate() -> int:
+    for scenario in golden_scenarios():
+        summary = scenario.run()
+        payload = {
+            "scenario": scenario.name,
+            "description": scenario.description,
+            "tolerances": {
+                "relative": RELATIVE_TOLERANCE,
+                "absolute": ABSOLUTE_TOLERANCE,
+            },
+            "summary": summary,
+        }
+        scenario.path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {scenario.path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(regenerate())

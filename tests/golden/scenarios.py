@@ -1,0 +1,116 @@
+"""The golden scenarios: small fixed-seed runs with committed outputs.
+
+Each scenario is exactly one runner task executed through its
+module-level worker -- the same code path the sweep runner and the
+result cache use -- so a golden mismatch means the *pipeline's* output
+changed, not merely some internal quantity.  All scenarios run under
+the invariant checker: every golden regression test is simultaneously
+an invariant-checked run of a Figure 1/2-style configuration.
+
+Scenario sizes are chosen so the whole corpus replays in a few seconds:
+long enough that every class departs thousands of packets (no NaN
+ratios), short enough for the tier-1 suite.
+
+Tolerances: the simulation is deterministic and JSON round-trips Python
+floats exactly, so reproduction on the same platform matches to the
+last bit; the comparison still uses explicit tolerances (relative 1e-9,
+absolute 1e-12) to absorb harmless cross-platform libm differences.
+Integers (packet counts, busy periods, inconsistency counts) must match
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.experiments.common import SingleHopConfig
+from repro.network.multihop import MultiHopConfig
+from repro.runner import (
+    MultiHopTask,
+    SingleHopTask,
+    multihop_summary,
+    single_hop_summary,
+)
+
+__all__ = ["GOLDEN_DIR", "GoldenScenario", "golden_scenarios"]
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: Default float tolerances recorded in every golden file.
+RELATIVE_TOLERANCE = 1e-9
+ABSOLUTE_TOLERANCE = 1e-12
+
+
+@dataclass(frozen=True)
+class GoldenScenario:
+    """One corpus entry: a named task plus the worker that runs it."""
+
+    name: str
+    description: str
+    worker: Callable[[Any], dict]
+    task: Any
+
+    @property
+    def path(self) -> Path:
+        return GOLDEN_DIR / f"{self.name}.json"
+
+    def run(self) -> dict:
+        """Execute the scenario and return its summary."""
+        return self.worker(self.task)
+
+
+def _single_hop(scheduler: str) -> SingleHopTask:
+    return SingleHopTask(
+        config=SingleHopConfig(
+            scheduler=scheduler,
+            sdps=(1.0, 2.0, 4.0, 8.0),
+            utilization=0.9,
+            horizon=3e4,
+            warmup=2e3,
+            seed=42,
+        ),
+        check_invariants=True,
+    )
+
+
+def golden_scenarios() -> list[GoldenScenario]:
+    """The corpus, in a fixed order (file names derive from `name`)."""
+    scenarios = [
+        GoldenScenario(
+            name=f"single_hop_{scheduler}",
+            description=(
+                f"{scheduler.upper()} single hop, SDP ratio 2, rho=0.9, "
+                "seed 42, invariant-checked"
+            ),
+            worker=single_hop_summary,
+            task=_single_hop(scheduler),
+        )
+        for scheduler in ("wtp", "bpr", "fcfs")
+    ]
+    scenarios.append(
+        GoldenScenario(
+            name="multihop_wtp",
+            description=(
+                "Two-hop WTP path with cross traffic, three user "
+                "experiments, rho=0.85, seed 11, invariant-checked"
+            ),
+            worker=multihop_summary,
+            task=MultiHopTask(
+                config=MultiHopConfig(
+                    hops=2,
+                    utilization=0.85,
+                    flow_packets=10,
+                    flow_rate_kbps=50.0,
+                    experiments=3,
+                    experiment_period=500.0,
+                    warmup=1000.0,
+                    drain=1500.0,
+                    seed=11,
+                ),
+                check_invariants=True,
+            ),
+        )
+    )
+    return scenarios

@@ -1,0 +1,92 @@
+"""Golden-run regression tests.
+
+Every scenario in :mod:`tests.golden.scenarios` is re-executed through
+its runner worker and compared, value by value, against the committed
+JSON under ``tests/golden/``.  Floats are compared with the explicit
+tolerances recorded in each golden file; integers, strings, booleans,
+and container shapes must match exactly; NaN only matches NaN.
+
+A failure here means the simulation pipeline's observable output
+changed.  If the change is intentional, regenerate the corpus with
+``PYTHONPATH=src python -m tests.golden.regenerate`` and commit the
+JSON diff alongside the code change.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from tests.golden.scenarios import GoldenScenario, golden_scenarios
+
+SCENARIOS = golden_scenarios()
+
+
+def _assert_matches(expected, actual, rel: float, abs_tol: float, path: str):
+    """Recursive comparison with float tolerances and exact structure."""
+    if isinstance(expected, float) and isinstance(actual, (int, float)):
+        if math.isnan(expected):
+            assert math.isnan(actual), f"{path}: expected NaN, got {actual!r}"
+            return
+        assert actual == pytest.approx(expected, rel=rel, abs=abs_tol), (
+            f"{path}: {actual!r} != {expected!r} (rel={rel}, abs={abs_tol})"
+        )
+    elif isinstance(expected, bool) or isinstance(actual, bool):
+        assert actual is expected, f"{path}: {actual!r} != {expected!r}"
+    elif isinstance(expected, int):
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+    elif isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: not a dict: {actual!r}"
+        assert sorted(actual) == sorted(expected), (
+            f"{path}: keys {sorted(actual)} != {sorted(expected)}"
+        )
+        for key in expected:
+            _assert_matches(
+                expected[key], actual[key], rel, abs_tol, f"{path}.{key}"
+            )
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), f"{path}: not a list: {actual!r}"
+        assert len(actual) == len(expected), (
+            f"{path}: length {len(actual)} != {len(expected)}"
+        )
+        for index, (exp, act) in enumerate(zip(expected, actual)):
+            _assert_matches(exp, act, rel, abs_tol, f"{path}[{index}]")
+    else:
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+
+
+@pytest.mark.parametrize(
+    "scenario", SCENARIOS, ids=[s.name for s in SCENARIOS]
+)
+def test_golden_scenario(scenario: GoldenScenario) -> None:
+    assert scenario.path.exists(), (
+        f"missing golden file {scenario.path}; run "
+        "`PYTHONPATH=src python -m tests.golden.regenerate`"
+    )
+    golden = json.loads(scenario.path.read_text())
+    assert golden["scenario"] == scenario.name
+    tolerances = golden["tolerances"]
+    summary = scenario.run()
+    _assert_matches(
+        golden["summary"],
+        summary,
+        rel=tolerances["relative"],
+        abs_tol=tolerances["absolute"],
+        path=scenario.name,
+    )
+
+
+def test_golden_runs_are_invariant_checked() -> None:
+    """The corpus doubles as invariant-checked runs: every committed
+    summary must record a verification report with real traffic."""
+    for scenario in SCENARIOS:
+        golden = json.loads(scenario.path.read_text())
+        reports = golden["summary"]["invariants"]
+        if isinstance(reports, dict):
+            reports = [reports]
+        for report in reports:
+            assert report["checked"] is True, scenario.name
+            assert report["arrivals"] > 0, scenario.name
+            assert report["departures"] > 0, scenario.name

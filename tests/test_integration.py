@@ -134,6 +134,7 @@ class TestShortTimescales:
 
 
 class TestEndToEnd:
+    @pytest.mark.slow
     def test_consistent_differentiation_across_path(self):
         """Section 6's main result, scaled down: local class-based WTP
         yields consistent end-to-end flow differentiation."""

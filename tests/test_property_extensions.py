@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -13,6 +14,8 @@ from repro.traffic import load_trace_csv, save_trace, load_trace, save_trace_csv
 from repro.traffic.trace import ArrivalTrace
 
 from .conftest import make_packet
+
+pytestmark = pytest.mark.property
 
 
 class TestPLRWindowInvariants:

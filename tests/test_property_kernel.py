@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -9,6 +10,8 @@ from repro.sim import Simulator
 from repro.sim.queues import ClassQueueSet
 
 from .conftest import make_packet
+
+pytestmark = pytest.mark.property
 
 
 class TestEngineProperties:

@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 
 import numpy as np
+import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
@@ -16,6 +17,8 @@ from repro.core import (
 )
 from repro.core.conservation import fcfs_waiting_times
 from repro.theory import ServiceDistribution, mg1_mean_wait, tdp_waits
+
+pytestmark = pytest.mark.property
 
 positive = st.floats(min_value=1e-3, max_value=1e3)
 

@@ -1,0 +1,218 @@
+"""Property tests of scheduler edge cases.
+
+The corners the broad invariant sweeps rarely reach:
+
+* a capacity scheduler (DRR, SCFQ) with exactly one backlogged class
+  must degenerate to plain FIFO over that class;
+* zero or negative weights/SDPs are configuration errors, not silent
+  division hazards;
+* WTP and quantized WTP break priority ties deterministically towards
+  the higher class (the paper's Eq 11 convention), and repeated
+  decisions over unchanged state agree;
+* BPR allocates a zero rate to a class with empty backlog and splits
+  the full capacity over the others in s_i * q_i proportion (Eqs 8-9).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.schedulers.bpr import BPRScheduler
+from repro.schedulers.drr import DRRScheduler
+from repro.schedulers.quantized_wtp import QuantizedWTPScheduler
+from repro.schedulers.wfq import SCFQScheduler
+from repro.schedulers.wtp import WTPScheduler
+
+from .conftest import make_packet
+
+pytestmark = pytest.mark.property
+
+#: Powers of two, so priority arithmetic in the tie-break tests is
+#: exact: with dyadic arrival offsets, (now - arrived) * sdp round-trips
+#: without rounding error and ties are genuine float equality.
+SDPS = (1.0, 2.0, 4.0, 8.0)
+
+size_strategy = st.floats(min_value=1.0, max_value=1500.0)
+
+
+def _drain(scheduler, now: float = 1e4):
+    """Pop every queued packet; returns them in service order."""
+    served = []
+    while scheduler.backlogged:
+        served.append(scheduler.select(now))
+    return served
+
+
+# ----------------------------------------------------------------------
+# Single backlogged class: capacity schedulers degenerate to FIFO
+# ----------------------------------------------------------------------
+@given(
+    weights=st.lists(
+        st.floats(min_value=0.5, max_value=10.0), min_size=1, max_size=4
+    ),
+    data=st.data(),
+    sizes=st.lists(size_strategy, min_size=1, max_size=20),
+)
+@settings(max_examples=80, deadline=None)
+def test_drr_single_backlogged_class_is_fifo(weights, data, sizes):
+    scheduler = DRRScheduler(weights)
+    cid = data.draw(
+        st.integers(min_value=0, max_value=len(weights) - 1), label="class"
+    )
+    for i, size in enumerate(sizes):
+        scheduler.enqueue(
+            make_packet(i, class_id=cid, size=size, created_at=float(i)), float(i)
+        )
+    served = _drain(scheduler)
+    assert [p.packet_id for p in served] == list(range(len(sizes)))
+    assert all(p.class_id == cid for p in served)
+    assert not scheduler.backlogged
+
+
+@given(
+    weights=st.lists(
+        st.floats(min_value=0.5, max_value=10.0), min_size=1, max_size=4
+    ),
+    data=st.data(),
+    sizes=st.lists(size_strategy, min_size=1, max_size=20),
+)
+@settings(max_examples=80, deadline=None)
+def test_scfq_single_backlogged_class_is_fifo(weights, data, sizes):
+    scheduler = SCFQScheduler(weights)
+    cid = data.draw(
+        st.integers(min_value=0, max_value=len(weights) - 1), label="class"
+    )
+    for i, size in enumerate(sizes):
+        scheduler.enqueue(
+            make_packet(i, class_id=cid, size=size, created_at=float(i)), float(i)
+        )
+    served = _drain(scheduler)
+    assert [p.packet_id for p in served] == list(range(len(sizes)))
+    assert all(p.class_id == cid for p in served)
+
+
+# ----------------------------------------------------------------------
+# Weight validation
+# ----------------------------------------------------------------------
+@given(bad=st.floats(max_value=0.0, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_non_positive_weights_rejected(bad):
+    with pytest.raises(ConfigurationError):
+        DRRScheduler([1.0, bad])
+    with pytest.raises(ConfigurationError):
+        SCFQScheduler([1.0, bad])
+    with pytest.raises(ConfigurationError):
+        WTPScheduler((bad, 1.0) if bad < 1.0 else (bad, bad + 1.0))
+    with pytest.raises(ConfigurationError):
+        BPRScheduler((bad, 1.0) if bad < 1.0 else (bad, bad + 1.0))
+
+
+def test_non_increasing_sdps_rejected():
+    with pytest.raises(ConfigurationError):
+        WTPScheduler((1.0, 1.0))
+    with pytest.raises(ConfigurationError):
+        WTPScheduler((2.0, 1.0))
+
+
+def test_drr_rejects_non_positive_quantum_scale():
+    with pytest.raises(ConfigurationError):
+        DRRScheduler([1.0, 2.0], quantum_scale=0.0)
+
+
+# ----------------------------------------------------------------------
+# WTP / quantized WTP tie-breaking
+# ----------------------------------------------------------------------
+@given(
+    m=st.integers(min_value=8, max_value=800),
+    pair=st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=3),
+    ).filter(lambda p: p[0] < p[1]),
+)
+@settings(max_examples=120, deadline=None)
+def test_wtp_breaks_exact_ties_towards_higher_class(m, pair):
+    low, high = pair
+    now = 100.0
+    waited = m / 16.0  # dyadic, so k / s * s == k exactly for these SDPs
+    scheduler = WTPScheduler(SDPS)
+    for cid in (low, high):
+        arrived = now - waited / SDPS[cid]
+        scheduler.enqueue(
+            make_packet(cid, class_id=cid, size=100.0, created_at=arrived),
+            arrived,
+        )
+    # Both heads hold priority exactly `waited`; the tie must go up.
+    assert scheduler.choose_class(now) == high
+    # Decisions over unchanged state are deterministic.
+    assert scheduler.choose_class(now) == high
+
+
+@given(
+    m=st.integers(min_value=1, max_value=5),
+    pair=st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=3),
+    ).filter(lambda p: p[0] < p[1]),
+    offsets=st.tuples(
+        st.floats(min_value=0.0, max_value=3.9),
+        st.floats(min_value=0.0, max_value=3.9),
+    ),
+)
+@settings(max_examples=120, deadline=None)
+def test_quantized_wtp_breaks_epoch_ties_towards_higher_class(
+    m, pair, offsets
+):
+    epoch = 4.0
+    low, high = pair
+    now = 100 * epoch
+    scheduler = QuantizedWTPScheduler(SDPS, epoch=epoch)
+    # waited_epochs * sdp is equal for both classes by construction;
+    # the intra-epoch offsets must not influence the decision.
+    for cid, other, offset in ((low, high, offsets[0]), (high, low, offsets[1])):
+        waited_epochs = m * int(SDPS[other])
+        arrived = (100 - waited_epochs) * epoch + offset
+        scheduler.enqueue(
+            make_packet(cid, class_id=cid, size=100.0, created_at=arrived),
+            arrived,
+        )
+    assert scheduler.choose_class(now) == high
+    assert scheduler.choose_class(now) == high
+
+
+# ----------------------------------------------------------------------
+# BPR with an empty class backlog (Eqs 8-9)
+# ----------------------------------------------------------------------
+@given(
+    capacity=st.floats(min_value=0.5, max_value=10.0),
+    low_sizes=st.lists(size_strategy, min_size=1, max_size=5),
+    mid_sizes=st.lists(size_strategy, min_size=1, max_size=5),
+)
+@settings(max_examples=80, deadline=None)
+def test_bpr_rates_with_one_class_empty(capacity, low_sizes, mid_sizes):
+    sdps = (1.0, 2.0, 4.0)
+    scheduler = BPRScheduler(sdps, capacity=capacity)
+    pid = 0
+    for cid, sizes in ((0, low_sizes), (1, mid_sizes)):
+        for size in sizes:
+            scheduler.enqueue(
+                make_packet(pid, class_id=cid, size=size, created_at=0.0), 0.0
+            )
+            pid += 1
+    scheduler.select(0.0)  # on_select recomputes rates over the rest
+    rates = scheduler.current_rates
+    backlog = scheduler.queues.bytes_backlog
+    assert backlog[2] == 0.0
+    assert rates[2] == 0.0  # empty class gets no rate
+    weight_sum = sum(s * q for s, q in zip(sdps, backlog))
+    if weight_sum == 0.0:
+        assert rates == (0.0, 0.0, 0.0)
+    else:
+        # Eq 9: the whole capacity is split over backlogged classes...
+        assert sum(rates) == pytest.approx(capacity, rel=1e-12)
+        # ...and Eq 8: in s_i * q_i proportion.
+        for cid in range(3):
+            expected = sdps[cid] * backlog[cid] * capacity / weight_sum
+            assert rates[cid] == pytest.approx(expected, rel=1e-12, abs=0.0)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -22,6 +23,8 @@ from repro.schedulers import available_schedulers, make_scheduler
 from repro.sim import Link, PacketSink, Simulator
 
 from .conftest import make_packet
+
+pytestmark = pytest.mark.property
 
 SDPS = (1.0, 2.0, 4.0)
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -13,6 +14,8 @@ from repro.schedulers import (
 from repro.sim import Link, PacketSink, Simulator
 
 from .conftest import make_packet
+
+pytestmark = pytest.mark.property
 
 SDPS = (1.0, 2.0, 4.0)
 

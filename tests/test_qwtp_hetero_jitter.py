@@ -50,6 +50,7 @@ class TestQuantizedWTP:
         for i in range(3):
             assert delays[i] / delays[i + 1] == pytest.approx(2.0, rel=0.2)
 
+    @pytest.mark.slow
     def test_accuracy_degrades_with_epoch(self):
         """Coarser epochs => worse ratio accuracy (the trade-off)."""
         rho = 0.95

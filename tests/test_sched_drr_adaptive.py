@@ -96,6 +96,7 @@ class TestAdaptiveWTP:
         )
         assert adaptive == pytest.approx(plain)
 
+    @pytest.mark.slow
     def test_moderate_load_ratio_corrected(self):
         """The headline: at rho=0.75 plain WTP undershoots the target
         ratio 4; the adaptive variant lands much closer."""

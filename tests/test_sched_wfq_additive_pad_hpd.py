@@ -86,6 +86,7 @@ class TestAdditive:
         # t=6: low = 6, high = 1 + 10 = 11 -> high first.
         assert scheduler.select(6.0) is high
 
+    @pytest.mark.slow
     def test_heavy_load_delay_differences_near_offsets(self):
         """Eq 3: d_i - d_{i+1} tends to s_{i+1} - s_i in heavy load.
 

@@ -123,6 +123,7 @@ class TestMserWarmup:
         with pytest.raises(ConfigurationError):
             mser_warmup([1.0] * 10, batch_size=5)
 
+    @pytest.mark.slow
     def test_end_to_end_with_simulated_delays(self):
         """MSER + batch means on real simulator output: the CI must
         cover the M/D/1 value."""

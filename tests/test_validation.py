@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.validation import CheckResult, format_selfcheck, run_selfcheck
 
 
+@pytest.mark.slow
 class TestSelfCheck:
     def test_battery_all_pass(self):
         results = run_selfcheck()
