@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-record examples selfcheck figures-fast reproduce-quick reproduce-full clean
+.PHONY: install test test-fast bench bench-record bench-sources perf-smoke examples selfcheck figures-fast reproduce-quick reproduce-full clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -22,6 +22,15 @@ bench:
 # Dump kernel/sweep throughput numbers to BENCH_<date>.json.
 bench-record:
 	$(PYTHON) benchmarks/record_bench.py
+
+# Scalar-vs-compiled source throughput table (arrivals/sec, events/sec).
+bench-sources:
+	$(PYTHON) benchmarks/bench_sources.py
+
+# Engine + source microbenchmarks vs the committed BENCH_*.json
+# baseline; warns (exit 0) on >20% regression.
+perf-smoke:
+	$(PYTHON) benchmarks/check_regression.py
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script; done

@@ -1,0 +1,222 @@
+"""Source microbenchmarks: scalar vs compiled arrival generation.
+
+Two layers, for every interarrival process (Pareto, Poisson, CBR,
+on-off, MMPP):
+
+* *arrivals/sec* -- raw draw throughput: ``next_gap()`` in a Python
+  loop vs ``draw_gaps()`` in numpy blocks (what trace compilation pays
+  per arrival before the simulator is involved).
+* *events/sec* -- end-to-end emission into a simulator sink: a scalar
+  :class:`~repro.traffic.source.TrafficSource` (one calendar event per
+  packet) vs a :class:`~repro.traffic.compile.CompiledSource` behind an
+  :class:`~repro.traffic.compile.ArrivalCursor`.
+
+Run under pytest-benchmark via ``make bench``, or standalone for a
+quick table plus JSON metrics:
+
+    PYTHONPATH=src python benchmarks/bench_sources.py [--out sources.json]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sim.engine import Simulator  # noqa: E402
+from repro.traffic import (  # noqa: E402
+    ArrivalCursor,
+    CompiledSource,
+    ConstantInterarrivals,
+    FixedPacketSize,
+    MMPPInterarrivals,
+    OnOffInterarrivals,
+    PacketIdAllocator,
+    ParetoInterarrivals,
+    PoissonInterarrivals,
+    TrafficSource,
+)
+
+PROCESS_KINDS = ("pareto", "poisson", "cbr", "onoff", "mmpp")
+
+#: Mean gap ~0.01 everywhere so a fixed stop_time implies a comparable
+#: arrival count for every process.
+MEAN_GAP = 0.01
+
+
+def make_process(kind: str, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    if kind == "pareto":
+        return ParetoInterarrivals(MEAN_GAP, 1.9, rng)
+    if kind == "poisson":
+        return PoissonInterarrivals(MEAN_GAP, rng)
+    if kind == "cbr":
+        return ConstantInterarrivals(MEAN_GAP)
+    if kind == "onoff":
+        return OnOffInterarrivals(
+            peak_gap=MEAN_GAP / 2.0, mean_on=0.1, mean_off=0.1, rng=rng
+        )
+    if kind == "mmpp":
+        return MMPPInterarrivals(
+            rate_a=0.5 / MEAN_GAP, rate_b=2.0 / MEAN_GAP,
+            mean_sojourn_a=0.1, mean_sojourn_b=0.1, rng=rng,
+        )
+    raise ValueError(kind)
+
+
+class _CountingSink:
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def receive(self, packet) -> None:
+        self.count += 1
+
+
+def draw_scalar(kind: str, n: int) -> int:
+    process = make_process(kind)
+    next_gap = process.next_gap
+    for _ in range(n):
+        next_gap()
+    return n
+
+
+def draw_compiled(kind: str, n: int, chunk: int = 16384) -> int:
+    process = make_process(kind)
+    drawn = 0
+    while drawn < n:
+        block = min(chunk, n - drawn)
+        process.draw_gaps(block)
+        drawn += block
+    return drawn
+
+
+def emit_scalar(kind: str, stop_time: float = 200.0) -> int:
+    sim = Simulator()
+    sink = _CountingSink()
+    TrafficSource(
+        sim, sink, 0, make_process(kind), FixedPacketSize(100.0),
+        ids=PacketIdAllocator(), stop_time=stop_time,
+    ).start()
+    sim.run()
+    return sink.count
+
+
+def emit_compiled(kind: str, stop_time: float = 200.0) -> int:
+    sim = Simulator()
+    sink = _CountingSink()
+    cursor = ArrivalCursor(sim)
+    cursor.add(
+        CompiledSource(
+            sink, 0, make_process(kind), FixedPacketSize(100.0),
+            ids=PacketIdAllocator(), stop_time=stop_time,
+        )
+    )
+    cursor.start()
+    sim.run()
+    return sink.count
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", PROCESS_KINDS)
+def test_draw_scalar_throughput(benchmark, kind):
+    drawn = benchmark(draw_scalar, kind, 20_000)
+    assert drawn == 20_000
+
+
+@pytest.mark.parametrize("kind", PROCESS_KINDS)
+def test_draw_compiled_throughput(benchmark, kind):
+    drawn = benchmark(draw_compiled, kind, 20_000)
+    assert drawn == 20_000
+
+
+@pytest.mark.parametrize("kind", PROCESS_KINDS)
+def test_emit_scalar_throughput(benchmark, kind):
+    emitted = benchmark(emit_scalar, kind)
+    assert emitted > 5_000
+
+
+@pytest.mark.parametrize("kind", PROCESS_KINDS)
+def test_emit_compiled_throughput(benchmark, kind):
+    emitted = benchmark(emit_compiled, kind)
+    assert emitted > 5_000
+
+
+# ----------------------------------------------------------------------
+# Standalone metric collection (used by record_bench / check_regression)
+# ----------------------------------------------------------------------
+def collect(repeats: int = 3) -> dict[str, float]:
+    """Best-of-``repeats`` throughput metrics, flat name -> units/sec."""
+    import time
+
+    def best_rate(fn, args, work_units: int) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn(*args)
+            best = min(best, time.perf_counter() - start)
+        return work_units / best
+
+    draws = 50_000
+    metrics: dict[str, float] = {}
+    for kind in PROCESS_KINDS:
+        metrics[f"{kind}_scalar_arrivals_per_sec"] = best_rate(
+            draw_scalar, (kind, draws), draws
+        )
+        metrics[f"{kind}_compiled_arrivals_per_sec"] = best_rate(
+            draw_compiled, (kind, draws), draws
+        )
+        emitted = emit_scalar(kind)
+        metrics[f"{kind}_scalar_events_per_sec"] = best_rate(
+            emit_scalar, (kind,), emitted
+        )
+        metrics[f"{kind}_compiled_events_per_sec"] = best_rate(
+            emit_compiled, (kind,), emitted
+        )
+    return metrics
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    import json
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    metrics = collect(args.repeats)
+    header = (
+        f"{'process':>8} {'scalar gap/s':>14} {'block gap/s':>14} "
+        f"{'x':>6} {'scalar ev/s':>13} {'cursor ev/s':>13} {'x':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for kind in PROCESS_KINDS:
+        sg = metrics[f"{kind}_scalar_arrivals_per_sec"]
+        cg = metrics[f"{kind}_compiled_arrivals_per_sec"]
+        se = metrics[f"{kind}_scalar_events_per_sec"]
+        ce = metrics[f"{kind}_compiled_events_per_sec"]
+        print(
+            f"{kind:>8} {sg:>14,.0f} {cg:>14,.0f} {cg / sg:>6.2f} "
+            f"{se:>13,.0f} {ce:>13,.0f} {ce / se:>6.2f}"
+        )
+    if args.out is not None:
+        args.out.write_text(
+            json.dumps({k: round(v, 1) for k, v in metrics.items()}, indent=2)
+            + "\n"
+        )
+        print(f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Perf smoke check: compare fresh microbenchmarks to the committed baseline.
+
+Runs the engine and source microbenchmark collectors, finds the newest
+committed ``BENCH_*.json`` in the repository root, and compares every
+metric present in both.  Regressions beyond the threshold print a
+``::warning::`` line (rendered as an annotation by GitHub Actions) but
+never fail the job -- shared CI runners are far too noisy for a hard
+gate, so the check is a tripwire for humans, not a merge blocker.
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+    PYTHONPATH=src python benchmarks/check_regression.py --out perf.json
+
+The fresh metrics are written to ``--out`` (default ``perf_smoke.json``)
+so CI can upload them as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import bench_sources  # noqa: E402
+from bench_engine import (  # noqa: E402
+    forward_packets,
+    replay_trace,
+    run_cancellable_events,
+    run_kernel_events,
+)
+from record_bench import best_rate, improvement  # noqa: E402
+
+#: Warn when a metric lands below (1 - threshold) of the baseline.
+DEFAULT_THRESHOLD = 0.20
+
+
+def collect(repeats: int) -> dict[str, float]:
+    """Engine + source metrics, keyed compatibly with BENCH_*.json."""
+    kernel_events = 100_000
+    trace_packets = 50_000
+    metrics = {
+        "kernel_events_per_sec": best_rate(
+            run_kernel_events, kernel_events, kernel_events, repeats
+        ),
+        "cancellable_events_per_sec": best_rate(
+            run_cancellable_events, kernel_events, kernel_events, repeats
+        ),
+        "trace_replay_packets_per_sec": best_rate(
+            replay_trace, trace_packets, trace_packets, repeats
+        ),
+        "wtp_forwarded_packets_per_sec": best_rate(
+            forward_packets, "wtp", forward_packets("wtp"), repeats
+        ),
+    }
+    metrics.update(bench_sources.collect(repeats))
+    return metrics
+
+
+def latest_baseline() -> Path | None:
+    """Newest committed ``BENCH_*.json`` by date in the file name."""
+    candidates = sorted(REPO_ROOT.glob("BENCH_*.json"))
+    return candidates[-1] if candidates else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "perf_smoke.json",
+        help="where to write the fresh metrics JSON",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline BENCH_*.json (default: newest in the repo root)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative slowdown that triggers a warning (default 0.20)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats per metric"
+    )
+    args = parser.parse_args(argv)
+
+    # Resolve the baseline before the (slow) collection so a bad path
+    # fails in milliseconds, not after the full benchmark run.
+    baseline_path = args.baseline or latest_baseline()
+    if baseline_path is not None and not baseline_path.exists():
+        parser.error(f"baseline not found: {baseline_path}")
+
+    metrics = collect(args.repeats)
+    args.out.write_text(
+        json.dumps({k: round(v, 4) for k, v in metrics.items()}, indent=2)
+        + "\n"
+    )
+    print(f"fresh metrics written to {args.out}")
+
+    if baseline_path is None:
+        print("no committed BENCH_*.json baseline; skipping comparison")
+        return 0
+    baseline = json.loads(baseline_path.read_text())["metrics"]
+
+    warned = 0
+    compared = 0
+    for name, value in metrics.items():
+        if name not in baseline:
+            continue
+        compared += 1
+        factor = improvement(name, value, baseline[name])
+        if factor < 1.0 - args.threshold:
+            warned += 1
+            print(
+                f"::warning::perf regression: {name} at {factor:.2f}x of "
+                f"{baseline_path.name} ({value:,.1f} vs {baseline[name]:,.1f})"
+            )
+        else:
+            print(f"{name:>36}: {factor:.2f}x of baseline")
+    print(
+        f"compared {compared} metrics vs {baseline_path.name}: "
+        f"{warned} regression warning(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

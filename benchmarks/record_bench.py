@@ -1,12 +1,12 @@
 """Record kernel and sweep throughput to a dated JSON file.
 
-Runs the headline microbenchmarks (no pytest-benchmark machinery, just
+Runs the headline benchmarks (no pytest-benchmark machinery, just
 best-of-N wall-clock timing) and dumps the numbers to
 ``BENCH_<YYYY-MM-DD>.json`` in the repository root, so successive
 optimization PRs leave a comparable paper trail:
 
     PYTHONPATH=src python benchmarks/record_bench.py
-    PYTHONPATH=src python benchmarks/record_bench.py --out custom.json
+    PYTHONPATH=src python benchmarks/record_bench.py --baseline BENCH_old.json
 
 Recorded metrics (events or packets per second, higher is better):
 
@@ -15,6 +15,18 @@ Recorded metrics (events or packets per second, higher is better):
 * ``trace_replay_packets_per_sec`` -- TraceSource -> WTP link replay
 * ``sweep_runs_per_sec``          -- SweepRunner over a small single-hop
   sweep (serial, cache disabled): runner dispatch overhead + simulation
+* ``<process>_{scalar,compiled}_{arrivals,events}_per_sec`` -- source
+  microbenchmarks from :mod:`bench_sources`
+
+plus the end-to-end figure-1 smoke sweep, in seconds (lower is better):
+
+* ``figure1_smoke_compiled_sec`` / ``figure1_smoke_scalar_sec`` -- the
+  same 14-cell sweep with block-drawn trace compilation on and off
+* ``figure1_smoke_speedup``      -- scalar / compiled
+
+``--baseline`` embeds a ``vs_baseline`` map of per-metric improvement
+factors against an earlier record (``*_sec`` metrics are inverted so
+every factor reads "x times faster").
 """
 
 from __future__ import annotations
@@ -31,6 +43,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
+import bench_sources  # noqa: E402
 from bench_engine import (  # noqa: E402
     forward_packets,
     replay_trace,
@@ -48,6 +61,21 @@ def best_rate(fn, arg, work_units: int, repeats: int = 3) -> float:
         fn(arg)
         best = min(best, time.perf_counter() - start)
     return work_units / best
+
+
+def figure1_smoke_seconds(compiled: bool, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock of the 14-cell figure-1 smoke sweep."""
+    from repro.experiments.figure1 import FigureOneConfig, run_figure1
+
+    best = float("inf")
+    for _ in range(repeats):
+        config = FigureOneConfig(
+            check_feasibility=False, compiled_arrivals=compiled
+        ).scaled(0.05)
+        start = time.perf_counter()
+        run_figure1(config)
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 def collect(repeats: int) -> dict:
@@ -71,13 +99,27 @@ def collect(repeats: int) -> dict:
             run_small_sweep, 1, sweep_runs, repeats
         ),
     }
+    metrics.update(bench_sources.collect(repeats))
+    compiled_sec = figure1_smoke_seconds(True, repeats)
+    scalar_sec = figure1_smoke_seconds(False, repeats)
+    metrics["figure1_smoke_compiled_sec"] = compiled_sec
+    metrics["figure1_smoke_scalar_sec"] = scalar_sec
+    metrics["figure1_smoke_speedup"] = scalar_sec / compiled_sec
     return {
         "date": datetime.date.today().isoformat(),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "repeats": repeats,
-        "metrics": {k: round(v, 1) for k, v in metrics.items()},
+        "metrics": {k: round(v, 4) for k, v in metrics.items()},
     }
+
+
+def improvement(name: str, new: float, old: float) -> float:
+    """Per-metric speedup factor; duration metrics invert (lower wins)."""
+    if old <= 0 or new <= 0:
+        return float("nan")
+    is_duration = name.endswith("_sec") and not name.endswith("_per_sec")
+    return old / new if is_duration else new / old
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -91,15 +133,33 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--repeats", type=int, default=3, help="timing repeats per metric"
     )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="earlier BENCH_*.json to embed per-metric speedups against",
+    )
     args = parser.parse_args(argv)
+    if args.baseline is not None and not args.baseline.exists():
+        parser.error(f"baseline not found: {args.baseline}")
 
     record = collect(args.repeats)
+    if args.baseline is not None:
+        old = json.loads(args.baseline.read_text())["metrics"]
+        record["baseline"] = args.baseline.name
+        record["vs_baseline"] = {
+            name: round(improvement(name, value, old[name]), 3)
+            for name, value in record["metrics"].items()
+            if name in old
+        }
     out = args.out
     if out is None:
         out = REPO_ROOT / f"BENCH_{record['date']}.json"
     out.write_text(json.dumps(record, indent=2) + "\n")
     for name, value in record["metrics"].items():
-        print(f"{name:>32}: {value:>14,.1f}")
+        ratio = record.get("vs_baseline", {}).get(name)
+        suffix = f"  ({ratio:.2f}x vs baseline)" if ratio is not None else ""
+        print(f"{name:>36}: {value:>14,.1f}{suffix}")
     print(f"written to {out}")
     return 0
 

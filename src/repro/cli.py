@@ -69,11 +69,17 @@ __all__ = ["main"]
 
 
 def _figure1(
-    scale: float, export_dir: Optional[Path], runner: SweepRunner, checked: bool
+    scale: float,
+    export_dir: Optional[Path],
+    runner: SweepRunner,
+    checked: bool,
+    compiled: bool,
 ) -> str:
     parts = []
     for sdps, label in ((SDP_RATIO_2, "1a"), (SDP_RATIO_4, "1b")):
-        config = FigureOneConfig(sdps=sdps, check_invariants=checked).scaled(scale)
+        config = FigureOneConfig(
+            sdps=sdps, check_invariants=checked, compiled_arrivals=compiled
+        ).scaled(scale)
         points = run_figure1(config, runner=runner)
         parts.append(f"--- Figure {label} ---")
         parts.append(format_figure1(points))
@@ -84,11 +90,17 @@ def _figure1(
 
 
 def _figure2(
-    scale: float, export_dir: Optional[Path], runner: SweepRunner, checked: bool
+    scale: float,
+    export_dir: Optional[Path],
+    runner: SweepRunner,
+    checked: bool,
+    compiled: bool,
 ) -> str:
     parts = []
     for sdps, label in ((SDP_RATIO_2, "2a"), (SDP_RATIO_4, "2b")):
-        config = FigureTwoConfig(sdps=sdps, check_invariants=checked).scaled(scale)
+        config = FigureTwoConfig(
+            sdps=sdps, check_invariants=checked, compiled_arrivals=compiled
+        ).scaled(scale)
         points = run_figure2(config, runner=runner)
         parts.append(f"--- Figure {label} ---")
         parts.append(format_figure2(points))
@@ -99,9 +111,15 @@ def _figure2(
 
 
 def _figure3(
-    scale: float, export_dir: Optional[Path], runner: SweepRunner, checked: bool
+    scale: float,
+    export_dir: Optional[Path],
+    runner: SweepRunner,
+    checked: bool,
+    compiled: bool,
 ) -> str:
-    config = FigureThreeConfig(check_invariants=checked).scaled(scale)
+    config = FigureThreeConfig(
+        check_invariants=checked, compiled_arrivals=compiled
+    ).scaled(scale)
     boxes = run_figure3(config, runner=runner)
     if export_dir is not None:
         figure3_to_csv(boxes, export_dir / "figure3.csv")
@@ -110,9 +128,15 @@ def _figure3(
 
 
 def _figure45(
-    scale: float, export_dir: Optional[Path], runner: SweepRunner, checked: bool
+    scale: float,
+    export_dir: Optional[Path],
+    runner: SweepRunner,
+    checked: bool,
+    compiled: bool,
 ) -> str:
-    config = MicroscopicConfig(check_invariants=checked).scaled(scale)
+    config = MicroscopicConfig(
+        check_invariants=checked, compiled_arrivals=compiled
+    ).scaled(scale)
     views = run_figure45(config, runner=runner)
     if export_dir is not None:
         figure45_to_json(views, export_dir / "figure45.json")
@@ -126,9 +150,15 @@ def _figure45(
 
 
 def _table1(
-    scale: float, export_dir: Optional[Path], runner: SweepRunner, checked: bool
+    scale: float,
+    export_dir: Optional[Path],
+    runner: SweepRunner,
+    checked: bool,
+    compiled: bool,
 ) -> str:
-    config = TableOneConfig(check_invariants=checked).scaled(scale)
+    config = TableOneConfig(
+        check_invariants=checked, compiled_arrivals=compiled
+    ).scaled(scale)
     cells = run_table1(config, runner=runner)
     if export_dir is not None:
         table1_to_csv(cells, export_dir / "table1.csv")
@@ -137,19 +167,27 @@ def _table1(
 
 
 def _selfcheck(
-    scale: float, export_dir: Optional[Path], runner: SweepRunner, checked: bool
+    scale: float,
+    export_dir: Optional[Path],
+    runner: SweepRunner,
+    checked: bool,
+    compiled: bool,
 ) -> str:
-    del scale, export_dir, runner, checked
+    del scale, export_dir, runner, checked, compiled
     from .validation import format_selfcheck, run_selfcheck
 
     return format_selfcheck(run_selfcheck())
 
 
 def _ablations(
-    scale: float, export_dir: Optional[Path], runner: SweepRunner, checked: bool
+    scale: float,
+    export_dir: Optional[Path],
+    runner: SweepRunner,
+    checked: bool,
+    compiled: bool,
 ) -> str:
     del export_dir  # nothing tabular worth exporting
-    del scale, checked  # ablations are already laptop-sized and unchecked
+    del scale, checked, compiled  # ablations are already laptop-sized
     parts = [
         format_ablation_rows(
             sdp_ratio_sweep(runner=runner), "SDP-ratio sweep (worst rel. error)"
@@ -176,7 +214,9 @@ def _ablations(
     return "\n\n".join(parts)
 
 
-_COMMANDS: dict[str, Callable[[float, Optional[Path], SweepRunner, bool], str]] = {
+_COMMANDS: dict[
+    str, Callable[[float, Optional[Path], SweepRunner, bool, bool], str]
+] = {
     "figure1": _figure1,
     "figure2": _figure2,
     "figure3": _figure3,
@@ -241,6 +281,15 @@ def main(argv: list[str] | None = None) -> int:
         help="disable the on-disk result cache entirely",
     )
     parser.add_argument(
+        "--scalar-arrivals",
+        action="store_true",
+        help=(
+            "generate arrivals with the scalar per-packet path instead "
+            "of the block-drawn compiled path (bit-identical results; "
+            "only useful for A/B verification and benchmarking)"
+        ),
+    )
+    parser.add_argument(
         "--check-invariants",
         action="store_true",
         help=(
@@ -265,7 +314,11 @@ def main(argv: list[str] | None = None) -> int:
         start = time.perf_counter()
         first_report = len(runner.reports)
         output = _COMMANDS[name](
-            args.scale, args.export_dir, runner, args.check_invariants
+            args.scale,
+            args.export_dir,
+            runner,
+            args.check_invariants,
+            not args.scalar_arrivals,
         )
         elapsed = time.perf_counter() - start
         print(output)

@@ -153,7 +153,7 @@ class InvariantChecker:
             if not link.busy:
                 # Work conservation, enqueue side: the server must
                 # never sit idle with work queued.
-                if queues._total_packets > 0 or link._in_service is not None:
+                if queues.total_packets > 0 or link._in_service is not None:
                     self._raise_idle_with_backlog(packet)
             elif not was_busy:
                 # A new busy period began with this arrival.
@@ -194,7 +194,7 @@ class InvariantChecker:
             # single identity covers both: a dropped packet is neither
             # stored nor departed and trips the comparison, and the cold
             # path re-derives which invariant actually broke.
-            stored = queues._total_packets + (
+            stored = queues.total_packets + (
                 1 if link._in_service is not None else 0
             )
             if unbounded:

@@ -29,6 +29,7 @@ from ..sim.engine import Simulator
 from ..sim.link import Link, PacketSink
 from ..sim.rng import RandomStreams
 from ..schedulers.registry import make_scheduler
+from ..traffic.compile import ArrivalCursor, CompiledMixedSource
 from ..traffic.pareto import ParetoInterarrivals
 from ..traffic.source import PacketIdAllocator
 from .crosstraffic import MixedClassSource
@@ -150,7 +151,9 @@ class MultiHopResult:
 
 
 def run_multihop(
-    config: MultiHopConfig, check_invariants: bool = False
+    config: MultiHopConfig,
+    check_invariants: bool = False,
+    compiled_arrivals: bool = True,
 ) -> MultiHopResult:
     """Simulate one Table 1 cell and return its user-experiment results.
 
@@ -159,6 +162,14 @@ def run_multihop(
     causality, work conservation, losslessness, and the WTP dispatch
     oracle at each hop) and the kernel runs through
     :meth:`~repro.sim.engine.Simulator.run_checked`.
+
+    ``compiled_arrivals`` (default) drives all cross-traffic through one
+    block-drawing :class:`~repro.traffic.compile.ArrivalCursor` -- the
+    same gap/class draws as the scalar sources, but a single pending
+    calendar entry for all K*C sources instead of one each.  A single
+    cursor spans every hop so the shared packet-id allocator hands out
+    ids in the same global arrival order as the scalar path.
+    ``compiled_arrivals=False`` keeps per-source scalar emission.
     """
     sim = Simulator()
     streams = RandomStreams(config.seed)
@@ -185,21 +196,40 @@ def run_multihop(
 
     # Cross-traffic: C sources per hop, each with Pareto gaps; rates
     # sized per hop so each link hits its own target utilization.
+    cursor = ArrivalCursor(sim) if compiled_arrivals else None
     for hop, link in enumerate(links):
         gap = config.packet_size / config.cross_byte_rate_per_source_at(
             config.utilization_of_hop(hop)
         )
         for _ in range(config.cross_sources_per_hop):
-            source = MixedClassSource(
-                sim,
-                link,
-                ParetoInterarrivals(gap, config.pareto_shape, streams.generator()),
-                config.class_mix,
-                config.packet_size,
-                streams.generator(),
-                ids=ids,
-            )
-            source.start()
+            if cursor is not None:
+                cursor.add(
+                    CompiledMixedSource(
+                        link,
+                        ParetoInterarrivals(
+                            gap, config.pareto_shape, streams.generator()
+                        ),
+                        config.class_mix,
+                        config.packet_size,
+                        streams.generator(),
+                        ids=ids,
+                    )
+                )
+            else:
+                source = MixedClassSource(
+                    sim,
+                    link,
+                    ParetoInterarrivals(
+                        gap, config.pareto_shape, streams.generator()
+                    ),
+                    config.class_mix,
+                    config.packet_size,
+                    streams.generator(),
+                    ids=ids,
+                )
+                source.start()
+    if cursor is not None:
+        cursor.start()
 
     # User experiments: every experiment_period after warm-up, one flow
     # per class enters at the first hop simultaneously.

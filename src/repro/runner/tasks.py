@@ -15,8 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
 __all__ = [
     "SingleHopTask",
     "MicroscopicTask",
@@ -43,6 +41,11 @@ class SingleHopTask:
     its cache fingerprint: a cached result remembers whether it was
     produced by a validated run, and checked/unchecked sweeps never
     serve each other's entries.
+
+    ``compiled_arrivals`` selects the block-drawn trace compilation
+    (default) or the scalar per-packet path.  The two are bit-identical,
+    but the flag still enters the cache fingerprint so an A/B sweep can
+    prove that empirically instead of assuming it.
     """
 
     config: "SingleHopConfig"  # noqa: F821 - imported lazily below
@@ -51,6 +54,7 @@ class SingleHopTask:
     epoch: Optional[float] = None
     compute_feasibility: bool = False
     check_invariants: bool = False
+    compiled_arrivals: bool = True
 
 
 @dataclass(frozen=True)
@@ -63,6 +67,7 @@ class MicroscopicTask:
     view1_start: float
     view1_end: float
     check_invariants: bool = False
+    compiled_arrivals: bool = True
 
 
 @dataclass(frozen=True)
@@ -71,6 +76,7 @@ class MultiHopTask:
 
     config: "MultiHopConfig"  # noqa: F821
     check_invariants: bool = False
+    compiled_arrivals: bool = True
 
 
 # ----------------------------------------------------------------------
@@ -90,7 +96,7 @@ def single_hop_summary(task: SingleHopTask) -> dict:
     else:
         name = task.scheduler if task.scheduler is not None else config.scheduler
         scheduler = make_scheduler(name, sdps)
-    trace = generate_trace(config)
+    trace = generate_trace(config, compiled=task.compiled_arrivals)
     result = replay_through_scheduler(
         trace, scheduler, config, check_invariants=task.check_invariants
     )
@@ -132,7 +138,7 @@ def microscopic_summary(task: MicroscopicTask) -> dict:
     from ..schedulers.registry import make_scheduler
 
     config = task.config
-    trace = generate_trace(config)
+    trace = generate_trace(config, compiled=task.compiled_arrivals)
     result = replay_through_scheduler(
         trace,
         make_scheduler(task.scheduler, config.sdps),
@@ -141,7 +147,7 @@ def microscopic_summary(task: MicroscopicTask) -> dict:
     )
     interval_monitor = result.interval_monitors[task.view1_tau]
     means = interval_monitor.interval_means()
-    indices = np.asarray([idx for idx, _, _ in interval_monitor.intervals])
+    indices = interval_monitor.interval_indices()
     if len(indices):
         mask = (indices * task.view1_tau >= task.view1_start) & (
             indices * task.view1_tau < task.view1_end
@@ -149,12 +155,14 @@ def microscopic_summary(task: MicroscopicTask) -> dict:
         window_means = means[mask]
     else:
         window_means = means
+    tap = result.taps[0]
     # NaNs (inactive class in an interval) survive JSON via Python's
     # permissive encoder; keep them -- the views expect NaN markers.
     summary = {
-        "interval_means": [list(row) for row in window_means],
+        "interval_means": window_means.tolist(),
         "packet_samples": [
-            [[t, d] for t, d in samples] for samples in result.taps[0].samples
+            tap.samples_array(class_id).tolist()
+            for class_id in range(tap.num_classes)
         ],
     }
     if result.invariants is not None:
@@ -166,7 +174,11 @@ def multihop_summary(task: MultiHopTask) -> dict:
     """Execute one Table 1 cell; return its per-experiment comparisons."""
     from ..network.multihop import run_multihop
 
-    result = run_multihop(task.config, check_invariants=task.check_invariants)
+    result = run_multihop(
+        task.config,
+        check_invariants=task.check_invariants,
+        compiled_arrivals=task.compiled_arrivals,
+    )
     # NaN rd values survive JSON round-trips (Python's encoder emits
     # bare NaN tokens and the decoder restores them), so the cached and
     # fresh payloads stay bit-identical.

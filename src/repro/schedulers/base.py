@@ -70,17 +70,17 @@ class Scheduler(ABC):
 
     def select(self, now: float) -> Packet:
         """Pop and return the next packet to transmit."""
-        if self.queues.is_empty():
+        queues = self.queues
+        if not queues.total_packets:
             raise SchedulingError(f"{self.name}: select() with empty backlog")
-        class_id = self.choose_class(now)
-        packet = self.queues.pop(class_id)
+        packet = queues.pop(self.choose_class(now))
         self.on_select(packet, now)
         return packet
 
     @property
     def backlogged(self) -> bool:
         """True when at least one packet is queued."""
-        return not self.queues.is_empty()
+        return self.queues.total_packets != 0
 
     # ------------------------------------------------------------------
     # Subclass hooks

@@ -90,7 +90,7 @@ class BPRScheduler(Scheduler):
                 "BPRScheduler needs the link capacity; pass capacity= or "
                 "attach it to a Link"
             )
-        queues = self.queues
+        queue_list = self.queues.queues
         last = self._last_decision
         virtual = self._virtual
         rates = self._rates
@@ -98,10 +98,11 @@ class BPRScheduler(Scheduler):
         best_class = -1
         best_score = math.inf
         for cid in range(self.num_classes - 1, -1, -1):
-            head = queues.head(cid)
-            if head is None:
+            queue = queue_list[cid]
+            if not queue:
                 virtual[cid] = 0.0
                 continue
+            head = queue[0]
             if last is None or head.arrived_at > last:
                 virtual[cid] = 0.0
             else:

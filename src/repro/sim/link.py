@@ -185,12 +185,23 @@ class Link:
         self.departures += 1
         self.bytes_sent += packet.size
         self._in_service = None
-        self.scheduler.on_departure(packet, now)
+        scheduler = self.scheduler
+        scheduler.on_departure(packet, now)
         for monitor in self.monitors:
             monitor.on_departure(packet, now)
         self.target.receive(packet)
-        if self.scheduler.backlogged:
-            self._start_service()
+        if scheduler.queues.total_packets:
+            # Inlined _start_service (one departure-to-service handoff
+            # per transmitted packet makes this the hottest link path).
+            # ``scheduler.select`` and ``self._complete_service`` stay
+            # call-time lookups so per-instance overrides (the invariant
+            # checker) keep intercepting both.
+            nxt = scheduler.select(now)
+            nxt.service_start = now
+            self._in_service = nxt
+            self.sim.schedule(
+                now + nxt.size / self.capacity, self._complete_service, nxt
+            )
         else:
             self.busy = False
             self.busy_time += now - self._busy_since

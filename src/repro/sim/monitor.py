@@ -12,6 +12,14 @@ Three instruments cover everything the paper's evaluation needs:
 
 All delays are *queueing* delays: arrival at the hop to start of
 service, the quantity the paper plots throughout.
+
+Storage discipline: per-departure state updates are streaming scalar
+aggregation (constant work, no per-packet allocation); anything that
+accumulates a *series* -- kept delay samples, finished intervals, tap
+rows -- lands in a preallocated numpy buffer grown by amortized
+doubling (:class:`_SampleBuffer`), so post-processing (percentiles,
+interval means, IPDV) runs vectorized on contiguous arrays instead of
+converting Python lists first.
 """
 
 from __future__ import annotations
@@ -32,6 +40,41 @@ __all__ = [
     "BacklogSampler",
     "ThroughputMonitor",
 ]
+
+
+class _SampleBuffer:
+    """Preallocated numpy buffer grown by amortized doubling.
+
+    1-D for scalar series (``columns=0``) or 2-D with a fixed row width.
+    ``view()`` returns the filled prefix without copying.
+    """
+
+    __slots__ = ("data", "size")
+
+    def __init__(
+        self,
+        columns: int = 0,
+        capacity: int = 256,
+        dtype: np.dtype | type = np.float64,
+    ) -> None:
+        shape = (capacity, columns) if columns else capacity
+        self.data = np.empty(shape, dtype=dtype)
+        self.size = 0
+
+    def append(self, value) -> None:
+        """Append one scalar (1-D) or one row (2-D)."""
+        size = self.size
+        if size == len(self.data):
+            self.data = np.concatenate([self.data, np.empty_like(self.data)])
+        self.data[size] = value
+        self.size = size + 1
+
+    def view(self) -> np.ndarray:
+        """The filled prefix (a no-copy view; do not resize while held)."""
+        return self.data[: self.size]
+
+    def __len__(self) -> int:
+        return self.size
 
 
 class ClassDelayStats:
@@ -86,7 +129,7 @@ class DelayMonitor:
         self.warmup = warmup
         self.keep_samples = keep_samples
         self.stats = [ClassDelayStats() for _ in range(num_classes)]
-        self.samples: list[list[float]] = [[] for _ in range(num_classes)]
+        self._samples = [_SampleBuffer() for _ in range(num_classes)]
 
     def on_departure(self, packet: Packet, now: float) -> None:
         if now < self.warmup:
@@ -94,9 +137,14 @@ class DelayMonitor:
         delay = packet.service_start - packet.arrived_at
         self.stats[packet.class_id].add(delay)
         if self.keep_samples:
-            self.samples[packet.class_id].append(delay)
+            self._samples[packet.class_id].append(delay)
 
     # ------------------------------------------------------------------
+    @property
+    def samples(self) -> list[np.ndarray]:
+        """Per class, the kept delay samples as numpy views."""
+        return [buf.view() for buf in self._samples]
+
     def mean_delay(self, class_id: int) -> float:
         """Long-term average queueing delay of a class (NaN if idle)."""
         return self.stats[class_id].mean
@@ -118,8 +166,8 @@ class DelayMonitor:
         """Delay percentile (requires ``keep_samples=True``)."""
         if not self.keep_samples:
             raise ConfigurationError("percentile() needs keep_samples=True")
-        data = self.samples[class_id]
-        if not data:
+        data = self._samples[class_id].view()
+        if not len(data):
             return math.nan
         return float(np.percentile(data, q))
 
@@ -136,10 +184,11 @@ class DelayMonitor:
 class IntervalDelayMonitor:
     """Per-class delay averages over consecutive intervals of length tau.
 
-    Interval k covers departures in [k*tau, (k+1)*tau).  For each
-    finished interval the per-class (sum, count) pairs are stored;
-    :meth:`interval_means` exposes them as arrays with NaN for inactive
-    classes, which is exactly the input the paper's R_D metric needs.
+    Interval k covers departures in [k*tau, (k+1)*tau).  The open
+    interval accumulates streaming per-class (sum, count) scalars;
+    each finished interval is flushed as one row into numpy buffers, so
+    :meth:`interval_means` is a single vectorized divide instead of a
+    per-interval Python loop.
     """
 
     def __init__(self, num_classes: int, tau: float, warmup: float = 0.0) -> None:
@@ -153,8 +202,9 @@ class IntervalDelayMonitor:
         self._current_index: Optional[int] = None
         self._sums = [0.0] * num_classes
         self._counts = [0] * num_classes
-        #: One (index, sums, counts) triple per interval with >=1 departure.
-        self.intervals: list[tuple[int, list[float], list[int]]] = []
+        self._indices = _SampleBuffer(dtype=np.int64)
+        self._interval_sums = _SampleBuffer(columns=num_classes)
+        self._interval_counts = _SampleBuffer(columns=num_classes, dtype=np.int64)
 
     def on_departure(self, packet: Packet, now: float) -> None:
         if now < self.warmup:
@@ -171,9 +221,9 @@ class IntervalDelayMonitor:
 
     def _flush(self) -> None:
         if self._current_index is not None and any(self._counts):
-            self.intervals.append(
-                (self._current_index, self._sums, self._counts)
-            )
+            self._indices.append(self._current_index)
+            self._interval_sums.append(self._sums)
+            self._interval_counts.append(self._counts)
             self._sums = [0.0] * self.num_classes
             self._counts = [0] * self.num_classes
 
@@ -182,19 +232,31 @@ class IntervalDelayMonitor:
         self._flush()
         self._current_index = None
 
+    @property
+    def intervals(self) -> list[tuple[int, list[float], list[int]]]:
+        """Finished intervals as (index, sums, counts) triples."""
+        return [
+            (int(index), list(sums), [int(c) for c in counts])
+            for index, sums, counts in zip(
+                self._indices.view(),
+                self._interval_sums.view(),
+                self._interval_counts.view(),
+            )
+        ]
+
+    def interval_indices(self) -> np.ndarray:
+        """Indices of the finished intervals (int64 view)."""
+        return self._indices.view()
+
     def interval_means(self) -> np.ndarray:
         """(num_intervals, num_classes) array of means, NaN if inactive."""
-        rows = []
-        for _, sums, counts in self.intervals:
-            rows.append(
-                [
-                    sums[c] / counts[c] if counts[c] else math.nan
-                    for c in range(self.num_classes)
-                ]
-            )
-        if not rows:
+        sums = self._interval_sums.view()
+        if not len(sums):
             return np.empty((0, self.num_classes))
-        return np.asarray(rows)
+        counts = self._interval_counts.view()
+        means = np.full(sums.shape, math.nan)
+        np.divide(sums, counts, out=means, where=counts > 0)
+        return means
 
 
 class ThroughputMonitor:
@@ -213,7 +275,8 @@ class ThroughputMonitor:
         self.warmup = warmup
         self._current_index: Optional[int] = None
         self._bytes = [0.0] * num_classes
-        self.intervals: list[tuple[int, list[float]]] = []
+        self._indices = _SampleBuffer(dtype=np.int64)
+        self._interval_bytes = _SampleBuffer(columns=num_classes)
 
     def on_departure(self, packet: Packet, now: float) -> None:
         if now < self.warmup:
@@ -228,7 +291,8 @@ class ThroughputMonitor:
 
     def _flush(self) -> None:
         if self._current_index is not None and any(self._bytes):
-            self.intervals.append((self._current_index, self._bytes))
+            self._indices.append(self._current_index)
+            self._interval_bytes.append(self._bytes)
             self._bytes = [0.0] * self.num_classes
 
     def finalize(self) -> None:
@@ -236,11 +300,21 @@ class ThroughputMonitor:
         self._flush()
         self._current_index = None
 
+    @property
+    def intervals(self) -> list[tuple[int, list[float]]]:
+        """Finished intervals as (index, per-class bytes) pairs."""
+        return [
+            (int(index), list(row))
+            for index, row in zip(
+                self._indices.view(), self._interval_bytes.view()
+            )
+        ]
+
     def rates(self) -> np.ndarray:
         """(num_intervals, num_classes) byte-per-time-unit rates."""
-        if not self.intervals:
+        if not len(self._indices):
             return np.empty((0, self.num_classes))
-        return np.asarray([b for _, b in self.intervals]) / self.tau
+        return self._interval_bytes.view() / self.tau
 
 
 class BacklogSampler:
@@ -298,23 +372,30 @@ class PacketTap:
         self.num_classes = num_classes
         self.start = start
         self.end = end
-        #: Per class: list of (departure_time, queueing_delay).
-        self.samples: list[list[tuple[float, float]]] = [
-            [] for _ in range(num_classes)
-        ]
+        self._buffers = [_SampleBuffer(columns=2) for _ in range(num_classes)]
 
     def on_departure(self, packet: Packet, now: float) -> None:
         if self.start <= now < self.end:
             delay = packet.service_start - packet.arrived_at
-            self.samples[packet.class_id].append((now, delay))
+            self._buffers[packet.class_id].append((now, delay))
+
+    @property
+    def samples(self) -> list[list[tuple[float, float]]]:
+        """Per class: list of (departure_time, queueing_delay) tuples."""
+        return [
+            [tuple(row) for row in buf.view().tolist()]
+            for buf in self._buffers
+        ]
+
+    def samples_array(self, class_id: int) -> np.ndarray:
+        """(n, 2) array of (departure_time, delay) rows (no copy)."""
+        return self._buffers[class_id].view()
 
     def ipdv(self, class_id: int) -> float:
         """Inter-packet delay variation (RFC 3393 flavour): the mean
         absolute delay difference between consecutive departures of the
         class inside the tap window.  NaN with fewer than 2 samples."""
-        delays = [d for _, d in self.samples[class_id]]
-        if len(delays) < 2:
+        rows = self._buffers[class_id].view()
+        if len(rows) < 2:
             return math.nan
-        return float(
-            np.abs(np.diff(np.asarray(delays))).mean()
-        )
+        return float(np.abs(np.diff(rows[:, 1])).mean())

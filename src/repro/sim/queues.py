@@ -20,7 +20,7 @@ __all__ = ["ClassQueueSet"]
 class ClassQueueSet:
     """N per-class FIFO queues with byte and packet accounting."""
 
-    __slots__ = ("num_classes", "queues", "bytes_backlog", "_total_packets")
+    __slots__ = ("num_classes", "queues", "bytes_backlog", "total_packets")
 
     def __init__(self, num_classes: int) -> None:
         if num_classes < 1:
@@ -29,7 +29,9 @@ class ClassQueueSet:
         self.queues: list[deque[Packet]] = [deque() for _ in range(num_classes)]
         #: Backlog of each class in bytes.
         self.bytes_backlog: list[float] = [0.0] * num_classes
-        self._total_packets = 0
+        #: Packets queued across all classes.  A plain attribute, not a
+        #: property: it is read once per select/enqueue on the hot path.
+        self.total_packets = 0
 
     # ------------------------------------------------------------------
     def push(self, packet: Packet) -> None:
@@ -41,7 +43,7 @@ class ClassQueueSet:
             )
         self.queues[cid].append(packet)
         self.bytes_backlog[cid] += packet.size
-        self._total_packets += 1
+        self.total_packets += 1
 
     def pop(self, class_id: int) -> Packet:
         """Remove and return the head packet of ``class_id``."""
@@ -54,7 +56,7 @@ class ClassQueueSet:
         self.bytes_backlog[class_id] = (
             self.bytes_backlog[class_id] - packet.size if queue else 0.0
         )
-        self._total_packets -= 1
+        self.total_packets -= 1
         return packet
 
     def pop_tail(self, class_id: int) -> Packet:
@@ -66,7 +68,7 @@ class ClassQueueSet:
         self.bytes_backlog[class_id] = (
             self.bytes_backlog[class_id] - packet.size if queue else 0.0
         )
-        self._total_packets -= 1
+        self.total_packets -= 1
         return packet
 
     # ------------------------------------------------------------------
@@ -84,18 +86,13 @@ class ClassQueueSet:
         return self.bytes_backlog[class_id]
 
     @property
-    def total_packets(self) -> int:
-        """Packets queued across all classes."""
-        return self._total_packets
-
-    @property
     def total_bytes(self) -> float:
         """Bytes queued across all classes."""
         return sum(self.bytes_backlog)
 
     def is_empty(self) -> bool:
         """True when no class has a queued packet."""
-        return self._total_packets == 0
+        return self.total_packets == 0
 
     def heads(self) -> list[Optional[Packet]]:
         """Head packet of every class (``None`` for empty queues).
@@ -112,4 +109,4 @@ class ClassQueueSet:
                 yield cid
 
     def __len__(self) -> int:
-        return self._total_packets
+        return self.total_packets

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["RandomStreams"]
+__all__ = ["RandomStreams", "BufferedExponentials"]
 
 
 class RandomStreams:
@@ -35,3 +35,43 @@ class RandomStreams:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"RandomStreams(seed={self.seed}, spawned={self._spawned})"
+
+
+class BufferedExponentials:
+    """Prefetched standard-exponential draws from one generator.
+
+    ``draw(scale)`` returns the same float, and consumes the same
+    underlying stream values in the same order, as
+    ``rng.exponential(scale)`` called once per draw: numpy's scaled
+    exponential is exactly ``scale * standard_exponential()``, and block
+    fills of ``standard_exponential`` consume the stream identically to
+    repeated scalar calls.  Prefetching a block at a time removes the
+    per-draw Generator-method dispatch from arrival hot paths.
+
+    The only observable difference is that the generator's position
+    advances a block early, so the generator must be private to the
+    consuming process (the :class:`RandomStreams` discipline guarantees
+    this) -- never share it with another consumer.
+    """
+
+    __slots__ = ("_rng", "_block", "_buf", "_pos")
+
+    def __init__(self, rng: np.random.Generator, block: int = 512) -> None:
+        if block < 1:
+            raise ValueError(f"block must be >= 1: {block}")
+        self._rng = rng
+        self._block = block
+        self._buf: list[float] = []
+        self._pos = 0
+
+    def draw(self, scale: float) -> float:
+        """One exponential draw with the given ``scale`` (mean)."""
+        pos = self._pos
+        buf = self._buf
+        if pos >= len(buf):
+            buf = self._buf = self._rng.standard_exponential(
+                self._block
+            ).tolist()
+            pos = 0
+        self._pos = pos + 1
+        return scale * buf[pos]

@@ -1,6 +1,12 @@
 """Traffic models: interarrival processes, packet sizes, load mixes."""
 
 from .base import InterarrivalProcess, PacketSizeSampler
+from .compile import (
+    DEFAULT_CHUNK,
+    ArrivalCursor,
+    CompiledMixedSource,
+    CompiledSource,
+)
 from .deterministic import ConstantInterarrivals
 from .ecn import ECNMarker, ECNSource
 from .io import load_trace, load_trace_csv, save_trace, save_trace_csv
@@ -20,6 +26,10 @@ from .source import PacketIdAllocator, TrafficSource
 __all__ = [
     "InterarrivalProcess",
     "PacketSizeSampler",
+    "ArrivalCursor",
+    "CompiledMixedSource",
+    "CompiledSource",
+    "DEFAULT_CHUNK",
     "ConstantInterarrivals",
     "ECNMarker",
     "ECNSource",

@@ -10,11 +10,25 @@ Two small protocols compose into a source:
 
 Both expose their analytic means so that experiment harnesses can solve
 for the rates that hit a requested utilization exactly.
+
+Block drawing
+-------------
+Both protocols also support *block* drawing (:meth:`draw_gaps` /
+:meth:`draw_sizes`): n draws returned as one numpy array.  The contract
+is strict -- a block must consume the process's random stream exactly
+like n successive scalar draws and return bit-identical values, so the
+compiled arrival path (:mod:`repro.traffic.compile`) reproduces the
+scalar path's simulations to the last bit.  The base implementations
+simply loop over the scalar draw (trivially equivalent); concrete
+processes override them with vectorized draws where numpy's kernels are
+bit-compatible with the scalar ones.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+
+import numpy as np
 
 __all__ = ["InterarrivalProcess", "PacketSizeSampler"]
 
@@ -25,6 +39,17 @@ class InterarrivalProcess(ABC):
     @abstractmethod
     def next_gap(self) -> float:
         """Draw the next interarrival time (strictly positive)."""
+
+    def draw_gaps(self, n: int) -> np.ndarray:
+        """Draw the next ``n`` gaps as a float64 array.
+
+        Equivalent -- bit for bit, including the random draws consumed
+        -- to ``n`` successive :meth:`next_gap` calls.  This fallback
+        loops over the scalar draw; stationary processes override it
+        with vectorized block draws.
+        """
+        next_gap = self.next_gap
+        return np.asarray([next_gap() for _ in range(n)], dtype=np.float64)
 
     @property
     @abstractmethod
@@ -43,6 +68,15 @@ class PacketSizeSampler(ABC):
     @abstractmethod
     def next_size(self) -> float:
         """Draw the next packet size in bytes."""
+
+    def draw_sizes(self, n: int) -> np.ndarray:
+        """Draw the next ``n`` sizes as a float64 array.
+
+        Same contract as :meth:`InterarrivalProcess.draw_gaps`:
+        bit-identical to ``n`` scalar :meth:`next_size` calls.
+        """
+        next_size = self.next_size
+        return np.asarray([next_size() for _ in range(n)], dtype=np.float64)
 
     @property
     @abstractmethod

@@ -7,6 +7,8 @@ scheduler unit tests exactly predictable.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from .base import InterarrivalProcess
 
@@ -23,6 +25,9 @@ class ConstantInterarrivals(InterarrivalProcess):
 
     def next_gap(self) -> float:
         return self.gap
+
+    def draw_gaps(self, n: int) -> np.ndarray:
+        return np.full(n, self.gap, dtype=np.float64)
 
     @property
     def mean(self) -> float:

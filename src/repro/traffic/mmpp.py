@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..sim.rng import BufferedExponentials
 from .base import InterarrivalProcess
 
 __all__ = ["MMPPInterarrivals"]
@@ -39,13 +40,16 @@ class MMPPInterarrivals(InterarrivalProcess):
         self.rates = (float(rate_a), float(rate_b))
         self.sojourns = (float(mean_sojourn_a), float(mean_sojourn_b))
         self._rng = rng if rng is not None else np.random.default_rng()
+        # All draws (candidates and sojourns) go through one prefetch
+        # buffer so block and scalar drawing stay interchangeable.
+        self._exp = BufferedExponentials(self._rng)
         self._state = 0
-        self._state_time_left = self._rng.exponential(self.sojourns[0])
+        self._state_time_left = self._exp.draw(self.sojourns[0])
 
     def next_gap(self) -> float:
         gap = 0.0
         while True:
-            candidate = self._rng.exponential(1.0 / self.rates[self._state])
+            candidate = self._exp.draw(1.0 / self.rates[self._state])
             if candidate <= self._state_time_left:
                 self._state_time_left -= candidate
                 return gap + candidate
@@ -54,9 +58,36 @@ class MMPPInterarrivals(InterarrivalProcess):
             # this exact).
             gap += self._state_time_left
             self._state = 1 - self._state
-            self._state_time_left = self._rng.exponential(
+            self._state_time_left = self._exp.draw(
                 self.sojourns[self._state]
             )
+
+    def draw_gaps(self, n: int) -> np.ndarray:
+        # Full vectorization is impossible without changing the stream:
+        # how many candidates fit in a sojourn is only known after
+        # drawing them.  Instead the state machine runs with hoisted
+        # lookups over prefetched draws, which removes the per-arrival
+        # Generator dispatch the scalar path pays.
+        out = np.empty(n, dtype=np.float64)
+        scales = (1.0 / self.rates[0], 1.0 / self.rates[1])
+        sojourns = self.sojourns
+        draw = self._exp.draw
+        state = self._state
+        left = self._state_time_left
+        for i in range(n):
+            gap = 0.0
+            while True:
+                candidate = draw(scales[state])
+                if candidate <= left:
+                    left -= candidate
+                    out[i] = gap + candidate
+                    break
+                gap += left
+                state = 1 - state
+                left = draw(sojourns[state])
+        self._state = state
+        self._state_time_left = left
+        return out
 
     @property
     def mean(self) -> float:

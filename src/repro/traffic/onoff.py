@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..sim.rng import BufferedExponentials
 from .base import InterarrivalProcess
 
 __all__ = ["OnOffInterarrivals"]
@@ -43,7 +44,10 @@ class OnOffInterarrivals(InterarrivalProcess):
         self.mean_on = float(mean_on)
         self.mean_off = float(mean_off)
         self._rng = rng if rng is not None else np.random.default_rng()
-        self._remaining_on = self._rng.exponential(self.mean_on)
+        # All period draws go through one prefetch buffer so block and
+        # scalar drawing stay interchangeable mid-stream.
+        self._exp = BufferedExponentials(self._rng)
+        self._remaining_on = self._exp.draw(self.mean_on)
 
     def next_gap(self) -> float:
         gap = self.peak_gap
@@ -51,9 +55,32 @@ class OnOffInterarrivals(InterarrivalProcess):
         while self._remaining_on <= 0:
             # Burst ended: insert an OFF period, then start a new burst.
             if self.mean_off > 0:
-                gap += self._rng.exponential(self.mean_off)
-            self._remaining_on += self._rng.exponential(self.mean_on)
+                gap += self._exp.draw(self.mean_off)
+            self._remaining_on += self._exp.draw(self.mean_on)
         return gap
+
+    def draw_gaps(self, n: int) -> np.ndarray:
+        # Same recurrence as next_gap with the loop-invariant lookups
+        # hoisted.  The ``_remaining_on`` countdown must stay a
+        # sequential scalar subtraction: its accumulated rounding
+        # decides exactly which packet ends a burst, so any closed-form
+        # (vectorized) version could shift a burst boundary by one.
+        out = np.empty(n, dtype=np.float64)
+        peak_gap = self.peak_gap
+        mean_on = self.mean_on
+        mean_off = self.mean_off
+        draw = self._exp.draw
+        remaining = self._remaining_on
+        for i in range(n):
+            gap = peak_gap
+            remaining -= peak_gap
+            while remaining <= 0:
+                if mean_off > 0:
+                    gap += draw(mean_off)
+                remaining += draw(mean_on)
+            out[i] = gap
+        self._remaining_on = remaining
+        return out
 
     @property
     def mean(self) -> float:

@@ -30,6 +30,11 @@ class PoissonInterarrivals(InterarrivalProcess):
     def next_gap(self) -> float:
         return self._rng.exponential(self._mean)
 
+    def draw_gaps(self, n: int) -> np.ndarray:
+        # numpy fills exponential blocks with the same ziggurat draws,
+        # in the same order, as n scalar calls: bit-identical.
+        return self._rng.exponential(self._mean, size=n)
+
     @property
     def mean(self) -> float:
         return self._mean

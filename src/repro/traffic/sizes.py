@@ -28,6 +28,9 @@ class FixedPacketSize(PacketSizeSampler):
     def next_size(self) -> float:
         return self.size
 
+    def draw_sizes(self, n: int) -> np.ndarray:
+        return np.full(n, self.size, dtype=np.float64)
+
     @property
     def mean(self) -> float:
         return self.size
@@ -63,6 +66,14 @@ class DiscretePacketSizes(PacketSizeSampler):
         if index >= len(self.sizes):  # guard for u == 1.0 edge
             index = len(self.sizes) - 1
         return float(self.sizes[index])
+
+    def draw_sizes(self, n: int) -> np.ndarray:
+        # One uniform block plus one vectorized searchsorted: the same
+        # uniforms, bucket edges and clamp as n scalar draws.
+        u = self._rng.random(n)
+        indices = np.searchsorted(self._cum, u, side="right")
+        np.minimum(indices, len(self.sizes) - 1, out=indices)
+        return self.sizes[indices]
 
     @property
     def mean(self) -> float:

@@ -24,6 +24,7 @@ from ..sim.engine import Simulator
 from ..sim.link import Receiver
 from ..sim.packet import Packet
 from .base import InterarrivalProcess, PacketSizeSampler
+from .compile import DEFAULT_CHUNK
 
 __all__ = ["ArrivalTrace", "TraceSource", "build_class_trace", "merge_traces"]
 
@@ -80,20 +81,70 @@ def build_class_trace(
     sizes: PacketSizeSampler,
     horizon: float,
     start_time: float = 0.0,
+    compiled: bool = True,
+    chunk: int = DEFAULT_CHUNK,
 ) -> ArrivalTrace:
-    """Generate one class's arrivals on [start_time, horizon)."""
+    """Generate one class's arrivals on [start_time, horizon).
+
+    ``compiled=True`` (the default) draws gaps and sizes in numpy blocks
+    of ``chunk`` and converts gaps to timestamps with a carry-folded
+    cumulative sum.  The output is bit-identical to the scalar loop:
+    block draws consume each private random stream exactly like scalar
+    draws, and folding the running time into the first gap before
+    ``np.cumsum`` performs the same left-to-right float additions as the
+    scalar ``t += gap`` accumulation.  (Gaps and sizes must come from
+    independent generators -- the :class:`~repro.sim.rng.RandomStreams`
+    discipline -- because block drawing reorders draws *across* the two
+    streams, though never within one.)  Memory stays O(chunk) beyond the
+    returned arrays.  ``compiled=False`` keeps the scalar loop for A/B
+    comparison.
+    """
     if horizon <= start_time:
         raise ConfigurationError("horizon must exceed start_time")
-    times: list[float] = []
-    t = start_time + interarrivals.next_gap()
-    while t < horizon:
-        times.append(t)
-        t += interarrivals.next_gap()
-    count = len(times)
+    if not compiled:
+        times: list[float] = []
+        t = start_time + interarrivals.next_gap()
+        while t < horizon:
+            times.append(t)
+            t += interarrivals.next_gap()
+        count = len(times)
+        return ArrivalTrace(
+            np.asarray(times),
+            np.full(count, class_id, dtype=np.int64),
+            np.asarray([sizes.next_size() for _ in range(count)]),
+        )
+    if chunk < 1:
+        raise ConfigurationError(f"chunk must be >= 1: {chunk}")
+    time_blocks: list[np.ndarray] = []
+    size_blocks: list[np.ndarray] = []
+    carry = start_time
+    mean_gap = interarrivals.mean
+    while True:
+        # Size each block to the expected remaining arrivals (+10%
+        # headroom), capped at ``chunk``.  Block size never changes the
+        # output -- draws are consumed in sequence either way -- it only
+        # bounds how many surplus draws are discarded past the horizon.
+        want = int((horizon - carry) / mean_gap * 1.1) + 8
+        gaps = interarrivals.draw_gaps(want if want < chunk else chunk)
+        gaps[0] += carry
+        block = np.cumsum(gaps)
+        if block[-1] >= horizon:
+            block = block[: int(np.searchsorted(block, horizon, side="left"))]
+            if len(block):
+                time_blocks.append(block)
+                size_blocks.append(sizes.draw_sizes(len(block)))
+            break
+        carry = float(block[-1])
+        time_blocks.append(block)
+        size_blocks.append(sizes.draw_sizes(len(block)))
+    if not time_blocks:
+        empty = np.empty(0, dtype=np.float64)
+        return ArrivalTrace(empty, np.empty(0, dtype=np.int64), empty.copy())
+    times_arr = np.concatenate(time_blocks)
     return ArrivalTrace(
-        np.asarray(times),
-        np.full(count, class_id, dtype=np.int64),
-        np.asarray([sizes.next_size() for _ in range(count)]),
+        times_arr,
+        np.full(len(times_arr), class_id, dtype=np.int64),
+        np.concatenate(size_blocks),
     )
 
 
@@ -148,10 +199,10 @@ class TraceSource:
         index = self._cursor
         times = self._times
         packet = Packet(
-            packet_id=self.first_packet_id + index,
-            class_id=self._class_ids[index],
-            size=self._sizes[index],
-            created_at=times[index],
+            self.first_packet_id + index,
+            self._class_ids[index],
+            self._sizes[index],
+            times[index],
         )
         self._cursor = index = index + 1
         self.target.receive(packet)

@@ -169,6 +169,38 @@ class TestIntrospection:
         first.cancel()
         assert sim.peek() == 2.0
 
+    def test_peek_skips_run_of_consecutive_cancelled(self, sim):
+        handles = [
+            sim.schedule_cancellable(float(t), lambda: None)
+            for t in range(1, 5)
+        ]
+        sim.schedule(9.0, lambda: None)
+        for handle in handles:
+            handle.cancel()
+        assert sim.peek() == 9.0
+        # The dead run is gone for good: peek stays O(1) afterwards.
+        assert sim.pending == 1
+
+    def test_peek_all_cancelled_returns_none(self, sim):
+        handles = [
+            sim.schedule_cancellable(float(t), lambda: None)
+            for t in range(1, 4)
+        ]
+        for handle in handles:
+            handle.cancel()
+        assert sim.peek() is None
+        assert sim.pending == 0
+
+    def test_peek_does_not_fire_or_drop_live_events(self, sim):
+        fired = []
+        dead = sim.schedule_cancellable(1.0, lambda: fired.append("dead"))
+        sim.schedule(2.0, lambda: fired.append("live"))
+        dead.cancel()
+        assert sim.peek() == 2.0
+        assert fired == []
+        sim.run()
+        assert fired == ["live"]
+
     def test_peek_empty_returns_none(self, sim):
         assert sim.peek() is None
 

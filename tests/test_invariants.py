@@ -340,7 +340,7 @@ def test_finalize_catches_corrupted_packet_counter() -> None:
     checker = InvariantChecker(link).attach()
     sim.schedule(0.0, link.receive, make_packet(0, size=10.0))
     sim.run_checked(until=50.0)
-    scheduler.queues._total_packets += 1
+    scheduler.queues.total_packets += 1
     with pytest.raises(InvariantViolation) as excinfo:
         checker.finalize()
     assert excinfo.value.invariant == "losslessness"

@@ -1,0 +1,343 @@
+"""Bit-equivalence of the compiled (block-drawn) arrival path.
+
+The compiled path's contract is *bit-identity*: every gap, size and
+timestamp equals the scalar path's to the last ulp, so the golden
+corpus and every seeded experiment are unaffected by which path runs.
+These tests pin that contract for all five interarrival processes and
+both size samplers, across chunk boundaries, interleaved scalar/block
+draws, stop-time truncation, and full source-into-link emission.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import BufferedExponentials
+from repro.traffic import (
+    ArrivalCursor,
+    CompiledMixedSource,
+    CompiledSource,
+    ConstantInterarrivals,
+    DiscretePacketSizes,
+    FixedPacketSize,
+    InterarrivalProcess,
+    MMPPInterarrivals,
+    OnOffInterarrivals,
+    PacketIdAllocator,
+    ParetoInterarrivals,
+    PoissonInterarrivals,
+    TrafficSource,
+    paper_trimodal_sizes,
+)
+from repro.network.crosstraffic import MixedClassSource
+from repro.traffic.trace import build_class_trace
+
+pytestmark = pytest.mark.property
+
+
+def make_process(kind: str, seed: int) -> InterarrivalProcess:
+    rng = np.random.default_rng(seed)
+    if kind == "pareto":
+        return ParetoInterarrivals(0.01, 1.9, rng)
+    if kind == "poisson":
+        return PoissonInterarrivals(0.01, rng)
+    if kind == "cbr":
+        return ConstantInterarrivals(0.01)
+    if kind == "onoff":
+        return OnOffInterarrivals(
+            peak_gap=0.002, mean_on=0.05, mean_off=0.03, rng=rng
+        )
+    if kind == "mmpp":
+        return MMPPInterarrivals(
+            rate_a=100.0, rate_b=400.0,
+            mean_sojourn_a=0.1, mean_sojourn_b=0.05, rng=rng,
+        )
+    raise AssertionError(kind)
+
+
+PROCESS_KINDS = ["pareto", "poisson", "cbr", "onoff", "mmpp"]
+
+
+class RecordingSink:
+    """Receiver stub capturing the full packet stream."""
+
+    def __init__(self) -> None:
+        self.packets: list[tuple] = []
+
+    def receive(self, packet) -> None:
+        self.packets.append(
+            (
+                packet.packet_id,
+                packet.class_id,
+                packet.size,
+                packet.created_at,
+                packet.flow_id,
+            )
+        )
+
+
+class TestBlockDraws:
+    @pytest.mark.parametrize("kind", PROCESS_KINDS)
+    @given(seed=st.integers(0, 2**32 - 1), split=st.integers(1, 199))
+    @settings(max_examples=20, deadline=None)
+    def test_draw_gaps_bit_identical_across_splits(self, kind, seed, split):
+        """Any block split, with scalar draws interleaved, matches the
+        pure scalar sequence value-for-value."""
+        scalar = make_process(kind, seed)
+        blocked = make_process(kind, seed)
+        expected = [scalar.next_gap() for _ in range(200)]
+        got = list(blocked.draw_gaps(split))
+        got.append(blocked.next_gap())
+        got.extend(blocked.draw_gaps(200 - split - 1))
+        assert got[:200] == expected
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_discrete_sizes_bit_identical(self, seed):
+        scalar = paper_trimodal_sizes(np.random.default_rng(seed))
+        blocked = paper_trimodal_sizes(np.random.default_rng(seed))
+        expected = [scalar.next_size() for _ in range(300)]
+        got = list(blocked.draw_sizes(123))
+        got.append(blocked.next_size())
+        got.extend(blocked.draw_sizes(176))
+        assert got == expected
+
+    def test_fixed_sizes_block(self):
+        sampler = FixedPacketSize(500.0)
+        assert (sampler.draw_sizes(7) == 500.0).all()
+
+    def test_base_class_fallback_matches_scalar(self):
+        """A process that only implements next_gap still block-draws
+        correctly through the base-class fallback."""
+
+        class Alternating(InterarrivalProcess):
+            def __init__(self) -> None:
+                self._flip = False
+
+            def next_gap(self) -> float:
+                self._flip = not self._flip
+                return 1.0 if self._flip else 2.0
+
+            @property
+            def mean(self) -> float:
+                return 1.5
+
+        process = Alternating()
+        assert process.draw_gaps(4).tolist() == [1.0, 2.0, 1.0, 2.0]
+        assert process.next_gap() == 1.0
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_buffered_exponentials_match_generator(self, seed):
+        """draw(scale) reproduces rng.exponential(scale) exactly, for
+        varying scales, across the prefetch-block boundary."""
+        direct = np.random.default_rng(seed)
+        buffered = BufferedExponentials(np.random.default_rng(seed), block=7)
+        scales = [0.5, 2.0, 1.0 / 3.0, 10.0]
+        for i in range(40):
+            scale = scales[i % len(scales)]
+            assert buffered.draw(scale) == direct.exponential(scale)
+
+
+class TestCompiledTrace:
+    @pytest.mark.parametrize("kind", PROCESS_KINDS)
+    @given(seed=st.integers(0, 2**32 - 1), chunk=st.integers(1, 64))
+    @settings(max_examples=10, deadline=None)
+    def test_build_class_trace_matches_scalar(self, kind, seed, chunk):
+        """Compiled == scalar for every process, including tiny chunks
+        that force many block boundaries before the horizon."""
+        sizes_a = paper_trimodal_sizes(np.random.default_rng(seed + 1))
+        sizes_b = paper_trimodal_sizes(np.random.default_rng(seed + 1))
+        scalar = build_class_trace(
+            2, make_process(kind, seed), sizes_a, horizon=1.0, compiled=False
+        )
+        compiled = build_class_trace(
+            2, make_process(kind, seed), sizes_b, horizon=1.0,
+            compiled=True, chunk=chunk,
+        )
+        assert (compiled.times == scalar.times).all()
+        assert (compiled.sizes == scalar.sizes).all()
+        assert (compiled.class_ids == scalar.class_ids).all()
+
+    def test_horizon_before_first_arrival_gives_empty_trace(self):
+        process = ConstantInterarrivals(5.0)
+        trace = build_class_trace(
+            0, process, FixedPacketSize(1.0), horizon=1.0, compiled=True
+        )
+        assert len(trace) == 0
+
+    def test_truncation_exactly_at_chunk_boundary(self):
+        """Horizon falling exactly on a block's last timestamp keeps the
+        strict `< horizon` rule (the boundary arrival is dropped)."""
+        process = ConstantInterarrivals(1.0)
+        trace = build_class_trace(
+            0, process, FixedPacketSize(1.0), horizon=8.0,
+            compiled=True, chunk=4,
+        )
+        scalar = build_class_trace(
+            0, ConstantInterarrivals(1.0), FixedPacketSize(1.0),
+            horizon=8.0, compiled=False,
+        )
+        assert trace.times.tolist() == scalar.times.tolist()
+        assert trace.times[-1] < 8.0
+
+    def test_start_time_carry_folds_into_first_block(self):
+        scalar = build_class_trace(
+            0, ConstantInterarrivals(0.5), FixedPacketSize(1.0),
+            horizon=20.0, start_time=3.0, compiled=False,
+        )
+        compiled = build_class_trace(
+            0, ConstantInterarrivals(0.5), FixedPacketSize(1.0),
+            horizon=20.0, start_time=3.0, compiled=True, chunk=5,
+        )
+        assert (compiled.times == scalar.times).all()
+
+
+class TestCompiledSources:
+    @pytest.mark.parametrize("kind", PROCESS_KINDS)
+    def test_compiled_source_emits_identical_stream(self, kind):
+        """CompiledSource behind a cursor == TrafficSource, packet for
+        packet (ids, classes, sizes, timestamps), incl. stop_time."""
+        seed = 7
+        scalar_sink, compiled_sink = RecordingSink(), RecordingSink()
+
+        sim_a = Simulator()
+        TrafficSource(
+            sim_a, scalar_sink, 1,
+            make_process(kind, seed),
+            paper_trimodal_sizes(np.random.default_rng(99)),
+            ids=PacketIdAllocator(), flow_id=5,
+            start_time=0.01, stop_time=0.8,
+        ).start()
+        sim_a.run()
+
+        sim_b = Simulator()
+        cursor = ArrivalCursor(sim_b)
+        cursor.add(
+            CompiledSource(
+                compiled_sink, 1,
+                make_process(kind, seed),
+                paper_trimodal_sizes(np.random.default_rng(99)),
+                ids=PacketIdAllocator(), flow_id=5,
+                start_time=0.01, stop_time=0.8, chunk=16,
+            )
+        )
+        cursor.start()
+        sim_b.run()
+
+        assert compiled_sink.packets == scalar_sink.packets
+        assert len(compiled_sink.packets) > 0
+
+    @given(
+        stop=st.floats(0.011, 2.0, allow_nan=False),
+        chunk=st.integers(1, 16),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_stop_time_truncation_any_position(self, stop, chunk):
+        """stop_time landing anywhere relative to chunk boundaries --
+        first element of a block, mid-block, beyond -- truncates the
+        compiled stream exactly where the scalar source stops."""
+        scalar_sink, compiled_sink = RecordingSink(), RecordingSink()
+        sim_a = Simulator()
+        TrafficSource(
+            sim_a, scalar_sink, 0,
+            make_process("pareto", 3), FixedPacketSize(1.0),
+            stop_time=stop,
+        ).start()
+        sim_a.run()
+        sim_b = Simulator()
+        cursor = ArrivalCursor(sim_b)
+        cursor.add(
+            CompiledSource(
+                compiled_sink, 0,
+                make_process("pareto", 3), FixedPacketSize(1.0),
+                stop_time=stop, chunk=chunk,
+            )
+        )
+        cursor.start()
+        sim_b.run()
+        assert compiled_sink.packets == scalar_sink.packets
+
+    def test_cursor_merges_sources_with_shared_ids(self):
+        """Three sources on one cursor allocate shared packet ids in the
+        same global order as three scalar sources on the calendar."""
+        kinds = ["pareto", "poisson", "onoff"]
+
+        scalar_sink = RecordingSink()
+        sim_a = Simulator()
+        ids_a = PacketIdAllocator()
+        for class_id, kind in enumerate(kinds):
+            TrafficSource(
+                sim_a, scalar_sink, class_id,
+                make_process(kind, 11 + class_id), FixedPacketSize(100.0),
+                ids=ids_a, stop_time=0.5,
+            ).start()
+        sim_a.run()
+
+        compiled_sink = RecordingSink()
+        sim_b = Simulator()
+        ids_b = PacketIdAllocator()
+        cursor = ArrivalCursor(sim_b)
+        for class_id, kind in enumerate(kinds):
+            cursor.add(
+                CompiledSource(
+                    compiled_sink, class_id,
+                    make_process(kind, 11 + class_id), FixedPacketSize(100.0),
+                    ids=ids_b, stop_time=0.5, chunk=32,
+                )
+            )
+        cursor.start()
+        sim_b.run()
+
+        assert compiled_sink.packets == scalar_sink.packets
+        assert len(compiled_sink.packets) > 100
+
+    def test_cursor_keeps_one_pending_event(self):
+        sim = Simulator()
+        cursor = ArrivalCursor(sim)
+        for seed in range(5):
+            cursor.add(
+                CompiledSource(
+                    RecordingSink(), 0,
+                    make_process("poisson", seed), FixedPacketSize(1.0),
+                )
+            )
+        cursor.start()
+        assert sim.pending == 1
+        assert cursor.pending_sources == 5
+
+    def test_mixed_source_matches_scalar(self):
+        """CompiledMixedSource == MixedClassSource: same per-packet
+        class draws, sizes, ids and timestamps."""
+        probs = (0.4, 0.3, 0.2, 0.1)
+
+        scalar_sink = RecordingSink()
+        sim_a = Simulator()
+        MixedClassSource(
+            sim_a, scalar_sink,
+            make_process("pareto", 21), probs, 500.0,
+            np.random.default_rng(77), ids=PacketIdAllocator(),
+        ).start()
+        sim_a.run(until=2.0)
+
+        compiled_sink = RecordingSink()
+        sim_b = Simulator()
+        cursor = ArrivalCursor(sim_b)
+        cursor.add(
+            CompiledMixedSource(
+                compiled_sink,
+                make_process("pareto", 21), probs, 500.0,
+                np.random.default_rng(77), ids=PacketIdAllocator(), chunk=64,
+            )
+        )
+        cursor.start()
+        sim_b.run(until=2.0)
+
+        assert compiled_sink.packets == scalar_sink.packets
+        assert len(compiled_sink.packets) > 50
+        classes = {p[1] for p in compiled_sink.packets}
+        assert classes == {0, 1, 2, 3}
