@@ -74,11 +74,13 @@ def _figure1(
     runner: SweepRunner,
     checked: bool,
     compiled: bool,
+    drain: bool,
 ) -> str:
     parts = []
     for sdps, label in ((SDP_RATIO_2, "1a"), (SDP_RATIO_4, "1b")):
         config = FigureOneConfig(
-            sdps=sdps, check_invariants=checked, compiled_arrivals=compiled
+            sdps=sdps, check_invariants=checked, compiled_arrivals=compiled,
+            drain=drain,
         ).scaled(scale)
         points = run_figure1(config, runner=runner)
         parts.append(f"--- Figure {label} ---")
@@ -95,11 +97,13 @@ def _figure2(
     runner: SweepRunner,
     checked: bool,
     compiled: bool,
+    drain: bool,
 ) -> str:
     parts = []
     for sdps, label in ((SDP_RATIO_2, "2a"), (SDP_RATIO_4, "2b")):
         config = FigureTwoConfig(
-            sdps=sdps, check_invariants=checked, compiled_arrivals=compiled
+            sdps=sdps, check_invariants=checked, compiled_arrivals=compiled,
+            drain=drain,
         ).scaled(scale)
         points = run_figure2(config, runner=runner)
         parts.append(f"--- Figure {label} ---")
@@ -116,9 +120,10 @@ def _figure3(
     runner: SweepRunner,
     checked: bool,
     compiled: bool,
+    drain: bool,
 ) -> str:
     config = FigureThreeConfig(
-        check_invariants=checked, compiled_arrivals=compiled
+        check_invariants=checked, compiled_arrivals=compiled, drain=drain
     ).scaled(scale)
     boxes = run_figure3(config, runner=runner)
     if export_dir is not None:
@@ -133,9 +138,10 @@ def _figure45(
     runner: SweepRunner,
     checked: bool,
     compiled: bool,
+    drain: bool,
 ) -> str:
     config = MicroscopicConfig(
-        check_invariants=checked, compiled_arrivals=compiled
+        check_invariants=checked, compiled_arrivals=compiled, drain=drain
     ).scaled(scale)
     views = run_figure45(config, runner=runner)
     if export_dir is not None:
@@ -155,9 +161,11 @@ def _table1(
     runner: SweepRunner,
     checked: bool,
     compiled: bool,
+    drain: bool,
 ) -> str:
     config = TableOneConfig(
-        check_invariants=checked, compiled_arrivals=compiled
+        check_invariants=checked, compiled_arrivals=compiled,
+        drain_kernel=drain,
     ).scaled(scale)
     cells = run_table1(config, runner=runner)
     if export_dir is not None:
@@ -172,8 +180,9 @@ def _selfcheck(
     runner: SweepRunner,
     checked: bool,
     compiled: bool,
+    drain: bool,
 ) -> str:
-    del scale, export_dir, runner, checked, compiled
+    del scale, export_dir, runner, checked, compiled, drain
     from .validation import format_selfcheck, run_selfcheck
 
     return format_selfcheck(run_selfcheck())
@@ -185,9 +194,10 @@ def _ablations(
     runner: SweepRunner,
     checked: bool,
     compiled: bool,
+    drain: bool,
 ) -> str:
     del export_dir  # nothing tabular worth exporting
-    del scale, checked, compiled  # ablations are already laptop-sized
+    del scale, checked, compiled, drain  # ablations are already laptop-sized
     parts = [
         format_ablation_rows(
             sdp_ratio_sweep(runner=runner), "SDP-ratio sweep (worst rel. error)"
@@ -215,7 +225,7 @@ def _ablations(
 
 
 _COMMANDS: dict[
-    str, Callable[[float, Optional[Path], SweepRunner, bool, bool], str]
+    str, Callable[[float, Optional[Path], SweepRunner, bool, bool, bool], str]
 ] = {
     "figure1": _figure1,
     "figure2": _figure2,
@@ -290,6 +300,17 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--no-drain",
+        action="store_true",
+        help=(
+            "disable the link's busy-period drain kernel and run every "
+            "service completion through the event calendar "
+            "(bit-identical results; only useful for A/B verification "
+            "and benchmarking; cached separately via the config "
+            "fingerprint)"
+        ),
+    )
+    parser.add_argument(
         "--check-invariants",
         action="store_true",
         help=(
@@ -319,6 +340,7 @@ def main(argv: list[str] | None = None) -> int:
             runner,
             args.check_invariants,
             not args.scalar_arrivals,
+            not args.no_drain,
         )
         elapsed = time.perf_counter() - start
         print(output)

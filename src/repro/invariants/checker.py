@@ -124,6 +124,14 @@ class InvariantChecker:
             raise SimulationError(
                 "link scheduler changed since the checker was constructed"
             )
+        # The busy-period drain kernel would bypass the per-event hooks
+        # installed below, so force the link fully evented first.  The
+        # drain's own entry check also detects instance overrides, but
+        # detaching feeders here keeps every arrival a real calendar
+        # event from the moment the checker attaches.
+        suspend = getattr(link, "suspend_drain", None)
+        if suspend is not None:
+            suspend()
         self._originals = {
             "receive": link.receive,
             "select": scheduler.select,

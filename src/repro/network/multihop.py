@@ -63,6 +63,10 @@ class MultiHopConfig:
     warmup: float = 100_000.0           # ms (paper: 100 s)
     drain: float = 2000.0               # ms to let the last flows finish
     seed: int = 1
+    #: Busy-period drain *kernel* A/B switch for every hop's link
+    #: (bit-identical results; see :mod:`repro.sim.link`).  Distinct
+    #: from ``drain``, the end-of-run settle window above.
+    drain_kernel: bool = True
     #: Optional per-hop utilizations (length == hops); overrides
     #: ``utilization`` so heterogeneous paths (e.g. one bottleneck hop)
     #: can be studied.  ``None`` = every hop at ``utilization``.
@@ -188,6 +192,7 @@ def run_multihop(
             capacity=config.capacity,
             target=demux,
             name=f"hop{hop}",
+            drain=config.drain_kernel,
         )
         links.append(link)
         downstream = link

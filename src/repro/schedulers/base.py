@@ -15,6 +15,20 @@ The contract with :class:`~repro.sim.link.Link`:
 Subclasses implement :meth:`choose_class`; ``select`` handles the pop and
 bookkeeping.  ``num_classes`` follows the paper's convention: index 0 is
 paper class 1, the *lowest* class (largest delay target).
+
+Drain-kernel contract: the link's busy-period drain kernel
+(:mod:`repro.sim.link`) calls ``enqueue``/``select``/``on_departure``
+through exactly this interface, just from inside an inline loop rather
+than one calendar event per call, with ``now`` equal to the event time
+the evented path would have used.  A scheduler is therefore drain-safe
+by construction as long as it derives all state from these calls and
+its own counters -- none may read ``Simulator.now`` or the link
+directly.  Schedulers wanting cheap selections can scan the
+incrementally-maintained
+:attr:`~repro.sim.queues.ClassQueueSet.head_arrivals` keys (WTP,
+quantized WTP and FCFS do); any replacement expression must be
+*bit-identical* to the per-packet form, since golden runs and the
+drain-vs-event property tests pin exact float equality.
 """
 
 from __future__ import annotations

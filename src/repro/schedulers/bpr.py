@@ -122,7 +122,16 @@ class BPRScheduler(Scheduler):
         self._last_decision = now
 
     def _recompute_rates(self) -> None:
-        """Eqs 8-9 over the *current* byte backlogs (post-selection)."""
+        """Eqs 8-9 over the *current* byte backlogs (post-selection).
+
+        The normalized-rate counters are updated *in place* into the
+        preallocated ``_rates`` list, and the weighted sum accumulates
+        left-to-right -- deliberately kept this way (rather than, say,
+        maintained incrementally per enqueue/dequeue) because float
+        summation order is observable: the drain kernel promises
+        bit-identical selections to the evented path, and an
+        incremental sum would reassociate the additions.
+        """
         backlog = self.queues.bytes_backlog
         sdps = self.sdps
         weight_sum = 0.0

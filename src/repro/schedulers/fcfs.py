@@ -10,6 +10,8 @@ of class subsets.
 
 from __future__ import annotations
 
+from math import inf
+
 from .base import Scheduler
 
 __all__ = ["FCFSScheduler"]
@@ -22,11 +24,13 @@ class FCFSScheduler(Scheduler):
 
     def choose_class(self, now: float) -> int:
         best_class = -1
-        best_arrival = float("inf")
-        queues = self.queues
+        best_arrival = inf
+        # Incrementally-maintained head-arrival keys: an empty class is
+        # ``+inf`` and loses the strict comparison automatically.
+        heads = self.queues.head_arrivals
         for cid in range(self.num_classes - 1, -1, -1):
-            head = queues.head(cid)
-            if head is not None and head.arrived_at < best_arrival:
-                best_arrival = head.arrived_at
+            arrived = heads[cid]
+            if arrived < best_arrival:
+                best_arrival = arrived
                 best_class = cid
         return best_class

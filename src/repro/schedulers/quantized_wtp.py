@@ -20,6 +20,7 @@ with numbers.
 
 from __future__ import annotations
 
+from math import inf as _INF
 from typing import Sequence
 
 from ..errors import ConfigurationError
@@ -43,15 +44,20 @@ class QuantizedWTPScheduler(Scheduler):
     def choose_class(self, now: float) -> int:
         best_class = -1
         best_priority = -1.0
-        queues = self.queues.queues
+        heads = self.queues.head_arrivals
         sdps = self.sdps
         epoch = self.epoch
+        inf = _INF
         now_epoch = int(now / epoch)
+        # Incrementally-maintained head-arrival keys (same expression as
+        # the per-packet form, so selections are bit-identical).  Unlike
+        # WTP's branchless scan, empty classes need an explicit test:
+        # ``int(inf)`` raises.
         for cid in range(self.num_classes - 1, -1, -1):
-            queue = queues[cid]
-            if not queue:
+            arrived = heads[cid]
+            if arrived == inf:
                 continue
-            waited_epochs = now_epoch - int(queue[0].arrived_at / epoch)
+            waited_epochs = now_epoch - int(arrived / epoch)
             priority = waited_epochs * sdps[cid]
             if priority > best_priority:
                 best_priority = priority

@@ -36,19 +36,26 @@ class WTPScheduler(Scheduler):
     def __init__(self, sdps: Sequence[float]) -> None:
         self.sdps = validate_sdps(sdps)
         super().__init__(len(self.sdps))
+        # High-class -> low-class (class id, SDP) pairs, precomputed so
+        # the selection loop needs one list index per class.
+        self._scan = tuple(
+            (cid, self.sdps[cid])
+            for cid in range(len(self.sdps) - 1, -1, -1)
+        )
 
     def choose_class(self, now: float) -> int:
         best_class = -1
         best_priority = -1.0
-        queues = self.queues.queues
-        sdps = self.sdps
+        heads = self.queues.head_arrivals
+        # Scan the incrementally-maintained head-arrival keys instead of
+        # dereferencing deques and packets: same float expression, so
+        # selections are bit-identical to the per-packet form.  An empty
+        # class has ``head == +inf`` and yields ``-inf`` (or NaN for a
+        # zero SDP), which never beats a real priority (``>= 0``).
         # Iterate high class -> low class so ties resolve to the higher
         # class with a strict comparison.
-        for cid in range(self.num_classes - 1, -1, -1):
-            queue = queues[cid]
-            if not queue:
-                continue
-            priority = (now - queue[0].arrived_at) * sdps[cid]
+        for cid, sdp in self._scan:
+            priority = (now - heads[cid]) * sdp
             if priority > best_priority:
                 best_priority = priority
                 best_class = cid

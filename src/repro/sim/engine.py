@@ -29,6 +29,7 @@ Design notes
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Any, Callable, Optional
 
 from ..errors import InvariantViolation, SimulationError
@@ -57,7 +58,14 @@ class Simulator:
     5.0
     """
 
-    __slots__ = ("_heap", "_seq", "now", "_running", "_events_processed")
+    __slots__ = (
+        "_heap",
+        "_seq",
+        "now",
+        "_running",
+        "_events_processed",
+        "_run_until",
+    )
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Any, Any]] = []
@@ -66,6 +74,12 @@ class Simulator:
         self.now = 0.0
         self._running = False
         self._events_processed = 0
+        #: Horizon of the active :meth:`run`/:meth:`run_checked` call
+        #: (``+inf`` outside a bounded run).  Inline event-fusion loops
+        #: -- the link's busy-period drain kernel and the arrival
+        #: cursor's batch injection -- read this so they never advance
+        #: the clock past the horizon the caller asked for.
+        self._run_until = math.inf
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -154,6 +168,7 @@ class Simulator:
                 f"cannot run to a horizon in the past: {until} < now={self.now}"
             )
         self._running = True
+        self._run_until = math.inf if until is None else until
         # The fired-event count accumulates in a local and is flushed
         # once on exit: one C-level integer add per event instead of a
         # slot load/store pair on the hottest loop in the codebase.
@@ -197,6 +212,7 @@ class Simulator:
         finally:
             self._events_processed += processed
             self._running = False
+            self._run_until = math.inf
 
     def run_checked(
         self,
@@ -223,6 +239,7 @@ class Simulator:
                 f"cannot run to a horizon in the past: {until} < now={self.now}"
             )
         self._running = True
+        self._run_until = math.inf if until is None else until
         try:
             heap = self._heap
             pop = heapq.heappop
@@ -255,6 +272,7 @@ class Simulator:
                 self.now = until
         finally:
             self._running = False
+            self._run_until = math.inf
 
     # ------------------------------------------------------------------
     # Introspection
@@ -271,11 +289,24 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the heap is empty."""
+        key = self.peek_key()
+        return key[0] if key is not None else None
+
+    def peek_key(self) -> Optional[tuple[float, int]]:
+        """``(time, seq)`` of the next live event, or ``None`` if none.
+
+        Events at the same instant fire in ``seq`` order, so this key is
+        the calendar's full ordering: an inline event-fusion loop (the
+        link drain kernel) may process any virtual event whose
+        ``(time, seq)`` precedes it without reordering history.
+        Cancelled heap heads are discarded as a side effect, exactly as
+        the run loop would skip them.
+        """
         heap = self._heap
         while heap:
             entry = heap[0]
             if entry[2] is _CANCELLABLE and entry[3].callback is None:
                 heapq.heappop(heap)
                 continue
-            return entry[0]
+            return entry[0], entry[1]
         return None

@@ -17,13 +17,55 @@ link by *replacing bound methods on the instance* (``receive`` and
 code with no hook branches; ``_start_service`` deliberately looks up
 ``self._complete_service`` at call time so the per-instance override
 takes effect.
+
+Busy-period drain kernel
+------------------------
+With ``drain=True`` (the default) the link fuses service completions --
+and the arrivals of *fused feeders* (sources that registered through
+:meth:`Link.attach_feeder`) -- into a tight loop instead of bouncing
+every one through the event calendar.  Within a busy period departures
+are deterministic given the backlog, so the calendar adds no
+information; the drain advances a local clock by ``size / capacity``
+per packet and calls ``scheduler.select`` directly.
+
+Bit-identity with the evented path is structural, not best-effort:
+
+* A fused feeder keeps scheduling its *real* arrival event exactly as
+  an unfused source would, while mirroring that event's ``(time, seq)``
+  key in ``next_time`` / ``next_seq`` attributes.  Whenever control is
+  in the run loop, the heap contents are therefore *identical* to an
+  evented run.
+* The drain only processes an event inline when its ``(time, seq)``
+  key is the global calendar minimum (and within the active run
+  horizon, :attr:`Simulator._run_until`).  A mirrored feeder arrival is
+  popped off the heap at that moment and the feeder switches to
+  *virtual* mode: subsequent arrivals reserve a sequence number from
+  the kernel without pushing an event.  Completions likewise reserve
+  their sequence number at select time.
+* When any foreign event precedes the next fused one (a monitor tick,
+  another link's completion, the horizon), the drain *parks*: every
+  virtual feeder pushes its reserved arrival back onto the heap and the
+  pending completion is pushed with its reserved key -- restoring the
+  exact heap an evented run would have at that point -- and control
+  returns to the run loop.
+
+Because sequence numbers are reserved at exactly the points the
+evented path would allocate them, the interleaving with *any* external
+event stream is reproduced exactly; golden runs and drain-vs-event
+property tests (``tests/test_drain_equivalence.py``) pin this down.
+The one observable difference is :attr:`Simulator.events_processed`,
+which only counts real calendar dispatches.  When invariant-checking
+hooks are attached the drain steps aside entirely (see
+:meth:`Link._complete_service`).
 """
 
 from __future__ import annotations
 
+from heapq import heapify, heappop, heappush, heapreplace
+from math import inf
 from typing import Optional, Protocol, TYPE_CHECKING
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SchedulingError
 from .engine import Simulator
 from .packet import Packet
 
@@ -67,6 +109,7 @@ class Link:
         name: str = "link",
         buffer_packets: Optional[int] = None,
         drop_policy: Optional["DropPolicy"] = None,
+        drain: bool = True,
     ) -> None:
         if capacity <= 0:
             raise ConfigurationError(f"link capacity must be positive: {capacity}")
@@ -87,6 +130,28 @@ class Link:
         self.buffer_packets = buffer_packets
         self.drop_policy = drop_policy
         self.monitors: list = []
+        #: Busy-period drain kernel A/B switch (see module docstring).
+        self.drain = drain
+        self._feeders: list = []
+        # A link qualifies for the specialized drain loops when nothing
+        # can observe intermediate per-packet state: a bare PacketSink
+        # target, no buffer management, and a scheduler that uses the
+        # stock enqueue/select wrappers with no hook overrides (so the
+        # wrapper calls can be inlined verbatim).  Monitors are checked
+        # at dispatch time since they may be attached later.
+        from ..schedulers.base import Scheduler  # deferred: import cycle
+
+        scheduler_cls = type(scheduler)
+        self._fast_ok = (
+            drop_policy is None
+            and buffer_packets is None
+            and type(self.target) is PacketSink
+            and scheduler_cls.select is Scheduler.select
+            and scheduler_cls.enqueue is Scheduler.enqueue
+            and scheduler_cls.on_enqueue is Scheduler.on_enqueue
+            and scheduler_cls.on_select is Scheduler.on_select
+            and scheduler_cls.on_departure is Scheduler.on_departure
+        )
 
         self.busy = False
         self._in_service: Optional[Packet] = None
@@ -104,6 +169,42 @@ class Link:
     def add_monitor(self, monitor) -> None:
         """Attach an object with ``on_departure(packet, now)``."""
         self.monitors.append(monitor)
+
+    def attach_feeder(self, feeder) -> bool:
+        """Register a source for inline arrival fusion during drains.
+
+        ``feeder`` must follow the feeder protocol: ``next_time`` /
+        ``next_seq`` attributes mirroring its scheduled arrival event's
+        heap key (``next_time is None`` when nothing is pending), a
+        ``_virtual`` flag owned by the drain, and ``pull()`` /
+        ``advance(now)`` / ``park(heap)`` methods
+        (:class:`~repro.traffic.trace.TraceSource` and
+        :class:`~repro.traffic.source.TrafficSource` implement it).
+
+        Returns ``False`` -- and registers nothing -- when the drain
+        kernel is disabled or instrumentation hooks are already
+        attached, in which case the source simply runs evented.
+        """
+        if (
+            not self.drain
+            or "_complete_service" in self.__dict__
+            or "receive" in self.__dict__
+            or "select" in self.scheduler.__dict__
+        ):
+            return False
+        self._feeders.append(feeder)
+        return True
+
+    def suspend_drain(self) -> None:
+        """Permanently detach all fused feeders from this link.
+
+        Safe at any point between events: a fused feeder's pending
+        arrival is always a *real* calendar event (the mirror protocol),
+        so detaching merely stops the drain from pulling its arrivals
+        inline -- the source keeps running evented, bit-identically.
+        The invariant checker calls this when attaching hooks.
+        """
+        self._feeders = []
 
     @property
     def backlog_packets(self) -> int:
@@ -179,6 +280,473 @@ class Link:
         )
 
     def _complete_service(self, packet: Packet) -> None:
+        """Service completion: drain the busy period, or fall back.
+
+        Entry point for every completion event.  Routes to the evented
+        path when the drain kernel is off or per-instance hooks (the
+        invariant checker) are attached -- hooks replace this method on
+        the *instance*, so reaching the class method with an instance
+        override present means we were called from inside a hook
+        wrapper and must not drain underneath it.
+        """
+        scheduler = self.scheduler
+        if (
+            not self.drain
+            or "_complete_service" in self.__dict__
+            or "receive" in self.__dict__
+            or "select" in scheduler.__dict__
+        ):
+            if self._feeders:
+                self.suspend_drain()
+            self._complete_service_evented(packet)
+            return
+        feeders = self._feeders
+        if self._fast_ok and feeders and not self.monitors:
+            # Specialized loops: nothing observes per-packet state, so
+            # the scheduler wrappers and sink dispatch are inlined.
+            if len(feeders) == 1:
+                self._drain_fused_single(packet, feeders[0])
+            else:
+                self._drain_fused_multi(packet)
+            return
+        sim = self.sim
+        heap = sim._heap
+        until = sim._run_until
+        capacity = self.capacity
+        queues = scheduler.queues
+        monitors = self.monitors
+        target = self.target
+        select = scheduler.select
+        on_departure = scheduler.on_departure
+        complete = self._complete_service
+        now = sim.now
+        while True:
+            # -- departure of `packet` at `now` (mirrors the evented path)
+            packet.departed_at = now
+            packet.hop_delays.append(packet.service_start - packet.arrived_at)
+            self.departures += 1
+            self.bytes_sent += packet.size
+            self._in_service = None
+            on_departure(packet, now)
+            for monitor in monitors:
+                monitor.on_departure(packet, now)
+            target.receive(packet)
+            if queues.total_packets:
+                nxt = select(now)
+                nxt.service_start = now
+                self._in_service = nxt
+                t_c = now + nxt.size / capacity
+                # Reserve the completion's sequence number exactly where
+                # the evented path would have called sim.schedule.
+                s_c = sim._seq
+                sim._seq = s_c + 1
+            else:
+                nxt = None
+                self.busy = False
+                self.busy_time += now - self._busy_since
+            # -- consume fused arrivals that precede the next completion
+            while True:
+                feeder = None
+                t_a = inf
+                s_a = 0
+                for f in feeders:
+                    ft = f.next_time
+                    if ft is not None and (
+                        ft < t_a or (ft == t_a and f.next_seq < s_a)
+                    ):
+                        t_a = ft
+                        s_a = f.next_seq
+                        feeder = f
+                if feeder is None or (
+                    nxt is not None
+                    and (t_c < t_a or (t_c == t_a and s_c < s_a))
+                ):
+                    # Next fused event is the completion (or nothing).
+                    if nxt is None:
+                        return  # idle, no fused arrivals pending
+                    if t_c > until or (
+                        heap
+                        and (
+                            heap[0][0] < t_c
+                            or (heap[0][0] == t_c and heap[0][1] < s_c)
+                        )
+                    ):
+                        for f in feeders:
+                            f.park(heap)
+                        heappush(heap, (t_c, s_c, complete, nxt))
+                        return
+                    now = t_c
+                    sim.now = t_c
+                    packet = nxt
+                    break
+                # Next fused event is `feeder`'s arrival at (t_a, s_a).
+                if t_a > until:
+                    for f in feeders:
+                        f.park(heap)
+                    if nxt is not None:
+                        heappush(heap, (t_c, s_c, complete, nxt))
+                    return
+                if heap:
+                    head = heap[0]
+                    ht = head[0]
+                    if ht < t_a or (ht == t_a and head[1] < s_a):
+                        for f in feeders:
+                            f.park(heap)
+                        if nxt is not None:
+                            heappush(heap, (t_c, s_c, complete, nxt))
+                        return
+                    if ht == t_a and head[1] == s_a:
+                        # The arrival's own mirrored calendar event is
+                        # the heap minimum: absorb it and go virtual.
+                        heappop(heap)
+                        feeder._virtual = True
+                now = t_a
+                sim.now = t_a
+                arriving = feeder.pull()
+                arriving.arrived_at = t_a
+                self.arrivals += 1
+                if self.drop_policy is not None:
+                    self.drop_policy.on_arrival(arriving.class_id, t_a)
+                if (
+                    self.buffer_packets is not None
+                    and queues.total_packets >= self.buffer_packets
+                    and not self._drop_for(arriving)
+                ):
+                    feeder.advance(t_a)
+                    continue
+                scheduler.enqueue(arriving, t_a)
+                if nxt is None:
+                    # Arrival onto an idle link: the drain spans the
+                    # idle gap and opens the next busy period inline.
+                    self.busy = True
+                    self._busy_since = t_a
+                    nxt = select(t_a)
+                    nxt.service_start = t_a
+                    self._in_service = nxt
+                    t_c = t_a + nxt.size / capacity
+                    s_c = sim._seq
+                    sim._seq = s_c + 1
+                feeder.advance(t_a)
+
+    def _drain_fused_single(self, packet: Packet, feeder) -> None:
+        """Drain loop specialized for exactly one fused feeder.
+
+        Only runs when ``_fast_ok`` holds and no monitors are attached:
+        per-packet state is then unobservable between events, so the
+        plain scheduler's ``enqueue``/``select`` wrappers (whose hooks
+        are the base no-ops) and the bare :class:`PacketSink` dispatch
+        are inlined verbatim -- float expressions and mutation order
+        are kept identical to the evented path, only the Python call
+        layers disappear.  Per-packet departure stamps
+        (``departed_at`` / ``hop_delays``) are materialized only when
+        the sink keeps packets; otherwise the packet is unreachable the
+        instant it is counted.  Link counters accumulate in locals and
+        are published in the ``finally`` block, which runs on every
+        park/idle exit (and on errors), so externally-visible state is
+        consistent whenever control is back in the run loop.
+        """
+        sim = self.sim
+        heap = sim._heap
+        until = sim._run_until
+        capacity = self.capacity
+        scheduler = self.scheduler
+        choose = scheduler.choose_class
+        queues = scheduler.queues
+        qlist = queues.queues
+        heads = queues.head_arrivals
+        backlog_bytes = queues.bytes_backlog
+        num_classes = queues.num_classes
+        target = self.target
+        keep = target.keep_packets
+        kept = target.packets
+        complete = self._complete_service
+        pull = feeder.pull
+        advance = feeder.advance
+        now = sim.now
+        ft = feeder.next_time
+        fs = feeder.next_seq
+        total = queues.total_packets
+        nxt: Optional[Packet] = None
+        arrivals = 0
+        departures = 0
+        nbytes = 0.0
+        received = 0
+        try:
+            while True:
+                # -- departure of `packet` at `now`
+                departures += 1
+                nbytes += packet.size
+                received += 1
+                if keep:
+                    packet.departed_at = now
+                    packet.hop_delays.append(
+                        packet.service_start - packet.arrived_at
+                    )
+                    kept.append(packet)
+                nxt = None
+                if total:
+                    # inline Scheduler.select + ClassQueueSet.pop; the
+                    # packet count is kept in a local -- publish it
+                    # before choose_class so scheduler code sees a
+                    # consistent queue set.
+                    queues.total_packets = total
+                    cid = choose(now)
+                    queue = qlist[cid]
+                    nxt = queue.popleft()
+                    size = nxt.size
+                    if queue:
+                        backlog_bytes[cid] -= size
+                        heads[cid] = queue[0].arrived_at
+                    else:
+                        backlog_bytes[cid] = 0.0
+                        heads[cid] = inf
+                    total -= 1
+                    nxt.service_start = now
+                    t_c = now + size / capacity
+                    s_c = sim._seq
+                    sim._seq = s_c + 1
+                else:
+                    self.busy = False
+                    self.busy_time += now - self._busy_since
+                # -- consume fused arrivals preceding the completion
+                while True:
+                    if ft is None or (
+                        nxt is not None
+                        and (t_c < ft or (t_c == ft and s_c < fs))
+                    ):
+                        if nxt is None:
+                            return  # idle, feeder exhausted for now
+                        if t_c > until or (
+                            heap
+                            and (
+                                heap[0][0] < t_c
+                                or (heap[0][0] == t_c and heap[0][1] < s_c)
+                            )
+                        ):
+                            feeder.park(heap)
+                            heappush(heap, (t_c, s_c, complete, nxt))
+                            return
+                        now = t_c
+                        packet = nxt
+                        break
+                    if ft > until:
+                        feeder.park(heap)
+                        if nxt is not None:
+                            heappush(heap, (t_c, s_c, complete, nxt))
+                        return
+                    if heap:
+                        head = heap[0]
+                        ht = head[0]
+                        if ht < ft or (ht == ft and head[1] < fs):
+                            feeder.park(heap)
+                            if nxt is not None:
+                                heappush(heap, (t_c, s_c, complete, nxt))
+                            return
+                        if ht == ft and head[1] == fs:
+                            heappop(heap)
+                            feeder._virtual = True
+                    now = ft
+                    arriving = pull()
+                    arrivals += 1
+                    # inline Scheduler.enqueue + ClassQueueSet.push;
+                    # pull() guarantees arrived_at == ft already.
+                    cid = arriving.class_id
+                    if not 0 <= cid < num_classes:
+                        raise SchedulingError(
+                            f"packet class {cid} out of range "
+                            f"[0, {num_classes})"
+                        )
+                    queue = qlist[cid]
+                    if not queue:
+                        heads[cid] = ft
+                    queue.append(arriving)
+                    backlog_bytes[cid] += arriving.size
+                    total += 1
+                    if nxt is None:
+                        # Arrival onto an idle link: open the next busy
+                        # period inline (rare; the wrapper call is fine
+                        # but it reads and decrements the published
+                        # packet count, so sync the local around it).
+                        self.busy = True
+                        self._busy_since = ft
+                        queues.total_packets = total
+                        nxt = scheduler.select(ft)
+                        total = queues.total_packets
+                        nxt.service_start = ft
+                        t_c = ft + nxt.size / capacity
+                        s_c = sim._seq
+                        sim._seq = s_c + 1
+                    advance(ft)
+                    ft = feeder.next_time
+                    fs = feeder.next_seq
+        finally:
+            queues.total_packets = total
+            sim.now = now
+            self._in_service = nxt
+            self.arrivals += arrivals
+            self.departures += departures
+            self.bytes_sent += nbytes
+            target.received += received
+
+    def _drain_fused_multi(self, packet: Packet) -> None:
+        """Drain loop for several fused feeders (same terms as single).
+
+        The pending feeder arrivals are tracked in a local min-heap of
+        ``(time, seq, feeder)`` keyed exactly like the calendar, so the
+        next fused arrival is a peek instead of an O(feeders) scan per
+        event.  Seq uniqueness means the feeder object itself is never
+        compared.
+        """
+        sim = self.sim
+        heap = sim._heap
+        until = sim._run_until
+        capacity = self.capacity
+        scheduler = self.scheduler
+        choose = scheduler.choose_class
+        queues = scheduler.queues
+        qlist = queues.queues
+        heads = queues.head_arrivals
+        backlog_bytes = queues.bytes_backlog
+        num_classes = queues.num_classes
+        target = self.target
+        keep = target.keep_packets
+        kept = target.packets
+        feeders = self._feeders
+        complete = self._complete_service
+        now = sim.now
+        fheap = [
+            (f.next_time, f.next_seq, f)
+            for f in feeders
+            if f.next_time is not None
+        ]
+        heapify(fheap)
+        total = queues.total_packets
+        nxt: Optional[Packet] = None
+        arrivals = 0
+        departures = 0
+        nbytes = 0.0
+        received = 0
+        try:
+            while True:
+                # -- departure of `packet` at `now`
+                departures += 1
+                nbytes += packet.size
+                received += 1
+                if keep:
+                    packet.departed_at = now
+                    packet.hop_delays.append(
+                        packet.service_start - packet.arrived_at
+                    )
+                    kept.append(packet)
+                nxt = None
+                if total:
+                    queues.total_packets = total
+                    cid = choose(now)
+                    queue = qlist[cid]
+                    nxt = queue.popleft()
+                    size = nxt.size
+                    if queue:
+                        backlog_bytes[cid] -= size
+                        heads[cid] = queue[0].arrived_at
+                    else:
+                        backlog_bytes[cid] = 0.0
+                        heads[cid] = inf
+                    total -= 1
+                    nxt.service_start = now
+                    t_c = now + size / capacity
+                    s_c = sim._seq
+                    sim._seq = s_c + 1
+                else:
+                    self.busy = False
+                    self.busy_time += now - self._busy_since
+                # -- consume fused arrivals preceding the completion
+                while True:
+                    if fheap:
+                        entry = fheap[0]
+                        ft = entry[0]
+                        fs = entry[1]
+                    else:
+                        ft = None
+                    if ft is None or (
+                        nxt is not None
+                        and (t_c < ft or (t_c == ft and s_c < fs))
+                    ):
+                        if nxt is None:
+                            return  # idle, all feeders exhausted
+                        if t_c > until or (
+                            heap
+                            and (
+                                heap[0][0] < t_c
+                                or (heap[0][0] == t_c and heap[0][1] < s_c)
+                            )
+                        ):
+                            for f in feeders:
+                                f.park(heap)
+                            heappush(heap, (t_c, s_c, complete, nxt))
+                            return
+                        now = t_c
+                        packet = nxt
+                        break
+                    if ft > until:
+                        for f in feeders:
+                            f.park(heap)
+                        if nxt is not None:
+                            heappush(heap, (t_c, s_c, complete, nxt))
+                        return
+                    if heap:
+                        head = heap[0]
+                        ht = head[0]
+                        if ht < ft or (ht == ft and head[1] < fs):
+                            for f in feeders:
+                                f.park(heap)
+                            if nxt is not None:
+                                heappush(heap, (t_c, s_c, complete, nxt))
+                            return
+                        if ht == ft and head[1] == fs:
+                            heappop(heap)
+                            entry[2]._virtual = True
+                    feeder = entry[2]
+                    now = ft
+                    arriving = feeder.pull()
+                    arrivals += 1
+                    cid = arriving.class_id
+                    if not 0 <= cid < num_classes:
+                        raise SchedulingError(
+                            f"packet class {cid} out of range "
+                            f"[0, {num_classes})"
+                        )
+                    queue = qlist[cid]
+                    if not queue:
+                        heads[cid] = ft
+                    queue.append(arriving)
+                    backlog_bytes[cid] += arriving.size
+                    total += 1
+                    if nxt is None:
+                        self.busy = True
+                        self._busy_since = ft
+                        queues.total_packets = total
+                        nxt = scheduler.select(ft)
+                        total = queues.total_packets
+                        nxt.service_start = ft
+                        t_c = ft + nxt.size / capacity
+                        s_c = sim._seq
+                        sim._seq = s_c + 1
+                    feeder.advance(ft)
+                    nt = feeder.next_time
+                    if nt is None:
+                        heappop(fheap)
+                    else:
+                        heapreplace(fheap, (nt, feeder.next_seq, feeder))
+        finally:
+            queues.total_packets = total
+            sim.now = now
+            self._in_service = nxt
+            self.arrivals += arrivals
+            self.departures += departures
+            self.bytes_sent += nbytes
+            target.received += received
+
+    def _complete_service_evented(self, packet: Packet) -> None:
         now = self.sim.now
         packet.departed_at = now
         packet.hop_delays.append(packet.service_start - packet.arrived_at)
@@ -210,12 +778,21 @@ class Link:
     def utilization(self, horizon: Optional[float] = None) -> float:
         """Fraction of time the server was transmitting.
 
-        If the link is busy at the end of the run the open busy period is
-        counted up to ``now``.  ``horizon`` defaults to the current clock.
+        If the link is busy at the end of the run the open busy period
+        is counted up to ``now`` -- clamped to ``horizon`` when one is
+        given, so a service still in progress at the cutoff contributes
+        only its pre-horizon portion.  ``horizon`` defaults to the
+        current clock.
         """
         total = self.busy_time
         if self.busy:
-            total += self.sim.now - self._busy_since
+            end = (
+                self.sim.now
+                if horizon is None
+                else min(self.sim.now, horizon)
+            )
+            if end > self._busy_since:
+                total += end - self._busy_since
         span = horizon if horizon is not None else self.sim.now
         return total / span if span > 0 else 0.0
 

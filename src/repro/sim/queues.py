@@ -9,6 +9,7 @@ byte/packet counters every scheduler needs.
 from __future__ import annotations
 
 from collections import deque
+from math import inf
 from typing import Iterator, Optional
 
 from ..errors import SchedulingError
@@ -18,9 +19,27 @@ __all__ = ["ClassQueueSet"]
 
 
 class ClassQueueSet:
-    """N per-class FIFO queues with byte and packet accounting."""
+    """N per-class FIFO queues with byte and packet accounting.
 
-    __slots__ = ("num_classes", "queues", "bytes_backlog", "total_packets")
+    Besides the byte/packet counters, the set maintains
+    :attr:`head_arrivals` -- each class's head-packet arrival timestamp
+    (``+inf`` for an empty queue) -- updated incrementally on every
+    push/pop.  Head-of-line timestamps are the *only* queue state the
+    waiting-time schedulers (WTP, quantized WTP, FCFS) need per
+    selection, and a flat float list scan is several times cheaper than
+    touching each deque and packet object.  Maintaining the keys here
+    rather than in scheduler hooks keeps them correct on paths that
+    bypass the scheduler, such as drop policies calling
+    :meth:`pop_tail`.
+    """
+
+    __slots__ = (
+        "num_classes",
+        "queues",
+        "bytes_backlog",
+        "total_packets",
+        "head_arrivals",
+    )
 
     def __init__(self, num_classes: int) -> None:
         if num_classes < 1:
@@ -32,6 +51,8 @@ class ClassQueueSet:
         #: Packets queued across all classes.  A plain attribute, not a
         #: property: it is read once per select/enqueue on the hot path.
         self.total_packets = 0
+        #: Arrival time of each class's head packet (``+inf`` if empty).
+        self.head_arrivals: list[float] = [inf] * num_classes
 
     # ------------------------------------------------------------------
     def push(self, packet: Packet) -> None:
@@ -41,7 +62,10 @@ class ClassQueueSet:
             raise SchedulingError(
                 f"packet class {cid} out of range [0, {self.num_classes})"
             )
-        self.queues[cid].append(packet)
+        queue = self.queues[cid]
+        if not queue:
+            self.head_arrivals[cid] = packet.arrived_at
+        queue.append(packet)
         self.bytes_backlog[cid] += packet.size
         self.total_packets += 1
 
@@ -56,6 +80,7 @@ class ClassQueueSet:
         self.bytes_backlog[class_id] = (
             self.bytes_backlog[class_id] - packet.size if queue else 0.0
         )
+        self.head_arrivals[class_id] = queue[0].arrived_at if queue else inf
         self.total_packets -= 1
         return packet
 
@@ -68,6 +93,8 @@ class ClassQueueSet:
         self.bytes_backlog[class_id] = (
             self.bytes_backlog[class_id] - packet.size if queue else 0.0
         )
+        if not queue:
+            self.head_arrivals[class_id] = inf
         self.total_packets -= 1
         return packet
 

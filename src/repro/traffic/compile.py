@@ -251,11 +251,18 @@ class ArrivalCursor:
     Holds a small private heap of (head timestamp, registration order,
     stream) entries and keeps exactly one pending event on the simulator
     calendar: the globally next arrival across all registered streams.
-    Each firing emits one packet into that stream's target, advances the
-    stream (lazily materializing its next block), and reschedules for
-    the new global minimum, so per-arrival cost is one push/pop on a
-    heap of size = #sources plus one calendar entry -- independent of
-    how many packets each source will ever emit.
+
+    Each calendar firing injects a *batch*: after emitting the due
+    arrival it keeps going -- advancing ``sim.now`` itself -- for as
+    long as the next merged arrival stays within the run horizon and
+    strictly before every pending calendar event, and only then
+    reschedules one event for the next arrival.  For closely spaced
+    streams (small-gap CBR/on-off) this removes the per-arrival
+    calendar push/pop and run-loop dispatch that used to make the
+    compiled path *slower* than scalar sources; a single-stream cursor
+    also skips the private-heap replace entirely.  Ties with a calendar
+    event defer to the calendar (the cursor reschedules and the run
+    loop interleaves by sequence number, exactly as before).
     """
 
     def __init__(self, sim: Simulator) -> None:
@@ -288,18 +295,31 @@ class ArrivalCursor:
             self.sim.schedule(self._heap[0][0], self._fire)
 
     def _fire(self) -> None:
+        sim = self.sim
         heap = self._heap
-        _, order, stream = heap[0]
-        packet = stream.emit()
-        self.packets_injected += 1
-        stream.target.receive(packet)
-        next_time = stream.peek_time()
-        if next_time is None:
-            heapq.heappop(heap)
-        else:
-            heapq.heapreplace(heap, (next_time, order, stream))
-        if heap:
-            self.sim.schedule(heap[0][0], self._fire)
+        sim_heap = sim._heap
+        until = sim._run_until
+        injected = 0
+        while True:
+            _, order, stream = heap[0]
+            packet = stream.emit()
+            injected += 1
+            stream.target.receive(packet)
+            next_time = stream.peek_time()
+            if next_time is None:
+                heapq.heappop(heap)
+                if not heap:
+                    break
+            elif len(heap) == 1:
+                heap[0] = (next_time, order, stream)
+            else:
+                heapq.heapreplace(heap, (next_time, order, stream))
+            nxt = heap[0][0]
+            if nxt > until or (sim_heap and sim_heap[0][0] <= nxt):
+                sim.schedule(nxt, self._fire)
+                break
+            sim.now = nxt
+        self.packets_injected += injected
 
     @property
     def pending_sources(self) -> int:

@@ -10,6 +10,7 @@ same event calendar.  ``packet_id`` values are unique per source via a
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from typing import Optional
 
@@ -33,7 +34,16 @@ class PacketIdAllocator:
 
 
 class TrafficSource:
-    """Open-loop packet source for one class."""
+    """Open-loop packet source for one class.
+
+    Implements the link feeder protocol (see
+    :meth:`~repro.sim.link.Link.attach_feeder`): each scheduled arrival
+    event's heap key is mirrored in ``next_time`` / ``next_seq`` so a
+    drain-enabled target link can absorb the event and pull subsequent
+    arrivals inline.  Random draws happen in exactly the evented order
+    (packet size at emission, then the next gap), so fused and evented
+    runs consume the generators identically.
+    """
 
     def __init__(
         self,
@@ -63,15 +73,52 @@ class TrafficSource:
         self.bytes_emitted = 0.0
         self._started = False
         self._start_time = start_time
+        # Feeder-protocol state: heap-key mirror of the pending arrival
+        # event, and whether the drain currently holds it virtually.
+        self.next_time: Optional[float] = None
+        self.next_seq = 0
+        self._virtual = False
+        # Gap buffering (enabled only when fused to a drain-enabled
+        # link): gaps are drawn in blocks via ``draw_gaps``, which every
+        # interarrival process implements with the same stream
+        # consumption as repeated scalar draws, so buffered and scalar
+        # runs see bit-identical gap sequences.  This does require the
+        # interarrival and size samplers to own independent generators
+        # (the RandomStreams discipline, same constraint the compiled
+        # arrival path documents) because block drawing reorders draws
+        # *across* streams, never within one.
+        self._buffered = False
+        self._gap_buffer: list[float] = []
+        self._gap_index = 0
 
     def start(self) -> None:
         """Schedule the first arrival.  Idempotent."""
         if self._started:
             return
         self._started = True
-        first = self._start_time + self.interarrivals.next_gap()
+        attach = getattr(self.target, "attach_feeder", None)
+        if attach is not None and attach(self):
+            self._buffered = True
+        first = self._start_time + self._next_gap()
         if self.stop_time is None or first < self.stop_time:
+            self.next_time = first
+            self.next_seq = self.sim._seq
             self.sim.schedule(first, self._emit)
+
+    _GAP_BLOCK = 512
+
+    def _next_gap(self) -> float:
+        """One interarrival gap, via the block buffer when fused."""
+        if not self._buffered:
+            return self.interarrivals.next_gap()
+        i = self._gap_index
+        buffer = self._gap_buffer
+        if i == len(buffer):
+            buffer = self.interarrivals.draw_gaps(self._GAP_BLOCK).tolist()
+            self._gap_buffer = buffer
+            i = 0
+        self._gap_index = i + 1
+        return buffer[i]
 
     def _emit(self) -> None:
         now = self.sim.now
@@ -85,9 +132,57 @@ class TrafficSource:
         self.packets_emitted += 1
         self.bytes_emitted += packet.size
         self.target.receive(packet)
-        next_time = now + self.interarrivals.next_gap()
+        next_time = now + self._next_gap()
         if self.stop_time is None or next_time < self.stop_time:
+            self.next_time = next_time
+            self.next_seq = self.sim._seq
             self.sim.schedule(next_time, self._emit)
+        else:
+            self.next_time = None
+
+    # -- feeder protocol (drain kernel) --------------------------------
+    def pull(self) -> Packet:
+        """Packet for the pending arrival (drain-inline counterpart of
+        the emission half of :meth:`_emit`)."""
+        packet = Packet(
+            packet_id=self.ids.next_id(),
+            class_id=self.class_id,
+            size=self.sizes.next_size(),
+            created_at=self.next_time,
+            flow_id=self.flow_id,
+        )
+        self.packets_emitted += 1
+        self.bytes_emitted += packet.size
+        return packet
+
+    def advance(self, now: float) -> None:
+        """Reserve the next arrival's heap key without scheduling it."""
+        # advance() only runs while fused, so the buffer is active;
+        # inline the _next_gap body (this is the drain's hot path).
+        i = self._gap_index
+        buffer = self._gap_buffer
+        if i == len(buffer):
+            buffer = self.interarrivals.draw_gaps(self._GAP_BLOCK).tolist()
+            self._gap_buffer = buffer
+            i = 0
+        self._gap_index = i + 1
+        next_time = now + buffer[i]
+        if self.stop_time is None or next_time < self.stop_time:
+            sim = self.sim
+            self.next_time = next_time
+            self.next_seq = sim._seq
+            sim._seq += 1
+        else:
+            self.next_time = None
+
+    def park(self, heap: list) -> None:
+        """Push the virtually-held arrival back onto the calendar."""
+        if self._virtual:
+            self._virtual = False
+            if self.next_time is not None:
+                heapq.heappush(
+                    heap, (self.next_time, self.next_seq, self._emit, None)
+                )
 
     @property
     def offered_rate_bytes(self) -> float:

@@ -14,6 +14,7 @@ A trace is three aligned numpy arrays sorted by arrival time.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -169,6 +170,14 @@ class TraceSource:
     lists once (one C-level pass) so the per-packet hot path does no
     numpy scalar indexing, which costs an order of magnitude more than
     a list index.
+
+    The source implements the link's feeder protocol (see
+    :meth:`~repro.sim.link.Link.attach_feeder`): every scheduled
+    arrival's heap key is mirrored in ``next_time`` / ``next_seq`` so a
+    target link's busy-period drain kernel can absorb the event and
+    pull subsequent arrivals inline.  The mirror is passive -- when the
+    target is not a drain-enabled link the source behaves exactly as
+    before.
     """
 
     def __init__(
@@ -186,6 +195,13 @@ class TraceSource:
         self._times: list[float] = []
         self._class_ids: list[int] = []
         self._sizes: list[float] = []
+        self._count = 0
+        # Feeder-protocol state: heap-key mirror of the pending arrival
+        # event, and whether the drain currently holds it virtually
+        # (popped off the calendar, to be re-parked on drain exit).
+        self.next_time: Optional[float] = None
+        self.next_seq = 0
+        self._virtual = False
 
     def start(self) -> None:
         """Schedule the first replayed arrival.  Idempotent."""
@@ -193,6 +209,12 @@ class TraceSource:
             self._times = self.trace.times.tolist()
             self._class_ids = self.trace.class_ids.tolist()
             self._sizes = self.trace.sizes.tolist()
+            self._count = len(self._times)
+            attach = getattr(self.target, "attach_feeder", None)
+            if attach is not None:
+                attach(self)
+            self.next_time = self._times[0]
+            self.next_seq = self.sim._seq
             self.sim.schedule(self._times[0], self._emit)
 
     def _emit(self) -> None:
@@ -207,4 +229,42 @@ class TraceSource:
         self._cursor = index = index + 1
         self.target.receive(packet)
         if index < len(times):
+            self.next_time = times[index]
+            self.next_seq = self.sim._seq
             self.sim.schedule(times[index], self._emit)
+        else:
+            self.next_time = None
+
+    # -- feeder protocol (drain kernel) --------------------------------
+    def pull(self) -> Packet:
+        """Packet for the pending arrival (drain-inline counterpart of
+        the emission half of :meth:`_emit`)."""
+        index = self._cursor
+        packet = Packet(
+            self.first_packet_id + index,
+            self._class_ids[index],
+            self._sizes[index],
+            self._times[index],
+        )
+        self._cursor = index + 1
+        return packet
+
+    def advance(self, now: float) -> None:
+        """Reserve the next arrival's heap key without scheduling it."""
+        index = self._cursor
+        if index < self._count:
+            sim = self.sim
+            self.next_time = self._times[index]
+            self.next_seq = sim._seq
+            sim._seq += 1
+        else:
+            self.next_time = None
+
+    def park(self, heap: list) -> None:
+        """Push the virtually-held arrival back onto the calendar."""
+        if self._virtual:
+            self._virtual = False
+            if self.next_time is not None:
+                heapq.heappush(
+                    heap, (self.next_time, self.next_seq, self._emit, None)
+                )

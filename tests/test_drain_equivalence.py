@@ -1,0 +1,283 @@
+"""Drain-vs-evented equivalence: the busy-period drain kernel must be
+bit-identical to the classic one-event-per-departure path.
+
+Every registered scheduler is replayed over the same trace with the
+drain kernel on and off; departure sequences (ids, classes, timestamps,
+per-hop delays) and monitor series must match *exactly* -- no
+tolerances.  Boundary cases pin the tie-breaking rules: arrivals landing
+exactly on a departure timestamp, duplicate arrival instants, foreign
+calendar events (a ``BacklogSampler``) forcing mid-busy-period parks,
+and bounded ``run(until=...)`` horizons splitting a busy period.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.invariants import InvariantChecker
+from repro.schedulers import available_schedulers, make_scheduler
+from repro.sim import (
+    BacklogSampler,
+    DelayMonitor,
+    Link,
+    PacketSink,
+    Simulator,
+)
+from repro.sim.rng import RandomStreams
+from repro.traffic import (
+    FixedPacketSize,
+    PacketIdAllocator,
+    PoissonInterarrivals,
+    TrafficSource,
+)
+from repro.traffic.trace import ArrivalTrace, TraceSource
+
+SDPS = (1.0, 2.0, 4.0, 8.0)
+
+
+def random_trace(n: int = 600, seed: int = 11) -> ArrivalTrace:
+    rng = np.random.default_rng(seed)
+    return ArrivalTrace(
+        times=np.cumsum(rng.exponential(1.05, size=n)),
+        class_ids=rng.integers(0, 4, size=n),
+        sizes=rng.choice([0.5, 1.0, 2.0], size=n),
+    )
+
+
+def boundary_trace() -> ArrivalTrace:
+    """Integer arrival times with unit sizes at capacity 1.0: every
+    departure lands exactly on later arrival timestamps, including
+    duplicate arrival instants, so tie-breaking is fully exercised."""
+    times = [1.0, 1.0, 2.0, 3.0, 3.0, 3.0, 4.0, 8.0, 9.0, 9.0, 10.0, 15.0]
+    classes = [0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]
+    return ArrivalTrace(
+        times=np.asarray(times),
+        class_ids=np.asarray(classes),
+        sizes=np.ones(len(times)),
+    )
+
+
+def packet_fingerprint(sink: PacketSink) -> list[tuple]:
+    return [
+        (
+            p.packet_id,
+            p.class_id,
+            p.size,
+            p.arrived_at,
+            p.service_start,
+            p.departed_at,
+            tuple(p.hop_delays),
+        )
+        for p in sink.packets
+    ]
+
+
+def replay(
+    trace: ArrivalTrace,
+    scheduler_name: str,
+    drain: bool,
+    keep: bool = True,
+    monitor: bool = False,
+    sampler_period: float | None = None,
+    until: float | None = None,
+):
+    sim = Simulator()
+    scheduler = make_scheduler(scheduler_name, SDPS)
+    link = Link(
+        sim,
+        scheduler,
+        capacity=1.0,
+        target=PacketSink(keep_packets=keep),
+        drain=drain,
+    )
+    delay_monitor = None
+    if monitor:
+        delay_monitor = DelayMonitor(4, keep_samples=True)
+        link.add_monitor(delay_monitor)
+    sampler = None
+    if sampler_period is not None:
+        sampler = BacklogSampler(
+            period=sampler_period, horizon=float(trace.times[-1])
+        )
+        sampler.attach(sim, link)
+    TraceSource(sim, link, trace).start()
+    if until is None:
+        sim.run()
+    else:
+        sim.run(until=until)
+        sim.run()  # finish the remainder: drains must resume cleanly
+    return sim, link, delay_monitor, sampler
+
+
+def link_state(sim: Simulator, link: Link) -> tuple:
+    queues = link.scheduler.queues
+    return (
+        sim.now,
+        link.arrivals,
+        link.departures,
+        link.bytes_sent,
+        link.busy_time,
+        link.busy,
+        link.target.received,
+        queues.total_packets,
+        tuple(queues.head_arrivals),
+        tuple(queues.bytes_backlog),
+    )
+
+
+@pytest.mark.parametrize("name", sorted(available_schedulers()))
+def test_departures_bit_identical_all_schedulers(name):
+    trace = random_trace()
+    sim_d, link_d, _, _ = replay(trace, name, drain=True)
+    sim_e, link_e, _, _ = replay(trace, name, drain=False)
+    assert packet_fingerprint(link_d.target) == packet_fingerprint(
+        link_e.target
+    )
+    assert link_state(sim_d, link_d) == link_state(sim_e, link_e)
+
+
+@pytest.mark.parametrize("name", sorted(available_schedulers()))
+def test_boundary_arrival_at_departure_timestamp(name):
+    trace = boundary_trace()
+    sim_d, link_d, _, _ = replay(trace, name, drain=True)
+    sim_e, link_e, _, _ = replay(trace, name, drain=False)
+    assert packet_fingerprint(link_d.target) == packet_fingerprint(
+        link_e.target
+    )
+    assert link_state(sim_d, link_d) == link_state(sim_e, link_e)
+
+
+@pytest.mark.parametrize("name", ["wtp", "bpr", "fcfs"])
+def test_monitor_series_identical(name):
+    trace = random_trace(seed=23)
+    _, link_d, mon_d, _ = replay(trace, name, drain=True, monitor=True)
+    _, link_e, mon_e, _ = replay(trace, name, drain=False, monitor=True)
+    for series_d, series_e in zip(mon_d.samples, mon_e.samples):
+        assert np.array_equal(series_d, series_e)
+    assert [s.count for s in mon_d.stats] == [s.count for s in mon_e.stats]
+    assert [s.mean for s in mon_d.stats] == [s.mean for s in mon_e.stats]
+
+
+@pytest.mark.parametrize("name", ["wtp", "strict"])
+def test_foreign_events_force_identical_parks(name):
+    """A BacklogSampler's periodic ticks interleave with the drain; the
+    sampled backlog trajectory must match the evented run exactly."""
+    trace = random_trace(seed=5)
+    _, link_d, _, samp_d = replay(trace, name, drain=True, sampler_period=2.5)
+    _, link_e, _, samp_e = replay(trace, name, drain=False, sampler_period=2.5)
+    assert samp_d.times == samp_e.times
+    assert samp_d.samples == samp_e.samples
+    assert packet_fingerprint(link_d.target) == packet_fingerprint(
+        link_e.target
+    )
+
+
+def test_bounded_run_splits_busy_period_identically():
+    trace = random_trace(seed=7)
+    mid = float(trace.times[len(trace) // 2])
+    sim_d, link_d, _, _ = replay(trace, "wtp", drain=True, until=mid)
+    sim_e, link_e, _, _ = replay(trace, "wtp", drain=False, until=mid)
+    assert packet_fingerprint(link_d.target) == packet_fingerprint(
+        link_e.target
+    )
+    assert link_state(sim_d, link_d) == link_state(sim_e, link_e)
+
+
+def test_multi_source_fused_identical():
+    """Several fused TrafficSources (the multi-feeder drain loop) match
+    the evented run packet for packet."""
+
+    def run(drain: bool):
+        sim = Simulator()
+        streams = RandomStreams(3)
+        link = Link(
+            sim,
+            make_scheduler("wtp", SDPS),
+            capacity=1.0,
+            target=PacketSink(keep_packets=True),
+            drain=drain,
+        )
+        ids = PacketIdAllocator()
+        for class_id in range(4):
+            TrafficSource(
+                sim,
+                link,
+                class_id,
+                PoissonInterarrivals(4.0 / 0.9, streams.generator()),
+                FixedPacketSize(1.0),
+                ids=ids,
+            ).start()
+        sim.run(until=800.0)
+        return sim, link
+
+    sim_d, link_d = run(True)
+    sim_e, link_e = run(False)
+    assert packet_fingerprint(link_d.target) == packet_fingerprint(
+        link_e.target
+    )
+    assert link_state(sim_d, link_d) == link_state(sim_e, link_e)
+
+
+def test_drain_actually_engages():
+    """Sanity: the drain collapses per-packet calendar events, so the
+    equivalence above is not vacuous."""
+    trace = random_trace()
+    sim_d, link_d, _, _ = replay(trace, "wtp", drain=True, keep=False)
+    sim_e, link_e, _, _ = replay(trace, "wtp", drain=False, keep=False)
+    assert link_d.departures == link_e.departures == len(trace)
+    assert sim_d.events_processed < sim_e.events_processed / 10
+
+
+def test_invariant_checker_suspends_drain():
+    """Attaching the checker falls back to the evented path and still
+    produces identical results."""
+    trace = random_trace(seed=31)
+    sim = Simulator()
+    link = Link(
+        sim,
+        make_scheduler("wtp", SDPS),
+        capacity=1.0,
+        target=PacketSink(keep_packets=True),
+        drain=True,
+    )
+    checker = InvariantChecker(link).attach()
+    TraceSource(sim, link, trace).start()
+    assert link._feeders == []  # suspended before any event fired
+    sim.run()
+    report = checker.finalize()
+    assert report.departures == len(trace)
+    assert report.busy_periods > 0
+    _, link_e, _, _ = replay(trace, "wtp", drain=False)
+    assert packet_fingerprint(link.target) == packet_fingerprint(
+        link_e.target
+    )
+
+
+def test_utilization_horizon_clamps_in_progress_service():
+    """A service still running at the horizon cutoff contributes only
+    its pre-horizon portion (regression test for the open-busy-period
+    overcount)."""
+    sim = Simulator()
+    link = Link(
+        sim,
+        make_scheduler("fcfs", SDPS),
+        capacity=1.0,
+        target=PacketSink(),
+        drain=True,
+    )
+    trace = ArrivalTrace(
+        times=np.asarray([1.0]),
+        class_ids=np.asarray([0]),
+        sizes=np.asarray([10.0]),
+    )
+    TraceSource(sim, link, trace).start()
+    sim.run(until=6.0)
+    assert link.busy
+    # Busy on [1, 6] so far; horizon 4 must clamp the open segment.
+    assert link.utilization(horizon=4.0) == pytest.approx(3.0 / 4.0)
+    assert link.utilization(horizon=6.0) == pytest.approx(5.0 / 6.0)
+    assert link.utilization() == pytest.approx(5.0 / 6.0)
+    sim.run()
+    # Service ended at 11; a horizon past the end sees the full 10.
+    assert link.utilization(horizon=20.0) == pytest.approx(10.0 / 20.0)
