@@ -118,6 +118,40 @@ def test_trace_replay_throughput(benchmark):
     assert departures == 20_000
 
 
+def run_multihop_cell(_: int = 1) -> int:
+    """Table 1 smoke cell (4 hops, rho=0.85, WTP, compiled arrivals).
+
+    The chain-fused drain kernel's guarded workload: every hop is a
+    coupled server behind a ``FlowDemux`` and all cross-traffic rides
+    one ``ArrivalCursor``, so this cell collapses to a handful of
+    calendar events per busy period when chain fusion engages -- and
+    reverts to roughly the evented rate when it does not.  Returns
+    total departures across all hops (the throughput work unit).
+    """
+    import warnings
+
+    from repro.network.multihop import MultiHopConfig, run_multihop
+
+    config = MultiHopConfig(
+        hops=4,
+        utilization=0.85,
+        experiments=4,
+        warmup=2000.0,
+        experiment_period=500.0,
+        drain=1000.0,
+        seed=7,
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        result = run_multihop(config)
+    return sum(result.hop_departures)
+
+
+def test_multihop_cell_throughput(benchmark):
+    departures = benchmark(run_multihop_cell, 1)
+    assert departures > 100_000
+
+
 def run_small_sweep(jobs: int) -> int:
     """SweepRunner overhead on a small cache-less single-hop sweep."""
     from repro.experiments.common import SingleHopConfig

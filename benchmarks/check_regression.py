@@ -9,12 +9,14 @@ missing.
 
 Most regressions beyond the threshold print a ``::warning::`` line
 (rendered as an annotation by GitHub Actions) but do not fail the job --
-shared CI runners are far too noisy for a tight hard gate.  The two
-replay throughput metrics guarded by the busy-period drain kernel
-(``trace_replay_packets_per_sec`` and ``wtp_forwarded_packets_per_sec``)
-are the exception: a regression beyond ``--hard-threshold`` (default
-35%) means the drain kernel stopped engaging, which no runner noise
-explains, so the check exits non-zero.
+shared CI runners are far too noisy for a tight hard gate.  The three
+throughput metrics guarded by the drain kernels
+(``trace_replay_packets_per_sec``, ``wtp_forwarded_packets_per_sec``,
+and ``multihop_packets_per_sec``, the last guarding the *chain-fused*
+drain across coupled hops) are the exception: a regression beyond
+``--hard-threshold`` (default 35%) means a drain kernel stopped
+engaging, which no runner noise explains, so the check exits non-zero
+with a ``::error::`` annotation.
 
     PYTHONPATH=src python benchmarks/check_regression.py
     PYTHONPATH=src python benchmarks/check_regression.py --out perf.json
@@ -40,6 +42,7 @@ from bench_engine import (  # noqa: E402
     replay_trace,
     run_cancellable_events,
     run_kernel_events,
+    run_multihop_cell,
 )
 from record_bench import best_rate, improvement  # noqa: E402
 
@@ -49,12 +52,14 @@ DEFAULT_THRESHOLD = 0.20
 #: Canonical committed baseline used when ``--baseline`` is omitted.
 CANONICAL_BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
 
-#: Metrics that FAIL the job (exit 1) past ``--hard-threshold``: both
-#: collapse by far more than that if the drain kernel stops engaging,
-#: and runner noise has never approached it.
+#: Metrics that FAIL the job (exit 1) past ``--hard-threshold``: each
+#: collapses by far more than that if its drain kernel stops engaging
+#: (the multihop cell guards the chain-fused drain across coupled
+#: hops), and runner noise has never approached it.
 HARD_FAIL_METRICS = (
     "trace_replay_packets_per_sec",
     "wtp_forwarded_packets_per_sec",
+    "multihop_packets_per_sec",
 )
 
 #: Relative slowdown on a HARD_FAIL_METRICS entry that fails the job.
@@ -77,6 +82,9 @@ def collect(repeats: int) -> dict[str, float]:
         ),
         "wtp_forwarded_packets_per_sec": best_rate(
             forward_packets, "wtp", forward_packets("wtp"), repeats
+        ),
+        "multihop_packets_per_sec": best_rate(
+            run_multihop_cell, 1, run_multihop_cell(), repeats
         ),
     }
     metrics.update(bench_sources.collect(repeats))

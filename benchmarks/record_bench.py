@@ -13,6 +13,9 @@ Recorded metrics (events or packets per second, higher is better):
 * ``kernel_events_per_sec``       -- plain tuple-heap event chain
 * ``cancellable_events_per_sec``  -- handle-based (cancellable) chain
 * ``trace_replay_packets_per_sec`` -- TraceSource -> WTP link replay
+* ``multihop_packets_per_sec``    -- Table 1 smoke cell (4 hops,
+  rho=0.85, WTP, compiled arrivals): the chain-fused drain kernel's
+  guarded workload
 * ``sweep_runs_per_sec``          -- SweepRunner over a small single-hop
   sweep (serial, cache disabled): runner dispatch overhead + simulation
 * ``<process>_{scalar,compiled}_{arrivals,events}_per_sec`` -- source
@@ -49,6 +52,7 @@ from bench_engine import (  # noqa: E402
     replay_trace,
     run_cancellable_events,
     run_kernel_events,
+    run_multihop_cell,
     run_small_sweep,
 )
 
@@ -94,6 +98,9 @@ def collect(repeats: int) -> dict:
         ),
         "wtp_forwarded_packets_per_sec": best_rate(
             forward_packets, "wtp", forward_packets("wtp"), repeats
+        ),
+        "multihop_packets_per_sec": best_rate(
+            run_multihop_cell, 1, run_multihop_cell(), repeats
         ),
         "sweep_runs_per_sec": best_rate(
             run_small_sweep, 1, sweep_runs, repeats

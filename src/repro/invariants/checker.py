@@ -132,6 +132,14 @@ class InvariantChecker:
         suspend = getattr(link, "suspend_drain", None)
         if suspend is not None:
             suspend()
+        # Chain-fused drains couple *downstream* links into an upstream
+        # link's drain; a chain that walked through this link before
+        # the hooks existed must revalidate (its member guards check
+        # for exactly these instance overrides).  Dropping this link's
+        # own cache is immediate; upstream caches fail their guards on
+        # the next drain entry and rebuild as blocked.
+        if hasattr(link, "_chain_cache"):
+            link._chain_cache = None
         self._originals = {
             "receive": link.receive,
             "select": scheduler.select,
@@ -244,6 +252,15 @@ class InvariantChecker:
         self.link._complete_service = self._originals["_complete_service"]
         self._originals = {}
         self._attached = False
+        link = self.link
+        if hasattr(link, "_chain_cache"):
+            # While hooked, completions were scheduled by the evented
+            # path, which does maintain _pending_key -- but clear it
+            # anyway so a chain can never couple this link against a
+            # key the checker era might have left stale; the link is
+            # simply not coupled until it parks with a fresh mirror.
+            link._chain_cache = None
+            link._pending_key = None
 
     @property
     def attached(self) -> bool:

@@ -22,7 +22,15 @@ __all__ = ["UserFlow", "FlowRecorder"]
 
 
 class UserFlow:
-    """Periodic F-packet flow of one class, injected at the first hop."""
+    """Periodic F-packet flow of one class, injected at the first hop.
+
+    Emissions are real calendar events (not fused feeders): a flow may
+    launch or emit at any instant, including while a chain-fused drain
+    is mid-busy-period, and the drain parks on the pending emission --
+    its heap key precedes the drain's next virtual event -- so the
+    arrival interleaves exactly as in an evented run
+    (``tests/test_multihop_drain_equivalence.py`` pins this).
+    """
 
     def __init__(
         self,
@@ -77,8 +85,11 @@ class FlowRecorder:
 
     delays: dict[int, list[float]] = field(default_factory=dict)
     hops_seen: dict[int, int] = field(default_factory=dict)
+    #: Total packets delivered here, cross-traffic strays included.
+    received: int = 0
 
     def receive(self, packet: Packet) -> None:
+        self.received += 1
         if packet.flow_id is None:
             return  # cross-traffic strays are ignored, not an error
         self.delays.setdefault(packet.flow_id, []).append(

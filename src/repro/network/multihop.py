@@ -19,6 +19,7 @@ and transmission delays are excluded as in the paper.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -136,6 +137,12 @@ class MultiHopResult:
     #: One report per hop when the run executed under the invariant
     #: checker (``None`` for an unchecked run).
     invariants: list[InvariantReport] | None = None
+    #: Experiments excluded from ``comparisons`` because at least one
+    #: of their flows had fewer than ``flow_packets`` recorded delays
+    #: at the horizon -- i.e. the ``drain`` settle window was too short.
+    truncated_experiments: int = 0
+    #: Final departure count per hop (diagnostics / benchmarking).
+    hop_departures: list[int] = field(default_factory=list)
 
     @property
     def rd(self) -> float:
@@ -282,6 +289,7 @@ def run_multihop(
         sim.run(until=horizon)
 
     result = MultiHopResult(config=config)
+    result.hop_departures = [link.departures for link in links]
     if checkers is not None:
         result.invariants = [checker.finalize() for checker in checkers]
     for flow_ids in experiment_flows:
@@ -289,6 +297,16 @@ def run_multihop(
         if any(len(d) < config.flow_packets for d in delays):
             # The drain window was too short for this experiment; skip it
             # rather than comparing truncated flows.
+            result.truncated_experiments += 1
             continue
         result.comparisons.append(compare_flow_percentiles(delays))
+    if result.truncated_experiments:
+        warnings.warn(
+            f"{result.truncated_experiments} of {config.experiments} user "
+            f"experiments were truncated by the drain settle window "
+            f"(drain={config.drain} ms) and excluded from the comparisons; "
+            f"increase MultiHopConfig.drain to keep them",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return result

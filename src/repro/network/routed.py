@@ -29,22 +29,60 @@ __all__ = ["RoutedNetwork", "RouteDemux"]
 class RouteDemux:
     """Per-link output: forwards each flow to its next hop.
 
-    ``routes`` maps flow_id -> remaining path resolver; packets without
-    a flow (cross-traffic) or at the end of their route go to the local
-    sink.
+    Routes are static per flow (source routing), so the next receiver
+    is memoized per ``flow_id`` -- both the evented path and the
+    chain-fused drain then resolve a hop in one dict hit instead of
+    re-scanning the route's edge list per packet.  The cache is
+    cleared whenever the network's route table changes
+    (:attr:`RoutedNetwork._route_version`).
+
+    Packets without a flow (cross-traffic), or at the end of their
+    route, go to the local sink.  Implements the drain-demux protocol
+    (:mod:`repro.sim.link`) so chains of drain-enabled links fuse
+    across shared edges.
     """
 
     def __init__(self, network: "RoutedNetwork", edge: tuple[str, str]) -> None:
         self.network = network
         self.edge = edge
         self.local_sink = PacketSink()
+        self._cache: dict = {}
 
     def receive(self, packet: Packet) -> None:
-        target = self.network._next_hop(packet, self.edge)
-        if target is None:
-            self.local_sink.receive(packet)
-        else:
-            target.receive(packet)
+        self.drain_resolve(packet).receive(packet)
+
+    # -- drain-demux protocol ------------------------------------------
+    def drain_resolve(self, packet: Packet) -> Receiver:
+        """Next receiver for ``packet``, memoized per flow_id."""
+        fid = packet.flow_id
+        try:
+            return self._cache[fid]
+        except KeyError:
+            target = self.network._next_hop(packet, self.edge)
+            receiver = self.local_sink if target is None else target
+            self._cache[fid] = receiver
+            return receiver
+
+    def drain_successors(self) -> list[Receiver]:
+        """Every receiver reachable from this edge under current routes."""
+        successors: list[Receiver] = []
+        network = self.network
+        for route in network._routes.values():
+            edges = route.edges
+            for index, edge in enumerate(edges):
+                if edge == self.edge:
+                    if index + 1 < len(edges):
+                        successors.append(network.links[edges[index + 1]])
+                    else:
+                        successors.append(route.terminal)
+        successors.append(self.local_sink)
+        return successors
+
+    def drain_guard(self):
+        """Closure that is True while the route table is unchanged."""
+        network = self.network
+        version = network._route_version
+        return lambda: network._route_version == version
 
 
 @dataclass
@@ -56,11 +94,18 @@ class _FlowRoute:
 class RoutedNetwork:
     """Nodes, scheduler-equipped directed edges, and per-flow routes."""
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(self, sim: Simulator, drain: bool = True) -> None:
         self.sim = sim
         self.nodes: set[str] = set()
         self.links: dict[tuple[str, str], Link] = {}
         self._routes: dict[int, _FlowRoute] = {}
+        #: Default for :meth:`add_link`'s ``drain`` flag -- the routed
+        #: path's equivalent of ``MultiHopConfig.drain_kernel`` /
+        #: the CLI's ``--no-drain`` A/B switch.
+        self.drain = drain
+        #: Bumped on every route-table change; RouteDemux resolution
+        #: caches and cached drain chains revalidate against it.
+        self._route_version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -75,8 +120,15 @@ class RoutedNetwork:
         dst: str,
         scheduler: Scheduler,
         capacity: float,
+        drain: Optional[bool] = None,
     ) -> Link:
-        """Create the directed edge src -> dst with its output link."""
+        """Create the directed edge src -> dst with its output link.
+
+        ``drain`` overrides the network-level default for this link's
+        busy-period drain kernel (``None`` inherits it); with the
+        kernel enabled, consecutive drain-enabled links along static
+        routes additionally fuse into chain drains.
+        """
         if src not in self.nodes or dst not in self.nodes:
             raise TopologyError(f"unknown node in edge {src!r} -> {dst!r}")
         edge = (src, dst)
@@ -88,6 +140,7 @@ class RoutedNetwork:
             capacity,
             target=RouteDemux(self, edge),
             name=f"{src}->{dst}",
+            drain=self.drain if drain is None else drain,
         )
         self.links[edge] = link
         return link
@@ -152,6 +205,17 @@ class RoutedNetwork:
             edges=edges,
             terminal=terminal if terminal is not None else PacketSink(),
         )
+        # New routes change next-hop resolution: invalidate the per-demux
+        # memos (an unrouted flow may have been cached to a local sink)
+        # and any drain chains guarding on the route version.
+        self._route_version += 1
+        for link in self.links.values():
+            target = link.target
+            if type(target) is RouteDemux:
+                target._cache.clear()
+            # A new route can create couplings (or sources) a cached
+            # non-fusing decision never re-checks; force a rebuild.
+            link._chain_cache = None
 
     # ------------------------------------------------------------------
     # Operation

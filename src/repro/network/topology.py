@@ -17,7 +17,15 @@ __all__ = ["FlowDemux"]
 
 
 class FlowDemux:
-    """Route user flows downstream, cross-traffic to a local sink."""
+    """Route user flows downstream, cross-traffic to a local sink.
+
+    Implements the drain-demux protocol (:mod:`repro.sim.link`): a
+    chain-fused drain resolves each departure's receiver through
+    :meth:`drain_resolve` instead of calling :meth:`receive`, walks the
+    possible receivers via :meth:`drain_successors` when discovering
+    the chain, and revalidates its cached chain against
+    :meth:`drain_guard`.
+    """
 
     def __init__(self, downstream: Receiver, cross_sink: Receiver | None = None) -> None:
         if downstream is None:
@@ -36,3 +44,39 @@ class FlowDemux:
         else:
             self.user_packets += 1
             self.downstream.receive(packet)
+
+    # -- drain-demux protocol ------------------------------------------
+    def drain_resolve(self, packet: Packet) -> Receiver:
+        """Classify and count like :meth:`receive`, but *return* the
+        receiver instead of dispatching, so a chain drain can hand the
+        packet to a coupled link inline."""
+        if packet.flow_id is None:
+            self.cross_packets += 1
+            return self.cross_sink
+        self.user_packets += 1
+        return self.downstream
+
+    def drain_successors(self) -> list[Receiver]:
+        """Every receiver :meth:`drain_resolve` can return."""
+        return [self.downstream, self.cross_sink]
+
+    def drain_flow_split(self) -> tuple[Receiver, Receiver]:
+        """``(flow_receiver, cross_receiver)`` for inline resolution.
+
+        Declares that this demux routes purely on ``packet.flow_id``
+        (``None`` -> cross, else flow), so a chain-fused drain may skip
+        :meth:`drain_resolve` and branch directly -- it then maintains
+        ``user_packets`` / ``cross_packets`` itself, keeping the
+        counters identical to the evented path.  Guarded by
+        :meth:`drain_guard`: a rebind invalidates the cached split.
+        """
+        return self.downstream, self.cross_sink
+
+    def drain_guard(self):
+        """Closure that is True while the cached resolution holds."""
+        downstream = self.downstream
+        cross_sink = self.cross_sink
+        return (
+            lambda: self.downstream is downstream
+            and self.cross_sink is cross_sink
+        )

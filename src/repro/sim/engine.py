@@ -24,6 +24,28 @@ Design notes
   :meth:`Simulator.run_checked`, which the invariant subsystem
   (:mod:`repro.invariants`) drives; :meth:`Simulator.run` itself never
   pays for checks it does not perform.
+
+Run-loop re-entry contract (inline fusion loops)
+------------------------------------------------
+A dispatched callback may itself process further events *inline*
+without returning to the run loop: the link's busy-period drain (and
+its chain-fused generalization over several coupled links, see
+:mod:`repro.sim.link`) and the arrival cursor's batch injection
+(:mod:`repro.traffic.compile`).  The contract such a loop must keep is
+exactly what the run loop itself guarantees between dispatches:
+
+* ``now`` only moves forward, and never past :attr:`_run_until`;
+* an inline ("virtual") event may be processed only when its
+  ``(time, seq)`` key precedes every live heap entry, and each
+  ``_seq`` reservation happens exactly where an evented execution
+  would have called :meth:`schedule`;
+* on return, the heap holds precisely the events an evented execution
+  would hold -- mirrored entries that were absorbed (popped at
+  heap-min) are pushed back with identical keys when still pending.
+
+Under that contract the calendar is bit-identical to an evented run at
+every re-entry; the only observable difference is
+:attr:`events_processed`, which counts real dispatches only.
 """
 
 from __future__ import annotations

@@ -57,6 +57,61 @@ The one observable difference is :attr:`Simulator.events_processed`,
 which only counts real calendar dispatches.  When invariant-checking
 hooks are attached the drain steps aside entirely (see
 :meth:`Link._complete_service`).
+
+Chain-fused drain (DAG of coupled servers)
+------------------------------------------
+A single-link drain still parks whenever the *next hop's* completion
+precedes its own, so a chain of saturated links (the Section 6
+multi-hop path) bounces through the calendar once per packet per hop.
+When this link's target resolves -- directly, or through a
+demultiplexer implementing the drain-demux protocol
+(``drain_resolve(packet)`` / ``drain_successors()`` /
+``drain_guard()``, see :class:`~repro.network.topology.FlowDemux` and
+:class:`~repro.network.routed.RouteDemux`) -- to further drain-capable
+links, those links are *coupled*: the fused loop keeps one local
+``(time, seq)``-keyed heap over every member's pending completion,
+every member's fused feeder arrivals, and the pending keys of any
+:class:`~repro.traffic.compile.ArrivalCursor` feeding a member, and
+repeatedly processes the globally earliest fused event inline.  A
+departure whose resolved receiver is another member is enqueued there
+directly (opening the downstream busy period inline, reserving its
+completion's sequence number exactly where ``receive`` would have
+called ``sim.schedule``); any other receiver gets a plain
+``receive`` call, whose scheduled events surface as foreign calendar
+entries the loop parks on.
+
+The mirror protocol generalizes to members and cursors:
+
+* A member that was already busy when the chain formed has a *real*
+  completion event in the calendar; its key is mirrored in
+  :attr:`Link._pending_key` (maintained at every point control leaves
+  the link) and the event is absorbed -- popped -- only when it is the
+  global heap minimum, exactly like a mirrored feeder arrival.
+* An :class:`~repro.traffic.compile.ArrivalCursor` mirrors its single
+  pending calendar entry the same way; once absorbed, the chain runs
+  the cursor's batch-injection loop inline against an *emulated* heap
+  minimum (real calendar union the chain's virtual keys), so the batch
+  boundaries -- and therefore sequence-number consumption -- are
+  bit-identical to an evented run.
+* On park, every still-busy member pushes one resumption event with
+  its reserved key, every virtual feeder and cursor re-parks, and the
+  calendar is restored bit-identical to the evented run's.
+
+Eligibility is strict: members must be lossless (no buffer, no drop
+policy), drain-enabled, hook-free, and use the stock
+``receive``/``_complete_service`` method bodies.  An invariant checker
+attached to *any* link reachable through the walk marks the chain
+*blocked*: chain fusion is disabled and every link keeps its
+single-link drain paths, which hand packets through plain ``receive``
+calls and therefore never bypass another link's hooks
+(``tests/test_multihop_drain_equivalence.py`` pins both the fallback
+and chain-vs-evented bit-identity).  Fusion also stays off -- purely a
+performance choice -- when no member has an inline arrival source
+(fused feeder or cursor), since every arrival would then be a foreign
+calendar event to park on; the routing decision is cached on the link
+(:attr:`Link._chain_fuse`) so non-fusing completions pay one flag
+check, and the cache refreshes when a source attaches or routes
+change.
 """
 
 from __future__ import annotations
@@ -97,6 +152,298 @@ class PacketSink:
             self.packets.append(packet)
 
 
+class _ChainLink:
+    """Per-member state for one coupled server in a chain drain.
+
+    ``pending`` / ``t_c`` / ``s_c`` / ``virtual`` describe the member's
+    in-flight completion *within the current drain entry*: the packet
+    in service, its reserved ``(time, seq)`` heap key, and whether that
+    key is virtual (reserved inline) or mirrors a real calendar event
+    that predates the drain entry.  They are reset on every entry.
+    """
+
+    __slots__ = (
+        "link",
+        "scheduler",
+        "queues",
+        "monitors",
+        "capacity",
+        "direct_target",
+        "direct_dcl",
+        "resolve",
+        "split",
+        "flow_rcv",
+        "cross_rcv",
+        "flow_dcl",
+        "cross_dcl",
+        "stock",
+        "choose",
+        "qlist",
+        "heads",
+        "backlog",
+        "nclasses",
+        "pending",
+        "t_c",
+        "s_c",
+        "virtual",
+    )
+
+    def __init__(self, link: "Link", stock: bool) -> None:
+        scheduler = link.scheduler
+        queues = scheduler.queues
+        self.link = link
+        self.scheduler = scheduler
+        self.queues = queues
+        self.monitors = link.monitors
+        self.capacity = link.capacity
+        self.direct_target: Optional[Receiver] = None
+        #: Coupled member behind ``direct_target`` (resolved post-walk).
+        self.direct_dcl: Optional["_ChainLink"] = None
+        self.resolve = None
+        #: The demux itself when the target declared a pure
+        #: flow-id split (``drain_flow_split``); departures then branch
+        #: inline on ``packet.flow_id`` instead of calling ``resolve``.
+        self.split = None
+        self.flow_rcv: Optional[Receiver] = None
+        self.cross_rcv: Optional[Receiver] = None
+        self.flow_dcl: Optional["_ChainLink"] = None
+        self.cross_dcl: Optional["_ChainLink"] = None
+        #: True when the scheduler uses the stock enqueue/select
+        #: wrappers with no hook overrides, so their bodies (queue
+        #: push/pop, no-op hooks) are inlined verbatim -- the same
+        #: criterion and inlining as the link's _fast_ok drain loops.
+        self.stock = stock
+        self.choose = scheduler.choose_class
+        self.qlist = queues.queues
+        self.heads = queues.head_arrivals
+        self.backlog = queues.bytes_backlog
+        self.nclasses = queues.num_classes
+        self.pending: Optional[Packet] = None
+        self.t_c = 0.0
+        self.s_c = 0
+        self.virtual = False
+
+
+class _Chain:
+    """Validated snapshot of the drain-couplable graph below a link.
+
+    Rebuilt lazily whenever :meth:`valid` fails; the guard list makes
+    revalidation cheap (a handful of identity/attribute checks per
+    drain entry) while still catching every event that can change the
+    chain shape: target rewiring, scheduler replacement, invariant
+    checker attach/detach, drain-flag flips, demux rebinding, and new
+    routes in a :class:`~repro.network.routed.RoutedNetwork`.
+    """
+
+    __slots__ = ("members", "coupled", "blocked", "sources", "guards")
+
+    def __init__(
+        self,
+        members: list[_ChainLink],
+        coupled: Optional[dict],
+        blocked: bool,
+        sources: bool,
+        guards: list,
+    ) -> None:
+        self.members = members
+        #: id(link) -> _ChainLink for every member, or None when the
+        #: chain is this link alone (no fusion possible).
+        self.coupled = coupled
+        #: True when an invariant checker is attached somewhere in the
+        #: couplable graph: chain fusion is disabled (the entry link
+        #: keeps its single-link paths, which never bypass another
+        #: link's hooks).
+        self.blocked = blocked
+        #: True when some member had fused feeders or an arrival cursor
+        #: at build time.  Without inline arrival sources every arrival
+        #: is a foreign calendar event, so a chain drain would park
+        #: once per arrival and its setup would dominate; the entry
+        #: then keeps the cheap single-link drain paths.  (A source
+        #: attached later clears the link's chain cache, refreshing
+        #: this.)
+        self.sources = sources
+        self.guards = guards
+
+    def valid(self) -> bool:
+        for g in self.guards:
+            if g.__class__ is tuple:
+                L = g[1]
+                if g[0] == 0:
+                    # Member guard: same target/scheduler, still
+                    # drain-enabled and hook-free.
+                    if (
+                        L.target is not g[2]
+                        or L.scheduler is not g[3]
+                        or not L.drain
+                        or "_complete_service" in L.__dict__
+                        or "receive" in L.__dict__
+                        or "select" in L.scheduler.__dict__
+                    ):
+                        return False
+                else:
+                    # Blocked guard: the chain stays blocked only while
+                    # the checker hooks remain attached.
+                    if not (
+                        "_complete_service" in L.__dict__
+                        or "receive" in L.__dict__
+                        or "select" in L.scheduler.__dict__
+                    ):
+                        return False
+            elif not g():
+                # Demux guard closure (drain_guard protocol).
+                return False
+        return True
+
+
+def _chain_arrival(cl: _ChainLink, packet: Packet, now: float, sim, fheap) -> None:
+    """Arrival at a coupled member: Link.receive for the lossless case.
+
+    The completion's sequence number is reserved exactly where
+    ``receive -> _start_service`` would have called ``sim.schedule``.
+    Stock scheduler wrappers are inlined verbatim (identical float ops
+    and mutation order; only the call layers disappear).
+    """
+    L = cl.link
+    packet.arrived_at = now
+    L.arrivals += 1
+    if cl.stock:
+        cid = packet.class_id
+        if not 0 <= cid < cl.nclasses:
+            raise SchedulingError(
+                f"packet class {cid} out of range [0, {cl.nclasses})"
+            )
+        queue = cl.qlist[cid]
+        if not queue:
+            cl.heads[cid] = now
+        queue.append(packet)
+        cl.backlog[cid] += packet.size
+        cl.queues.total_packets += 1
+    else:
+        cl.scheduler.enqueue(packet, now)
+    if not L.busy:
+        L.busy = True
+        L._busy_since = now
+        if cl.stock:
+            cid = cl.choose(now)
+            queue = cl.qlist[cid]
+            nxt = queue.popleft()
+            size = nxt.size
+            if queue:
+                cl.backlog[cid] -= size
+                cl.heads[cid] = queue[0].arrived_at
+            else:
+                cl.backlog[cid] = 0.0
+                cl.heads[cid] = inf
+            cl.queues.total_packets -= 1
+        else:
+            nxt = cl.scheduler.select(now)
+            size = nxt.size
+        nxt.service_start = now
+        L._in_service = nxt
+        s = sim._seq
+        sim._seq = s + 1
+        cl.pending = nxt
+        t_c = now + size / cl.capacity
+        cl.t_c = t_c
+        cl.s_c = s
+        cl.virtual = True
+        heappush(fheap, (t_c, s, 0, cl))
+
+
+def _chain_complete(cl: _ChainLink, packet: Packet, now: float, sim, fheap, coupled):
+    """Departure at a coupled member, mirroring the evented path's
+    exact ordering: stamps/counters, scheduler hook, monitors,
+    hand-off, then the next service's sequence reservation.
+
+    Returns the fused-heap item for the next completion (or ``None``
+    when the busy period closes) instead of pushing it, so the drain
+    loop can ``heapreplace`` the event it is handling -- one sift
+    instead of a pop plus a push."""
+    L = cl.link
+    packet.departed_at = now
+    packet.hop_delays.append(packet.service_start - packet.arrived_at)
+    L.departures += 1
+    L.bytes_sent += packet.size
+    L._in_service = None
+    if not cl.stock:
+        cl.scheduler.on_departure(packet, now)
+    if cl.monitors:
+        for monitor in cl.monitors:
+            monitor.on_departure(packet, now)
+    dmx = cl.split
+    if dmx is not None:
+        # Pure flow-id demux (drain_flow_split): branch inline and keep
+        # the demux counters exactly as drain_resolve would have.
+        if packet.flow_id is None:
+            dmx.cross_packets += 1
+            dcl = cl.cross_dcl
+            rcv = cl.cross_rcv
+        else:
+            dmx.user_packets += 1
+            dcl = cl.flow_dcl
+            rcv = cl.flow_rcv
+    else:
+        rcv = cl.direct_target
+        if rcv is None:
+            rcv = cl.resolve(packet)
+            dcl = coupled.get(id(rcv))
+        else:
+            dcl = cl.direct_dcl
+    if dcl is not None:
+        down = dcl.link
+        if dcl.stock and down.busy:
+            # Busy downstream with a stock scheduler (the dominant case
+            # at high utilization): _chain_arrival's body minus the
+            # service start.
+            packet.arrived_at = now
+            down.arrivals += 1
+            cid = packet.class_id
+            if not 0 <= cid < dcl.nclasses:
+                raise SchedulingError(
+                    f"packet class {cid} out of range [0, {dcl.nclasses})"
+                )
+            queue = dcl.qlist[cid]
+            if not queue:
+                dcl.heads[cid] = now
+            queue.append(packet)
+            dcl.backlog[cid] += packet.size
+            dcl.queues.total_packets += 1
+        else:
+            _chain_arrival(dcl, packet, now, sim, fheap)
+    else:
+        rcv.receive(packet)
+    if cl.queues.total_packets:
+        if cl.stock:
+            cid = cl.choose(now)
+            queue = cl.qlist[cid]
+            nxt = queue.popleft()
+            size = nxt.size
+            if queue:
+                cl.backlog[cid] -= size
+                cl.heads[cid] = queue[0].arrived_at
+            else:
+                cl.backlog[cid] = 0.0
+                cl.heads[cid] = inf
+            cl.queues.total_packets -= 1
+        else:
+            nxt = cl.scheduler.select(now)
+            size = nxt.size
+        nxt.service_start = now
+        L._in_service = nxt
+        s = sim._seq
+        sim._seq = s + 1
+        cl.pending = nxt
+        t_c = now + size / cl.capacity
+        cl.t_c = t_c
+        cl.s_c = s
+        cl.virtual = True
+        return (t_c, s, 0, cl)
+    cl.pending = None
+    L.busy = False
+    L.busy_time += now - L._busy_since
+    return None
+
+
 class Link:
     """Single-server transmission link with pluggable scheduler."""
 
@@ -133,6 +480,21 @@ class Link:
         #: Busy-period drain kernel A/B switch (see module docstring).
         self.drain = drain
         self._feeders: list = []
+        self._cursors: list = []
+        #: ``(time, seq)`` heap key of the scheduled completion event
+        #: for the packet in service, mirrored so a chain drain can
+        #: couple this link mid-busy-period and absorb the real event.
+        #: Maintained at every point control leaves the link with a
+        #: completion scheduled; ``None`` means "unknown", which merely
+        #: keeps the link uncoupled until it parks again.
+        self._pending_key: Optional[tuple] = None
+        self._chain_cache: Optional[_Chain] = None
+        #: Cached routing decision: True only when the cached chain can
+        #: fuse (coupled members, arrival sources, not blocked).  When
+        #: False, completions skip chain validation entirely -- the
+        #: cache is cleared (forcing recomputation) whenever a feeder
+        #: or cursor attaches, a checker detaches, or routes change.
+        self._chain_fuse = False
         # A link qualifies for the specialized drain loops when nothing
         # can observe intermediate per-packet state: a bare PacketSink
         # target, no buffer management, and a scheduler that uses the
@@ -193,7 +555,27 @@ class Link:
         ):
             return False
         self._feeders.append(feeder)
+        # A new inline arrival source may flip the cached chain-fusion
+        # decision (see _complete_service); recompute on next entry.
+        self._chain_cache = None
         return True
+
+    def _attach_cursor(self, cursor) -> None:
+        """Register an :class:`~repro.traffic.compile.ArrivalCursor`.
+
+        Called by the cursor itself at ``start()`` for every distinct
+        link its compiled streams inject into.  Chain drains absorb the
+        cursor's single pending calendar event through the same mirror
+        protocol as fused feeders (see module docstring).  Registration
+        is unconditional and idempotent -- chain eligibility is
+        re-checked at every drain entry, so an ineligible link simply
+        never uses the registration.
+        """
+        for c in self._cursors:
+            if c is cursor:
+                return
+        self._cursors.append(cursor)
+        self._chain_cache = None  # refresh the cached fusion decision
 
     def suspend_drain(self) -> None:
         """Permanently detach all fused feeders from this link.
@@ -271,13 +653,14 @@ class Link:
         self._busy_since = now
 
     def _start_service(self) -> None:
-        now = self.sim.now
+        sim = self.sim
+        now = sim.now
         packet = self.scheduler.select(now)
         packet.service_start = now
         self._in_service = packet
-        self.sim.schedule(
-            now + packet.size / self.capacity, self._complete_service, packet
-        )
+        t_c = now + packet.size / self.capacity
+        self._pending_key = (t_c, sim._seq)
+        sim.schedule(t_c, self._complete_service, packet)
 
     def _complete_service(self, packet: Packet) -> None:
         """Service completion: drain the busy period, or fall back.
@@ -300,6 +683,29 @@ class Link:
                 self.suspend_drain()
             self._complete_service_evented(packet)
             return
+        chain = self._chain_cache
+        if chain is None:
+            chain = self._build_chain()
+            self._chain_cache = chain
+            self._chain_fuse = (
+                chain.coupled is not None
+                and not chain.blocked
+                and chain.sources
+            )
+        if self._chain_fuse:
+            # Revalidation (and a rebuild on guard failure) only runs
+            # on fusing entries -- once per chain entry, not per
+            # completion; a non-fusing link pays a single flag check.
+            if not chain.valid():
+                chain = self._build_chain()
+                self._chain_cache = chain
+                self._chain_fuse = (
+                    chain.coupled is not None
+                    and not chain.blocked
+                    and chain.sources
+                )
+            if self._chain_fuse and self._drain_chain(packet, chain):
+                return
         feeders = self._feeders
         if self._fast_ok and feeders and not self.monitors:
             # Specialized loops: nothing observes per-packet state, so
@@ -373,6 +779,7 @@ class Link:
                     ):
                         for f in feeders:
                             f.park(heap)
+                        self._pending_key = (t_c, s_c)
                         heappush(heap, (t_c, s_c, complete, nxt))
                         return
                     now = t_c
@@ -384,6 +791,7 @@ class Link:
                     for f in feeders:
                         f.park(heap)
                     if nxt is not None:
+                        self._pending_key = (t_c, s_c)
                         heappush(heap, (t_c, s_c, complete, nxt))
                     return
                 if heap:
@@ -393,6 +801,7 @@ class Link:
                         for f in feeders:
                             f.park(heap)
                         if nxt is not None:
+                            self._pending_key = (t_c, s_c)
                             heappush(heap, (t_c, s_c, complete, nxt))
                         return
                     if ht == t_a and head[1] == s_a:
@@ -583,6 +992,7 @@ class Link:
             queues.total_packets = total
             sim.now = now
             self._in_service = nxt
+            self._pending_key = (t_c, s_c) if nxt is not None else None
             self.arrivals += arrivals
             self.departures += departures
             self.bytes_sent += nbytes
@@ -741,6 +1151,7 @@ class Link:
             queues.total_packets = total
             sim.now = now
             self._in_service = nxt
+            self._pending_key = (t_c, s_c) if nxt is not None else None
             self.arrivals += arrivals
             self.departures += departures
             self.bytes_sent += nbytes
@@ -767,12 +1178,226 @@ class Link:
             nxt = scheduler.select(now)
             nxt.service_start = now
             self._in_service = nxt
-            self.sim.schedule(
-                now + nxt.size / self.capacity, self._complete_service, nxt
-            )
+            sim = self.sim
+            t_c = now + nxt.size / self.capacity
+            self._pending_key = (t_c, sim._seq)
+            sim.schedule(t_c, self._complete_service, nxt)
         else:
             self.busy = False
             self.busy_time += now - self._busy_since
+
+    # ------------------------------------------------------------------
+    def _build_chain(self) -> _Chain:
+        """Walk the target graph and snapshot the couplable chain.
+
+        Breadth-first from this link through direct ``Link`` targets
+        and demuxes implementing the drain-demux protocol.  Couplable
+        successors (drain-enabled, same simulator, lossless, hook-free,
+        stock method bodies) become chain members; a hooked successor
+        (invariant checker) marks the chain *blocked*; anything else is
+        a chain boundary reached via plain ``receive``.  Every object
+        examined contributes a guard so :meth:`_Chain.valid` detects
+        any change that could alter the walk's outcome.
+        """
+        from ..schedulers.base import Scheduler  # deferred: import cycle
+
+        guards: list = []
+        members: list[_ChainLink] = []
+        by_id: dict[int, _ChainLink] = {}
+        blocked = False
+        sim = self.sim
+        # A lossy entry keeps its single-link drain (which implements
+        # the drop path); only lossless links may join a fused chain.
+        extend = self.buffer_packets is None and self.drop_policy is None
+        pending: list[Link] = [self]
+        seen = {id(self)}
+        while pending:
+            L = pending.pop(0)
+            tgt = L.target
+            scls = type(L.scheduler)
+            stock = (
+                scls.select is Scheduler.select
+                and scls.enqueue is Scheduler.enqueue
+                and scls.on_enqueue is Scheduler.on_enqueue
+                and scls.on_select is Scheduler.on_select
+                and scls.on_departure is Scheduler.on_departure
+            )
+            cl = _ChainLink(L, stock)
+            members.append(cl)
+            by_id[id(L)] = cl
+            guards.append((0, L, tgt, L.scheduler))
+            if isinstance(tgt, Link):
+                cl.direct_target = tgt
+                succs: tuple = (tgt,)
+            else:
+                resolve = getattr(tgt, "drain_resolve", None)
+                if resolve is None:
+                    cl.direct_target = tgt
+                    succs = ()
+                else:
+                    cl.resolve = resolve
+                    split = getattr(tgt, "drain_flow_split", None)
+                    if split is not None:
+                        cl.split = tgt
+                        cl.flow_rcv, cl.cross_rcv = split()
+                    guards.append(tgt.drain_guard())
+                    succs = tuple(tgt.drain_successors())
+            if not extend:
+                continue
+            for r in succs:
+                if not isinstance(r, Link) or id(r) in seen:
+                    continue
+                seen.add(id(r))
+                if (
+                    "_complete_service" in r.__dict__
+                    or "receive" in r.__dict__
+                    or "select" in r.scheduler.__dict__
+                ):
+                    blocked = True
+                    guards.append((1, r))
+                    continue
+                if (
+                    r.drain
+                    and r.sim is sim
+                    and r.buffer_packets is None
+                    and r.drop_policy is None
+                    and type(r).receive is Link.receive
+                    and type(r)._complete_service is Link._complete_service
+                    and type(r)._start_service is Link._start_service
+                ):
+                    pending.append(r)
+        coupled = by_id if len(members) > 1 else None
+        sources = any(
+            cl.link._feeders or cl.link._cursors for cl in members
+        )
+        if coupled is not None:
+            # Pre-resolve each member's receivers to coupled members so
+            # the hot departure path never touches the dict.
+            for cl in members:
+                if cl.direct_target is not None:
+                    cl.direct_dcl = by_id.get(id(cl.direct_target))
+                elif cl.split is not None:
+                    cl.flow_dcl = by_id.get(id(cl.flow_rcv))
+                    cl.cross_dcl = by_id.get(id(cl.cross_rcv))
+        return _Chain(members, coupled, blocked, sources, guards)
+
+    def _drain_chain(self, first: Packet, chain: _Chain) -> bool:
+        """Fused drain over the whole coupled chain (module docstring).
+
+        Returns ``False`` -- with no state touched -- when a member is
+        busy mid-period with an unknown completion key (its event was
+        scheduled while the chain shape was different); the entry then
+        falls back to the single-link drain paths until that member
+        parks with a mirrored key again.
+        """
+        members = chain.members
+        sim = self.sim
+        fheap: list = []
+        for cl in members[1:]:
+            L = cl.link
+            if L.busy:
+                key = L._pending_key
+                if key is None or L._in_service is None:
+                    return False
+                cl.pending = L._in_service
+                cl.t_c, cl.s_c = key
+                cl.virtual = False
+                fheap.append((cl.t_c, cl.s_c, 0, cl))
+            else:
+                cl.pending = None
+                cl.virtual = False
+        heap = sim._heap
+        until = sim._run_until
+        coupled = chain.coupled
+        entry = members[0]
+        entry.pending = None
+        entry.virtual = False
+        feeders: list = []
+        cursors: list = []
+        seen_cursors: set = set()
+        for cl in members:
+            for f in cl.link._feeders:
+                feeders.append(f)
+                ft = f.next_time
+                if ft is not None:
+                    fheap.append((ft, f.next_seq, 1, (f, cl)))
+            for c in cl.link._cursors:
+                cid = id(c)
+                if cid not in seen_cursors:
+                    seen_cursors.add(cid)
+                    cursors.append(c)
+                    ct = c.next_time
+                    if ct is not None:
+                        fheap.append((ct, c.next_seq, 2, c))
+        heapify(fheap)
+        item = _chain_complete(entry, first, sim.now, sim, fheap, coupled)
+        if item is not None:
+            heappush(fheap, item)
+        while fheap:
+            head = fheap[0]
+            t = head[0]
+            s = head[1]
+            if t > until:
+                break
+            if heap:
+                h = heap[0]
+                ht = h[0]
+                if ht < t or (ht == t and h[1] < s):
+                    break  # foreign calendar event precedes: park
+                if ht == t and h[1] == s:
+                    # The fused event's own mirrored calendar entry is
+                    # the heap minimum: absorb it and go virtual.
+                    heappop(heap)
+                    kind = head[2]
+                    if kind == 0:
+                        head[3].virtual = True
+                    elif kind == 1:
+                        head[3][0]._virtual = True
+                    else:
+                        head[3]._virtual = True
+            sim.now = t
+            kind = head[2]
+            obj = head[3]
+            # Kinds 0/1 leave the handled event at the heap root and
+            # heapreplace it with its successor (one sift); kind 2 must
+            # pop first because drain_batch reads fheap[0] to find the
+            # batch boundary.
+            if kind == 0:
+                item = _chain_complete(obj, obj.pending, t, sim, fheap, coupled)
+                if item is not None:
+                    heapreplace(fheap, item)
+                else:
+                    heappop(fheap)
+            elif kind == 1:
+                f, cl = obj
+                _chain_arrival(cl, f.pull(), t, sim, fheap)
+                f.advance(t)
+                nt = f.next_time
+                if nt is not None:
+                    heapreplace(fheap, (nt, f.next_seq, 1, obj))
+                else:
+                    heappop(fheap)
+            else:
+                heappop(fheap)
+                if obj.drain_batch(t, until, heap, fheap, coupled):
+                    heappush(fheap, (obj.next_time, obj.next_seq, 2, obj))
+        # Park: restore the exact calendar an evented run would have at
+        # this instant.  Never-absorbed (non-virtual) events are still
+        # in the heap and must not be re-pushed.
+        for f in feeders:
+            f.park(heap)
+        for c in cursors:
+            c.park(heap)
+        for cl in members:
+            if cl.pending is not None:
+                cl.link._pending_key = (cl.t_c, cl.s_c)
+                if cl.virtual:
+                    cl.virtual = False
+                    heappush(
+                        heap,
+                        (cl.t_c, cl.s_c, cl.link._complete_service, cl.pending),
+                    )
+        return True
 
     # ------------------------------------------------------------------
     def utilization(self, horizon: Optional[float] = None) -> float:

@@ -39,13 +39,14 @@ and by the :class:`~repro.sim.rng.RandomStreams` discipline:
 from __future__ import annotations
 
 import heapq
+from math import inf
 from typing import Optional, Sequence
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SchedulingError
 from ..sim.engine import Simulator
-from ..sim.link import Receiver
+from ..sim.link import Receiver, _chain_arrival
 from ..sim.packet import Packet
 from .base import InterarrivalProcess, PacketSizeSampler
 from .source import PacketIdAllocator
@@ -102,6 +103,10 @@ class _CompiledStream:
         self._class_ids: list[int] = []
         self._sizes: list[float] = []
         self._head = 0
+        #: Coupled chain member behind ``target`` during an active
+        #: chain-fused drain; cached per chain epoch by the drain entry
+        #: (see :meth:`ArrivalCursor.drain_batch`), ``None`` otherwise.
+        self._chain_dcl = None
 
     # -- block materialization -----------------------------------------
     def _draw_block_payload(self, count: int) -> None:
@@ -263,6 +268,19 @@ class ArrivalCursor:
     also skips the private-heap replace entirely.  Ties with a calendar
     event defer to the calendar (the cursor reschedules and the run
     loop interleaves by sequence number, exactly as before).
+
+    Mirror protocol (chain drains)
+    ------------------------------
+    The cursor mirrors its single pending calendar event's ``(time,
+    seq)`` key in ``next_time`` / ``next_seq`` -- the same contract as
+    fused feeders (see :mod:`repro.sim.link`) -- and registers itself
+    on every distinct target link at :meth:`start`.  A chain-fused
+    drain absorbs the event when it is the global heap minimum and
+    then calls :meth:`drain_batch`, which runs the batch-injection
+    loop inline against an *emulated* calendar minimum so batch
+    boundaries (and therefore sequence-number consumption) stay
+    bit-identical to an evented run; :meth:`park` restores the real
+    event with the identical key.
     """
 
     def __init__(self, sim: Simulator) -> None:
@@ -271,6 +289,14 @@ class ArrivalCursor:
         self._heap: list[tuple[float, int, _CompiledStream]] = []
         self._started = False
         self.packets_injected = 0
+        #: Heap key of the pending calendar event (feeder mirror
+        #: protocol); ``next_time is None`` means nothing is pending.
+        self.next_time: Optional[float] = None
+        self.next_seq = 0
+        self._virtual = False
+        #: Chain-epoch marker: the ``coupled`` dict the streams'
+        #: ``_chain_dcl`` caches were resolved against.
+        self._dcl_for = None
 
     def add(self, stream: _CompiledStream) -> _CompiledStream:
         """Register a compiled stream.  Returns it for chaining."""
@@ -290,9 +316,18 @@ class ArrivalCursor:
             first = stream.peek_time()
             if first is not None:
                 self._heap.append((first, order, stream))
+            # Register with the target for chain-drain absorption;
+            # plain receivers (sinks, demuxes) have no _attach_cursor.
+            attach = getattr(stream.target, "_attach_cursor", None)
+            if attach is not None:
+                attach(self)
         heapq.heapify(self._heap)
         if self._heap:
-            self.sim.schedule(self._heap[0][0], self._fire)
+            sim = self.sim
+            first = self._heap[0][0]
+            self.next_time = first
+            self.next_seq = sim._seq
+            sim.schedule(first, self._fire)
 
     def _fire(self) -> None:
         sim = self.sim
@@ -309,6 +344,7 @@ class ArrivalCursor:
             if next_time is None:
                 heapq.heappop(heap)
                 if not heap:
+                    self.next_time = None
                     break
             elif len(heap) == 1:
                 heap[0] = (next_time, order, stream)
@@ -316,10 +352,139 @@ class ArrivalCursor:
                 heapq.heapreplace(heap, (next_time, order, stream))
             nxt = heap[0][0]
             if nxt > until or (sim_heap and sim_heap[0][0] <= nxt):
+                self.next_time = nxt
+                self.next_seq = sim._seq
                 sim.schedule(nxt, self._fire)
                 break
             sim.now = nxt
         self.packets_injected += injected
+
+    def park(self, heap: list) -> None:
+        """Re-push the pending arrival event after virtual absorption.
+
+        The pushed entry is bit-identical to the one an evented run
+        would hold (same time, same reserved sequence number, same
+        callback), so the calendar state after a chain-drain park is
+        indistinguishable from the evented path's.  No-op unless the
+        cursor's event was absorbed (``_virtual``).
+        """
+        if self._virtual:
+            self._virtual = False
+            if self.next_time is not None:
+                heapq.heappush(
+                    heap, (self.next_time, self.next_seq, self._fire, None)
+                )
+
+    def drain_batch(self, now, until, sim_heap, fused_heap, coupled) -> bool:
+        """Inline one :meth:`_fire` batch from a chain-fused drain.
+
+        ``now`` is the absorbed event's timestamp (``sim.now`` is
+        already there); ``fused_heap`` holds the drain's pending
+        ``(time, seq, ...)`` events, which together with ``sim_heap``
+        reproduce exactly the calendar an evented run would consult --
+        so the batch boundary test (and hence every ``sim._seq``
+        consumption) is bit-identical to :meth:`_fire`.  Emissions
+        whose target is a coupled chain member (``coupled``, the
+        drain's id -> member map) are handed straight to
+        :func:`~repro.sim.link._chain_arrival` (inline enqueue +
+        service start); all others go through plain ``receive``.
+        Returns True when a next arrival was reserved (mirror updated,
+        virtual); False when the cursor is exhausted.
+        """
+        sim = self.sim
+        heap = self._heap
+        injected = 0
+        reserved = True
+        if self._dcl_for is not coupled:
+            # New chain epoch: re-resolve each stream's target against
+            # this chain's coupled-member map once, so the per-packet
+            # path below is a single attribute load.
+            self._dcl_for = coupled
+            for s in self._streams:
+                s._chain_dcl = coupled.get(id(s.target))
+        # The earliest foreign event bounds the batch.  Neither heap
+        # can change under the inline-enqueue fast path below, so the
+        # bound is hoisted and recomputed only after a dispatch that
+        # may schedule (receive) or push a fused completion
+        # (_chain_arrival).
+        m = sim_heap[0][0] if sim_heap else inf
+        if fused_heap and fused_heap[0][0] < m:
+            m = fused_heap[0][0]
+        while True:
+            entry = heap[0]
+            order = entry[1]
+            stream = entry[2]
+            # -- stream.emit() inlined (identical field order/values)
+            head = stream._head
+            packet = Packet(
+                next(stream.ids._counter),
+                stream._class_ids[head],
+                stream._sizes[head],
+                stream._times[head],
+                stream.flow_id,
+            )
+            stream._head = head + 1
+            stream.packets_emitted += 1
+            stream.bytes_emitted += packet.size
+            injected += 1
+            dcl = stream._chain_dcl
+            if dcl is not None:
+                if dcl.stock and dcl.link.busy:
+                    # Arrival at a busy coupled member: just the inline
+                    # enqueue (the dominant case at high utilization);
+                    # _chain_arrival's body minus the service start.
+                    packet.arrived_at = now
+                    dcl.link.arrivals += 1
+                    cid = packet.class_id
+                    if not 0 <= cid < dcl.nclasses:
+                        raise SchedulingError(
+                            f"packet class {cid} out of range "
+                            f"[0, {dcl.nclasses})"
+                        )
+                    queue = dcl.qlist[cid]
+                    if not queue:
+                        dcl.heads[cid] = now
+                    queue.append(packet)
+                    dcl.backlog[cid] += packet.size
+                    dcl.queues.total_packets += 1
+                else:
+                    _chain_arrival(dcl, packet, now, sim, fused_heap)
+                    m = sim_heap[0][0] if sim_heap else inf
+                    if fused_heap and fused_heap[0][0] < m:
+                        m = fused_heap[0][0]
+            else:
+                stream.target.receive(packet)
+                m = sim_heap[0][0] if sim_heap else inf
+                if fused_heap and fused_heap[0][0] < m:
+                    m = fused_heap[0][0]
+            # -- stream.peek_time() inlined (block reload on exhaustion)
+            times = stream._times
+            if stream._head < len(times):
+                next_time = times[stream._head]
+            else:
+                next_time = stream.peek_time()
+            if next_time is None:
+                heapq.heappop(heap)
+                if not heap:
+                    self.next_time = None
+                    reserved = False
+                    break
+            elif len(heap) == 1:
+                heap[0] = (next_time, order, stream)
+            else:
+                heapq.heapreplace(heap, (next_time, order, stream))
+            nxt = heap[0][0]
+            if nxt > until or m <= nxt:
+                s = sim._seq
+                sim._seq = s + 1
+                self.next_time = nxt
+                self.next_seq = s
+                self._virtual = True
+                break
+            now = nxt
+            sim.now = nxt
+        self.packets_injected += injected
+        return reserved
 
     @property
     def pending_sources(self) -> int:
