@@ -65,6 +65,90 @@ HARD_FAIL_METRICS = (
 #: Relative slowdown on a HARD_FAIL_METRICS entry that fails the job.
 DEFAULT_HARD_THRESHOLD = 0.35
 
+#: Packet allocations per forwarded packet on the unobserved fused WTP
+#: cell.  The columnar hot path allocates only at busy-period opens and
+#: drain parks (~0.05 in practice); a per-packet object regression sits
+#: at >= 1.0, so the gate has a wide noise margin while still hard-
+#: failing the moment the fused path starts building Packets again.
+DEFAULT_ALLOCATION_GATE = 0.25
+
+#: Metrics gated on absolute value (lower is better), excluded from the
+#: baseline speedup comparison -- ``improvement()`` reads throughput
+#: semantics into anything not named ``*_sec``.
+ABSOLUTE_GATED_METRICS = ("packets_allocated_per_forwarded_packet",)
+
+
+def measure_packet_allocations() -> dict[str, float]:
+    """Packet allocations per forwarded packet on the fused WTP cell.
+
+    Primary counter: every ``Packet.__init__`` call during an
+    unobserved ``forward_packets('wtp')`` run (counted via a temporary
+    wrapper, restored in ``finally``).  tracemalloc runs alongside as a
+    cross-check that the columnar path is not hiding equivalent churn
+    in some other per-packet object -- its peak-bytes-per-packet figure
+    is reported but not gated (the event calendar and gap buffers
+    legitimately hold transient memory).
+    """
+    import tracemalloc
+
+    from repro.sim.packet import Packet
+
+    count = 0
+    original_init = Packet.__init__
+
+    def counting_init(self, *args, **kwargs):
+        nonlocal count
+        count += 1
+        original_init(self, *args, **kwargs)
+
+    Packet.__init__ = counting_init
+    tracemalloc.start()
+    try:
+        forwarded = forward_packets("wtp", columnar=True)
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+        Packet.__init__ = original_init
+    return {
+        "packets_allocated_per_forwarded_packet": count / forwarded,
+        "tracemalloc_peak_bytes_per_forwarded_packet": peak / forwarded,
+    }
+
+
+def compare_metrics(
+    metrics: dict[str, float],
+    baseline: dict[str, float],
+    threshold: float,
+    hard_threshold: float,
+) -> list[tuple[str, str, str]]:
+    """Compare EVERY shared metric; never stops at the first failure.
+
+    Returns ``(level, name, message)`` findings -- ``level`` is
+    ``"ok"``, ``"warn"``, or ``"fail"`` -- one per metric present in
+    both dicts, in metric order, so the caller (and CI logs) always see
+    the whole picture before the exit code is decided.
+    """
+    findings: list[tuple[str, str, str]] = []
+    for name, value in metrics.items():
+        if name not in baseline or name in ABSOLUTE_GATED_METRICS:
+            continue
+        factor = improvement(name, value, baseline[name])
+        detail = f"{factor:.2f}x of baseline ({value:,.1f} vs {baseline[name]:,.1f})"
+        if name in HARD_FAIL_METRICS and factor < 1.0 - hard_threshold:
+            findings.append(
+                (
+                    "fail",
+                    name,
+                    f"{detail} -- beyond the hard threshold; the drain "
+                    "kernel has likely stopped engaging",
+                )
+            )
+        elif factor < 1.0 - threshold:
+            findings.append(("warn", name, detail))
+        else:
+            findings.append(("ok", name, f"{factor:.2f}x of baseline"))
+    return findings
+
 
 def collect(repeats: int) -> dict[str, float]:
     """Engine + source metrics, keyed compatibly with BENCH_*.json."""
@@ -83,12 +167,19 @@ def collect(repeats: int) -> dict[str, float]:
         "wtp_forwarded_packets_per_sec": best_rate(
             forward_packets, "wtp", forward_packets("wtp"), repeats
         ),
+        "columnar_forwarded_packets_per_sec": best_rate(
+            _forward_columnar, "wtp", _forward_columnar("wtp"), repeats
+        ),
         "multihop_packets_per_sec": best_rate(
             run_multihop_cell, 1, run_multihop_cell(), repeats
         ),
     }
     metrics.update(bench_sources.collect(repeats))
     return metrics
+
+
+def _forward_columnar(name: str) -> int:
+    return forward_packets(name, columnar=True)
 
 
 def latest_baseline() -> Path | None:
@@ -133,6 +224,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--repeats", type=int, default=3, help="timing repeats per metric"
     )
+    parser.add_argument(
+        "--allocation-gate",
+        type=float,
+        default=DEFAULT_ALLOCATION_GATE,
+        help=(
+            "max Packet allocations per forwarded packet on the "
+            "unobserved fused WTP cell before the job fails "
+            f"(default {DEFAULT_ALLOCATION_GATE}; per-packet object "
+            "churn measures >= 1.0)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     # Resolve the baseline before the (slow) collection so a bad path
@@ -156,43 +258,54 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"baseline not found: {baseline_path}")
 
     metrics = collect(args.repeats)
+    allocations = measure_packet_allocations()
+    metrics.update(allocations)
     args.out.write_text(
         json.dumps({k: round(v, 4) for k, v in metrics.items()}, indent=2)
         + "\n"
     )
     print(f"fresh metrics written to {args.out}")
 
+    # The allocation gate is absolute (no baseline needed): the
+    # unobserved fused path must stay object-free.
+    failed = 0
+    alloc_rate = allocations["packets_allocated_per_forwarded_packet"]
+    peak = allocations["tracemalloc_peak_bytes_per_forwarded_packet"]
+    if alloc_rate > args.allocation_gate:
+        failed += 1
+        print(
+            f"::error::allocation gate: {alloc_rate:.3f} Packet "
+            f"allocations per forwarded packet (gate "
+            f"{args.allocation_gate}) -- the unobserved fused path is "
+            "building per-packet objects again"
+        )
+    else:
+        print(
+            f"{'packet_allocations_per_forwarded':>36}: {alloc_rate:.3f} "
+            f"(gate {args.allocation_gate}; tracemalloc peak "
+            f"{peak:,.0f} B/pkt)"
+        )
+
     if baseline_path is None:
         print("no committed BENCH_*.json baseline; skipping comparison")
-        return 0
+        return 1 if failed else 0
     baseline = json.loads(baseline_path.read_text())["metrics"]
 
+    findings = compare_metrics(
+        metrics, baseline, args.threshold, args.hard_threshold
+    )
     warned = 0
-    compared = 0
-    failed = 0
-    for name, value in metrics.items():
-        if name not in baseline:
-            continue
-        compared += 1
-        factor = improvement(name, value, baseline[name])
-        if name in HARD_FAIL_METRICS and factor < 1.0 - args.hard_threshold:
+    for level, name, message in findings:
+        if level == "fail":
             failed += 1
-            print(
-                f"::error::perf regression: {name} at {factor:.2f}x of "
-                f"{baseline_path.name} ({value:,.1f} vs {baseline[name]:,.1f})"
-                " -- beyond the hard threshold; the drain kernel has "
-                "likely stopped engaging"
-            )
-        elif factor < 1.0 - args.threshold:
+            print(f"::error::perf regression: {name} at {message}")
+        elif level == "warn":
             warned += 1
-            print(
-                f"::warning::perf regression: {name} at {factor:.2f}x of "
-                f"{baseline_path.name} ({value:,.1f} vs {baseline[name]:,.1f})"
-            )
+            print(f"::warning::perf regression: {name} at {message}")
         else:
-            print(f"{name:>36}: {factor:.2f}x of baseline")
+            print(f"{name:>36}: {message}")
     print(
-        f"compared {compared} metrics vs {baseline_path.name}: "
+        f"compared {len(findings)} metrics vs {baseline_path.name}: "
         f"{warned} regression warning(s), {failed} hard failure(s)"
     )
     return 1 if failed else 0

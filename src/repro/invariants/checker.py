@@ -97,6 +97,7 @@ class InvariantChecker:
         self._departures0 = link.departures
         self._drops0 = link.drops
         self._period_bytes0 = link.bytes_sent
+        self._busy_since_floor: float | None = None
         n = link.scheduler.num_classes
         self._last_dispatch_arrival = [-math.inf] * n
         self.report = InvariantReport(
@@ -140,6 +141,25 @@ class InvariantChecker:
         # the next drain entry and rebuild as blocked.
         if hasattr(link, "_chain_cache"):
             link._chain_cache = None
+        # The checker's wrappers (and its queue scans below) observe
+        # packets while queued: any columnar (object-free) backlog left
+        # by a drain is an observation boundary -- demote it to real
+        # Packets in the deques before the first hooked event.
+        if scheduler.queues.col_count:
+            scheduler.queues.demote()
+        # Attaching mid-busy-period: the bytes already sent this period
+        # were never observed, so the end-of-period conservation check
+        # must cover only the portion from the attach onward.  The
+        # packet in flight counts its whole size in ``bytes_sent`` when
+        # it completes, so the observed window opens at its service
+        # start, not at the attach instant.
+        self._period_bytes0 = link.bytes_sent
+        self._busy_since_floor = None
+        if link.busy:
+            inflight = link._in_service
+            self._busy_since_floor = (
+                inflight.service_start if inflight is not None else link.sim.now
+            )
         self._originals = {
             "receive": link.receive,
             "select": scheduler.select,
@@ -174,6 +194,7 @@ class InvariantChecker:
             elif not was_busy:
                 # A new busy period began with this arrival.
                 self._period_bytes0 = link.bytes_sent
+                self._busy_since_floor = None
 
         def checked_select(now: float):
             packet = original_select(now)
@@ -226,7 +247,13 @@ class InvariantChecker:
                 # capacity x duration bytes (work conservation).
                 report.busy_periods += 1
                 sent = link.bytes_sent - self._period_bytes0
-                expected_bytes = (now - link._busy_since) * capacity
+                start = link._busy_since
+                if self._busy_since_floor is not None:
+                    # Period already in progress at attach: check the
+                    # observed portion only.
+                    start = self._busy_since_floor
+                    self._busy_since_floor = None
+                expected_bytes = (now - start) * capacity
                 if abs(sent - expected_bytes) > tolerance * (
                     sent if sent > 1.0 else 1.0
                 ):

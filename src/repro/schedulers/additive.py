@@ -16,6 +16,7 @@ additive-vs-proportional comparison can be run as an ablation.
 
 from __future__ import annotations
 
+from math import inf
 from typing import Sequence
 
 from ..errors import ConfigurationError
@@ -45,13 +46,17 @@ class AdditiveDelayScheduler(Scheduler):
     def choose_class(self, now: float) -> int:
         best_class = -1
         best_priority = float("-inf")
-        queues = self.queues.queues
+        # Head waiting times come from the incrementally-maintained
+        # head_arrivals timestamps (inf == empty class), never the
+        # deques, so columnar (object-free) backlogs schedule
+        # identically.
+        heads = self.queues.head_arrivals
         offsets = self.offsets
         for cid in range(self.num_classes - 1, -1, -1):
-            queue = queues[cid]
-            if not queue:
+            arrived = heads[cid]
+            if arrived == inf:
                 continue
-            priority = (now - queue[0].arrived_at) + offsets[cid]
+            priority = (now - arrived) + offsets[cid]
             if priority > best_priority:
                 best_priority = priority
                 best_class = cid

@@ -10,6 +10,8 @@ cross-checks in :mod:`repro.theory.priority`.
 
 from __future__ import annotations
 
+from math import inf
+
 from .base import Scheduler
 
 __all__ = ["StrictPriorityScheduler"]
@@ -21,8 +23,12 @@ class StrictPriorityScheduler(Scheduler):
     name = "strict"
 
     def choose_class(self, now: float) -> int:
-        queues = self.queues.queues
+        # Occupancy is read off head_arrivals (inf == empty) rather
+        # than the deques: the columnar drain kernels keep packets out
+        # of the deques entirely, but the head timestamps are always
+        # maintained.
+        heads = self.queues.head_arrivals
         for cid in range(self.num_classes - 1, -1, -1):
-            if queues[cid]:
+            if heads[cid] != inf:
                 return cid
         return -1  # unreachable: select() guards against empty backlog

@@ -42,18 +42,43 @@ class WTPScheduler(Scheduler):
             (cid, self.sdps[cid])
             for cid in range(len(self.sdps) - 1, -1, -1)
         )
+        # The paper's canonical configuration is four classes; unroll
+        # that scan into straight-line code (same float expressions,
+        # same comparison order, so selections stay bit-identical) --
+        # choose_class runs once per departure and dominates the
+        # columnar drain's remaining per-packet cost.
+        self._four = len(self.sdps) == 4
+        if self._four:
+            self._s0, self._s1, self._s2, self._s3 = self.sdps
 
     def choose_class(self, now: float) -> int:
-        best_class = -1
-        best_priority = -1.0
-        heads = self.queues.head_arrivals
         # Scan the incrementally-maintained head-arrival keys instead of
         # dereferencing deques and packets: same float expression, so
         # selections are bit-identical to the per-packet form.  An empty
-        # class has ``head == +inf`` and yields ``-inf`` (or NaN for a
-        # zero SDP), which never beats a real priority (``>= 0``).
-        # Iterate high class -> low class so ties resolve to the higher
-        # class with a strict comparison.
+        # class has ``head == +inf`` and yields ``-inf``, which never
+        # beats a real priority (``>= 0``).  High class -> low class so
+        # ties resolve to the higher class with a strict comparison.
+        heads = self.queues.head_arrivals
+        if self._four:
+            best_class = -1
+            best_priority = -1.0
+            priority = (now - heads[3]) * self._s3
+            if priority > best_priority:
+                best_priority = priority
+                best_class = 3
+            priority = (now - heads[2]) * self._s2
+            if priority > best_priority:
+                best_priority = priority
+                best_class = 2
+            priority = (now - heads[1]) * self._s1
+            if priority > best_priority:
+                best_priority = priority
+                best_class = 1
+            if (now - heads[0]) * self._s0 > best_priority:
+                best_class = 0
+            return best_class
+        best_class = -1
+        best_priority = -1.0
         for cid, sdp in self._scan:
             priority = (now - heads[cid]) * sdp
             if priority > best_priority:

@@ -112,6 +112,44 @@ calendar event to park on; the routing decision is cached on the link
 (:attr:`Link._chain_fuse`) so non-fusing completions pay one flag
 check, and the cache refreshes when a source attaches or routes
 change.
+
+Columnar hot path (structure-of-arrays)
+---------------------------------------
+With ``columnar=True`` (the default) the drain loops above stop
+materializing :class:`~repro.sim.packet.Packet` objects for packets
+nothing observes.  Fused arrivals enter the scheduler's
+:class:`~repro.sim.queues.ClassQueueSet` as flat per-class column
+entries ``(arrived_at, size, meta)`` -- ``meta`` being an ``int``
+packet id or a ``(packet_id, flow_id, created_at, hop_history)`` tuple
+-- and stock schedulers select straight off the maintained
+``head_arrivals`` timestamps, so a packet can traverse queueing,
+selection, transmission, chain hand-off, and the departure counters as
+three scalars that never exist as an object.  A real ``Packet`` is
+built (:func:`~repro.sim.queues.materialize_entry`, bit-identical to
+the one the evented path would carry) only at an observation boundary:
+
+* a sink that retains packets (``keep_packets``) or any non-``Link``
+  receiver (``FlowRecorder``, custom sinks) at departure,
+* a monitor tap (monitors force the generic drain loop / object-mode
+  chain members, whose selects materialize on pop),
+* a drop policy or bounded buffer (columns never form: those links
+  fail ``_fast_ok`` and are excluded from chains),
+* the invariant checker (attach demotes every column to objects, and
+  the hook fallback in :meth:`Link._complete_service` demotes as a
+  safety net),
+* a hook-overriding scheduler (bpr/hpd/pad/drr/wfq/adaptive-wtp are
+  non-stock, so their links never receive columnar pushes, and
+  ``ClassQueueSet.pop``/``head``/``heads`` materialize transparently
+  for any residue),
+* a park (the pending completion must become a real calendar event
+  payload; queued columns stay columnar across parks).
+
+Because the column entries carry exactly the fields the evented path
+would have written at the same points -- and every float expression,
+mutation order, and sequence-number reservation is kept verbatim --
+columnar and object runs are bit-identical in all externally visible
+state (``tests/test_drain_equivalence.py`` pins every registered
+scheduler, plus mid-run materialization boundaries).
 """
 
 from __future__ import annotations
@@ -123,12 +161,23 @@ from typing import Optional, Protocol, TYPE_CHECKING
 from ..errors import ConfigurationError, SchedulingError
 from .engine import Simulator
 from .packet import Packet
+from .queues import materialize_entry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..dropping.base import DropPolicy
     from ..schedulers.base import Scheduler
 
-__all__ = ["Link", "PacketSink", "Receiver"]
+__all__ = ["Link", "PacketSink", "Receiver", "COLUMNAR_DEFAULT"]
+
+#: Default for :class:`Link`'s ``columnar`` flag (the structure-of-arrays
+#: hot path; see the module docstring).  Read once per Link constructor,
+#: so benchmarks can A/B the object path by flipping the module
+#: attribute before building a topology.
+COLUMNAR_DEFAULT = True
+
+#: Consumed-prefix length (elements) at which a drain loop compacts a
+#: column in place; mirrors ``repro.sim.queues._COL_COMPACT``.
+_COL_COMPACT = 3 * 1024
 
 
 class Receiver(Protocol):
@@ -155,11 +204,16 @@ class PacketSink:
 class _ChainLink:
     """Per-member state for one coupled server in a chain drain.
 
-    ``pending`` / ``t_c`` / ``s_c`` / ``virtual`` describe the member's
-    in-flight completion *within the current drain entry*: the packet
-    in service, its reserved ``(time, seq)`` heap key, and whether that
-    key is virtual (reserved inline) or mirrors a real calendar event
-    that predates the drain entry.  They are reset on every entry.
+    The ``pend_*`` scalars / ``t_c`` / ``s_c`` / ``virtual`` describe
+    the member's in-flight completion *within the current drain entry*:
+    the packet in service (as columnar scalars -- ``pend_meta`` may be
+    a real :class:`Packet` or an unmaterialized meta, see
+    :mod:`repro.sim.queues`), its reserved ``(time, seq)`` heap key,
+    and whether that key is virtual (reserved inline) or mirrors a real
+    calendar event that predates the drain entry.  They are reset on
+    every entry; ``colmode`` (columnar link + stock scheduler + no
+    monitors) is likewise recomputed per entry, so a monitor attached
+    between events flips the member to object mode at the next one.
     """
 
     __slots__ = (
@@ -182,7 +236,14 @@ class _ChainLink:
         "heads",
         "backlog",
         "nclasses",
-        "pending",
+        "ccols",
+        "cheads",
+        "colmode",
+        "pend_meta",
+        "pend_cid",
+        "pend_arr",
+        "pend_size",
+        "pend_sstart",
         "t_c",
         "s_c",
         "virtual",
@@ -218,7 +279,16 @@ class _ChainLink:
         self.heads = queues.head_arrivals
         self.backlog = queues.bytes_backlog
         self.nclasses = queues.num_classes
-        self.pending: Optional[Packet] = None
+        self.ccols = queues.cols
+        self.cheads = queues.col_heads
+        self.colmode = False
+        #: In-service representation (None == idle): real Packet, int
+        #: packet id, or (pid, flow_id, created_at, hop_history) tuple.
+        self.pend_meta = None
+        self.pend_cid = 0
+        self.pend_arr = 0.0
+        self.pend_size = 0.0
+        self.pend_sstart = 0.0
         self.t_c = 0.0
         self.s_c = 0
         self.virtual = False
@@ -295,13 +365,110 @@ class _Chain:
         return True
 
 
+def _materialize_pending(cl: _ChainLink, now: float) -> Packet:
+    """Real, fully-stamped Packet for a member's *departing* columnar
+    entry -- the observation boundary is crossed at departure time, so
+    the object carries exactly the stamps the evented path would have
+    written by this point."""
+    packet = materialize_entry(
+        cl.pend_cid, cl.pend_arr, cl.pend_size, cl.pend_meta
+    )
+    sstart = cl.pend_sstart
+    packet.service_start = sstart
+    packet.departed_at = now
+    packet.hop_delays.append(sstart - cl.pend_arr)
+    return packet
+
+
+def _chain_select(cl: _ChainLink, now: float, sim):
+    """Start the next service at a member and return its fused-heap
+    item, reserving the completion's sequence number exactly where the
+    evented path would have called ``sim.schedule``.
+
+    Stock members select inline off the hybrid deque+column FIFO
+    (identical float ops and mutation order to
+    ``ClassQueueSet.pop``); a columnar head stays unmaterialized in
+    ``pend_meta`` only in colmode -- an observed (monitored) stock
+    member materializes on pop, like the wrapper would.  NOTE: the body
+    is duplicated inline in ``_chain_complete`` (the per-departure hot
+    path); keep the two in sync.
+    """
+    if cl.stock:
+        cid = cl.choose(now)
+        queue = cl.qlist[cid]
+        if queue:
+            nxt = queue.popleft()
+            size = nxt.size
+            if queue:
+                cl.backlog[cid] -= size
+                cl.heads[cid] = queue[0].arrived_at
+            else:
+                col = cl.ccols[cid]
+                h = cl.cheads[cid]
+                if h < len(col):
+                    cl.backlog[cid] -= size
+                    cl.heads[cid] = col[h]
+                else:
+                    cl.backlog[cid] = 0.0
+                    cl.heads[cid] = inf
+            cl.queues.total_packets -= 1
+            meta = nxt
+            arr = nxt.arrived_at
+        else:
+            col = cl.ccols[cid]
+            h = cl.cheads[cid]
+            arr = col[h]
+            size = col[h + 1]
+            meta = col[h + 2]
+            h += 3
+            queues = cl.queues
+            queues.col_count -= 1
+            if h == len(col):
+                col.clear()
+                cl.cheads[cid] = 0
+                cl.backlog[cid] = 0.0
+                cl.heads[cid] = inf
+            else:
+                if h >= _COL_COMPACT:
+                    del col[:h]
+                    h = 0
+                cl.cheads[cid] = h
+                cl.backlog[cid] -= size
+                cl.heads[cid] = col[h]
+            queues.total_packets -= 1
+            if not cl.colmode and type(meta) is not Packet:
+                meta = materialize_entry(cid, arr, size, meta)
+    else:
+        nxt = cl.scheduler.select(now)
+        meta = nxt
+        size = nxt.size
+        arr = nxt.arrived_at
+        cid = nxt.class_id
+    s = sim._seq
+    sim._seq = s + 1
+    cl.pend_meta = meta
+    cl.pend_cid = cid
+    cl.pend_arr = arr
+    cl.pend_size = size
+    cl.pend_sstart = now
+    t_c = now + size / cl.capacity
+    cl.t_c = t_c
+    cl.s_c = s
+    cl.virtual = True
+    return (t_c, s, 0, cl)
+
+
 def _chain_arrival(cl: _ChainLink, packet: Packet, now: float, sim, fheap) -> None:
-    """Arrival at a coupled member: Link.receive for the lossless case.
+    """Object arrival at a coupled member: Link.receive for the
+    lossless case.
 
     The completion's sequence number is reserved exactly where
     ``receive -> _start_service`` would have called ``sim.schedule``.
     Stock scheduler wrappers are inlined verbatim (identical float ops
-    and mutation order; only the call layers disappear).
+    and mutation order; only the call layers disappear).  The enqueue
+    is hybrid-aware: when the class tail lives in a column the object
+    is appended there (as a pre-materialized meta) so FIFO order never
+    interleaves.
     """
     L = cl.link
     packet.arrived_at = now
@@ -312,10 +479,15 @@ def _chain_arrival(cl: _ChainLink, packet: Packet, now: float, sim, fheap) -> No
             raise SchedulingError(
                 f"packet class {cid} out of range [0, {cl.nclasses})"
             )
-        queue = cl.qlist[cid]
-        if not queue:
-            cl.heads[cid] = now
-        queue.append(packet)
+        col = cl.ccols[cid]
+        if len(col) != cl.cheads[cid]:
+            col.extend((now, packet.size, packet))
+            cl.queues.col_count += 1
+        else:
+            queue = cl.qlist[cid]
+            if not queue:
+                cl.heads[cid] = now
+            queue.append(packet)
         cl.backlog[cid] += packet.size
         cl.queues.total_packets += 1
     else:
@@ -323,58 +495,68 @@ def _chain_arrival(cl: _ChainLink, packet: Packet, now: float, sim, fheap) -> No
     if not L.busy:
         L.busy = True
         L._busy_since = now
-        if cl.stock:
-            cid = cl.choose(now)
-            queue = cl.qlist[cid]
-            nxt = queue.popleft()
-            size = nxt.size
-            if queue:
-                cl.backlog[cid] -= size
-                cl.heads[cid] = queue[0].arrived_at
-            else:
-                cl.backlog[cid] = 0.0
-                cl.heads[cid] = inf
-            cl.queues.total_packets -= 1
-        else:
-            nxt = cl.scheduler.select(now)
-            size = nxt.size
-        nxt.service_start = now
-        L._in_service = nxt
-        s = sim._seq
-        sim._seq = s + 1
-        cl.pending = nxt
-        t_c = now + size / cl.capacity
-        cl.t_c = t_c
-        cl.s_c = s
-        cl.virtual = True
-        heappush(fheap, (t_c, s, 0, cl))
+        heappush(fheap, _chain_select(cl, now, sim))
 
 
-def _chain_complete(cl: _ChainLink, packet: Packet, now: float, sim, fheap, coupled):
+def _chain_arrival_col(
+    cl: _ChainLink, cid: int, size: float, meta, now: float, sim, fheap
+) -> None:
+    """Columnar arrival at a colmode member: no Packet is built."""
+    L = cl.link
+    L.arrivals += 1
+    if not 0 <= cid < cl.nclasses:
+        raise SchedulingError(
+            f"packet class {cid} out of range [0, {cl.nclasses})"
+        )
+    if cl.heads[cid] == inf:
+        cl.heads[cid] = now
+    cl.ccols[cid].extend((now, size, meta))
+    queues = cl.queues
+    queues.col_count += 1
+    cl.backlog[cid] += size
+    queues.total_packets += 1
+    if not L.busy:
+        L.busy = True
+        L._busy_since = now
+        heappush(fheap, _chain_select(cl, now, sim))
+
+
+def _chain_complete(cl: _ChainLink, now: float, sim, fheap, coupled):
     """Departure at a coupled member, mirroring the evented path's
     exact ordering: stamps/counters, scheduler hook, monitors,
-    hand-off, then the next service's sequence reservation.
+    hand-off, then the next service's sequence reservation.  The
+    departing packet is ``cl.pend_meta`` (+ scalars): a real Packet on
+    observed members, an unmaterialized meta in colmode.
 
     Returns the fused-heap item for the next completion (or ``None``
     when the busy period closes) instead of pushing it, so the drain
     loop can ``heapreplace`` the event it is handling -- one sift
     instead of a pop plus a push."""
     L = cl.link
-    packet.departed_at = now
-    packet.hop_delays.append(packet.service_start - packet.arrived_at)
+    meta = cl.pend_meta
+    size = cl.pend_size
+    sstart = cl.pend_sstart
     L.departures += 1
-    L.bytes_sent += packet.size
-    L._in_service = None
-    if not cl.stock:
-        cl.scheduler.on_departure(packet, now)
-    if cl.monitors:
-        for monitor in cl.monitors:
-            monitor.on_departure(packet, now)
+    L.bytes_sent += size
+    if type(meta) is Packet:
+        packet = meta
+        packet.service_start = sstart
+        packet.departed_at = now
+        packet.hop_delays.append(sstart - cl.pend_arr)
+        if not cl.stock:
+            cl.scheduler.on_departure(packet, now)
+        if cl.monitors:
+            for monitor in cl.monitors:
+                monitor.on_departure(packet, now)
+        flow = packet.flow_id
+    else:
+        packet = None
+        flow = None if type(meta) is int else meta[1]
     dmx = cl.split
     if dmx is not None:
         # Pure flow-id demux (drain_flow_split): branch inline and keep
         # the demux counters exactly as drain_resolve would have.
-        if packet.flow_id is None:
+        if flow is None:
             dmx.cross_packets += 1
             dcl = cl.cross_dcl
             rcv = cl.cross_rcv
@@ -385,61 +567,144 @@ def _chain_complete(cl: _ChainLink, packet: Packet, now: float, sim, fheap, coup
     else:
         rcv = cl.direct_target
         if rcv is None:
+            if packet is None:
+                # Routing inspects the packet: materialize for resolve.
+                packet = _materialize_pending(cl, now)
             rcv = cl.resolve(packet)
             dcl = coupled.get(id(rcv))
         else:
             dcl = cl.direct_dcl
     if dcl is not None:
         down = dcl.link
-        if dcl.stock and down.busy:
-            # Busy downstream with a stock scheduler (the dominant case
-            # at high utilization): _chain_arrival's body minus the
-            # service start.
-            packet.arrived_at = now
+        if packet is None and dcl.colmode:
+            # Columnar hop hand-off: extend the meta's hop history with
+            # this hop's queueing delay and push the scalars downstream.
+            delay = sstart - cl.pend_arr
+            if type(meta) is int:
+                meta = (meta, None, cl.pend_arr, (delay,))
+            else:
+                meta = (meta[0], meta[1], meta[2], meta[3] + (delay,))
             down.arrivals += 1
-            cid = packet.class_id
+            cid = cl.pend_cid
             if not 0 <= cid < dcl.nclasses:
                 raise SchedulingError(
                     f"packet class {cid} out of range [0, {dcl.nclasses})"
                 )
-            queue = dcl.qlist[cid]
-            if not queue:
+            if dcl.heads[cid] == inf:
                 dcl.heads[cid] = now
-            queue.append(packet)
-            dcl.backlog[cid] += packet.size
-            dcl.queues.total_packets += 1
+            dcl.ccols[cid].extend((now, size, meta))
+            queues = dcl.queues
+            queues.col_count += 1
+            dcl.backlog[cid] += size
+            queues.total_packets += 1
+            if not down.busy:
+                down.busy = True
+                down._busy_since = now
+                heappush(fheap, _chain_select(dcl, now, sim))
         else:
-            _chain_arrival(dcl, packet, now, sim, fheap)
-    else:
+            if packet is None:
+                packet = _materialize_pending(cl, now)
+            if dcl.stock and down.busy:
+                # Busy downstream with a stock scheduler (the dominant
+                # case at high utilization): _chain_arrival's body
+                # minus the service start.
+                packet.arrived_at = now
+                down.arrivals += 1
+                cid = packet.class_id
+                if not 0 <= cid < dcl.nclasses:
+                    raise SchedulingError(
+                        f"packet class {cid} out of range [0, {dcl.nclasses})"
+                    )
+                col = dcl.ccols[cid]
+                if len(col) != dcl.cheads[cid]:
+                    col.extend((now, packet.size, packet))
+                    dcl.queues.col_count += 1
+                else:
+                    queue = dcl.qlist[cid]
+                    if not queue:
+                        dcl.heads[cid] = now
+                    queue.append(packet)
+                dcl.backlog[cid] += packet.size
+                dcl.queues.total_packets += 1
+            else:
+                _chain_arrival(dcl, packet, now, sim, fheap)
+    elif packet is not None:
         rcv.receive(packet)
+    elif type(rcv) is PacketSink and not rcv.keep_packets:
+        # Unobserved terminal sink: the packet's only externally
+        # visible trace is the count -- no object is ever built.
+        rcv.received += 1
+    else:
+        rcv.receive(_materialize_pending(cl, now))
     if cl.queues.total_packets:
+        # Next service: inline copy of _chain_select (keep in sync),
+        # returning the item for the caller's heapreplace.
         if cl.stock:
             cid = cl.choose(now)
             queue = cl.qlist[cid]
-            nxt = queue.popleft()
-            size = nxt.size
             if queue:
-                cl.backlog[cid] -= size
-                cl.heads[cid] = queue[0].arrived_at
+                nxt = queue.popleft()
+                size = nxt.size
+                if queue:
+                    cl.backlog[cid] -= size
+                    cl.heads[cid] = queue[0].arrived_at
+                else:
+                    col = cl.ccols[cid]
+                    h = cl.cheads[cid]
+                    if h < len(col):
+                        cl.backlog[cid] -= size
+                        cl.heads[cid] = col[h]
+                    else:
+                        cl.backlog[cid] = 0.0
+                        cl.heads[cid] = inf
+                cl.queues.total_packets -= 1
+                meta = nxt
+                arr = nxt.arrived_at
             else:
-                cl.backlog[cid] = 0.0
-                cl.heads[cid] = inf
-            cl.queues.total_packets -= 1
+                col = cl.ccols[cid]
+                h = cl.cheads[cid]
+                arr = col[h]
+                size = col[h + 1]
+                meta = col[h + 2]
+                h += 3
+                queues = cl.queues
+                queues.col_count -= 1
+                if h == len(col):
+                    col.clear()
+                    cl.cheads[cid] = 0
+                    cl.backlog[cid] = 0.0
+                    cl.heads[cid] = inf
+                else:
+                    if h >= _COL_COMPACT:
+                        del col[:h]
+                        h = 0
+                    cl.cheads[cid] = h
+                    cl.backlog[cid] -= size
+                    cl.heads[cid] = col[h]
+                queues.total_packets -= 1
+                if not cl.colmode and type(meta) is not Packet:
+                    meta = materialize_entry(cid, arr, size, meta)
         else:
             nxt = cl.scheduler.select(now)
+            meta = nxt
             size = nxt.size
-        nxt.service_start = now
-        L._in_service = nxt
+            arr = nxt.arrived_at
+            cid = nxt.class_id
         s = sim._seq
         sim._seq = s + 1
-        cl.pending = nxt
+        cl.pend_meta = meta
+        cl.pend_cid = cid
+        cl.pend_arr = arr
+        cl.pend_size = size
+        cl.pend_sstart = now
         t_c = now + size / cl.capacity
         cl.t_c = t_c
         cl.s_c = s
         cl.virtual = True
         return (t_c, s, 0, cl)
-    cl.pending = None
+    cl.pend_meta = None
     L.busy = False
+    L._in_service = None
     L.busy_time += now - L._busy_since
     return None
 
@@ -457,6 +722,7 @@ class Link:
         buffer_packets: Optional[int] = None,
         drop_policy: Optional["DropPolicy"] = None,
         drain: bool = True,
+        columnar: Optional[bool] = None,
     ) -> None:
         if capacity <= 0:
             raise ConfigurationError(f"link capacity must be positive: {capacity}")
@@ -479,6 +745,9 @@ class Link:
         self.monitors: list = []
         #: Busy-period drain kernel A/B switch (see module docstring).
         self.drain = drain
+        #: Columnar hot-path A/B switch (module docstring); ``None``
+        #: takes the module-level :data:`COLUMNAR_DEFAULT`.
+        self.columnar = COLUMNAR_DEFAULT if columnar is None else columnar
         self._feeders: list = []
         self._cursors: list = []
         #: ``(time, seq)`` heap key of the scheduled completion event
@@ -681,6 +950,11 @@ class Link:
         ):
             if self._feeders:
                 self.suspend_drain()
+            if scheduler.queues.col_count:
+                # Hooks observe whole queues: any columnar residue is
+                # an observation boundary (checker attach demotes too;
+                # this is the safety net for hooks installed by hand).
+                scheduler.queues.demote()
             self._complete_service_evented(packet)
             return
         chain = self._chain_cache
@@ -846,13 +1120,19 @@ class Link:
         are the base no-ops) and the bare :class:`PacketSink` dispatch
         are inlined verbatim -- float expressions and mutation order
         are kept identical to the evented path, only the Python call
-        layers disappear.  Per-packet departure stamps
-        (``departed_at`` / ``hop_delays``) are materialized only when
-        the sink keeps packets; otherwise the packet is unreachable the
-        instant it is counted.  Link counters accumulate in locals and
-        are published in the ``finally`` block, which runs on every
-        park/idle exit (and on errors), so externally-visible state is
-        consistent whenever control is back in the run loop.
+        layers disappear.
+
+        With ``columnar`` on (and the feeder implementing ``pull_col``,
+        which implies a ``flow_id`` attribute), arrivals enter the
+        per-class columns as ``(arrived_at, size, meta)`` scalars and
+        are selected, transmitted, and counted without ever existing as
+        objects; a real :class:`Packet` is materialized only when the
+        sink keeps packets (at departure, fully stamped) or at a park
+        (the pending completion becomes a calendar event payload).
+        Link counters accumulate in locals and are published in the
+        ``finally`` block, which runs on every park/idle exit (and on
+        errors), so externally-visible state is consistent whenever
+        control is back in the run loop.
         """
         sim = self.sim
         heap = sim._heap
@@ -862,6 +1142,8 @@ class Link:
         choose = scheduler.choose_class
         queues = scheduler.queues
         qlist = queues.queues
+        cols = queues.cols
+        cheads = queues.col_heads
         heads = queues.head_arrivals
         backlog_bytes = queues.bytes_backlog
         num_classes = queues.num_classes
@@ -870,48 +1152,98 @@ class Link:
         kept = target.packets
         complete = self._complete_service
         pull = feeder.pull
+        pull_col = (
+            getattr(feeder, "pull_col", None) if self.columnar else None
+        )
+        colmode = pull_col is not None
+        fid = feeder.flow_id if colmode else None
         advance = feeder.advance
         now = sim.now
         ft = feeder.next_time
         fs = feeder.next_seq
         total = queues.total_packets
-        nxt: Optional[Packet] = None
+        ccount = queues.col_count
+        # Departing-service scalars (the completion being handled) and
+        # pending-service scalars (the next reserved completion).
+        dmeta = packet
+        dcid = packet.class_id
+        darr = packet.arrived_at
+        dsize = packet.size
+        dstart = packet.service_start
+        smeta = None
+        scid = 0
+        sarr = 0.0
+        ssize = 0.0
+        sstart = 0.0
         arrivals = 0
         departures = 0
         nbytes = 0.0
         received = 0
         try:
             while True:
-                # -- departure of `packet` at `now`
+                # -- departure of the in-service packet at `now`
                 departures += 1
-                nbytes += packet.size
+                nbytes += dsize
                 received += 1
                 if keep:
-                    packet.departed_at = now
-                    packet.hop_delays.append(
-                        packet.service_start - packet.arrived_at
-                    )
-                    kept.append(packet)
-                nxt = None
+                    if type(dmeta) is Packet:
+                        p = dmeta
+                    else:
+                        p = materialize_entry(dcid, darr, dsize, dmeta)
+                    p.service_start = dstart
+                    p.departed_at = now
+                    p.hop_delays.append(dstart - darr)
+                    kept.append(p)
+                smeta = None
                 if total:
-                    # inline Scheduler.select + ClassQueueSet.pop; the
-                    # packet count is kept in a local -- publish it
-                    # before choose_class so scheduler code sees a
-                    # consistent queue set.
+                    # inline Scheduler.select + the hybrid
+                    # ClassQueueSet.pop; the packet count is kept in a
+                    # local -- publish it before choose_class so
+                    # scheduler code sees a consistent queue set.
                     queues.total_packets = total
                     cid = choose(now)
                     queue = qlist[cid]
-                    nxt = queue.popleft()
-                    size = nxt.size
                     if queue:
-                        backlog_bytes[cid] -= size
-                        heads[cid] = queue[0].arrived_at
+                        nxt = queue.popleft()
+                        ssize = nxt.size
+                        if queue:
+                            backlog_bytes[cid] -= ssize
+                            heads[cid] = queue[0].arrived_at
+                        else:
+                            col = cols[cid]
+                            h = cheads[cid]
+                            if h < len(col):
+                                backlog_bytes[cid] -= ssize
+                                heads[cid] = col[h]
+                            else:
+                                backlog_bytes[cid] = 0.0
+                                heads[cid] = inf
+                        smeta = nxt
+                        sarr = nxt.arrived_at
                     else:
-                        backlog_bytes[cid] = 0.0
-                        heads[cid] = inf
+                        col = cols[cid]
+                        h = cheads[cid]
+                        sarr = col[h]
+                        ssize = col[h + 1]
+                        smeta = col[h + 2]
+                        h += 3
+                        ccount -= 1
+                        if h == len(col):
+                            col.clear()
+                            cheads[cid] = 0
+                            backlog_bytes[cid] = 0.0
+                            heads[cid] = inf
+                        else:
+                            if h >= _COL_COMPACT:
+                                del col[:h]
+                                h = 0
+                            cheads[cid] = h
+                            backlog_bytes[cid] -= ssize
+                            heads[cid] = col[h]
+                    scid = cid
                     total -= 1
-                    nxt.service_start = now
-                    t_c = now + size / capacity
+                    sstart = now
+                    t_c = now + ssize / capacity
                     s_c = sim._seq
                     sim._seq = s_c + 1
                 else:
@@ -920,10 +1252,10 @@ class Link:
                 # -- consume fused arrivals preceding the completion
                 while True:
                     if ft is None or (
-                        nxt is not None
+                        smeta is not None
                         and (t_c < ft or (t_c == ft and s_c < fs))
                     ):
-                        if nxt is None:
+                        if smeta is None:
                             return  # idle, feeder exhausted for now
                         if t_c > until or (
                             heap
@@ -933,66 +1265,146 @@ class Link:
                             )
                         ):
                             feeder.park(heap)
-                            heappush(heap, (t_c, s_c, complete, nxt))
+                            if type(smeta) is not Packet:
+                                smeta = materialize_entry(
+                                    scid, sarr, ssize, smeta
+                                )
+                            smeta.service_start = sstart
+                            heappush(heap, (t_c, s_c, complete, smeta))
                             return
                         now = t_c
-                        packet = nxt
+                        dmeta = smeta
+                        dcid = scid
+                        darr = sarr
+                        dsize = ssize
+                        dstart = sstart
                         break
                     if ft > until:
                         feeder.park(heap)
-                        if nxt is not None:
-                            heappush(heap, (t_c, s_c, complete, nxt))
+                        if smeta is not None:
+                            if type(smeta) is not Packet:
+                                smeta = materialize_entry(
+                                    scid, sarr, ssize, smeta
+                                )
+                            smeta.service_start = sstart
+                            heappush(heap, (t_c, s_c, complete, smeta))
                         return
                     if heap:
                         head = heap[0]
                         ht = head[0]
                         if ht < ft or (ht == ft and head[1] < fs):
                             feeder.park(heap)
-                            if nxt is not None:
-                                heappush(heap, (t_c, s_c, complete, nxt))
+                            if smeta is not None:
+                                if type(smeta) is not Packet:
+                                    smeta = materialize_entry(
+                                        scid, sarr, ssize, smeta
+                                    )
+                                smeta.service_start = sstart
+                                heappush(heap, (t_c, s_c, complete, smeta))
                             return
                         if ht == ft and head[1] == fs:
                             heappop(heap)
                             feeder._virtual = True
                     now = ft
-                    arriving = pull()
-                    arrivals += 1
-                    # inline Scheduler.enqueue + ClassQueueSet.push;
-                    # pull() guarantees arrived_at == ft already.
-                    cid = arriving.class_id
-                    if not 0 <= cid < num_classes:
-                        raise SchedulingError(
-                            f"packet class {cid} out of range "
-                            f"[0, {num_classes})"
+                    idle = smeta is None
+                    if colmode:
+                        if idle:
+                            # The evented path schedules the completion
+                            # (inside receive) before the next arrival:
+                            # reserve its seq ahead of pull_col's.
+                            s_c = sim._seq
+                            sim._seq = s_c + 1
+                        pid, acid, asize = pull_col(ft)
+                        arrivals += 1
+                        if not 0 <= acid < num_classes:
+                            raise SchedulingError(
+                                f"packet class {acid} out of range "
+                                f"[0, {num_classes})"
+                            )
+                        if heads[acid] == inf:
+                            heads[acid] = ft
+                        cols[acid].extend(
+                            (
+                                ft,
+                                asize,
+                                pid if fid is None else (pid, fid, ft, ()),
+                            )
                         )
-                    queue = qlist[cid]
-                    if not queue:
-                        heads[cid] = ft
-                    queue.append(arriving)
-                    backlog_bytes[cid] += arriving.size
-                    total += 1
-                    if nxt is None:
-                        # Arrival onto an idle link: open the next busy
-                        # period inline (rare; the wrapper call is fine
-                        # but it reads and decrements the published
-                        # packet count, so sync the local around it).
-                        self.busy = True
-                        self._busy_since = ft
-                        queues.total_packets = total
-                        nxt = scheduler.select(ft)
-                        total = queues.total_packets
-                        nxt.service_start = ft
-                        t_c = ft + nxt.size / capacity
-                        s_c = sim._seq
-                        sim._seq = s_c + 1
-                    advance(ft)
-                    ft = feeder.next_time
-                    fs = feeder.next_seq
+                        ccount += 1
+                        backlog_bytes[acid] += asize
+                        total += 1
+                        if idle:
+                            # Arrival onto an idle link: open the next
+                            # busy period inline.  The wrapper select
+                            # reads the published counts (and its pop
+                            # materializes a columnar head -- one
+                            # object per busy period, not per packet).
+                            self.busy = True
+                            self._busy_since = ft
+                            queues.total_packets = total
+                            queues.col_count = ccount
+                            nxt = scheduler.select(ft)
+                            total = queues.total_packets
+                            ccount = queues.col_count
+                            smeta = nxt
+                            scid = nxt.class_id
+                            sarr = nxt.arrived_at
+                            ssize = nxt.size
+                            sstart = ft
+                            t_c = ft + ssize / capacity
+                        ft = feeder.next_time
+                        fs = feeder.next_seq
+                    else:
+                        arriving = pull()
+                        arrivals += 1
+                        # inline Scheduler.enqueue + ClassQueueSet.push;
+                        # pull() guarantees arrived_at == ft already.
+                        # Columns are never live in object mode, so the
+                        # plain deque push is exact.
+                        acid = arriving.class_id
+                        if not 0 <= acid < num_classes:
+                            raise SchedulingError(
+                                f"packet class {acid} out of range "
+                                f"[0, {num_classes})"
+                            )
+                        queue = qlist[acid]
+                        if not queue:
+                            heads[acid] = ft
+                        queue.append(arriving)
+                        backlog_bytes[acid] += arriving.size
+                        total += 1
+                        if idle:
+                            self.busy = True
+                            self._busy_since = ft
+                            queues.total_packets = total
+                            nxt = scheduler.select(ft)
+                            total = queues.total_packets
+                            smeta = nxt
+                            scid = nxt.class_id
+                            sarr = nxt.arrived_at
+                            ssize = nxt.size
+                            sstart = ft
+                            t_c = ft + ssize / capacity
+                            s_c = sim._seq
+                            sim._seq = s_c + 1
+                        advance(ft)
+                        ft = feeder.next_time
+                        fs = feeder.next_seq
         finally:
             queues.total_packets = total
+            queues.col_count = ccount
             sim.now = now
-            self._in_service = nxt
-            self._pending_key = (t_c, s_c) if nxt is not None else None
+            if smeta is None:
+                self._in_service = None
+                self._pending_key = None
+            else:
+                # Park/exception boundary: the pending completion must
+                # be a real calendar payload.
+                if type(smeta) is not Packet:
+                    smeta = materialize_entry(scid, sarr, ssize, smeta)
+                smeta.service_start = sstart
+                self._in_service = smeta
+                self._pending_key = (t_c, s_c)
             self.arrivals += arrivals
             self.departures += departures
             self.bytes_sent += nbytes
@@ -1005,7 +1417,8 @@ class Link:
         ``(time, seq, feeder)`` keyed exactly like the calendar, so the
         next fused arrival is a peek instead of an O(feeders) scan per
         event.  Seq uniqueness means the feeder object itself is never
-        compared.
+        compared.  Columnar mode (see :meth:`_drain_fused_single`)
+        engages only when *every* feeder implements ``pull_col``.
         """
         sim = self.sim
         heap = sim._heap
@@ -1015,6 +1428,8 @@ class Link:
         choose = scheduler.choose_class
         queues = scheduler.queues
         qlist = queues.queues
+        cols = queues.cols
+        cheads = queues.col_heads
         heads = queues.head_arrivals
         backlog_bytes = queues.bytes_backlog
         num_classes = queues.num_classes
@@ -1022,6 +1437,9 @@ class Link:
         keep = target.keep_packets
         kept = target.packets
         feeders = self._feeders
+        colmode = self.columnar and all(
+            hasattr(f, "pull_col") for f in feeders
+        )
         complete = self._complete_service
         now = sim.now
         fheap = [
@@ -1031,39 +1449,82 @@ class Link:
         ]
         heapify(fheap)
         total = queues.total_packets
-        nxt: Optional[Packet] = None
+        ccount = queues.col_count
+        dmeta = packet
+        dcid = packet.class_id
+        darr = packet.arrived_at
+        dsize = packet.size
+        dstart = packet.service_start
+        smeta = None
+        scid = 0
+        sarr = 0.0
+        ssize = 0.0
+        sstart = 0.0
         arrivals = 0
         departures = 0
         nbytes = 0.0
         received = 0
         try:
             while True:
-                # -- departure of `packet` at `now`
+                # -- departure of the in-service packet at `now`
                 departures += 1
-                nbytes += packet.size
+                nbytes += dsize
                 received += 1
                 if keep:
-                    packet.departed_at = now
-                    packet.hop_delays.append(
-                        packet.service_start - packet.arrived_at
-                    )
-                    kept.append(packet)
-                nxt = None
+                    if type(dmeta) is Packet:
+                        p = dmeta
+                    else:
+                        p = materialize_entry(dcid, darr, dsize, dmeta)
+                    p.service_start = dstart
+                    p.departed_at = now
+                    p.hop_delays.append(dstart - darr)
+                    kept.append(p)
+                smeta = None
                 if total:
                     queues.total_packets = total
                     cid = choose(now)
                     queue = qlist[cid]
-                    nxt = queue.popleft()
-                    size = nxt.size
                     if queue:
-                        backlog_bytes[cid] -= size
-                        heads[cid] = queue[0].arrived_at
+                        nxt = queue.popleft()
+                        ssize = nxt.size
+                        if queue:
+                            backlog_bytes[cid] -= ssize
+                            heads[cid] = queue[0].arrived_at
+                        else:
+                            col = cols[cid]
+                            h = cheads[cid]
+                            if h < len(col):
+                                backlog_bytes[cid] -= ssize
+                                heads[cid] = col[h]
+                            else:
+                                backlog_bytes[cid] = 0.0
+                                heads[cid] = inf
+                        smeta = nxt
+                        sarr = nxt.arrived_at
                     else:
-                        backlog_bytes[cid] = 0.0
-                        heads[cid] = inf
+                        col = cols[cid]
+                        h = cheads[cid]
+                        sarr = col[h]
+                        ssize = col[h + 1]
+                        smeta = col[h + 2]
+                        h += 3
+                        ccount -= 1
+                        if h == len(col):
+                            col.clear()
+                            cheads[cid] = 0
+                            backlog_bytes[cid] = 0.0
+                            heads[cid] = inf
+                        else:
+                            if h >= _COL_COMPACT:
+                                del col[:h]
+                                h = 0
+                            cheads[cid] = h
+                            backlog_bytes[cid] -= ssize
+                            heads[cid] = col[h]
+                    scid = cid
                     total -= 1
-                    nxt.service_start = now
-                    t_c = now + size / capacity
+                    sstart = now
+                    t_c = now + ssize / capacity
                     s_c = sim._seq
                     sim._seq = s_c + 1
                 else:
@@ -1078,10 +1539,10 @@ class Link:
                     else:
                         ft = None
                     if ft is None or (
-                        nxt is not None
+                        smeta is not None
                         and (t_c < ft or (t_c == ft and s_c < fs))
                     ):
-                        if nxt is None:
+                        if smeta is None:
                             return  # idle, all feeders exhausted
                         if t_c > until or (
                             heap
@@ -1092,16 +1553,30 @@ class Link:
                         ):
                             for f in feeders:
                                 f.park(heap)
-                            heappush(heap, (t_c, s_c, complete, nxt))
+                            if type(smeta) is not Packet:
+                                smeta = materialize_entry(
+                                    scid, sarr, ssize, smeta
+                                )
+                            smeta.service_start = sstart
+                            heappush(heap, (t_c, s_c, complete, smeta))
                             return
                         now = t_c
-                        packet = nxt
+                        dmeta = smeta
+                        dcid = scid
+                        darr = sarr
+                        dsize = ssize
+                        dstart = sstart
                         break
                     if ft > until:
                         for f in feeders:
                             f.park(heap)
-                        if nxt is not None:
-                            heappush(heap, (t_c, s_c, complete, nxt))
+                        if smeta is not None:
+                            if type(smeta) is not Packet:
+                                smeta = materialize_entry(
+                                    scid, sarr, ssize, smeta
+                                )
+                            smeta.service_start = sstart
+                            heappush(heap, (t_c, s_c, complete, smeta))
                         return
                     if heap:
                         head = heap[0]
@@ -1109,39 +1584,90 @@ class Link:
                         if ht < ft or (ht == ft and head[1] < fs):
                             for f in feeders:
                                 f.park(heap)
-                            if nxt is not None:
-                                heappush(heap, (t_c, s_c, complete, nxt))
+                            if smeta is not None:
+                                if type(smeta) is not Packet:
+                                    smeta = materialize_entry(
+                                        scid, sarr, ssize, smeta
+                                    )
+                                smeta.service_start = sstart
+                                heappush(heap, (t_c, s_c, complete, smeta))
                             return
                         if ht == ft and head[1] == fs:
                             heappop(heap)
                             entry[2]._virtual = True
                     feeder = entry[2]
                     now = ft
-                    arriving = feeder.pull()
-                    arrivals += 1
-                    cid = arriving.class_id
-                    if not 0 <= cid < num_classes:
-                        raise SchedulingError(
-                            f"packet class {cid} out of range "
-                            f"[0, {num_classes})"
+                    idle = smeta is None
+                    if colmode:
+                        if idle:
+                            # Evented order: completion seq (inside
+                            # receive) precedes the next arrival's.
+                            s_c = sim._seq
+                            sim._seq = s_c + 1
+                        pid, acid, asize = feeder.pull_col(ft)
+                        arrivals += 1
+                        if not 0 <= acid < num_classes:
+                            raise SchedulingError(
+                                f"packet class {acid} out of range "
+                                f"[0, {num_classes})"
+                            )
+                        if heads[acid] == inf:
+                            heads[acid] = ft
+                        ffid = feeder.flow_id
+                        cols[acid].extend(
+                            (
+                                ft,
+                                asize,
+                                pid if ffid is None else (pid, ffid, ft, ()),
+                            )
                         )
-                    queue = qlist[cid]
-                    if not queue:
-                        heads[cid] = ft
-                    queue.append(arriving)
-                    backlog_bytes[cid] += arriving.size
-                    total += 1
-                    if nxt is None:
-                        self.busy = True
-                        self._busy_since = ft
-                        queues.total_packets = total
-                        nxt = scheduler.select(ft)
-                        total = queues.total_packets
-                        nxt.service_start = ft
-                        t_c = ft + nxt.size / capacity
-                        s_c = sim._seq
-                        sim._seq = s_c + 1
-                    feeder.advance(ft)
+                        ccount += 1
+                        backlog_bytes[acid] += asize
+                        total += 1
+                        if idle:
+                            self.busy = True
+                            self._busy_since = ft
+                            queues.total_packets = total
+                            queues.col_count = ccount
+                            nxt = scheduler.select(ft)
+                            total = queues.total_packets
+                            ccount = queues.col_count
+                            smeta = nxt
+                            scid = nxt.class_id
+                            sarr = nxt.arrived_at
+                            ssize = nxt.size
+                            sstart = ft
+                            t_c = ft + ssize / capacity
+                    else:
+                        arriving = feeder.pull()
+                        arrivals += 1
+                        acid = arriving.class_id
+                        if not 0 <= acid < num_classes:
+                            raise SchedulingError(
+                                f"packet class {acid} out of range "
+                                f"[0, {num_classes})"
+                            )
+                        queue = qlist[acid]
+                        if not queue:
+                            heads[acid] = ft
+                        queue.append(arriving)
+                        backlog_bytes[acid] += arriving.size
+                        total += 1
+                        if idle:
+                            self.busy = True
+                            self._busy_since = ft
+                            queues.total_packets = total
+                            nxt = scheduler.select(ft)
+                            total = queues.total_packets
+                            smeta = nxt
+                            scid = nxt.class_id
+                            sarr = nxt.arrived_at
+                            ssize = nxt.size
+                            sstart = ft
+                            t_c = ft + ssize / capacity
+                            s_c = sim._seq
+                            sim._seq = s_c + 1
+                        feeder.advance(ft)
                     nt = feeder.next_time
                     if nt is None:
                         heappop(fheap)
@@ -1149,9 +1675,17 @@ class Link:
                         heapreplace(fheap, (nt, feeder.next_seq, feeder))
         finally:
             queues.total_packets = total
+            queues.col_count = ccount
             sim.now = now
-            self._in_service = nxt
-            self._pending_key = (t_c, s_c) if nxt is not None else None
+            if smeta is None:
+                self._in_service = None
+                self._pending_key = None
+            else:
+                if type(smeta) is not Packet:
+                    smeta = materialize_entry(scid, sarr, ssize, smeta)
+                smeta.service_start = sstart
+                self._in_service = smeta
+                self._pending_key = (t_c, s_c)
             self.arrivals += arrivals
             self.departures += departures
             self.bytes_sent += nbytes
@@ -1297,31 +1831,37 @@ class Link:
             L = cl.link
             if L.busy:
                 key = L._pending_key
-                if key is None or L._in_service is None:
+                p = L._in_service
+                if key is None or p is None:
                     return False
-                cl.pending = L._in_service
+                cl.pend_meta = p
+                cl.pend_cid = p.class_id
+                cl.pend_arr = p.arrived_at
+                cl.pend_size = p.size
+                cl.pend_sstart = p.service_start
                 cl.t_c, cl.s_c = key
                 cl.virtual = False
                 fheap.append((cl.t_c, cl.s_c, 0, cl))
             else:
-                cl.pending = None
+                cl.pend_meta = None
                 cl.virtual = False
         heap = sim._heap
         until = sim._run_until
         coupled = chain.coupled
         entry = members[0]
-        entry.pending = None
         entry.virtual = False
         feeders: list = []
         cursors: list = []
         seen_cursors: set = set()
         for cl in members:
-            for f in cl.link._feeders:
+            L = cl.link
+            cl.colmode = cl.stock and L.columnar and not L.monitors
+            for f in L._feeders:
                 feeders.append(f)
                 ft = f.next_time
                 if ft is not None:
                     fheap.append((ft, f.next_seq, 1, (f, cl)))
-            for c in cl.link._cursors:
+            for c in L._cursors:
                 cid = id(c)
                 if cid not in seen_cursors:
                     seen_cursors.add(cid)
@@ -1330,7 +1870,12 @@ class Link:
                     if ct is not None:
                         fheap.append((ct, c.next_seq, 2, c))
         heapify(fheap)
-        item = _chain_complete(entry, first, sim.now, sim, fheap, coupled)
+        entry.pend_meta = first
+        entry.pend_cid = first.class_id
+        entry.pend_arr = first.arrived_at
+        entry.pend_size = first.size
+        entry.pend_sstart = first.service_start
+        item = _chain_complete(entry, sim.now, sim, fheap, coupled)
         if item is not None:
             heappush(fheap, item)
         while fheap:
@@ -1363,7 +1908,7 @@ class Link:
             # pop first because drain_batch reads fheap[0] to find the
             # batch boundary.
             if kind == 0:
-                item = _chain_complete(obj, obj.pending, t, sim, fheap, coupled)
+                item = _chain_complete(obj, t, sim, fheap, coupled)
                 if item is not None:
                     heapreplace(fheap, item)
                 else:
@@ -1389,13 +1934,25 @@ class Link:
         for c in cursors:
             c.park(heap)
         for cl in members:
-            if cl.pending is not None:
-                cl.link._pending_key = (cl.t_c, cl.s_c)
+            meta = cl.pend_meta
+            if meta is not None:
+                L = cl.link
+                if type(meta) is not Packet:
+                    # Park boundary: the pending completion becomes a
+                    # real calendar payload / visible in-service packet.
+                    meta = materialize_entry(
+                        cl.pend_cid, cl.pend_arr, cl.pend_size, meta
+                    )
+                    cl.pend_meta = meta
+                # service_start is deferred to pend_sstart while fused;
+                # the evented completion reads it off the packet.
+                meta.service_start = cl.pend_sstart
+                L._in_service = meta
+                L._pending_key = (cl.t_c, cl.s_c)
                 if cl.virtual:
                     cl.virtual = False
                     heappush(
-                        heap,
-                        (cl.t_c, cl.s_c, cl.link._complete_service, cl.pending),
+                        heap, (cl.t_c, cl.s_c, L._complete_service, meta)
                     )
         return True
 

@@ -28,6 +28,7 @@ class Packet:
         "departed_at",
         "flow_id",
         "hop_delays",
+        "_tqd",
     )
 
     def __init__(
@@ -47,8 +48,22 @@ class Packet:
         self.service_start = -1.0
         self.departed_at = -1.0
         self.flow_id = flow_id
-        #: Queueing delay experienced at each hop, in order.
-        self.hop_delays: list[float] = []
+        # ``hop_delays`` (queueing delay at each traversed hop, in
+        # order) is allocated lazily on first access -- most packets in
+        # a large run are never inspected per hop, so the empty list
+        # (and its backing storage) would be pure churn.
+
+    def __getattr__(self, name: str):
+        # Only unset slots reach here.  ``hop_delays`` springs into
+        # existence on first touch; ``_tqd`` (the cached
+        # ``total_queueing_delay``) defaults to "no cache".
+        if name == "hop_delays":
+            delays: list[float] = []
+            self.hop_delays = delays
+            return delays
+        if name == "_tqd":
+            return None
+        raise AttributeError(name)
 
     # ------------------------------------------------------------------
     @property
@@ -58,8 +73,19 @@ class Packet:
 
     @property
     def total_queueing_delay(self) -> float:
-        """Sum of queueing delays over all hops traversed so far."""
-        return sum(self.hop_delays)
+        """Sum of queueing delays over all hops traversed so far.
+
+        Cached keyed on ``len(hop_delays)``: hops only ever append, so
+        a matching length means the stored sum is current.
+        """
+        delays = self.hop_delays
+        n = len(delays)
+        cached = self._tqd
+        if cached is not None and cached[0] == n:
+            return cached[1]
+        total = sum(delays)
+        self._tqd = (n, total)
+        return total
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

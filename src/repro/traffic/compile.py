@@ -46,7 +46,7 @@ import numpy as np
 
 from ..errors import ConfigurationError, SchedulingError
 from ..sim.engine import Simulator
-from ..sim.link import Receiver, _chain_arrival
+from ..sim.link import Receiver, _chain_arrival, _chain_arrival_col
 from ..sim.packet import Packet
 from .base import InterarrivalProcess, PacketSizeSampler
 from .source import PacketIdAllocator
@@ -414,49 +414,94 @@ class ArrivalCursor:
             entry = heap[0]
             order = entry[1]
             stream = entry[2]
-            # -- stream.emit() inlined (identical field order/values)
             head = stream._head
-            packet = Packet(
-                next(stream.ids._counter),
-                stream._class_ids[head],
-                stream._sizes[head],
-                stream._times[head],
-                stream.flow_id,
-            )
-            stream._head = head + 1
-            stream.packets_emitted += 1
-            stream.bytes_emitted += packet.size
-            injected += 1
             dcl = stream._chain_dcl
-            if dcl is not None:
-                if dcl.stock and dcl.link.busy:
-                    # Arrival at a busy coupled member: just the inline
-                    # enqueue (the dominant case at high utilization);
-                    # _chain_arrival's body minus the service start.
-                    packet.arrived_at = now
-                    dcl.link.arrivals += 1
-                    cid = packet.class_id
+            if dcl is not None and dcl.colmode:
+                # -- columnar emit: the arrival enters the member's
+                # per-class column as scalars; no Packet is built.  The
+                # heap key equals _times[head], so created == arrived
+                # == now and an int meta (flow-less) loses nothing.
+                pid = next(stream.ids._counter)
+                cid = stream._class_ids[head]
+                size = stream._sizes[head]
+                fid = stream.flow_id
+                stream._head = head + 1
+                stream.packets_emitted += 1
+                stream.bytes_emitted += size
+                injected += 1
+                meta = pid if fid is None else (pid, fid, now, ())
+                L = dcl.link
+                if L.busy:
+                    # Busy member: inline columnar enqueue (the
+                    # dominant case at high utilization).
+                    L.arrivals += 1
                     if not 0 <= cid < dcl.nclasses:
                         raise SchedulingError(
                             f"packet class {cid} out of range "
                             f"[0, {dcl.nclasses})"
                         )
-                    queue = dcl.qlist[cid]
-                    if not queue:
+                    if dcl.heads[cid] == inf:
                         dcl.heads[cid] = now
-                    queue.append(packet)
-                    dcl.backlog[cid] += packet.size
-                    dcl.queues.total_packets += 1
+                    dcl.ccols[cid].extend((now, size, meta))
+                    queues = dcl.queues
+                    queues.col_count += 1
+                    dcl.backlog[cid] += size
+                    queues.total_packets += 1
                 else:
-                    _chain_arrival(dcl, packet, now, sim, fused_heap)
+                    _chain_arrival_col(
+                        dcl, cid, size, meta, now, sim, fused_heap
+                    )
                     m = sim_heap[0][0] if sim_heap else inf
                     if fused_heap and fused_heap[0][0] < m:
                         m = fused_heap[0][0]
             else:
-                stream.target.receive(packet)
-                m = sim_heap[0][0] if sim_heap else inf
-                if fused_heap and fused_heap[0][0] < m:
-                    m = fused_heap[0][0]
+                # -- stream.emit() inlined (identical field order/values)
+                packet = Packet(
+                    next(stream.ids._counter),
+                    stream._class_ids[head],
+                    stream._sizes[head],
+                    stream._times[head],
+                    stream.flow_id,
+                )
+                stream._head = head + 1
+                stream.packets_emitted += 1
+                stream.bytes_emitted += packet.size
+                injected += 1
+                if dcl is not None:
+                    if dcl.stock and dcl.link.busy:
+                        # Arrival at a busy coupled member: just the
+                        # inline enqueue; _chain_arrival's body minus
+                        # the service start (col-aware so FIFO order
+                        # never interleaves with columnar residue).
+                        packet.arrived_at = now
+                        dcl.link.arrivals += 1
+                        cid = packet.class_id
+                        if not 0 <= cid < dcl.nclasses:
+                            raise SchedulingError(
+                                f"packet class {cid} out of range "
+                                f"[0, {dcl.nclasses})"
+                            )
+                        col = dcl.ccols[cid]
+                        if len(col) != dcl.cheads[cid]:
+                            col.extend((now, packet.size, packet))
+                            dcl.queues.col_count += 1
+                        else:
+                            queue = dcl.qlist[cid]
+                            if not queue:
+                                dcl.heads[cid] = now
+                            queue.append(packet)
+                        dcl.backlog[cid] += packet.size
+                        dcl.queues.total_packets += 1
+                    else:
+                        _chain_arrival(dcl, packet, now, sim, fused_heap)
+                        m = sim_heap[0][0] if sim_heap else inf
+                        if fused_heap and fused_heap[0][0] < m:
+                            m = fused_heap[0][0]
+                else:
+                    stream.target.receive(packet)
+                    m = sim_heap[0][0] if sim_heap else inf
+                    if fused_heap and fused_heap[0][0] < m:
+                        m = fused_heap[0][0]
             # -- stream.peek_time() inlined (block reload on exhaustion)
             times = stream._times
             if stream._head < len(times):

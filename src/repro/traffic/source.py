@@ -90,6 +90,12 @@ class TrafficSource:
         self._buffered = False
         self._gap_buffer: list[float] = []
         self._gap_index = 0
+        # Size draws are block-buffered under the same discipline (and
+        # the same caveat): ``draw_sizes`` consumes the size stream
+        # exactly like repeated ``next_size`` calls, so buffered and
+        # scalar runs see bit-identical size sequences.
+        self._size_buffer: list[float] = []
+        self._size_index = 0
 
     def start(self) -> None:
         """Schedule the first arrival.  Idempotent."""
@@ -120,12 +126,25 @@ class TrafficSource:
         self._gap_index = i + 1
         return buffer[i]
 
+    def _next_size(self) -> float:
+        """One packet size, via the block buffer when fused."""
+        if not self._buffered:
+            return self.sizes.next_size()
+        i = self._size_index
+        buffer = self._size_buffer
+        if i == len(buffer):
+            buffer = self.sizes.draw_sizes(self._GAP_BLOCK).tolist()
+            self._size_buffer = buffer
+            i = 0
+        self._size_index = i + 1
+        return buffer[i]
+
     def _emit(self) -> None:
         now = self.sim.now
         packet = Packet(
             packet_id=self.ids.next_id(),
             class_id=self.class_id,
-            size=self.sizes.next_size(),
+            size=self._next_size(),
             created_at=now,
             flow_id=self.flow_id,
         )
@@ -147,7 +166,7 @@ class TrafficSource:
         packet = Packet(
             packet_id=self.ids.next_id(),
             class_id=self.class_id,
-            size=self.sizes.next_size(),
+            size=self._next_size(),
             created_at=self.next_time,
             flow_id=self.flow_id,
         )
@@ -174,6 +193,48 @@ class TrafficSource:
             sim._seq += 1
         else:
             self.next_time = None
+
+    def pull_col(self, now: float) -> tuple:
+        """Columnar pull: ``pull() + advance(now)`` without the Packet.
+
+        Returns ``(packet_id, class_id, size)`` for the pending arrival
+        and advances to the next one in a single call; the columnar
+        drain loops store the scalars directly in a
+        :class:`~repro.sim.queues.ClassQueueSet` column.  Draw order
+        (size at emission, then the next gap) matches the evented path
+        exactly.  Because the fold reserves the *next arrival's*
+        sequence number here, a caller opening an idle busy period must
+        reserve the completion's sequence number *before* calling (the
+        evented path schedules the completion inside ``receive``, ahead
+        of the next arrival) -- the drain loops do.
+        """
+        i = self._size_index
+        buffer = self._size_buffer
+        if i == len(buffer):
+            buffer = self.sizes.draw_sizes(self._GAP_BLOCK).tolist()
+            self._size_buffer = buffer
+            i = 0
+        self._size_index = i + 1
+        size = buffer[i]
+        self.packets_emitted += 1
+        self.bytes_emitted += size
+        pid = next(self.ids._counter)
+        i = self._gap_index
+        buffer = self._gap_buffer
+        if i == len(buffer):
+            buffer = self.interarrivals.draw_gaps(self._GAP_BLOCK).tolist()
+            self._gap_buffer = buffer
+            i = 0
+        self._gap_index = i + 1
+        next_time = now + buffer[i]
+        if self.stop_time is None or next_time < self.stop_time:
+            sim = self.sim
+            self.next_time = next_time
+            self.next_seq = sim._seq
+            sim._seq += 1
+        else:
+            self.next_time = None
+        return pid, self.class_id, size
 
     def park(self, heap: list) -> None:
         """Push the virtually-held arrival back onto the calendar."""

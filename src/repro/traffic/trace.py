@@ -191,6 +191,8 @@ class TraceSource:
         self.target = target
         self.trace = trace
         self.first_packet_id = first_packet_id
+        #: Replayed packets carry no flow tag (read by columnar drains).
+        self.flow_id: Optional[int] = None
         self._cursor = 0
         self._times: list[float] = []
         self._class_ids: list[int] = []
@@ -259,6 +261,29 @@ class TraceSource:
             sim._seq += 1
         else:
             self.next_time = None
+
+    def pull_col(self, now: float) -> tuple:
+        """Columnar pull: ``pull() + advance(now)`` without the Packet.
+
+        Returns ``(packet_id, class_id, size)`` for the pending arrival
+        and reserves the next one's heap key, mirroring the scalar
+        methods' exact sequence-number consumption (see
+        :meth:`~repro.traffic.source.TrafficSource.pull_col` for the
+        idle-link ordering contract the drain loops uphold).
+        """
+        index = self._cursor
+        pid = self.first_packet_id + index
+        cid = self._class_ids[index]
+        size = self._sizes[index]
+        self._cursor = index = index + 1
+        if index < self._count:
+            sim = self.sim
+            self.next_time = self._times[index]
+            self.next_seq = sim._seq
+            sim._seq += 1
+        else:
+            self.next_time = None
+        return pid, cid, size
 
     def park(self, heap: list) -> None:
         """Push the virtually-held arrival back onto the calendar."""

@@ -81,6 +81,7 @@ def replay(
     monitor: bool = False,
     sampler_period: float | None = None,
     until: float | None = None,
+    columnar: bool | None = None,
 ):
     sim = Simulator()
     scheduler = make_scheduler(scheduler_name, SDPS)
@@ -90,6 +91,7 @@ def replay(
         capacity=1.0,
         target=PacketSink(keep_packets=keep),
         drain=drain,
+        columnar=columnar,
     )
     delay_monitor = None
     if monitor:
@@ -148,6 +150,35 @@ def test_boundary_arrival_at_departure_timestamp(name):
     assert link_state(sim_d, link_d) == link_state(sim_e, link_e)
 
 
+@pytest.mark.parametrize("name", sorted(available_schedulers()))
+def test_columnar_vs_object_bit_identical_all_schedulers(name):
+    """The columnar hot path (lazy Packet materialization) against the
+    same drain kernel carrying real Packet objects: stock schedulers
+    select off column heads, hook-overriding ones transparently fall
+    back -- either way the departures (ids, timestamps, hop delays)
+    must be bit-identical."""
+    trace = random_trace(seed=17)
+    sim_c, link_c, _, _ = replay(trace, name, drain=True, columnar=True)
+    sim_o, link_o, _, _ = replay(trace, name, drain=True, columnar=False)
+    assert packet_fingerprint(link_c.target) == packet_fingerprint(
+        link_o.target
+    )
+    assert link_state(sim_c, link_c) == link_state(sim_o, link_o)
+
+
+@pytest.mark.parametrize("name", sorted(available_schedulers()))
+def test_columnar_vs_evented_bit_identical_all_schedulers(name):
+    """Columnar forced ON (independent of COLUMNAR_DEFAULT) against the
+    classic one-event-per-departure path."""
+    trace = random_trace(seed=29)
+    sim_c, link_c, _, _ = replay(trace, name, drain=True, columnar=True)
+    sim_e, link_e, _, _ = replay(trace, name, drain=False)
+    assert packet_fingerprint(link_c.target) == packet_fingerprint(
+        link_e.target
+    )
+    assert link_state(sim_c, link_c) == link_state(sim_e, link_e)
+
+
 @pytest.mark.parametrize("name", ["wtp", "bpr", "fcfs"])
 def test_monitor_series_identical(name):
     trace = random_trace(seed=23)
@@ -186,9 +217,11 @@ def test_bounded_run_splits_busy_period_identically():
 
 def test_multi_source_fused_identical():
     """Several fused TrafficSources (the multi-feeder drain loop) match
-    the evented run packet for packet."""
+    the evented run packet for packet, in both packet representations
+    (the columnar loop pulls scalars via ``pull_col``; the object loop
+    builds Packets via ``pull``)."""
 
-    def run(drain: bool):
+    def run(drain: bool, columnar: bool | None = None):
         sim = Simulator()
         streams = RandomStreams(3)
         link = Link(
@@ -197,6 +230,7 @@ def test_multi_source_fused_identical():
             capacity=1.0,
             target=PacketSink(keep_packets=True),
             drain=drain,
+            columnar=columnar,
         )
         ids = PacketIdAllocator()
         for class_id in range(4):
@@ -211,11 +245,13 @@ def test_multi_source_fused_identical():
         sim.run(until=800.0)
         return sim, link
 
-    sim_d, link_d = run(True)
+    sim_d, link_d = run(True, columnar=True)
+    sim_o, link_o = run(True, columnar=False)
     sim_e, link_e = run(False)
-    assert packet_fingerprint(link_d.target) == packet_fingerprint(
-        link_e.target
-    )
+    fingerprint = packet_fingerprint(link_d.target)
+    assert fingerprint == packet_fingerprint(link_o.target)
+    assert fingerprint == packet_fingerprint(link_e.target)
+    assert link_state(sim_d, link_d) == link_state(sim_o, link_o)
     assert link_state(sim_d, link_d) == link_state(sim_e, link_e)
 
 
@@ -252,6 +288,141 @@ def test_invariant_checker_suspends_drain():
     assert packet_fingerprint(link.target) == packet_fingerprint(
         link_e.target
     )
+
+
+def test_monitor_attached_mid_drain_bit_identical():
+    """A DelayMonitor attached by a calendar event landing inside a
+    busy period: the columnar fast loop must park on the foreign key,
+    and every later drain entry (``monitors`` now non-empty) routes to
+    the generic loop, which materializes queued column entries on pop.
+    Post-attach monitor series and the full departure fingerprint must
+    match the object-mode and evented runs exactly."""
+    trace = random_trace(seed=41)
+    attach_at = float(trace.times[len(trace) // 2]) + 0.25
+
+    def run(drain: bool, columnar: bool | None = None):
+        sim = Simulator()
+        link = Link(
+            sim,
+            make_scheduler("wtp", SDPS),
+            capacity=1.0,
+            target=PacketSink(keep_packets=True),
+            drain=drain,
+            columnar=columnar,
+        )
+        monitor = DelayMonitor(4, keep_samples=True)
+        seen = {}
+
+        def attach():
+            seen["busy"] = link.busy
+            seen["cols"] = link.scheduler.queues.col_count
+            link.add_monitor(monitor)
+
+        sim.schedule(attach_at, attach)
+        TraceSource(sim, link, trace).start()
+        sim.run()
+        return link, monitor, seen
+
+    link_c, mon_c, seen_c = run(True, columnar=True)
+    link_o, mon_o, seen_o = run(True, columnar=False)
+    link_e, mon_e, seen_e = run(False)
+    # The boundary was genuinely exercised: the link was mid-busy-period
+    # with object-free columnar backlog when the monitor appeared.
+    assert seen_c["busy"] and seen_e["busy"]
+    assert seen_c["cols"] > 0
+    assert seen_o["cols"] == seen_e["cols"] == 0
+    fingerprint = packet_fingerprint(link_c.target)
+    assert fingerprint == packet_fingerprint(link_o.target)
+    assert fingerprint == packet_fingerprint(link_e.target)
+    for series_c, series_o, series_e in zip(
+        mon_c.samples, mon_o.samples, mon_e.samples
+    ):
+        assert np.array_equal(series_c, series_o)
+        assert np.array_equal(series_c, series_e)
+    assert [s.count for s in mon_c.stats] == [s.count for s in mon_e.stats]
+    assert [s.mean for s in mon_c.stats] == [s.mean for s in mon_e.stats]
+
+
+def test_drop_policy_forces_object_fallback():
+    """A drop policy (bounded buffer) is an observation boundary at
+    arrival time: the link fails ``_fast_ok``, columns never form even
+    with columnar requested, and the generic drain still matches the
+    evented run drop for drop."""
+    from repro.dropping import TailDropPolicy
+
+    trace = random_trace(seed=13)
+
+    def run(drain: bool):
+        sim = Simulator()
+        link = Link(
+            sim,
+            make_scheduler("wtp", SDPS),
+            capacity=1.0,
+            target=PacketSink(keep_packets=True),
+            drain=drain,
+            columnar=True,
+            buffer_packets=6,
+            drop_policy=TailDropPolicy(),
+        )
+        TraceSource(sim, link, trace).start()
+        sim.run()
+        return sim, link
+
+    sim_d, link_d = run(True)
+    sim_e, link_e = run(False)
+    assert link_d._fast_ok is False
+    assert link_d.scheduler.queues.col_count == 0
+    assert link_d.drops == link_e.drops > 0
+    assert packet_fingerprint(link_d.target) == packet_fingerprint(
+        link_e.target
+    )
+    assert link_state(sim_d, link_d) == link_state(sim_e, link_e)
+
+
+def test_checker_attached_mid_run_demotes_columns():
+    """An InvariantChecker attached mid-run (between events, columnar
+    backlog queued) must demote every column to real Packets before its
+    hooks fire, then verify the rest of the run -- bit-identically to
+    an evented run with the checker attached at the same instant."""
+    trace = random_trace(seed=37)
+    attach_at = float(trace.times[len(trace) // 2]) + 0.25
+
+    def run(drain: bool, columnar: bool | None = None):
+        sim = Simulator()
+        link = Link(
+            sim,
+            make_scheduler("wtp", SDPS),
+            capacity=1.0,
+            target=PacketSink(keep_packets=True),
+            drain=drain,
+            columnar=columnar,
+        )
+        checker = InvariantChecker(link)
+        seen = {}
+
+        def attach():
+            seen["cols"] = link.scheduler.queues.col_count
+            checker.attach()
+            seen["cols_after"] = link.scheduler.queues.col_count
+
+        sim.schedule(attach_at, attach)
+        TraceSource(sim, link, trace).start()
+        sim.run()
+        return link, checker, seen
+
+    link_c, checker_c, seen_c = run(True, columnar=True)
+    link_e, checker_e, seen_e = run(False)
+    # The attach really crossed the boundary: columnar backlog existed
+    # and was demoted in place (checker scans see real Packets).
+    assert seen_c["cols"] > 0
+    assert seen_c["cols_after"] == 0
+    assert packet_fingerprint(link_c.target) == packet_fingerprint(
+        link_e.target
+    )
+    report_c = checker_c.finalize()
+    report_e = checker_e.finalize()
+    assert report_c.departures == report_e.departures > 0
+    assert report_c.busy_periods == report_e.busy_periods
 
 
 def test_utilization_horizon_clamps_in_progress_service():

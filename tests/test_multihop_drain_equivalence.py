@@ -63,7 +63,13 @@ def link_state(link: Link) -> tuple:
     )
 
 
-def build_chain(sim, scheduler_name: str, hops: int, drain: bool):
+def build_chain(
+    sim,
+    scheduler_name: str,
+    hops: int,
+    drain: bool,
+    columnar: bool | None = None,
+):
     """hops x (Link -> FlowDemux) ending at a FlowRecorder, as in
     run_multihop: cross-traffic exits at each hop's demux sink."""
     recorder = FlowRecorder()
@@ -78,6 +84,7 @@ def build_chain(sim, scheduler_name: str, hops: int, drain: bool):
             target=demux,
             name=f"hop{hop}",
             drain=drain,
+            columnar=columnar,
         )
         links.append(link)
         downstream = link
@@ -91,17 +98,24 @@ def run_chain(
     hops: int = 3,
     flow_starts: tuple[float, ...] = (40.0, 40.0 + 1.0 / 3.0, 97.625),
     checker_hop: int | None = None,
+    checker_at: float | None = None,
     horizon: float = 400.0,
     seed: int = 9,
+    columnar: bool | None = None,
 ):
     """One run; returns (sim, links, per-flow delays, per-hop state,
     checker).  Pareto cross-traffic at roughly 0.77 load per hop plus
     bursty user flows keeps every hop in long multi-packet busy periods
-    so the fused loop, parking, and resumption all engage."""
+    so the fused loop, parking, and resumption all engage.
+
+    ``checker_at`` delays the checker attach to a scheduled calendar
+    event mid-run (``checker.capture`` records the hop's columnar
+    backlog around the attach); ``None`` attaches before the run.
+    """
     sim = Simulator()
     streams = RandomStreams(seed)
     ids = PacketIdAllocator()
-    links, recorder = build_chain(sim, scheduler_name, hops, drain)
+    links, recorder = build_chain(sim, scheduler_name, hops, drain, columnar)
     cursor = ArrivalCursor(sim)
     for link in links:
         for _ in range(2):
@@ -130,11 +144,23 @@ def run_chain(
                 first_packet_id=1_000_000 + nflows * 1_000,
             ).launch(start)
             nflows += 1
-    checker = (
-        InvariantChecker(links[checker_hop]).attach()
-        if checker_hop is not None
-        else None
-    )
+    checker = None
+    if checker_hop is not None:
+        checker = InvariantChecker(links[checker_hop])
+        checker.capture = {}
+        if checker_at is None:
+            checker.attach()
+        else:
+            hop_link = links[checker_hop]
+            capture = checker.capture
+
+            def attach_mid_run():
+                capture["cols"] = hop_link.scheduler.queues.col_count
+                capture["busy"] = hop_link.busy
+                checker.attach()
+                capture["cols_after"] = hop_link.scheduler.queues.col_count
+
+            sim.schedule(checker_at, attach_mid_run)
     sim.run(until=horizon)
     delays = {
         fid: tuple(recorder.flow_delays(fid)) for fid in range(nflows)
@@ -153,6 +179,55 @@ def test_chain_bit_identical_all_schedulers(name):
     # cached decision survived the run) and every flow delivered.
     assert links_d[0]._chain_fuse is True
     assert all(len(d) == 5 for d in delays_d.values())
+
+
+@pytest.mark.parametrize("name", CHAIN_SCHEDULERS)
+def test_chain_columnar_vs_object_bit_identical(name):
+    """The chain-fused drain with columnar members (metas hop between
+    coupled links as scalars, hop histories folded into meta tuples)
+    against the same fused drain carrying real Packets: flow delays
+    (sums of materialized ``hop_delays``) and per-hop state must match
+    exactly."""
+    sim_c, links_c, delays_c, state_c, _ = run_chain(
+        name, drain=True, columnar=True
+    )
+    sim_o, _, delays_o, state_o, _ = run_chain(
+        name, drain=True, columnar=False
+    )
+    assert delays_c == delays_o
+    assert state_c == state_o
+    assert sim_c.now == sim_o.now
+    assert links_c[0]._chain_fuse is True
+    assert all(len(d) == 5 for d in delays_c.values())
+
+
+def test_chain_member_demoted_mid_run():
+    """A checker attached to the middle hop by a calendar event landing
+    mid-run: the hop's columnar backlog must be demoted to real Packets
+    at the attach instant, the entry's cached chain walk must fail its
+    guards and rebuild as blocked, and the rest of the run must match
+    an evented run with the checker attached at the same instant."""
+    sim_c, links_c, delays_c, state_c, checker_c = run_chain(
+        "wtp", drain=True, columnar=True, checker_hop=1, checker_at=200.0
+    )
+    sim_e, _, delays_e, state_e, checker_e = run_chain(
+        "wtp", drain=False, checker_hop=1, checker_at=200.0
+    )
+    assert delays_c == delays_e
+    assert state_c == state_e
+    # The demotion boundary was genuinely crossed: the member held
+    # object-free columnar backlog when the checker appeared, and the
+    # attach demoted all of it in place.
+    assert checker_c.capture["cols"] > 0
+    assert checker_c.capture["cols_after"] == 0
+    assert checker_e.capture["cols"] == 0
+    # The entry saw the hooked member and disabled fusion for the rest
+    # of the run.
+    assert links_c[0]._chain_fuse is False
+    report_c = checker_c.finalize()
+    report_e = checker_e.finalize()
+    assert report_c.departures == report_e.departures > 0
+    assert report_c.busy_periods == report_e.busy_periods
 
 
 def test_flow_launch_at_exact_drain_instant():
