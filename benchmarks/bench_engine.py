@@ -126,15 +126,17 @@ def test_trace_replay_throughput(benchmark):
     assert departures == 20_000
 
 
-def run_multihop_cell(_: int = 1) -> int:
-    """Table 1 smoke cell (4 hops, rho=0.85, WTP, compiled arrivals).
+def run_multihop_cell(scheduler: str = "wtp") -> int:
+    """Table 1 smoke cell (4 hops, rho=0.85, compiled arrivals).
 
     The chain-fused drain kernel's guarded workload: every hop is a
     coupled server behind a ``FlowDemux`` and all cross-traffic rides
     one ``ArrivalCursor``, so this cell collapses to a handful of
     calendar events per busy period when chain fusion engages -- and
-    reverts to roughly the evented rate when it does not.  Returns
-    total departures across all hops (the throughput work unit).
+    reverts to roughly the evented rate when it does not.  Non-stock
+    schedulers (``drr`` et al.) additionally exercise the generated
+    drain bodies (:mod:`repro.schedulers.draingen`).  Returns total
+    departures across all hops (the throughput work unit).
     """
     import warnings
 
@@ -143,6 +145,7 @@ def run_multihop_cell(_: int = 1) -> int:
     config = MultiHopConfig(
         hops=4,
         utilization=0.85,
+        scheduler=scheduler,
         experiments=4,
         warmup=2000.0,
         experiment_period=500.0,
@@ -156,8 +159,71 @@ def run_multihop_cell(_: int = 1) -> int:
 
 
 def test_multihop_cell_throughput(benchmark):
-    departures = benchmark(run_multihop_cell, 1)
+    departures = benchmark(run_multihop_cell, "wtp")
     assert departures > 100_000
+
+
+def test_multihop_drr_cell_throughput(benchmark):
+    departures = benchmark(run_multihop_cell, "drr")
+    assert departures > 100_000
+
+
+def run_fanin_cell(scheduler: str = "wtp", horizon: float = 5e3) -> int:
+    """Fan-in merge cell: two upstream links plus merge-point cross
+    traffic feeding one double-capacity server, all sources compiled
+    onto one ``ArrivalCursor``.
+
+    Guards the chain walk's upstream fan-in fixpoint: the whole merge
+    fuses into one drain only when each entry discovers its sibling
+    upstream, so this cell's throughput collapses toward the evented
+    rate if fan-in discovery stops engaging.  Returns total departures
+    across all three links.
+    """
+    from repro.traffic import (
+        ArrivalCursor,
+        CompiledMixedSource,
+        ParetoInterarrivals,
+    )
+
+    sim = Simulator()
+    streams = RandomStreams(5)
+    ids = PacketIdAllocator()
+    sdps = (1.0, 2.0, 4.0, 8.0)
+    mix = (0.4, 0.3, 0.2, 0.1)
+    merge = Link(
+        sim, make_scheduler(scheduler, sdps), capacity=2.0,
+        target=PacketSink(), name="merge",
+    )
+    links = [merge]
+    cursor = ArrivalCursor(sim)
+    for i in range(2):
+        upstream = Link(
+            sim, make_scheduler(scheduler, sdps), capacity=1.0,
+            target=merge, name=f"up{i}",
+        )
+        links.append(upstream)
+        cursor.add(
+            CompiledMixedSource(
+                upstream,
+                ParetoInterarrivals(2.6, 1.9, streams.generator()),
+                mix, 1.0, streams.generator(), ids=ids,
+            )
+        )
+    cursor.add(
+        CompiledMixedSource(
+            merge,
+            ParetoInterarrivals(2.6, 1.9, streams.generator()),
+            mix, 1.0, streams.generator(), ids=ids,
+        )
+    )
+    cursor.start()
+    sim.run(until=horizon)
+    return sum(link.departures for link in links)
+
+
+def test_fanin_cell_throughput(benchmark):
+    departures = benchmark(run_fanin_cell, "wtp")
+    assert departures > 5_000
 
 
 def run_small_sweep(jobs: int) -> int:

@@ -9,12 +9,14 @@ missing.
 
 Most regressions beyond the threshold print a ``::warning::`` line
 (rendered as an annotation by GitHub Actions) but do not fail the job --
-shared CI runners are far too noisy for a tight hard gate.  The three
+shared CI runners are far too noisy for a tight hard gate.  The
 throughput metrics guarded by the drain kernels
 (``trace_replay_packets_per_sec``, ``wtp_forwarded_packets_per_sec``,
-and ``multihop_packets_per_sec``, the last guarding the *chain-fused*
-drain across coupled hops) are the exception: a regression beyond
-``--hard-threshold`` (default 35%) means a drain kernel stopped
+``multihop_packets_per_sec`` guarding the *chain-fused* drain across
+coupled hops, ``multihop_drr_packets_per_sec`` guarding the *generated*
+non-stock drain bodies, and ``fanin_packets_per_sec`` guarding the
+chain walk's upstream fan-in fixpoint) are the exception: a regression
+beyond ``--hard-threshold`` (default 35%) means a drain kernel stopped
 engaging, which no runner noise explains, so the check exits non-zero
 with a ``::error::`` annotation.
 
@@ -41,6 +43,7 @@ from bench_engine import (  # noqa: E402
     forward_packets,
     replay_trace,
     run_cancellable_events,
+    run_fanin_cell,
     run_kernel_events,
     run_multihop_cell,
 )
@@ -60,6 +63,8 @@ HARD_FAIL_METRICS = (
     "trace_replay_packets_per_sec",
     "wtp_forwarded_packets_per_sec",
     "multihop_packets_per_sec",
+    "multihop_drr_packets_per_sec",
+    "fanin_packets_per_sec",
 )
 
 #: Relative slowdown on a HARD_FAIL_METRICS entry that fails the job.
@@ -171,7 +176,13 @@ def collect(repeats: int) -> dict[str, float]:
             _forward_columnar, "wtp", _forward_columnar("wtp"), repeats
         ),
         "multihop_packets_per_sec": best_rate(
-            run_multihop_cell, 1, run_multihop_cell(), repeats
+            run_multihop_cell, "wtp", run_multihop_cell("wtp"), repeats
+        ),
+        "multihop_drr_packets_per_sec": best_rate(
+            run_multihop_cell, "drr", run_multihop_cell("drr"), repeats
+        ),
+        "fanin_packets_per_sec": best_rate(
+            run_fanin_cell, "wtp", run_fanin_cell("wtp"), repeats
         ),
     }
     metrics.update(bench_sources.collect(repeats))

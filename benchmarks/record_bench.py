@@ -23,6 +23,12 @@ Recorded metrics (events or packets per second, higher is better):
 * ``multihop_packets_per_sec``    -- Table 1 smoke cell (4 hops,
   rho=0.85, WTP, compiled arrivals): the chain-fused drain kernel's
   guarded workload
+* ``multihop_drr_packets_per_sec`` -- the same cell under DRR: the
+  generated drain bodies' guarded workload (a non-stock scheduler
+  only chain-fuses through :mod:`repro.schedulers.draingen`)
+* ``fanin_packets_per_sec``       -- fan-in merge cell (two upstreams
+  + merge-point cross traffic): the chain walk's upstream fan-in
+  fixpoint's guarded workload
 * ``sweep_runs_per_sec``          -- SweepRunner over a small single-hop
   sweep (serial, cache disabled): runner dispatch overhead + simulation
 * ``<process>_{scalar,compiled}_{arrivals,events}_per_sec`` -- source
@@ -64,6 +70,7 @@ from bench_engine import (  # noqa: E402
     forward_packets,
     replay_trace,
     run_cancellable_events,
+    run_fanin_cell,
     run_kernel_events,
     run_multihop_cell,
     run_small_sweep,
@@ -123,7 +130,13 @@ def collect(repeats: int, object_packets: bool = False) -> dict:
             forward_columnar, "wtp", forward_columnar("wtp"), repeats
         ),
         "multihop_packets_per_sec": best_rate(
-            run_multihop_cell, 1, run_multihop_cell(), repeats
+            run_multihop_cell, "wtp", run_multihop_cell("wtp"), repeats
+        ),
+        "multihop_drr_packets_per_sec": best_rate(
+            run_multihop_cell, "drr", run_multihop_cell("drr"), repeats
+        ),
+        "fanin_packets_per_sec": best_rate(
+            run_fanin_cell, "wtp", run_fanin_cell("wtp"), repeats
         ),
         "sweep_runs_per_sec": best_rate(
             run_small_sweep, 1, sweep_runs, repeats
@@ -135,6 +148,24 @@ def collect(repeats: int, object_packets: bool = False) -> dict:
     metrics["figure1_smoke_compiled_sec"] = compiled_sec
     metrics["figure1_smoke_scalar_sec"] = scalar_sec
     metrics["figure1_smoke_speedup"] = scalar_sec / compiled_sec
+    # Generated-body cost check: single-hop vs 4-hop multihop packet
+    # rates for the non-stock schedulers whose fused bodies come from
+    # the code generator.  The recorded ratio is single/multihop --
+    # multihop per-packet cost stays within ~1.5x of single-hop when
+    # the generated chain-fused drains engage.
+    multihop_vs_single = {}
+    for name in ("bpr", "drr", "wfq"):
+        single = best_rate(
+            forward_packets, name, forward_packets(name), repeats
+        )
+        multihop = best_rate(
+            run_multihop_cell, name, run_multihop_cell(name), repeats
+        )
+        multihop_vs_single[name] = {
+            "single_hop_packets_per_sec": round(single, 1),
+            "multihop_packets_per_sec": round(multihop, 1),
+            "single_over_multihop": round(single / multihop, 4),
+        }
     return {
         "date": datetime.date.today().isoformat(),
         "python": platform.python_version(),
@@ -142,6 +173,7 @@ def collect(repeats: int, object_packets: bool = False) -> dict:
         "repeats": repeats,
         "packet_representation": "object" if object_packets else "columnar",
         "metrics": {k: round(v, 4) for k, v in metrics.items()},
+        "multihop_vs_single_hop": multihop_vs_single,
     }
 
 

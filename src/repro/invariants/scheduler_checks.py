@@ -38,6 +38,7 @@ sits above it", which needs no pre-pop snapshot.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from ..errors import InvariantViolation
@@ -267,8 +268,364 @@ def make_strict_priority_check(scheduler: "Scheduler") -> BoundDispatchCheck:
     return check
 
 
+# ----------------------------------------------------------------------
+# PAD / HPD: normalized-average-delay metrics
+# ----------------------------------------------------------------------
+def make_pad_check(scheduler: "Scheduler") -> BoundDispatchCheck:
+    """PAD must serve the class maximizing (S_i + w_i)/(n_i + 1) * s_i.
+
+    The chosen class's decision-time metric is recovered *exactly* from
+    the post-select state: ``on_select`` performed ``S += w`` and
+    ``n += 1`` with the very same floats, so
+    ``(S_pre + w) / (n_pre + 1) == S_post / n_post`` bit for bit.
+    """
+    sdps = scheduler.sdps
+    sums = scheduler._delay_sums
+    counts = scheduler._delay_counts
+    top = len(sdps) - 1
+
+    def check(queues: Sequence["deque"], now: float, chosen: "Packet") -> None:
+        ccid = chosen.class_id
+        chosen_metric = sums[ccid] / counts[ccid] * sdps[ccid]
+        for cid in range(top, -1, -1):
+            if cid == ccid:
+                continue
+            queue = queues[cid]
+            if not queue:
+                continue
+            metric = (
+                (sums[cid] + (now - queue[0].arrived_at))
+                / (counts[cid] + 1)
+                * sdps[cid]
+            )
+            if metric > chosen_metric or (
+                metric == chosen_metric and cid > ccid
+            ):
+                raise _violation(
+                    "pad-normalized-average-order",
+                    f"served class {ccid} with metric "
+                    f"{chosen_metric:.6g} but class {cid} held "
+                    f"{metric:.6g} (ties go to the higher class)",
+                    chosen,
+                    now,
+                )
+
+    return check
+
+
+def make_hpd_check(scheduler: "Scheduler") -> BoundDispatchCheck:
+    """HPD: convex combination of WTP and PAD terms, shadow-normalized.
+
+    The scheduler's running normalizers advance *inside* choose_class,
+    before any check can observe them, so the reference carries its own
+    shadow copies: seeded from the live values at attach time (between
+    dispatches both equal the frozen scale the next decision will use)
+    and advanced here with the same max-accumulation the scheduler
+    performs -- the comparison stays exact, no tolerance.
+    """
+    sdps = scheduler.sdps
+    sums = scheduler._delay_sums
+    counts = scheduler._delay_counts
+    g = scheduler.g
+    top = len(sdps) - 1
+    scales = [scheduler._wtp_scale, scheduler._pad_scale]
+
+    def check(queues: Sequence["deque"], now: float, chosen: "Packet") -> None:
+        ccid = chosen.class_id
+        inv_w = 1.0 / scales[0]
+        inv_a = 1.0 / scales[1]
+        max_wtp = scales[0]
+        max_pad = scales[1]
+        chosen_wait = now - chosen.arrived_at
+        chosen_wtp = sdps[ccid] * chosen_wait
+        # Decision-time PAD term, recovered exactly (see make_pad_check).
+        chosen_pad = sums[ccid] / counts[ccid] * sdps[ccid]
+        if chosen_wtp > max_wtp:
+            max_wtp = chosen_wtp
+        if chosen_pad > max_pad:
+            max_pad = chosen_pad
+        chosen_metric = g * chosen_wtp * inv_w + (1.0 - g) * chosen_pad * inv_a
+        for cid in range(top, -1, -1):
+            if cid == ccid:
+                continue
+            queue = queues[cid]
+            if not queue:
+                continue
+            head_wait = now - queue[0].arrived_at
+            wtp_term = sdps[cid] * head_wait
+            pad_term = (
+                (sums[cid] + head_wait) / (counts[cid] + 1) * sdps[cid]
+            )
+            if wtp_term > max_wtp:
+                max_wtp = wtp_term
+            if pad_term > max_pad:
+                max_pad = pad_term
+            metric = g * wtp_term * inv_w + (1.0 - g) * pad_term * inv_a
+            if metric > chosen_metric or (
+                metric == chosen_metric and cid > ccid
+            ):
+                raise _violation(
+                    "hpd-hybrid-metric-order",
+                    f"served class {ccid} with metric "
+                    f"{chosen_metric:.6g} but class {cid} held "
+                    f"{metric:.6g} (ties go to the higher class)",
+                    chosen,
+                    now,
+                )
+        scales[0] = max_wtp
+        scales[1] = max_pad
+
+    return check
+
+
+# ----------------------------------------------------------------------
+# Adaptive WTP: priority order under the feedback-controlled SDPs
+# ----------------------------------------------------------------------
+def make_adaptive_wtp_check(scheduler: "Scheduler") -> BoundDispatchCheck:
+    """Adaptive WTP: WTP order under shadow-replicated effective SDPs.
+
+    The controller mutates ``effective_sdps`` inside ``on_select`` --
+    i.e. *between* the decision and this check at every adjustment
+    boundary -- so the reference replicates the whole EWMA + geometric-
+    mean controller on shadow state (seeded at attach time), validates
+    each dispatch against the decision-time shadow SDPs, then steps the
+    shadow and cross-checks it against the live controller exactly.
+    """
+    nominal = scheduler.nominal_sdps
+    inv_deltas = tuple(scheduler._inv_deltas)
+    gain = scheduler.gain
+    period = scheduler.adjustment_period
+    alpha = scheduler.ewma_alpha
+    max_drift = scheduler.max_drift
+    num_classes = scheduler.num_classes
+    top = num_classes - 1
+    esdps = list(scheduler.effective_sdps)
+    ewma = list(scheduler._ewma_delay)
+    counter = [scheduler._served_since_adjust]
+
+    def check(queues: Sequence["deque"], now: float, chosen: "Packet") -> None:
+        ccid = chosen.class_id
+        chosen_priority = (now - chosen.arrived_at) * esdps[ccid]
+        for cid in range(top, -1, -1):
+            if cid == ccid:
+                continue
+            queue = queues[cid]
+            if not queue:
+                continue
+            priority = (now - queue[0].arrived_at) * esdps[cid]
+            if priority > chosen_priority or (
+                priority == chosen_priority and cid > ccid
+            ):
+                raise _violation(
+                    "adaptive-wtp-priority-order",
+                    f"served class {ccid} with priority "
+                    f"{chosen_priority:.6g} but class {cid} held "
+                    f"{priority:.6g} under the decision-time effective "
+                    "SDPs (ties go to the higher class)",
+                    chosen,
+                    now,
+                )
+        # Shadow controller step (the reference re-derivation of
+        # on_select), then an exact cross-check against the live state.
+        delay = now - chosen.arrived_at
+        previous = ewma[ccid]
+        if math.isnan(previous):
+            ewma[ccid] = delay
+        else:
+            ewma[ccid] = (1.0 - alpha) * previous + alpha * delay
+        counter[0] += 1
+        if counter[0] >= period:
+            counter[0] = 0
+            normalized = []
+            held = False
+            for cid in range(num_classes):
+                d = ewma[cid]
+                if math.isnan(d) or d <= 0.0:
+                    held = True  # controller holds: not all observed
+                    break
+                normalized.append(d * inv_deltas[cid])
+            if not held:
+                log_mean = sum(math.log(m) for m in normalized) / len(
+                    normalized
+                )
+                for cid, m in enumerate(normalized):
+                    factor = math.exp(gain * (math.log(m) - log_mean))
+                    proposed = esdps[cid] * factor
+                    low = nominal[cid] / max_drift
+                    high = nominal[cid] * max_drift
+                    esdps[cid] = min(max(proposed, low), high)
+        if esdps != scheduler.effective_sdps:
+            raise _violation(
+                "adaptive-wtp-controller",
+                f"controller state diverged: effective SDPs "
+                f"{scheduler.effective_sdps} but the reference "
+                f"controller derives {esdps}",
+                chosen,
+                now,
+            )
+
+    return check
+
+
+# ----------------------------------------------------------------------
+# Capacity baselines: DRR rounds and SCFQ finish tags
+# ----------------------------------------------------------------------
+def make_drr_check(scheduler: "Scheduler") -> BoundDispatchCheck:
+    """DRR: a full shadow round-robin reference predicts each dispatch.
+
+    Deficits, the round cursor, and the active class are all mutated
+    inside ``choose_class`` itself, so order cannot be verified from
+    post-state alone: the reference replays the exact quantum
+    arithmetic on shadow state (seeded at attach), demands the
+    scheduler served the class the reference predicts, and cross-checks
+    the shadow deficits against the live list exactly.
+    """
+    quanta = scheduler.quanta
+    num_classes = scheduler.num_classes
+    deficits = list(scheduler._deficits)
+    cursor_active = [scheduler._round_cursor, scheduler._active]
+
+    def check(queues: Sequence["deque"], now: float, chosen: "Packet") -> None:
+        ccid = chosen.class_id
+        csize = chosen.size
+        predicted = -1
+        active = cursor_active[1]
+        if active is not None:
+            # Pre-pop head of the active class: the chosen packet when
+            # the active class was served, the live head otherwise.
+            if active == ccid:
+                hsize = csize
+            elif queues[active]:
+                hsize = queues[active][0].size
+            else:
+                hsize = None
+            if hsize is not None and hsize <= deficits[active]:
+                predicted = active
+            else:
+                if hsize is None:
+                    deficits[active] = 0.0
+                cursor_active[1] = None
+        if predicted < 0:
+            for _ in range(2 * num_classes * 64):
+                cid = cursor_active[0]
+                cursor_active[0] = (cursor_active[0] + 1) % num_classes
+                if cid != ccid and not queues[cid]:
+                    deficits[cid] = 0.0
+                    continue
+                deficits[cid] += quanta[cid]
+                hsize = csize if cid == ccid else queues[cid][0].size
+                if hsize <= deficits[cid]:
+                    cursor_active[1] = cid
+                    predicted = cid
+                    break
+            else:
+                raise _violation(
+                    "drr-round-order",
+                    "reference round never reached a sendable class",
+                    chosen,
+                    now,
+                )
+        if predicted != ccid:
+            raise _violation(
+                "drr-round-order",
+                f"served class {ccid} but the deficit round-robin "
+                f"reference predicts class {predicted}",
+                chosen,
+                now,
+            )
+        deficits[ccid] -= csize  # on_select
+        if deficits != scheduler._deficits:
+            raise _violation(
+                "drr-deficit-state",
+                f"deficit counters diverged: live {scheduler._deficits} "
+                f"vs reference {deficits}",
+                chosen,
+                now,
+            )
+
+    return check
+
+
+def make_scfq_check(scheduler: "Scheduler") -> BoundDispatchCheck:
+    """SCFQ must serve the backlogged head with the smallest finish tag.
+
+    The chosen packet's tag was popped by ``on_select`` into
+    ``_virtual_now`` (self-clocking), so it is read back from there;
+    competitors' tags still sit in the live tag table.  When the system
+    drained with this dispatch there were no competitors and the reset
+    housekeeping wiped the tag -- nothing to verify.
+    """
+    tags = scheduler._finish_tags
+    top = scheduler.num_classes - 1
+
+    def check(queues: Sequence["deque"], now: float, chosen: "Packet") -> None:
+        ccid = chosen.class_id
+        empty = True
+        for queue in queues:
+            if queue:
+                empty = False
+                break
+        if empty:
+            return
+        chosen_tag = scheduler._virtual_now
+        for cid in range(top, -1, -1):
+            if cid == ccid:
+                continue
+            queue = queues[cid]
+            if not queue:
+                continue
+            tag = tags[queue[0].packet_id]
+            if tag < chosen_tag or (tag == chosen_tag and cid > ccid):
+                raise _violation(
+                    "scfq-finish-tag-order",
+                    f"served class {ccid} with finish tag "
+                    f"{chosen_tag:.6g} but class {cid} held "
+                    f"{tag:.6g} (ties go to the higher class)",
+                    chosen,
+                    now,
+                )
+
+    return check
+
+
+def make_additive_check(scheduler: "Scheduler") -> BoundDispatchCheck:
+    """Additive: serve the head maximizing w_i(t) + s_i (Eq 3)."""
+    offsets = scheduler.offsets
+    top = scheduler.num_classes - 1
+
+    def check(queues: Sequence["deque"], now: float, chosen: "Packet") -> None:
+        ccid = chosen.class_id
+        chosen_priority = (now - chosen.arrived_at) + offsets[ccid]
+        for cid in range(top, -1, -1):
+            if cid == ccid:
+                continue
+            queue = queues[cid]
+            if not queue:
+                continue
+            priority = (now - queue[0].arrived_at) + offsets[cid]
+            if priority > chosen_priority or (
+                priority == chosen_priority and cid > ccid
+            ):
+                raise _violation(
+                    "additive-priority-order",
+                    f"served class {ccid} with priority "
+                    f"{chosen_priority:.6g} but class {cid} held "
+                    f"{priority:.6g} (ties go to the higher class)",
+                    chosen,
+                    now,
+                )
+
+    return check
+
+
 register_scheduler_check("wtp", make_wtp_check)
 register_scheduler_check("qwtp", make_quantized_wtp_check)
 register_scheduler_check("bpr", make_bpr_check)
 register_scheduler_check("fcfs", make_fcfs_check)
 register_scheduler_check("strict", make_strict_priority_check)
+register_scheduler_check("pad", make_pad_check)
+register_scheduler_check("hpd", make_hpd_check)
+register_scheduler_check("adaptive-wtp", make_adaptive_wtp_check)
+register_scheduler_check("drr", make_drr_check)
+register_scheduler_check("scfq", make_scfq_check)
+register_scheduler_check("additive", make_additive_check)

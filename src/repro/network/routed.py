@@ -209,6 +209,10 @@ class RoutedNetwork:
         # memos (an unrouted flow may have been cached to a local sink)
         # and any drain chains guarding on the route version.
         self._route_version += 1
+        # A rewired route is a topology edit: links whose cached chains
+        # merely *contain* an affected edge (fan-in members upstream of
+        # it) revalidate through the simulator-wide version stamp.
+        self.sim._topo_version += 1
         for link in self.links.values():
             target = link.target
             if type(target) is RouteDemux:

@@ -87,6 +87,8 @@ class Simulator:
         "_running",
         "_events_processed",
         "_run_until",
+        "_links",
+        "_topo_version",
     )
 
     def __init__(self) -> None:
@@ -96,6 +98,21 @@ class Simulator:
         self.now = 0.0
         self._running = False
         self._events_processed = 0
+        #: Every :class:`~repro.sim.link.Link` built on this simulator,
+        #: in construction order.  The chain-fused drain kernel scans it
+        #: to discover *upstream* fan-in members (links whose target
+        #: resolves into an already-walked chain member) -- a downstream
+        #: BFS alone cannot see them.
+        self._links: list[Any] = []
+        #: Monotonic topology revision.  Bumped whenever the link graph
+        #: changes shape in a way cached chain walks cannot observe
+        #: through their own guards: a new link is built, a link's
+        #: ``target`` is rebound, a feeder/cursor attaches or detaches,
+        #: or a routed network rewires a route.  Links stamp the version
+        #: into their cached chain and rebuild when it moves, closing
+        #: the stale-fusion gap for *upstream-side* edits (a cached
+        #: ``_chain_fuse=False`` decision used to never revalidate).
+        self._topo_version = 0
         #: Horizon of the active :meth:`run`/:meth:`run_checked` call
         #: (``+inf`` outside a bounded run).  Inline event-fusion loops
         #: -- the link's busy-period drain kernel and the arrival

@@ -137,8 +137,12 @@ the one the evented path would carry) only at an observation boundary:
 * the invariant checker (attach demotes every column to objects, and
   the hook fallback in :meth:`Link._complete_service` demotes as a
   safety net),
-* a hook-overriding scheduler (bpr/hpd/pad/drr/wfq/adaptive-wtp are
-  non-stock, so their links never receive columnar pushes, and
+* a hook-overriding scheduler *without* a verified generated drain
+  body (bpr/hpd/pad/drr/wfq/adaptive-wtp are non-stock; inside a
+  fused chain each runs columnar through its
+  :mod:`repro.schedulers.draingen` body when its exact class verified,
+  but a subclass, a failed verification, or a single unfused link
+  never receives columnar pushes, and
   ``ClassQueueSet.pop``/``head``/``heads`` materialize transparently
   for any residue),
 * a park (the pending completion must become a real calendar event
@@ -239,6 +243,8 @@ class _ChainLink:
         "ccols",
         "cheads",
         "colmode",
+        "gsel",
+        "genq",
         "pend_meta",
         "pend_cid",
         "pend_arr",
@@ -282,6 +288,17 @@ class _ChainLink:
         self.ccols = queues.cols
         self.cheads = queues.col_heads
         self.colmode = False
+        #: Generated drain body (``repro.schedulers.draingen``): a
+        #: fused select -- choose_class + ClassQueueSet.pop + on_select
+        #: with identical float ops and mutation order -- for a
+        #: *non-stock* scheduler whose generated code has been verified
+        #: against the live wrappers and its registered invariant-
+        #: checker oracle.  ``None`` keeps the wrapper call.
+        self.gsel = None
+        #: Generated enqueue-hook body (``on_enqueue`` as a function of
+        #: columnar scalars) for schedulers that tag packets at arrival
+        #: (SCFQ); called after every columnar push into this member.
+        self.genq = None
         #: In-service representation (None == idle): real Packet, int
         #: packet id, or (pid, flow_id, created_at, hop_history) tuple.
         self.pend_meta = None
@@ -438,6 +455,11 @@ def _chain_select(cl: _ChainLink, now: float, sim):
             queues.total_packets -= 1
             if not cl.colmode and type(meta) is not Packet:
                 meta = materialize_entry(cid, arr, size, meta)
+    elif cl.colmode:
+        # Generated drain body: oracle-verified fused
+        # choose_class/pop/on_select for a non-stock scheduler
+        # (colmode implies gsel is not None -- see _drain_chain).
+        meta, cid, arr, size = cl.gsel(now)
     else:
         nxt = cl.scheduler.select(now)
         meta = nxt
@@ -515,6 +537,9 @@ def _chain_arrival_col(
     queues.col_count += 1
     cl.backlog[cid] += size
     queues.total_packets += 1
+    if cl.genq is not None:
+        # on_enqueue equivalent for the generated body (SCFQ tags).
+        cl.genq(cid, size, meta, now)
     if not L.busy:
         L.busy = True
         L._busy_since = now
@@ -597,6 +622,8 @@ def _chain_complete(cl: _ChainLink, now: float, sim, fheap, coupled):
             queues.col_count += 1
             dcl.backlog[cid] += size
             queues.total_packets += 1
+            if dcl.genq is not None:
+                dcl.genq(cid, size, meta, now)
             if not down.busy:
                 down.busy = True
                 down._busy_since = now
@@ -684,6 +711,9 @@ def _chain_complete(cl: _ChainLink, now: float, sim, fheap, coupled):
                 queues.total_packets -= 1
                 if not cl.colmode and type(meta) is not Packet:
                     meta = materialize_entry(cid, arr, size, meta)
+        elif cl.colmode:
+            # Generated drain body (colmode implies gsel is not None).
+            meta, cid, arr, size = cl.gsel(now)
         else:
             nxt = cl.scheduler.select(now)
             meta = nxt
@@ -738,7 +768,7 @@ class Link:
         bind = getattr(scheduler, "bind_capacity", None)
         if bind is not None and getattr(scheduler, "capacity", None) is None:
             bind(capacity)
-        self.target: Receiver = target if target is not None else PacketSink()
+        self._target: Receiver = target if target is not None else PacketSink()
         self.name = name
         self.buffer_packets = buffer_packets
         self.drop_policy = drop_policy
@@ -758,6 +788,12 @@ class Link:
         #: keeps the link uncoupled until it parks again.
         self._pending_key: Optional[tuple] = None
         self._chain_cache: Optional[_Chain] = None
+        #: Simulator topology revision the cached chain was built at.
+        #: A moved version forces a rebuild even when ``_chain_fuse``
+        #: is False -- upstream-side edits (a new fan-in link, a feeder
+        #: attaching to a *member*, a route rewire) are invisible to a
+        #: non-fusing entry's own guards.
+        self._chain_topo = -1
         #: Cached routing decision: True only when the cached chain can
         #: fuse (coupled members, arrival sources, not blocked).  When
         #: False, completions skip chain validation entirely -- the
@@ -773,15 +809,18 @@ class Link:
         from ..schedulers.base import Scheduler  # deferred: import cycle
 
         scheduler_cls = type(scheduler)
-        self._fast_ok = (
-            drop_policy is None
-            and buffer_packets is None
-            and type(self.target) is PacketSink
-            and scheduler_cls.select is Scheduler.select
+        self._stock_sched = (
+            scheduler_cls.select is Scheduler.select
             and scheduler_cls.enqueue is Scheduler.enqueue
             and scheduler_cls.on_enqueue is Scheduler.on_enqueue
             and scheduler_cls.on_select is Scheduler.on_select
             and scheduler_cls.on_departure is Scheduler.on_departure
+        )
+        self._fast_ok = (
+            drop_policy is None
+            and buffer_packets is None
+            and type(self._target) is PacketSink
+            and self._stock_sched
         )
 
         self.busy = False
@@ -795,6 +834,22 @@ class Link:
         self.bytes_sent = 0.0
         self.busy_time = 0.0
         self._busy_since = 0.0
+        # Register on the simulator: the chain walk scans this to find
+        # upstream fan-in members, and the version bump invalidates any
+        # cached chain the new link might belong to.
+        sim._links.append(self)
+        sim._topo_version += 1
+
+    @property
+    def target(self) -> Receiver:
+        """Downstream receiver; rebinding it is a topology edit."""
+        return self._target
+
+    @target.setter
+    def target(self, value: Receiver) -> None:
+        self._target = value
+        self._chain_cache = None
+        self.sim._topo_version += 1
 
     # ------------------------------------------------------------------
     def add_monitor(self, monitor) -> None:
@@ -825,8 +880,10 @@ class Link:
             return False
         self._feeders.append(feeder)
         # A new inline arrival source may flip the cached chain-fusion
-        # decision (see _complete_service); recompute on next entry.
+        # decision (see _complete_service); recompute on next entry --
+        # for every chain this link is a member of, not just our own.
         self._chain_cache = None
+        self.sim._topo_version += 1
         return True
 
     def _attach_cursor(self, cursor) -> None:
@@ -845,6 +902,7 @@ class Link:
                 return
         self._cursors.append(cursor)
         self._chain_cache = None  # refresh the cached fusion decision
+        self.sim._topo_version += 1
 
     def suspend_drain(self) -> None:
         """Permanently detach all fused feeders from this link.
@@ -856,6 +914,7 @@ class Link:
         The invariant checker calls this when attaching hooks.
         """
         self._feeders = []
+        self.sim._topo_version += 1
 
     @property
     def backlog_packets(self) -> int:
@@ -957,10 +1016,12 @@ class Link:
                 scheduler.queues.demote()
             self._complete_service_evented(packet)
             return
+        sim = self.sim
         chain = self._chain_cache
-        if chain is None:
+        if chain is None or self._chain_topo != sim._topo_version:
             chain = self._build_chain()
             self._chain_cache = chain
+            self._chain_topo = sim._topo_version
             self._chain_fuse = (
                 chain.coupled is not None
                 and not chain.blocked
@@ -973,6 +1034,7 @@ class Link:
             if not chain.valid():
                 chain = self._build_chain()
                 self._chain_cache = chain
+                self._chain_topo = sim._topo_version
                 self._chain_fuse = (
                     chain.coupled is not None
                     and not chain.blocked
@@ -980,6 +1042,12 @@ class Link:
                 )
             if self._chain_fuse and self._drain_chain(packet, chain):
                 return
+        if not self._stock_sched and scheduler.queues.col_count:
+            # Generated-body columns are only readable by the generated
+            # select; any residue crossing into the wrapper-based paths
+            # below (whose choose_class sees deques via the live
+            # wrappers) is an observation boundary -- demote it.
+            scheduler.queues.demote()
         feeders = self._feeders
         if self._fast_ok and feeders and not self.monitors:
             # Specialized loops: nothing observes per-packet state, so
@@ -989,7 +1057,6 @@ class Link:
             else:
                 self._drain_fused_multi(packet)
             return
-        sim = self.sim
         heap = sim._heap
         until = sim._run_until
         capacity = self.capacity
@@ -1732,8 +1799,21 @@ class Link:
         a chain boundary reached via plain ``receive``.  Every object
         examined contributes a guard so :meth:`_Chain.valid` detects
         any change that could alter the walk's outcome.
+
+        After the downstream walk, a fan-in fixpoint scans the
+        simulator's link registry for *upstream* members: couplable
+        links whose target (or demux successor set) resolves into an
+        already-walked member.  Those merge into the same chain, so
+        multiple feeder-driven upstream links converging on one server
+        -- and routed DAGs converging through ``RouteDemux`` -- drain
+        in one fused loop.  A hooked or lossy upstream candidate is
+        simply left out (it keeps running evented; its departures reach
+        the member as foreign calendar events the drain parks on), and
+        upstream edits that no guard can see are caught by the
+        simulator's ``_topo_version`` stamp instead.
         """
         from ..schedulers.base import Scheduler  # deferred: import cycle
+        from ..schedulers.draingen import generated_drain_pair
 
         guards: list = []
         members: list[_ChainLink] = []
@@ -1745,61 +1825,105 @@ class Link:
         extend = self.buffer_packets is None and self.drop_policy is None
         pending: list[Link] = [self]
         seen = {id(self)}
-        while pending:
-            L = pending.pop(0)
-            tgt = L.target
-            scls = type(L.scheduler)
-            stock = (
-                scls.select is Scheduler.select
-                and scls.enqueue is Scheduler.enqueue
-                and scls.on_enqueue is Scheduler.on_enqueue
-                and scls.on_select is Scheduler.on_select
-                and scls.on_departure is Scheduler.on_departure
-            )
-            cl = _ChainLink(L, stock)
-            members.append(cl)
-            by_id[id(L)] = cl
-            guards.append((0, L, tgt, L.scheduler))
-            if isinstance(tgt, Link):
-                cl.direct_target = tgt
-                succs: tuple = (tgt,)
-            else:
-                resolve = getattr(tgt, "drain_resolve", None)
-                if resolve is None:
+        while True:
+            while pending:
+                L = pending.pop(0)
+                tgt = L.target
+                scls = type(L.scheduler)
+                stock = (
+                    scls.select is Scheduler.select
+                    and scls.enqueue is Scheduler.enqueue
+                    and scls.on_enqueue is Scheduler.on_enqueue
+                    and scls.on_select is Scheduler.on_select
+                    and scls.on_departure is Scheduler.on_departure
+                )
+                cl = _ChainLink(L, stock)
+                if not stock and L.columnar:
+                    # Non-stock scheduler on a columnar link: bind the
+                    # generated (oracle-verified) drain body when one
+                    # exists, so the member can run colmode.
+                    pair = generated_drain_pair(L.scheduler)
+                    if pair is not None:
+                        cl.gsel, cl.genq = pair
+                members.append(cl)
+                by_id[id(L)] = cl
+                guards.append((0, L, tgt, L.scheduler))
+                if isinstance(tgt, Link):
                     cl.direct_target = tgt
-                    succs = ()
+                    succs: tuple = (tgt,)
                 else:
-                    cl.resolve = resolve
-                    split = getattr(tgt, "drain_flow_split", None)
-                    if split is not None:
-                        cl.split = tgt
-                        cl.flow_rcv, cl.cross_rcv = split()
-                    guards.append(tgt.drain_guard())
-                    succs = tuple(tgt.drain_successors())
-            if not extend:
-                continue
-            for r in succs:
-                if not isinstance(r, Link) or id(r) in seen:
+                    resolve = getattr(tgt, "drain_resolve", None)
+                    if resolve is None:
+                        cl.direct_target = tgt
+                        succs = ()
+                    else:
+                        cl.resolve = resolve
+                        split = getattr(tgt, "drain_flow_split", None)
+                        if split is not None:
+                            cl.split = tgt
+                            cl.flow_rcv, cl.cross_rcv = split()
+                        guards.append(tgt.drain_guard())
+                        succs = tuple(tgt.drain_successors())
+                if not extend:
                     continue
-                seen.add(id(r))
+                for r in succs:
+                    if not isinstance(r, Link) or id(r) in seen:
+                        continue
+                    seen.add(id(r))
+                    if (
+                        "_complete_service" in r.__dict__
+                        or "receive" in r.__dict__
+                        or "select" in r.scheduler.__dict__
+                    ):
+                        blocked = True
+                        guards.append((1, r))
+                        continue
+                    if (
+                        r.drain
+                        and r.sim is sim
+                        and r.buffer_packets is None
+                        and r.drop_policy is None
+                        and type(r).receive is Link.receive
+                        and type(r)._complete_service is Link._complete_service
+                        and type(r)._start_service is Link._start_service
+                    ):
+                        pending.append(r)
+            if not extend:
+                break
+            # Fan-in fixpoint: adopt couplable registered links that
+            # feed a current member.  Repeats (via the outer loop) until
+            # no new upstream link qualifies, so grandparent feeders of
+            # a merge point join too.
+            grew = False
+            for r in sim._links:
+                if id(r) in seen:
+                    continue
                 if (
-                    "_complete_service" in r.__dict__
+                    not r.drain
+                    or r.buffer_packets is not None
+                    or r.drop_policy is not None
+                    or type(r).receive is not Link.receive
+                    or type(r)._complete_service is not Link._complete_service
+                    or type(r)._start_service is not Link._start_service
+                    or "_complete_service" in r.__dict__
                     or "receive" in r.__dict__
                     or "select" in r.scheduler.__dict__
                 ):
-                    blocked = True
-                    guards.append((1, r))
                     continue
-                if (
-                    r.drain
-                    and r.sim is sim
-                    and r.buffer_packets is None
-                    and r.drop_policy is None
-                    and type(r).receive is Link.receive
-                    and type(r)._complete_service is Link._complete_service
-                    and type(r)._start_service is Link._start_service
-                ):
+                rt = r.target
+                if isinstance(rt, Link):
+                    succs = (rt,)
+                else:
+                    ds = getattr(rt, "drain_successors", None)
+                    if ds is None:
+                        continue
+                    succs = tuple(ds())
+                if any(id(s) in by_id for s in succs):
+                    seen.add(id(r))
                     pending.append(r)
+                    grew = True
+            if not grew:
+                break
         coupled = by_id if len(members) > 1 else None
         sources = any(
             cl.link._feeders or cl.link._cursors for cl in members
@@ -1855,7 +1979,16 @@ class Link:
         seen_cursors: set = set()
         for cl in members:
             L = cl.link
-            cl.colmode = cl.stock and L.columnar and not L.monitors
+            cl.colmode = (
+                (cl.stock or cl.gsel is not None)
+                and L.columnar
+                and not L.monitors
+            )
+            if not cl.stock and not cl.colmode and cl.queues.col_count:
+                # A generated-body member that lost colmode (a monitor
+                # appeared) may hold columnar residue its wrapper
+                # select cannot read: observation boundary, demote.
+                cl.queues.demote()
             for f in L._feeders:
                 feeders.append(f)
                 ft = f.next_time

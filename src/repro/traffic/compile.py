@@ -447,6 +447,9 @@ class ArrivalCursor:
                     queues.col_count += 1
                     dcl.backlog[cid] += size
                     queues.total_packets += 1
+                    if dcl.genq is not None:
+                        # Generated on_enqueue (SCFQ arrival tags).
+                        dcl.genq(cid, size, meta, now)
                 else:
                     _chain_arrival_col(
                         dcl, cid, size, meta, now, sim, fused_heap

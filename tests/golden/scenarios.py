@@ -61,6 +61,53 @@ class GoldenScenario:
         return self.worker(self.task)
 
 
+@dataclass(frozen=True)
+class DifferentialTask:
+    """A differential-harness cell frozen into the corpus."""
+
+    scheduler: str
+    shape: str
+    seed: int = 9
+
+
+def differential_summary(task: DifferentialTask) -> dict:
+    """Run one differential-harness cell and summarize it (JSON-able).
+
+    The cell runs evented/object under the invariant checker -- the
+    harness's own grid already proves the other three execution modes
+    bit-identical to this one, so pinning the oracle-checked reference
+    pins all four.
+    """
+    from ..differential import run_cell
+
+    capture, _ = run_cell(
+        task.scheduler,
+        task.shape,
+        kernel="evented",
+        storage="object",
+        seed=task.seed,
+        check_invariants=True,
+    )
+    return {
+        "flow_delays": [list(delays) for delays in capture.delays],
+        "links": [
+            [
+                state[0],  # arrivals
+                state[1],  # departures
+                state[2],  # bytes_sent
+                state[3],  # busy_time
+                state[4],  # busy
+                state[5],  # queued packets
+                list(state[6]),  # head arrivals
+                list(state[7]),  # byte backlogs
+            ]
+            for state in capture.links
+        ],
+        "now": capture.now,
+        "invariants": capture.invariants,
+    }
+
+
 def _single_hop(scheduler: str) -> SingleHopTask:
     return SingleHopTask(
         config=SingleHopConfig(
@@ -113,4 +160,29 @@ def golden_scenarios() -> list[GoldenScenario]:
             ),
         )
     )
+    for scheduler in ("bpr", "drr"):
+        scenarios.append(
+            GoldenScenario(
+                name=f"fanin_{scheduler}",
+                description=(
+                    f"{scheduler.upper()} fan-in merge (two upstreams + "
+                    "cross traffic into one server), differential-harness "
+                    "cell, seed 9, invariant-checked"
+                ),
+                worker=differential_summary,
+                task=DifferentialTask(scheduler=scheduler, shape="fanin"),
+            )
+        )
+        scenarios.append(
+            GoldenScenario(
+                name=f"routed_dag_{scheduler}",
+                description=(
+                    f"{scheduler.upper()} routed diamond DAG (RouteDemux "
+                    "merge over the shared tail edge), differential-"
+                    "harness cell, seed 9, invariant-checked"
+                ),
+                worker=differential_summary,
+                task=DifferentialTask(scheduler=scheduler, shape="routed"),
+            )
+        )
     return scenarios

@@ -372,7 +372,12 @@ def test_builtin_checks_registered() -> None:
 
 
 def test_unregistered_scheduler_has_no_check() -> None:
-    assert scheduler_check_for(make_scheduler("drr", SDPS)) is None
+    # Every built-in discipline now ships an oracle; only a scheduler
+    # with an unknown ``name`` falls outside the registry.
+    class UnregisteredWTP(WTPScheduler):
+        name = "no-such-discipline"
+
+    assert scheduler_check_for(UnregisteredWTP(SDPS)) is None
 
 
 def test_custom_check_registration() -> None:
