@@ -31,8 +31,23 @@ Recorded metrics (events or packets per second, higher is better):
   fixpoint's guarded workload
 * ``sweep_runs_per_sec``          -- SweepRunner over a small single-hop
   sweep (serial, cache disabled): runner dispatch overhead + simulation
+* ``sweep_cells_per_sec``         -- the 8-cell city bench grid through
+  the sharded tier (ShardRunner, 4 jobs, traces compiled once and
+  shared zero-copy)
+* ``sweep_runner_cells_per_sec``  -- the same grid through SweepRunner
+  per-cell dispatch (every worker compiles its own traces)
+* ``sweep_shard_speedup``         -- sharded / per-cell cells per second
+* ``sweep10k_cells_per_sec``      -- 10^4 tiny cells streamed through
+  the ShardRunner consume path (one shot, not best-of-N)
 * ``<process>_{scalar,compiled}_{arrivals,events}_per_sec`` -- source
   microbenchmarks from :mod:`bench_sources`
+
+A separate ``sweep_streaming`` section records the coordinator's peak
+RSS at 10^3 and 10^4 streamed cells (results go to shard files and
+stream back one record at a time, so the two figures must stay within
+a few tens of MB of each other -- that flatness IS the O(shard) memory
+claim, checked by eye in the record and by gate in
+:mod:`check_regression`).
 
 ``--object-packets`` flips the module-wide packet-representation
 default (``repro.sim.link.COLUMNAR_DEFAULT``) to evented ``Packet``
@@ -66,6 +81,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 import bench_sources  # noqa: E402
+import bench_sweep  # noqa: E402
 from bench_engine import (  # noqa: E402
     forward_packets,
     replay_trace,
@@ -142,6 +158,30 @@ def collect(repeats: int, object_packets: bool = False) -> dict:
             run_small_sweep, 1, sweep_runs, repeats
         ),
     }
+    grid_cells = len(list(bench_sweep.BENCH_GRID.cells()))
+    metrics["sweep_cells_per_sec"] = best_rate(
+        bench_sweep.run_city_shard, bench_sweep.BENCH_JOBS, grid_cells, repeats
+    )
+    metrics["sweep_runner_cells_per_sec"] = best_rate(
+        bench_sweep.run_city_sweep, bench_sweep.BENCH_JOBS, grid_cells, repeats
+    )
+    metrics["sweep_shard_speedup"] = (
+        metrics["sweep_cells_per_sec"] / metrics["sweep_runner_cells_per_sec"]
+    )
+    # Streaming-store scaling: one shot each (a 10^4-cell sweep is too
+    # long to best-of-N) -- the point is the RSS pair, not the rate.
+    sweep_streaming = {}
+    for cells in (1_000, 10_000):
+        start = time.perf_counter()
+        count, rss_mb = bench_sweep.run_tiny_sweep(cells)
+        elapsed = time.perf_counter() - start
+        sweep_streaming[str(cells)] = {
+            "cells_per_sec": round(count / elapsed, 1),
+            "coordinator_peak_rss_mb": round(rss_mb, 1),
+        }
+    metrics["sweep10k_cells_per_sec"] = sweep_streaming["10000"][
+        "cells_per_sec"
+    ]
     metrics.update(bench_sources.collect(repeats))
     compiled_sec = figure1_smoke_seconds(True, repeats)
     scalar_sec = figure1_smoke_seconds(False, repeats)
@@ -174,6 +214,7 @@ def collect(repeats: int, object_packets: bool = False) -> dict:
         "packet_representation": "object" if object_packets else "columnar",
         "metrics": {k: round(v, 4) for k, v in metrics.items()},
         "multihop_vs_single_hop": multihop_vs_single,
+        "sweep_streaming": sweep_streaming,
     }
 
 

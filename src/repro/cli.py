@@ -63,7 +63,7 @@ from .experiments.figures_svg import (
 )
 from .experiments.reporting import format_ablation_rows
 from .experiments.table1 import TableOneConfig, format_table1, run_table1
-from .runner import DEFAULT_CACHE_DIR, ResultCache, SweepRunner
+from .runner import DEFAULT_CACHE_DIR, ResultCache, ShardRunner, SweepRunner
 
 __all__ = ["main"]
 
@@ -224,6 +224,32 @@ def _ablations(
     return "\n\n".join(parts)
 
 
+def _city(
+    scale: float,
+    export_dir: Optional[Path],
+    runner: SweepRunner,
+    checked: bool,
+    compiled: bool,
+    drain: bool,
+) -> str:
+    del compiled  # city traces are always block-compiled
+    import dataclasses
+
+    from .scenarios import CityGridConfig, city_to_csv, format_city, run_city
+
+    grid = CityGridConfig()
+    grid = dataclasses.replace(
+        grid,
+        base=dataclasses.replace(
+            grid.base, check_invariants=checked, drain=drain
+        ),
+    ).scaled(scale)
+    points = run_city(grid, runner=runner)
+    if export_dir is not None:
+        city_to_csv(points, export_dir / "city.csv")
+    return format_city(points)
+
+
 _COMMANDS: dict[
     str, Callable[[float, Optional[Path], SweepRunner, bool, bool, bool], str]
 ] = {
@@ -234,6 +260,7 @@ _COMMANDS: dict[
     "table1": _table1,
     "ablations": _ablations,
     "selfcheck": _selfcheck,
+    "city": _city,
 }
 
 
@@ -320,33 +347,90 @@ def main(argv: list[str] | None = None) -> int:
             "results are cached separately from unchecked ones"
         ),
     )
+    parser.add_argument(
+        "--shard",
+        action="store_true",
+        help=(
+            "use the sharded sweep tier (disk-backed results, "
+            "shared-memory traces, crash resume); bit-identical to the "
+            "default runner, built for city-scale grids"
+        ),
+    )
+    parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=0,
+        help="cells per shard with --shard (0 = auto; default: 0)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        type=Path,
+        default=None,
+        help=(
+            "shard-file directory with --shard; a killed sweep pointed "
+            "back at the same directory resumes from the complete "
+            "records (default: fresh temp dir, no resume)"
+        ),
+    )
+    parser.add_argument(
+        "--explain-cache",
+        action="store_true",
+        help=(
+            "after each sweep, report why each cell hit or missed the "
+            "cache -- new task, or code change, naming the modules "
+            "whose edits invalidated it"
+        ),
+    )
     args = parser.parse_args(argv)
     if not 0 < args.scale <= 1.0:
         parser.error("--scale must be in (0, 1]")
     if args.jobs < 0:
         parser.error("--jobs must be >= 0")
+    if args.shard_size < 0:
+        parser.error("--shard-size must be >= 0")
 
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = SweepRunner(jobs=jobs, cache=cache)
-
-    names = list(_COMMANDS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        start = time.perf_counter()
-        first_report = len(runner.reports)
-        output = _COMMANDS[name](
-            args.scale,
-            args.export_dir,
-            runner,
-            args.check_invariants,
-            not args.scalar_arrivals,
-            not args.no_drain,
+    if args.shard:
+        runner: SweepRunner | ShardRunner = ShardRunner(
+            jobs=jobs,
+            shard_size=args.shard_size,
+            cache=cache,
+            store_dir=args.store_dir,
+            explain=args.explain_cache,
         )
-        elapsed = time.perf_counter() - start
-        print(output)
-        for report in runner.reports[first_report:]:
-            print(f"[sweep] {report.summary()}")
-        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    else:
+        runner = SweepRunner(jobs=jobs, cache=cache, explain=args.explain_cache)
+
+    # "all" reproduces the paper's figures/tables; the city-scale grid
+    # is opt-in (it is this library's extension, not a paper artifact).
+    names = (
+        [name for name in _COMMANDS if name != "city"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    try:
+        for name in names:
+            start = time.perf_counter()
+            first_report = len(runner.reports)
+            first_explanation = len(runner.explanations)
+            output = _COMMANDS[name](
+                args.scale,
+                args.export_dir,
+                runner,
+                args.check_invariants,
+                not args.scalar_arrivals,
+                not args.no_drain,
+            )
+            elapsed = time.perf_counter() - start
+            print(output)
+            for report in runner.reports[first_report:]:
+                print(f"[sweep] {report.summary()}")
+            for explanation in runner.explanations[first_explanation:]:
+                print(explanation.summary())
+            print(f"[{name} finished in {elapsed:.1f}s]\n")
+    finally:
+        runner.shutdown()
     return 0
 
 

@@ -1,15 +1,38 @@
-"""Parallel sweep runner with a content-addressed result cache.
+"""Parallel sweep runners with a content-addressed result cache.
 
-The training-sweep-shaped orchestrator behind every figure/table
-driver: fan independent seeded runs out over processes
-(:class:`SweepRunner`), memoize their summaries on disk keyed by config
-hash + code version (:class:`ResultCache`), and keep parallel output
-bit-identical to serial by aggregating in deterministic task order.
+The training-sweep-shaped orchestrators behind every figure/table
+driver.  Two tiers, one contract (parallel == serial, bit-identical):
+
+* :class:`SweepRunner` -- fan independent seeded runs out over
+  processes, memoize their summaries on disk keyed by config hash +
+  delta-aware code version (:class:`ResultCache`), aggregate in
+  deterministic task order.  Right up to a few hundred cells.
+* :class:`ShardRunner` -- the city-scale tier: contiguous shards
+  stream results to an on-disk :class:`ResultStore` (O(shard), not
+  O(grid), coordinator RAM), arrival traces cross process boundaries
+  zero-copy through shared memory, and crashed sweeps resume from the
+  salvaged shard files.
+
+``--explain-cache`` support lives in :mod:`repro.runner.explain`: the
+by-task index lets a cold sweep say *which modules'* edits invalidated
+it rather than just counting misses.
 """
 
 from .cache import DEFAULT_CACHE_DIR, ResultCache
-from .hashing import canonical_payload, code_version, fingerprint
+from .explain import CellExplanation, ExplainReport, explain_cells, task_fingerprint
+from .hashing import (
+    canonical_payload,
+    code_version,
+    dependency_closure,
+    fingerprint,
+    module_imports,
+    task_code_version,
+    worker_code_version,
+    worker_manifest,
+)
 from .runner import SweepReport, SweepRunner, cache_key, serial_runner
+from .shard import ShardReport, ShardRunner, shared_trace
+from .store import ResultStore, ShardWriter
 from .tasks import (
     MicroscopicTask,
     MultiHopTask,
@@ -24,9 +47,23 @@ __all__ = [
     "ResultCache",
     "canonical_payload",
     "code_version",
+    "dependency_closure",
+    "module_imports",
+    "task_code_version",
+    "worker_code_version",
+    "worker_manifest",
     "fingerprint",
     "SweepReport",
     "SweepRunner",
+    "ShardReport",
+    "ShardRunner",
+    "shared_trace",
+    "ResultStore",
+    "ShardWriter",
+    "CellExplanation",
+    "ExplainReport",
+    "explain_cells",
+    "task_fingerprint",
     "cache_key",
     "serial_runner",
     "SingleHopTask",

@@ -9,10 +9,20 @@ bit-identical to a serial one -- workers communicate only JSON-able
 summaries and every aggregation happens in the parent in a fixed order.
 
 When a :class:`~repro.runner.cache.ResultCache` is attached, each task
-is first looked up by its content hash (task fingerprint + repro code
-version + worker name); only misses are simulated.  Re-running a figure
-with one changed parameter therefore only simulates the new points, and
-a warm re-run executes zero simulations.
+is first looked up by its content hash (task fingerprint + *delta-aware*
+code version + worker name); only misses are simulated.  The code
+component hashes only the modules in the worker's static import closure
+(:func:`~repro.runner.hashing.worker_code_version`), so editing a figure
+script or the CLI no longer invalidates kernel-bound results.
+Re-running a figure with one changed parameter therefore only simulates
+the new points, and a warm re-run executes zero simulations.
+
+The pool is created once and reused across ``map`` calls (forking
+workers costs ~20 ms; a figure driver issues several grids back to
+back), and tasks are shipped in ``chunksize`` batches to amortize the
+~100 us/task pickle/dispatch overhead of tiny cells.  For city-scale
+grids whose results must not accumulate in coordinator RAM, see the
+sharded tier in :mod:`repro.runner.shard`.
 """
 
 from __future__ import annotations
@@ -24,9 +34,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from .cache import ResultCache
-from .hashing import canonical_payload, code_version, fingerprint
+from .hashing import (
+    canonical_payload,
+    fingerprint,
+    worker_code_version,
+    worker_manifest,
+)
 
-__all__ = ["SweepRunner", "SweepReport", "serial_runner"]
+__all__ = ["SweepRunner", "SweepReport", "serial_runner", "cache_key"]
 
 
 @dataclass
@@ -49,11 +64,15 @@ class SweepReport:
 
 
 def cache_key(worker: Callable[[Any], Any], task: Any) -> str:
-    """Content hash addressing one (worker, task) result."""
+    """Content hash addressing one (worker, task) result.
+
+    The code component is the worker's *closure* version: only edits to
+    modules the worker (transitively, statically) imports change it.
+    """
     return fingerprint(
         {
             "worker": f"{worker.__module__}.{worker.__qualname__}",
-            "code": code_version(),
+            "code": worker_code_version(worker),
             "task": canonical_payload(task),
         }
     )
@@ -72,22 +91,70 @@ class SweepRunner:
         the experiment drivers construct when no runner is passed.
     cache:
         Optional :class:`ResultCache`; ``None`` disables caching.
+    chunksize:
+        Tasks per pickle batch shipped to the pool.  ``0`` picks
+        ``len(pending) // (jobs * 4)`` (clamped to >= 1): big enough to
+        amortize dispatch, small enough to keep all workers fed.  The
+        default of 1 preserves the historical per-task dispatch, which
+        is right when single cells take seconds.
+    explain:
+        Collect an :class:`~repro.runner.explain.ExplainReport` per map
+        call into ``self.explanations`` (requires a cache).
     """
 
     jobs: Optional[int] = 1
     cache: Optional[ResultCache] = None
+    chunksize: int = 1
+    explain: bool = False
     reports: list[SweepReport] = field(default_factory=list)
+    explanations: list[Any] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.jobs is None:
             self.jobs = os.cpu_count() or 1
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1: {self.jobs}")
+        if self.chunksize < 0:
+            raise ValueError(f"chunksize must be >= 0: {self.chunksize}")
+        self._pool: Optional[ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------
     @property
     def last_report(self) -> Optional[SweepReport]:
         return self.reports[-1] if self.reports else None
+
+    def _warm_pool(self, workers: int) -> ProcessPoolExecutor:
+        """The persistent pool, (re)created when more workers are needed.
+
+        Reusing one pool across ``map`` calls saves a fork+import round
+        trip per grid; a pool sized for an earlier, larger grid is kept
+        (idle workers are cheap, respawning is not).
+        """
+        if self._pool is not None and self._pool_size < workers:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+            self._pool_size = workers
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Release the persistent worker pool (idempotent)."""
+        if getattr(self, "_pool", None) is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.shutdown()
+        except Exception:
+            pass
 
     def map(
         self, worker: Callable[[Any], Any], tasks: Sequence[Any]
@@ -115,20 +182,45 @@ class SweepRunner:
         else:
             pending = list(range(len(tasks)))
 
+        if self.explain and self.cache is not None:
+            from .explain import explain_cells
+
+            self.explanations.append(
+                explain_cells(self.cache, worker, tasks, keys)
+            )
+
         hits = len(tasks) - len(pending)
         if pending:
             if self.jobs > 1 and len(pending) > 1:
                 workers = min(self.jobs, len(pending))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    fresh = list(
-                        pool.map(worker, [tasks[i] for i in pending])
+                chunk = self.chunksize or max(1, len(pending) // (workers * 4))
+                pool = self._warm_pool(workers)
+                fresh = list(
+                    pool.map(
+                        worker,
+                        [tasks[i] for i in pending],
+                        chunksize=chunk,
                     )
+                )
             else:
                 fresh = [worker(tasks[i]) for i in pending]
+            if self.cache is not None:
+                from .explain import task_fingerprint
+
+                manifest = worker_manifest(worker)
+                code = worker_code_version(worker)
             for index, payload in zip(pending, fresh):
                 results[index] = payload
                 if self.cache is not None:
                     self.cache.put(keys[index], payload)
+                    self.cache.put_index(
+                        task_fingerprint(worker, tasks[index]),
+                        {
+                            "key": keys[index],
+                            "code": code,
+                            "modules": manifest,
+                        },
+                    )
 
         self.reports.append(
             SweepReport(

@@ -1,0 +1,431 @@
+"""Sharded sweep tier: disk-backed results, shm traces, shard dispatch.
+
+:class:`~repro.runner.runner.SweepRunner` is the right tool up to a few
+hundred cells: every result returns through the pool's pipe and lives in
+a coordinator list.  At city scale (10^4+ cells x multi-KB summaries,
+plus multi-MB arrival traces pickled to every worker) that design costs
+O(grid) coordinator RAM and O(trace x workers) copying.  This module is
+the tier above it:
+
+* **Shards, not cells.**  The pending grid is cut into contiguous
+  shards; one pool task runs a whole shard and *writes each result to
+  its own shard file* (:mod:`repro.runner.store`), returning only a
+  count.  Dispatch overhead is paid per shard (~100 us) instead of per
+  cell, and the coordinator's transient memory is O(shard), not
+  O(grid).
+* **Zero-copy traces.**  Large arrival traces are published once into
+  shared memory (:func:`repro.traffic.io.publish_trace`); workers
+  attach by 110-byte handle and read the arrays in place
+  (:func:`shared_trace`).  Hosts without shm fall back to pickled
+  inline handles -- same results, just copies.
+* **Resume for free.**  Shard files survive a crash; re-running the
+  same grid salvages every complete record and executes only the
+  missing cells.
+* **Deterministic merge.**  Results are re-assembled in task order from
+  the cache (hits) and a k-way merge over shard files (fresh), so a
+  sharded parallel sweep is bit-identical to a serial one -- the same
+  guarantee ``SweepRunner`` makes, kept at three orders of magnitude
+  more cells.
+
+Pass ``consume=`` to stream ``(index, result)`` pairs through an
+aggregator instead of materializing the result list -- with it, peak
+coordinator memory is bounded by the shard size regardless of grid
+size (``ShardReport.coordinator_peak_rss_mb`` records the observed
+peak so benchmarks can gate on it).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import shutil
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence
+
+from ..traffic.io import attach_trace, publish_trace
+from .cache import ResultCache
+from .hashing import canonical_payload, fingerprint, worker_code_version, worker_manifest
+from .store import ResultStore, ShardWriter
+
+__all__ = ["ShardRunner", "ShardReport", "shared_trace"]
+
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+#: Per-process registry of attached shared traces: name -> (trace,
+#: block-or-None, shm-name-or-None).  The block reference keeps the
+#: mapping alive for as long as the zero-copy views are used.
+_PROCESS_TRACES: dict[str, tuple] = {}
+
+
+def shared_trace(name: str):
+    """The trace published under ``name`` for this sweep, or ``None``.
+
+    Scenario workers call this first and fall back to compiling the
+    trace locally when it returns ``None`` (serial runs, plain
+    ``SweepRunner``, or a coordinator that published nothing) -- the
+    fallback is bit-identical by construction, only slower.
+    """
+    entry = _PROCESS_TRACES.get(name)
+    return entry[0] if entry is not None else None
+
+
+def _register_traces(handles: dict) -> None:
+    """Attach every handle not already attached in this process.
+
+    Attach-once: a handle for an shm block this process already mapped
+    (same block name) is skipped, so the N-shards-per-worker case pays
+    one ``mmap`` per trace, not one per shard.
+    """
+    for name, handle in handles.items():
+        token = getattr(handle, "shm_name", None)
+        current = _PROCESS_TRACES.get(name)
+        if current is not None and token is not None and current[2] == token:
+            continue
+        if current is not None and current[1] is not None:
+            current[1].close()
+        trace, block = attach_trace(handle)
+        _PROCESS_TRACES[name] = (trace, block, token)
+
+
+def _run_shard(
+    worker: Callable[[Any], Any],
+    store_path: str,
+    cells: Sequence[tuple[int, Any]],
+    handles: dict,
+) -> int:
+    """Pool task: run one shard, stream results to its shard file.
+
+    Returns only the record count -- payloads stay on disk, which is
+    what keeps the coordinator's pipe traffic and RAM O(1) per shard.
+    """
+    _register_traces(handles)
+    with ShardWriter(store_path) as out:
+        for index, task in cells:
+            out.write(index, worker(task))
+    return out.written
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+def _rss_mb() -> float:
+    """This process's current resident set size in MB (0.0 off-Linux)."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        pass
+    return 0.0
+
+
+@dataclass
+class ShardReport:
+    """Accounting for one ``ShardRunner.map`` call."""
+
+    total: int
+    cache_hits: int
+    resumed: int
+    executed: int
+    shards: int
+    shard_size: int
+    jobs: int
+    elapsed: float
+    worker: str
+    coordinator_peak_rss_mb: float
+
+    def summary(self) -> str:
+        """One-line human-readable report (printed by the CLI)."""
+        resumed = f", {self.resumed} resumed" if self.resumed else ""
+        return (
+            f"{self.worker}: {self.total} runs, {self.cache_hits} cache hits"
+            f"{resumed}, {self.executed} executed in {self.shards} shards of "
+            f"{self.shard_size} (jobs={self.jobs}, {self.elapsed:.1f}s, "
+            f"peak rss {self.coordinator_peak_rss_mb:.0f} MB)"
+        )
+
+
+@dataclass
+class ShardRunner:
+    """City-scale sweep runner: sharded dispatch over a results store.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``None`` means ``os.cpu_count()``.
+    shard_size:
+        Cells per shard.  ``0`` (default) picks
+        ``ceil(pending / (jobs * 4))`` clamped to ``[1, 512]`` -- four
+        waves per worker for load balance, capped so a shard file stays
+        small enough to salvage/merge cheaply.
+    cache:
+        Optional :class:`ResultCache` shared with ``SweepRunner`` -- the
+        keys are identical, so the two tiers hit each other's entries.
+    store_dir:
+        Directory for shard files.  ``None`` uses a fresh temporary
+        directory per ``map`` call (deleted afterwards -- no resume);
+        pass a real path to make sweeps crash-resumable.
+    use_shm:
+        Publish ``shared_traces`` via POSIX shared memory when the host
+        supports it; ``False`` forces the pickled inline fallback.
+    explain:
+        Collect an :class:`~repro.runner.explain.ExplainReport` per map
+        call into ``self.explanations`` (requires a cache).
+    """
+
+    jobs: Optional[int] = None
+    shard_size: int = 0
+    cache: Optional[ResultCache] = None
+    store_dir: Optional[str | Path] = None
+    use_shm: bool = True
+    explain: bool = False
+    reports: list[ShardReport] = field(default_factory=list)
+    explanations: list[Any] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.jobs is None:
+            self.jobs = os.cpu_count() or 1
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1: {self.jobs}")
+        if self.shard_size < 0:
+            raise ValueError(f"shard_size must be >= 0: {self.shard_size}")
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_size = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def last_report(self) -> Optional[ShardReport]:
+        return self.reports[-1] if self.reports else None
+
+    def _warm_pool(self, workers: int) -> ProcessPoolExecutor:
+        if self._pool is not None and self._pool_size < workers:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+            self._pool_size = workers
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Release the persistent worker pool (idempotent)."""
+        if getattr(self, "_pool", None) is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        worker: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        shared_traces: Optional[dict] = None,
+        consume: Optional[Callable[[int, Any], None]] = None,
+    ) -> Optional[list[Any]]:
+        """Run ``worker`` over every task, sharded, results in task order.
+
+        ``shared_traces`` maps names to :class:`ArrivalTrace` objects to
+        publish for :func:`shared_trace` lookup in the workers.  With
+        ``consume``, each ``(index, result)`` is streamed through the
+        callback in ascending index order and ``None`` is returned --
+        the bounded-memory path; without it, the full result list comes
+        back (convenient for modest grids and differential tests).
+        """
+        started = time.perf_counter()
+        peak_rss = _rss_mb()
+        worker_id = f"{worker.__module__}.{worker.__qualname__}"
+        payloads = [canonical_payload(task) for task in tasks]
+        code = worker_code_version(worker)
+        keys = [
+            fingerprint({"worker": worker_id, "code": code, "task": payload})
+            for payload in payloads
+        ]
+        grid_fp = fingerprint(
+            {"worker": worker_id, "code": code, "tasks": payloads}
+        )
+
+        hit = [False] * len(tasks)
+        if self.cache is not None:
+            for index, key in enumerate(keys):
+                hit[index] = key in self.cache
+        hits = sum(hit)
+
+        if self.explain and self.cache is not None:
+            from .explain import explain_cells
+
+            self.explanations.append(
+                explain_cells(self.cache, worker, tasks, keys)
+            )
+
+        ephemeral = self.store_dir is None
+        directory = (
+            Path(tempfile.mkdtemp(prefix="repro-shard-"))
+            if ephemeral
+            else Path(self.store_dir)
+        )
+        store = ResultStore(directory)
+        on_disk = store.open_grid(grid_fp, worker_id, len(tasks))
+
+        pending = [
+            i for i in range(len(tasks)) if not hit[i] and i not in on_disk
+        ]
+        resumed = sum(
+            1 for i in range(len(tasks)) if not hit[i] and i in on_disk
+        )
+
+        blocks = []
+        try:
+            handles: dict = {}
+            if shared_traces:
+                for name, trace in shared_traces.items():
+                    handle, block = publish_trace(trace, use_shm=self.use_shm)
+                    handles[name] = handle
+                    if block is not None:
+                        blocks.append(block)
+
+            shard_size = self.shard_size or max(
+                1, min(512, math.ceil(len(pending) / (self.jobs * 4)))
+            )
+            shards = [
+                pending[lo : lo + shard_size]
+                for lo in range(0, len(pending), shard_size)
+            ]
+            if shards:
+                if self.jobs > 1 and len(shards) > 1:
+                    pool = self._warm_pool(min(self.jobs, len(shards)))
+                    futures = set()
+                    for seq, shard in enumerate(shards):
+                        futures.add(
+                            pool.submit(
+                                _run_shard,
+                                worker,
+                                str(store.shard_path(seq)),
+                                [(i, tasks[i]) for i in shard],
+                                handles,
+                            )
+                        )
+                        # Backpressure: keep at most 2 waves in flight so
+                        # pickled-task memory stays bounded on huge grids.
+                        if len(futures) >= self.jobs * 2:
+                            done, futures = wait(
+                                futures, return_when=FIRST_COMPLETED
+                            )
+                            for future in done:
+                                future.result()
+                            peak_rss = max(peak_rss, _rss_mb())
+                    for future in futures:
+                        future.result()
+                        peak_rss = max(peak_rss, _rss_mb())
+                else:
+                    for seq, shard in enumerate(shards):
+                        _run_shard(
+                            worker,
+                            str(store.shard_path(seq)),
+                            [(i, tasks[i]) for i in shard],
+                            handles,
+                        )
+                        peak_rss = max(peak_rss, _rss_mb())
+
+            results = self._merge(
+                worker, tasks, keys, hit, store, consume
+            )
+            peak_rss = max(peak_rss, _rss_mb())
+        finally:
+            for block in blocks:
+                try:
+                    block.close()
+                    block.unlink()
+                except OSError:  # pragma: no cover - double unlink
+                    pass
+            if ephemeral:
+                shutil.rmtree(directory, ignore_errors=True)
+
+        self.reports.append(
+            ShardReport(
+                total=len(tasks),
+                cache_hits=hits,
+                resumed=resumed,
+                executed=sum(len(s) for s in shards),
+                shards=len(shards),
+                shard_size=shard_size,
+                jobs=self.jobs,
+                elapsed=time.perf_counter() - started,
+                worker=worker.__qualname__,
+                coordinator_peak_rss_mb=peak_rss,
+            )
+        )
+        return results
+
+    # ------------------------------------------------------------------
+    def _merge(
+        self,
+        worker: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        keys: Sequence[str],
+        hit: Sequence[bool],
+        store: ResultStore,
+        consume: Optional[Callable[[int, Any], None]],
+    ) -> Optional[list[Any]]:
+        """Reassemble results in task order; cache fresh ones.
+
+        Cache-hit payloads are fetched lazily *during* the merge and
+        handed straight to ``consume`` (or appended), so they never pile
+        up ahead of time; store records stream through the k-way merge
+        one at a time.
+        """
+        if self.cache is not None:
+            from .explain import task_fingerprint
+
+            manifest = worker_manifest(worker)
+            code = worker_code_version(worker)
+        results: Optional[list[Any]] = None if consume else []
+        records = store.iter_results()
+        record = next(records, None)
+        for index in range(len(tasks)):
+            if hit[index]:
+                payload = self.cache.get(keys[index])
+                if payload is None:  # blob vanished between stat and get
+                    payload = worker(tasks[index])
+                    self.cache.put(keys[index], payload)
+            else:
+                while record is not None and record[0] < index:
+                    record = next(records, None)
+                if record is None or record[0] != index:
+                    raise RuntimeError(
+                        f"sharded sweep lost cell {index}: no store record "
+                        f"and no cache hit (store: {store.directory})"
+                    )
+                payload = record[1]
+                record = next(records, None)
+                if self.cache is not None:
+                    self.cache.put(keys[index], payload)
+                    self.cache.put_index(
+                        task_fingerprint(worker, tasks[index]),
+                        {
+                            "key": keys[index],
+                            "code": code,
+                            "modules": manifest,
+                        },
+                    )
+            if consume is not None:
+                consume(index, payload)
+            else:
+                results.append(payload)
+        return results

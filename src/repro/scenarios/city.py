@@ -1,0 +1,383 @@
+"""City-scale scenario cells, grids, and their sweep driver.
+
+One *cell* (:class:`CityTask`) replays a fixed many-flow arrival
+workload through a metro topology and measures, at the converged hub
+link, how faithfully the scheduler holds the paper's proportional
+delay model at scale: the successive per-class delay ratios
+``d_i / d_{i+1}`` against the SDP targets ``s_{i+1} / s_i`` (Eq 13),
+summarized as a mean relative *fidelity error*.
+
+A *grid* (:class:`CityGridConfig`) sweeps scheduler x SDP vector x
+utilization x seed.  The expensive part of a cell -- compiling
+thousands of per-flow Pareto arrival streams into per-branch traces --
+depends only on the traffic side of the config, so every cell sharing
+a :func:`trace_group_key` reuses one compiled trace set.  Under the
+sharded runner the coordinator compiles each group once and publishes
+it zero-copy through shared memory (:func:`run_city`); workers fall
+back to compiling locally when nothing was published (plain
+``SweepRunner``, serial runs), bit-identically by construction --
+the compile path is the same seeded code either way.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..runner.hashing import fingerprint
+from ..sim.engine import Simulator
+from ..sim.monitor import DelayMonitor
+from ..sim.rng import RandomStreams
+from ..traffic.pareto import ParetoInterarrivals
+from ..traffic.trace import ArrivalTrace, TraceSource, build_class_trace, merge_traces
+from .generators import (
+    TOPOLOGIES,
+    build_city_topology,
+    flow_classes,
+    heavy_tail_sizes,
+)
+
+__all__ = [
+    "CityScenarioConfig",
+    "CityGridConfig",
+    "CityTask",
+    "trace_group_key",
+    "compile_city_traces",
+    "city_tasks",
+    "city_summary",
+    "run_city",
+    "format_city",
+    "city_to_csv",
+]
+
+
+@dataclass(frozen=True)
+class CityScenarioConfig:
+    """One city cell.  Time unit: milliseconds; sizes in bytes."""
+
+    topology: str = "star_of_chains"
+    branches: int = 8
+    hops_per_branch: int = 1
+    #: Aggregation links (fat_tree_lite only; ignored by the star).
+    aggregation: int = 2
+    #: Total long-lived flows across all branches.
+    flows: int = 1200
+    #: Mean per-flow Pareto interarrival gap (ms).
+    flow_gap: float = 60.0
+    scheduler: str = "wtp"
+    sdps: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0)
+    class_mix: tuple[float, ...] = (0.4, 0.3, 0.2, 0.1)
+    #: Hub (and aggregation/core) target utilization.
+    utilization: float = 0.9
+    #: Per-branch edge/chain-hop target utilization.
+    edge_utilization: float = 0.5
+    horizon: float = 4e4
+    warmup: float = 2e3
+    seed: int = 1
+    pareto_shape: float = 1.9
+    check_invariants: bool = False
+    #: Busy-period drain kernel A/B switch for every link.
+    drain: bool = True
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise ConfigurationError(
+                f"unknown topology {self.topology!r}; choose from {TOPOLOGIES}"
+            )
+        if self.branches < 1 or self.hops_per_branch < 1 or self.aggregation < 1:
+            raise ConfigurationError("topology dimensions must be >= 1")
+        if self.flows < 1:
+            raise ConfigurationError(f"flows must be >= 1: {self.flows}")
+        if self.flow_gap <= 0:
+            raise ConfigurationError(f"flow_gap must be positive: {self.flow_gap}")
+        if len(self.sdps) != len(self.class_mix):
+            raise ConfigurationError("one SDP per class-mix share required")
+        if abs(sum(self.class_mix) - 1.0) > 1e-9:
+            raise ConfigurationError("class_mix must sum to 1")
+        for rho in (self.utilization, self.edge_utilization):
+            if not 0 < rho < 1:
+                raise ConfigurationError(f"utilizations must be in (0, 1): {rho}")
+        if not 0 <= self.warmup < self.horizon:
+            raise ConfigurationError("need 0 <= warmup < horizon")
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.class_mix)
+
+    def target_ratios(self) -> list[float]:
+        """Ideal successive ratios s_{i+1} / s_i (Eq 13)."""
+        return [
+            self.sdps[i + 1] / self.sdps[i] for i in range(len(self.sdps) - 1)
+        ]
+
+
+@dataclass(frozen=True)
+class CityTask:
+    """Sweep-task wrapper: what a worker receives for one cell."""
+
+    config: CityScenarioConfig
+
+
+#: Config fields the compiled traces depend on.  Scheduler, SDPs and
+#: utilizations are deliberately absent: they shape *capacities and
+#: service order*, never the arrival streams, so every cell of an
+#: S x D x U sweep at one seed shares a single compiled trace set.
+_TRACE_FIELDS = (
+    "branches",
+    "flows",
+    "flow_gap",
+    "class_mix",
+    "horizon",
+    "seed",
+    "pareto_shape",
+)
+
+
+def trace_group_key(config: CityScenarioConfig) -> str:
+    """Identity of a cell's compiled arrival traces (short digest)."""
+    return fingerprint(
+        {name: getattr(config, name) for name in _TRACE_FIELDS}
+    )[:16]
+
+
+def compile_city_traces(config: CityScenarioConfig) -> list[ArrivalTrace]:
+    """Per-branch merged arrival traces, deterministically seeded.
+
+    One gap generator and one size generator per flow, spawned in
+    global flow order from ``RandomStreams(seed)`` -- the spawn order
+    is the determinism contract, so coordinator and workers compile
+    bit-identical traces from the same config.
+    """
+    streams = RandomStreams(config.seed)
+    classes = flow_classes(config.flows, config.class_mix)
+    per_branch: list[list[ArrivalTrace]] = [[] for _ in range(config.branches)]
+    for index, class_id in enumerate(classes):
+        gap_rng = streams.generator()
+        size_rng = streams.generator()
+        trace = build_class_trace(
+            class_id,
+            ParetoInterarrivals(config.flow_gap, config.pareto_shape, gap_rng),
+            heavy_tail_sizes(size_rng),
+            config.horizon,
+        )
+        per_branch[index % config.branches].append(trace)
+    empty = np.empty(0, dtype=np.float64)
+    return [
+        merge_traces(traces)
+        if any(len(t) for t in traces)
+        else ArrivalTrace(empty, np.empty(0, dtype=np.int64), empty.copy())
+        for traces in per_branch
+    ]
+
+
+def city_summary(task: CityTask) -> dict:
+    """Worker: simulate one city cell; JSON-able summary.
+
+    Traces come from the sharded runner's shared-memory registry when
+    the coordinator published this cell's trace group
+    (:func:`~repro.runner.shard.shared_trace`), else they are compiled
+    locally -- same seeded code, bit-identical arrays.
+    """
+    from ..runner.shard import shared_trace
+
+    config = task.config
+    group = trace_group_key(config)
+    traces: Optional[list] = [
+        shared_trace(f"{group}:b{b}") for b in range(config.branches)
+    ]
+    if any(trace is None for trace in traces):
+        traces = compile_city_traces(config)
+
+    sim = Simulator()
+    entries, links, hub = build_city_topology(sim, config)
+    monitor = DelayMonitor(config.num_classes, warmup=config.warmup)
+    hub.add_monitor(monitor)
+    for branch, trace in enumerate(traces):
+        if len(trace):
+            TraceSource(
+                sim, entries[branch], trace,
+                first_packet_id=branch * 10_000_000,
+            ).start()
+
+    if config.check_invariants:
+        from ..invariants import InvariantChecker
+
+        checkers = [InvariantChecker(link).attach() for link in links]
+        sim.run_checked(until=config.horizon)
+        for checker in checkers:
+            checker.finalize()
+    else:
+        sim.run(until=config.horizon)
+
+    means = monitor.mean_delays()
+    ratios = monitor.successive_ratios()
+    targets = config.target_ratios()
+    errors = [
+        abs(ratio - target) / target
+        for ratio, target in zip(ratios, targets)
+        if math.isfinite(ratio)
+    ]
+    return {
+        "topology": config.topology,
+        "scheduler": config.scheduler,
+        "sdps": list(config.sdps),
+        "utilization": config.utilization,
+        "seed": config.seed,
+        "packets": int(sum(len(trace) for trace in traces)),
+        "mean_delays": means,
+        "ratios": ratios,
+        "target_ratios": targets,
+        "fidelity_error": (
+            sum(errors) / len(errors) if errors else float("nan")
+        ),
+        "hub_departures": hub.departures,
+        "class_counts": monitor.counts(),
+        "checked": config.check_invariants,
+    }
+
+
+# ----------------------------------------------------------------------
+# Grids
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CityGridConfig:
+    """A scheduler x SDP x utilization x seed sweep over one base cell."""
+
+    base: CityScenarioConfig = CityScenarioConfig()
+    schedulers: tuple[str, ...] = ("wtp", "bpr")
+    sdp_grid: tuple[tuple[float, ...], ...] = (
+        (1.0, 2.0, 4.0, 8.0),
+        (1.0, 4.0, 16.0, 64.0),
+    )
+    utilizations: tuple[float, ...] = (0.8, 0.9)
+    seeds: tuple[int, ...] = (1, 2)
+
+    def cells(self) -> list[CityScenarioConfig]:
+        """All cell configs, in deterministic sweep order.
+
+        Seed is the *outer* loop so consecutive cells share a trace
+        group: every scheduler/SDP/utilization variant of one seed is
+        adjacent, which keeps the shared-trace working set at one group
+        no matter how wide the grid is.
+        """
+        return [
+            dataclasses.replace(
+                self.base,
+                scheduler=scheduler,
+                sdps=sdps,
+                utilization=utilization,
+                seed=seed,
+            )
+            for seed in self.seeds
+            for scheduler in self.schedulers
+            for sdps in self.sdp_grid
+            for utilization in self.utilizations
+        ]
+
+    def scaled(self, factor: float) -> "CityGridConfig":
+        """Smoke-test version: fewer flows, shorter horizon, one seed
+        per ``factor`` step (mirrors the figure configs' ``scaled``)."""
+        if not 0 < factor <= 1.0:
+            raise ConfigurationError(f"factor must be in (0, 1]: {factor}")
+        keep = max(1, round(len(self.seeds) * factor))
+        base = dataclasses.replace(
+            self.base,
+            flows=max(self.base.branches, int(self.base.flows * factor)),
+            horizon=max(2_000.0, self.base.horizon * factor),
+            warmup=max(100.0, self.base.warmup * factor),
+        )
+        return dataclasses.replace(self, base=base, seeds=self.seeds[:keep])
+
+
+def city_tasks(grid: CityGridConfig) -> list[CityTask]:
+    """The grid's tasks, in deterministic sweep order."""
+    return [CityTask(config=config) for config in grid.cells()]
+
+
+def run_city(grid: CityGridConfig, runner=None) -> list[dict]:
+    """Run a city grid; per-cell summaries in sweep order.
+
+    With a :class:`~repro.runner.shard.ShardRunner`, each distinct
+    trace group in the grid is compiled once here and published to the
+    workers through shared memory, and summaries stream back through
+    the consume callback (coordinator RAM stays O(shard) plus the
+    points list).  Any other runner gets a plain ``map``; workers then
+    compile their own traces from the config.
+    """
+    from ..runner.shard import ShardRunner
+
+    tasks = city_tasks(grid)
+    points: list[dict] = []
+    if runner is None:
+        from ..runner import serial_runner
+
+        runner = serial_runner()
+    if isinstance(runner, ShardRunner):
+        shared: dict[str, ArrivalTrace] = {}
+        for task in tasks:
+            group = trace_group_key(task.config)
+            if not any(key.startswith(f"{group}:") for key in shared):
+                for branch, trace in enumerate(
+                    compile_city_traces(task.config)
+                ):
+                    shared[f"{group}:b{branch}"] = trace
+        runner.map(
+            city_summary,
+            tasks,
+            shared_traces=shared,
+            consume=lambda index, payload: points.append(payload),
+        )
+        return points
+    return list(runner.map(city_summary, tasks))
+
+
+def format_city(points: Sequence[dict]) -> str:
+    """Plain-text DDP fidelity table, one row per cell."""
+    lines = [
+        f"{'topology':<14} {'sched':<6} {'sdps':<20} {'rho':>4} "
+        f"{'seed':>4} {'packets':>9} {'fidelity err':>12}"
+    ]
+    for p in points:
+        sdps = "x".join(f"{s:g}" for s in p["sdps"])
+        lines.append(
+            f"{p['topology']:<14} {p['scheduler']:<6} {sdps:<20} "
+            f"{p['utilization']:>4.2f} {p['seed']:>4} {p['packets']:>9} "
+            f"{p['fidelity_error']:>12.4f}"
+        )
+    return "\n".join(lines)
+
+
+def city_to_csv(points: Sequence[dict], path: str | Path) -> Path:
+    """Write the fidelity curve data (CSV, one row per cell)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            (
+                "topology", "scheduler", "sdps", "utilization", "seed",
+                "packets", "fidelity_error", "mean_delays", "ratios",
+            )
+        )
+        for p in points:
+            writer.writerow(
+                (
+                    p["topology"],
+                    p["scheduler"],
+                    "x".join(f"{s:g}" for s in p["sdps"]),
+                    p["utilization"],
+                    p["seed"],
+                    p["packets"],
+                    repr(p["fidelity_error"]),
+                    " ".join(repr(d) for d in p["mean_delays"]),
+                    " ".join(repr(r) for r in p["ratios"]),
+                )
+            )
+    return path

@@ -1,0 +1,215 @@
+"""Traffic and topology generators for the city scenarios.
+
+Three deterministic building blocks:
+
+* **Flow population.**  ``flows`` Pareto on/off-like flows are
+  apportioned to the service classes by largest-remainder on the class
+  mix (so a 1000-flow 40/30/20/10 mix gets exactly 400/300/200/100
+  flows) and dealt round-robin to the branches.  Both assignments are
+  pure functions of the config -- a worker and the coordinator always
+  agree on which flow lives where.
+* **Packet sizes.**  A heavier-than-the-paper mix spanning 40 B ACKs to
+  9000 B jumbo frames; the tail probabilities are small but carry a
+  third of the bytes, which is what makes city links bursty at every
+  timescale.
+* **Topology.**  ``star_of_chains`` -- per-branch chains of congested
+  hops converging (fan-in) on one hub link, the PR 7 fused-drain shape
+  at scale; ``fat_tree_lite`` -- edge links into an aggregation layer
+  into one core link, the classic three-tier metro shape.  Capacities
+  are derived from the offered load so the hub runs at the configured
+  utilization and every edge at ``edge_utilization``, independent of
+  flow count.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..schedulers.registry import make_scheduler
+from ..sim.link import Link, PacketSink
+from ..traffic.sizes import DiscretePacketSizes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.engine import Simulator
+    from .city import CityScenarioConfig
+
+__all__ = [
+    "CITY_SIZES",
+    "CITY_SIZE_PROBS",
+    "TOPOLOGIES",
+    "heavy_tail_sizes",
+    "city_size_mean",
+    "flow_classes",
+    "branch_flow_counts",
+    "branch_byte_rate",
+    "total_byte_rate",
+    "build_city_topology",
+]
+
+#: Packet-size mix (bytes): ACKs, default-MTU data, full Ethernet
+#: frames, and a jumbo tail.  Mean ~= 1038.6 B.
+CITY_SIZES = (40.0, 576.0, 1500.0, 4380.0, 9000.0)
+CITY_SIZE_PROBS = (0.45, 0.25, 0.2, 0.07, 0.03)
+
+TOPOLOGIES = ("star_of_chains", "fat_tree_lite")
+
+
+def heavy_tail_sizes(rng: np.random.Generator | None = None) -> DiscretePacketSizes:
+    """The city packet-size sampler (one per flow, own stream)."""
+    return DiscretePacketSizes(CITY_SIZES, CITY_SIZE_PROBS, rng=rng)
+
+
+def city_size_mean() -> float:
+    """Mean packet size of the city mix (for capacity sizing)."""
+    return float(np.dot(CITY_SIZES, CITY_SIZE_PROBS))
+
+
+# ----------------------------------------------------------------------
+# Flow population
+# ----------------------------------------------------------------------
+def flow_classes(flows: int, class_mix: Sequence[float]) -> list[int]:
+    """Per-flow class ids: largest-remainder apportionment of the mix.
+
+    Flow ``i``'s class is ``flow_classes(...)[i]``; combined with the
+    round-robin branch deal (``i % branches``) every class lands on
+    every branch once ``flows`` is a few times ``branches``.
+    """
+    if flows < 1:
+        raise ConfigurationError(f"flows must be >= 1: {flows}")
+    quotas = [flows * share for share in class_mix]
+    counts = [int(q) for q in quotas]
+    shortfall = flows - sum(counts)
+    # Largest fractional remainders get the leftover flows; ties break
+    # toward the lower class id (deterministic).
+    order = sorted(
+        range(len(quotas)), key=lambda c: (counts[c] - quotas[c], c)
+    )
+    for c in order[:shortfall]:
+        counts[c] += 1
+    classes: list[int] = []
+    for class_id, count in enumerate(counts):
+        classes.extend([class_id] * count)
+    return classes
+
+
+def branch_flow_counts(flows: int, branches: int) -> list[int]:
+    """Flows per branch under the round-robin deal (``i % branches``)."""
+    base, extra = divmod(flows, branches)
+    return [base + (1 if b < extra else 0) for b in range(branches)]
+
+
+def branch_byte_rate(config: "CityScenarioConfig", branch: int) -> float:
+    """Mean offered bytes/ms entering one branch."""
+    count = branch_flow_counts(config.flows, config.branches)[branch]
+    return count * city_size_mean() / config.flow_gap
+
+
+def total_byte_rate(config: "CityScenarioConfig") -> float:
+    """Mean offered bytes/ms crossing the hub (all flows)."""
+    return config.flows * city_size_mean() / config.flow_gap
+
+
+# ----------------------------------------------------------------------
+# Topology builders
+# ----------------------------------------------------------------------
+def build_city_topology(
+    sim: "Simulator", config: "CityScenarioConfig"
+) -> tuple[list[Link], list[Link], Link]:
+    """Build the configured topology; ``(entries, all_links, hub)``.
+
+    ``entries[b]`` is where branch ``b``'s trace is replayed into;
+    ``hub`` is the converged link whose :class:`DelayMonitor` measures
+    the DDP fidelity; ``all_links`` (hub last) is for invariant
+    checkers.  Links are created back to front so every link knows its
+    downstream at construction, which is what lets the drain kernel
+    fuse the chains (star) or the whole tree path (fat tree).
+    """
+    if config.topology == "star_of_chains":
+        return _star_of_chains(sim, config)
+    if config.topology == "fat_tree_lite":
+        return _fat_tree_lite(sim, config)
+    raise ConfigurationError(
+        f"unknown topology {config.topology!r}; choose from {TOPOLOGIES}"
+    )
+
+
+def _make_link(sim, config, capacity: float, target, name: str) -> Link:
+    return Link(
+        sim,
+        make_scheduler(config.scheduler, config.sdps),
+        capacity=capacity,
+        target=target,
+        name=name,
+        drain=config.drain,
+    )
+
+
+def _star_of_chains(sim, config):
+    hub = _make_link(
+        sim,
+        config,
+        total_byte_rate(config) / config.utilization,
+        PacketSink(),
+        "hub",
+    )
+    links = []
+    entries = []
+    for b in range(config.branches):
+        capacity = branch_byte_rate(config, b) / config.edge_utilization
+        downstream = hub
+        for hop in range(config.hops_per_branch - 1, -1, -1):
+            link = _make_link(
+                sim, config, capacity, downstream, f"b{b}h{hop}"
+            )
+            links.append(link)
+            downstream = link
+        entries.append(downstream)
+    links.append(hub)
+    return entries, links, hub
+
+
+def _fat_tree_lite(sim, config):
+    core = _make_link(
+        sim,
+        config,
+        total_byte_rate(config) / config.utilization,
+        PacketSink(),
+        "core",
+    )
+    # Aggregation layer: edge b homes to aggregation b % aggregation.
+    agg_links = []
+    for a in range(config.aggregation):
+        rate = sum(
+            branch_byte_rate(config, b)
+            for b in range(config.branches)
+            if b % config.aggregation == a
+        )
+        agg_links.append(
+            _make_link(
+                sim,
+                config,
+                # An idle aggregation link (more aggs than branches)
+                # still needs a positive capacity to construct.
+                max(rate, 1e-9) / config.utilization,
+                core,
+                f"agg{a}",
+            )
+        )
+    links = []
+    entries = []
+    for b in range(config.branches):
+        edge = _make_link(
+            sim,
+            config,
+            branch_byte_rate(config, b) / config.edge_utilization,
+            agg_links[b % config.aggregation],
+            f"edge{b}",
+        )
+        links.append(edge)
+        entries.append(edge)
+    links.extend(agg_links)
+    links.append(core)
+    return entries, links, core

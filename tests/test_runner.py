@@ -25,9 +25,13 @@ from repro.runner import (
     cache_key,
     canonical_payload,
     code_version,
+    dependency_closure,
     fingerprint,
+    module_imports,
     serial_runner,
     single_hop_summary,
+    worker_code_version,
+    worker_manifest,
 )
 
 #: Laptop-sized Figure 1 slice: 2 schedulers x 2 loads x 2 seeds.
@@ -187,6 +191,65 @@ class TestSweepRunner:
         assert report.total == 1 and report.executed == 1
         assert "1 runs" in report.summary()
         assert "cache hits" in report.summary()
+
+
+class TestDeltaAwareHashing:
+    def test_package_worker_uses_closure_version(self):
+        # single_hop_summary lives in repro.runner.tasks; its version
+        # must track the closure manifest, not the whole package.
+        version = worker_code_version(single_hop_summary)
+        assert version != code_version()
+        manifest = worker_manifest(single_hop_summary)
+        assert "repro.runner.tasks" in manifest
+        assert "repro.sim.link" in manifest
+        assert "repro.cli" not in manifest
+
+    def test_outside_worker_falls_back_to_package_version(self):
+        def local_worker(task):  # pragma: no cover - never called
+            return task
+
+        assert worker_code_version(local_worker) == code_version()
+        assert worker_manifest(local_worker) == {}
+
+    def test_closure_is_transitive_and_sorted(self):
+        closure = dependency_closure("repro.runner.tasks")
+        assert closure == tuple(sorted(closure))
+        assert "repro.runner.tasks" in closure
+        # The sim engine is only reached through intermediate modules.
+        assert "repro.sim.engine" in closure
+
+    def test_module_imports_sees_lazy_imports(self):
+        # runner.tasks imports the experiment helpers lazily inside the
+        # worker function body; the AST walk must still find them.
+        assert "repro.experiments.common" in module_imports(
+            "repro.runner.tasks"
+        )
+
+
+class TestWarmPoolAndChunks:
+    def test_pool_persists_across_maps(self):
+        with SweepRunner(jobs=2) as runner:
+            runner.map(single_hop_summary, [small_task(1), small_task(2)])
+            first_pool = runner._pool
+            runner.map(single_hop_summary, [small_task(3), small_task(4)])
+            assert runner._pool is first_pool
+        assert runner._pool is None  # released on exit
+
+    def test_shutdown_is_idempotent(self):
+        runner = SweepRunner(jobs=2)
+        runner.shutdown()
+        runner.shutdown()
+
+    def test_auto_chunksize_matches_serial(self):
+        tasks = [small_task(seed) for seed in (1, 2, 3, 4, 5)]
+        serial = serial_runner().map(single_hop_summary, tasks)
+        with SweepRunner(jobs=2, chunksize=0) as runner:
+            chunked = runner.map(single_hop_summary, tasks)
+        assert chunked == serial
+
+    def test_rejects_negative_chunksize(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=1, chunksize=-1)
 
 
 class TestTaskShape:

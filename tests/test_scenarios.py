@@ -1,0 +1,225 @@
+"""Tests of the city-scale scenario corpus: generators, cells, grids.
+
+The load-bearing properties:
+
+* flow apportionment and branch dealing are exact, deterministic pure
+  functions of the config,
+* trace compilation is bit-identical across processes (spawn-order
+  seeded) and its group key tracks exactly the traffic-shaping fields,
+* both topologies build and run, including under the invariant checker,
+* a sharded city sweep with shared-memory traces equals the serial
+  per-cell-compile reference bit for bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import ShardRunner, serial_runner
+from repro.scenarios import (
+    CITY_SIZE_PROBS,
+    CITY_SIZES,
+    CityGridConfig,
+    CityScenarioConfig,
+    CityTask,
+    branch_flow_counts,
+    city_summary,
+    city_tasks,
+    city_to_csv,
+    compile_city_traces,
+    flow_classes,
+    format_city,
+    run_city,
+    trace_group_key,
+)
+from repro.scenarios.generators import city_size_mean, total_byte_rate
+
+#: Small enough for CI, big enough to exercise every branch and class.
+TINY = CityScenarioConfig(
+    branches=4,
+    flows=24,
+    flow_gap=50.0,
+    horizon=1500.0,
+    warmup=100.0,
+)
+
+TINY_GRID = CityGridConfig(
+    base=TINY,
+    schedulers=("wtp",),
+    sdp_grid=((1.0, 2.0, 4.0, 8.0),),
+    utilizations=(0.8, 0.9),
+    seeds=(1,),
+)
+
+
+class TestConfigValidation:
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(ConfigurationError):
+            CityScenarioConfig(topology="torus")
+
+    def test_rejects_mismatched_mix(self):
+        with pytest.raises(ConfigurationError):
+            CityScenarioConfig(sdps=(1.0, 2.0), class_mix=(0.5, 0.3, 0.2))
+
+    def test_rejects_mix_not_summing_to_one(self):
+        with pytest.raises(ConfigurationError):
+            CityScenarioConfig(
+                sdps=(1.0, 2.0), class_mix=(0.6, 0.6)
+            )
+
+    def test_target_ratios_follow_eq13(self):
+        config = CityScenarioConfig(
+            sdps=(1.0, 4.0, 16.0), class_mix=(0.5, 0.3, 0.2)
+        )
+        assert config.target_ratios() == [4.0, 4.0]
+
+
+class TestGenerators:
+    def test_flow_classes_largest_remainder_is_exact(self):
+        classes = flow_classes(1000, (0.4, 0.3, 0.2, 0.1))
+        assert [classes.count(c) for c in range(4)] == [400, 300, 200, 100]
+
+    def test_flow_classes_distributes_shortfall(self):
+        classes = flow_classes(7, (0.5, 0.3, 0.2))
+        assert [classes.count(c) for c in range(3)] == [4, 2, 1]
+        assert len(classes) == 7
+
+    def test_branch_flow_counts_sum_and_balance(self):
+        counts = branch_flow_counts(10, 4)
+        assert counts == [3, 3, 2, 2]
+        assert sum(counts) == 10
+
+    def test_size_mix_mean_matches_probabilities(self):
+        assert city_size_mean() == pytest.approx(
+            float(np.dot(CITY_SIZES, CITY_SIZE_PROBS))
+        )
+
+    def test_total_byte_rate_scales_with_flows(self):
+        double = dataclasses.replace(TINY, flows=TINY.flows * 2)
+        assert total_byte_rate(double) == pytest.approx(
+            2 * total_byte_rate(TINY)
+        )
+
+
+class TestTraceCompilation:
+    def test_compilation_is_deterministic(self):
+        first = compile_city_traces(TINY)
+        second = compile_city_traces(TINY)
+        assert len(first) == TINY.branches
+        for a, b in zip(first, second):
+            assert np.array_equal(a.times, b.times)
+            assert np.array_equal(a.class_ids, b.class_ids)
+            assert np.array_equal(a.sizes, b.sizes)
+
+    def test_branch_traces_are_time_sorted(self):
+        for trace in compile_city_traces(TINY):
+            assert np.all(np.diff(trace.times) >= 0)
+
+    def test_surplus_branches_get_empty_traces(self):
+        sparse = dataclasses.replace(TINY, branches=8, flows=2)
+        traces = compile_city_traces(sparse)
+        assert len(traces) == 8
+        assert [len(t) > 0 for t in traces] == [True] * 2 + [False] * 6
+
+    def test_group_key_ignores_service_side_fields(self):
+        base = trace_group_key(TINY)
+        for change in (
+            {"scheduler": "bpr"},
+            {"sdps": (1.0, 4.0, 16.0, 64.0)},
+            {"utilization": 0.8},
+            {"edge_utilization": 0.6},
+            {"topology": "fat_tree_lite"},
+        ):
+            assert trace_group_key(dataclasses.replace(TINY, **change)) == base
+
+    def test_group_key_tracks_traffic_fields(self):
+        base = trace_group_key(TINY)
+        for change in (
+            {"seed": 2},
+            {"flows": TINY.flows + 1},
+            {"flow_gap": 60.0},
+            {"pareto_shape": 1.5},
+        ):
+            assert trace_group_key(dataclasses.replace(TINY, **change)) != base
+
+
+class TestCitySummary:
+    def test_summary_is_json_able_and_complete(self):
+        summary = city_summary(CityTask(config=TINY))
+        round_tripped = json.loads(json.dumps(summary))
+        assert round_tripped["topology"] == "star_of_chains"
+        assert len(round_tripped["ratios"]) == TINY.num_classes - 1
+        assert round_tripped["packets"] > 0
+        assert round_tripped["hub_departures"] > 0
+
+    def test_fat_tree_lite_runs(self):
+        config = dataclasses.replace(TINY, topology="fat_tree_lite")
+        summary = city_summary(CityTask(config=config))
+        assert summary["topology"] == "fat_tree_lite"
+        assert summary["hub_departures"] > 0
+
+    def test_invariant_checked_run(self):
+        config = dataclasses.replace(TINY, check_invariants=True)
+        summary = city_summary(CityTask(config=config))
+        assert summary["checked"] is True
+
+    def test_multi_hop_star_runs(self):
+        config = dataclasses.replace(TINY, hops_per_branch=2)
+        summary = city_summary(CityTask(config=config))
+        assert summary["hub_departures"] > 0
+
+
+class TestCityGrid:
+    def test_cells_cover_the_product_seed_outermost(self):
+        grid = CityGridConfig(
+            base=TINY,
+            schedulers=("wtp", "bpr"),
+            sdp_grid=((1.0, 2.0, 4.0, 8.0),),
+            utilizations=(0.8,),
+            seeds=(1, 2),
+        )
+        cells = grid.cells()
+        assert len(cells) == 4
+        assert [c.seed for c in cells] == [1, 1, 2, 2]
+        assert {c.scheduler for c in cells} == {"wtp", "bpr"}
+
+    def test_scaled_shrinks_flows_and_seeds(self):
+        grid = CityGridConfig(base=CityScenarioConfig(), seeds=(1, 2, 3, 4))
+        small = grid.scaled(0.25)
+        assert small.base.flows < grid.base.flows
+        assert len(small.seeds) == 1
+
+    def test_scaled_rejects_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            CityGridConfig().scaled(0.0)
+
+    def test_sharded_city_sweep_equals_serial(self):
+        serial = run_city(TINY_GRID, runner=serial_runner())
+        with ShardRunner(jobs=2, shard_size=1) as runner:
+            sharded = run_city(TINY_GRID, runner=runner)
+        assert sharded == serial
+
+    def test_inline_fallback_city_sweep_equals_serial(self):
+        serial = run_city(TINY_GRID, runner=serial_runner())
+        with ShardRunner(jobs=2, use_shm=False) as runner:
+            sharded = run_city(TINY_GRID, runner=runner)
+        assert sharded == serial
+
+    def test_format_and_csv_cover_every_cell(self, tmp_path):
+        points = run_city(TINY_GRID, runner=serial_runner())
+        table = format_city(points)
+        assert len(table.splitlines()) == len(points) + 1
+        path = city_to_csv(points, tmp_path / "city.csv")
+        rows = path.read_text().splitlines()
+        assert len(rows) == len(points) + 1
+        assert rows[0].startswith("topology,scheduler,sdps")
+
+    def test_city_tasks_wrap_cells(self):
+        tasks = city_tasks(TINY_GRID)
+        assert all(isinstance(t, CityTask) for t in tasks)
+        assert [t.config for t in tasks] == TINY_GRID.cells()
