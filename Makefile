@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-record bench-sources perf-smoke examples selfcheck figures-fast reproduce-quick reproduce-full clean
+.PHONY: install test test-fast bench bench-record bench-sources perf-smoke hybrid-smoke examples selfcheck figures-fast reproduce-quick reproduce-full clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -31,6 +31,11 @@ bench-sources:
 # baseline; warns (exit 0) on >20% regression.
 perf-smoke:
 	$(PYTHON) benchmarks/check_regression.py
+
+# Hybrid fluid/packet engine smoke: pure-vs-hybrid fidelity within the
+# epsilon knob and epsilon=0 bit-identity; exits non-zero on either.
+hybrid-smoke:
+	$(PYTHON) benchmarks/bench_hybrid.py
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script; done

@@ -1,0 +1,215 @@
+"""Hybrid fluid/packet engine benchmarks: long-horizon speedup + fidelity.
+
+Two cells, both city star-of-chains workloads replayed over one shared
+compiled trace set (so neither path is charged for compilation -- the
+sharded-tier deployment shape, where traces are compiled once and
+published):
+
+* the **headline cell** (`BENCH_CELL`, 300 flows over 600 s) is the
+  long-horizon steady workload the hybrid engine exists for; `collect()`
+  runs it once pure-packet and once hybrid (one shot each -- a ~30 s
+  pure run is too long to best-of-N) and reports
+  ``hybrid_horizon_speedup`` plus ``hybrid_ddp_fidelity_error`` (the
+  mean relative per-class mean-delay error of the hybrid run against
+  the pure run, which must stay within the epsilon knob);
+* the **smoke cell** (`SMOKE_CELL`, 120 flows over 100 s) is the same
+  comparison sized for CI (`smoke()`, a few seconds end to end), plus
+  an ``epsilon=0`` run on a tiny cell that must reproduce the pure
+  path *bit-identically* (`==` on every per-class mean and the
+  departure count -- the planner contract, also pinned by
+  ``tests/differential.py``).
+
+``python benchmarks/bench_hybrid.py`` runs the smoke pair and exits
+non-zero when fidelity exceeds the epsilon knob or the epsilon=0 run
+is not bit-identical -- the `make hybrid-smoke` / CI gate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.scenarios.city import CityScenarioConfig, compile_city_traces  # noqa: E402
+from repro.scenarios.generators import build_city_topology  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+from repro.sim.hybrid import HybridConfig, run_hybrid_city  # noqa: E402
+from repro.sim.monitor import DelayMonitor  # noqa: E402
+from repro.traffic.trace import TraceSource  # noqa: E402
+
+#: Error-bound knob for every hybrid run here; the fidelity gate.
+BENCH_EPSILON = 0.05
+
+#: The headline long-horizon cell: steady city traffic where fluid
+#: fast-forward should cover nearly the whole timeline.  Sized so the
+#: pure-packet replay takes tens of seconds -- long enough that the
+#: hybrid engine's fixed costs (segment planning + the forced packet
+#: prefix) amortize past the 10x target.
+BENCH_CELL = CityScenarioConfig(
+    flows=300,
+    horizon=600_000.0,
+    warmup=2_000.0,
+    utilization=0.9,
+    seed=3,
+)
+
+#: CI-sized version of the same comparison (a few seconds total).
+SMOKE_CELL = CityScenarioConfig(
+    flows=120,
+    horizon=100_000.0,
+    warmup=2_000.0,
+    utilization=0.9,
+    seed=3,
+)
+
+#: Tiny cell for the epsilon=0 bit-identity check (sub-second).
+IDENTITY_CELL = CityScenarioConfig(
+    flows=48,
+    horizon=6_000.0,
+    warmup=400.0,
+    seed=5,
+)
+
+
+def run_pure(config: CityScenarioConfig, traces) -> tuple[list[float], int]:
+    """Pure packet replay over precompiled traces; (means, departures)."""
+    sim = Simulator()
+    entries, _, hub = build_city_topology(sim, config)
+    monitor = DelayMonitor(config.num_classes, warmup=config.warmup)
+    hub.add_monitor(monitor)
+    for branch, trace in enumerate(traces):
+        if len(trace):
+            TraceSource(
+                sim, entries[branch], trace,
+                first_packet_id=branch * 10_000_000,
+            ).start()
+    sim.run(until=config.horizon)
+    return monitor.mean_delays(), hub.departures
+
+
+def run_hybrid(config: CityScenarioConfig, traces, epsilon: float):
+    """Hybrid replay of the same cell; returns the finished controller."""
+    hybrid_config = dataclasses.replace(
+        config, hybrid=HybridConfig(epsilon=epsilon)
+    )
+    return run_hybrid_city(hybrid_config, traces)
+
+
+def fidelity_error(pure_means, hybrid_means) -> float:
+    """Mean relative per-class mean-delay error, hybrid vs pure."""
+    errors = [
+        abs(hybrid - pure) / pure
+        for pure, hybrid in zip(pure_means, hybrid_means)
+        if pure > 0
+    ]
+    return sum(errors) / len(errors) if errors else float("nan")
+
+
+def _compare_cell(config: CityScenarioConfig, epsilon: float) -> dict:
+    """Run one cell pure and hybrid over shared traces; timing + error."""
+    traces = compile_city_traces(config)
+    start = time.perf_counter()
+    pure_means, pure_departures = run_pure(config, traces)
+    pure_sec = time.perf_counter() - start
+    start = time.perf_counter()
+    controller = run_hybrid(config, traces, epsilon)
+    hybrid_sec = time.perf_counter() - start
+    hybrid_means = controller.monitor.mean_delays()
+    summary = controller.summary()
+    return {
+        "flows": config.flows,
+        "horizon_ms": config.horizon,
+        "utilization": config.utilization,
+        "epsilon": epsilon,
+        "pure_sec": round(pure_sec, 4),
+        "hybrid_sec": round(hybrid_sec, 4),
+        "speedup": round(pure_sec / hybrid_sec, 4),
+        "fidelity_error": round(fidelity_error(pure_means, hybrid_means), 6),
+        "fluid_time_fraction": round(summary["fluid_time_fraction"], 4),
+        "segments": summary["segments"],
+        "pure_mean_delays": [round(d, 6) for d in pure_means],
+        "hybrid_mean_delays": [round(d, 6) for d in hybrid_means],
+        "pure_departures": pure_departures,
+        "hybrid_packet_departures": summary["packet_departures"],
+    }
+
+
+def epsilon_zero_identity() -> bool:
+    """epsilon=0 must reproduce the pure path bit-for-bit (``==``)."""
+    traces = compile_city_traces(IDENTITY_CELL)
+    pure_means, pure_departures = run_pure(IDENTITY_CELL, traces)
+    controller = run_hybrid(IDENTITY_CELL, traces, 0.0)
+    return (
+        controller.monitor.mean_delays() == pure_means
+        and controller.packet_departures == pure_departures
+    )
+
+
+def collect() -> dict:
+    """Headline record: one-shot long-horizon speedup + fidelity.
+
+    Returns ``{"metrics": {...}, "detail": {...}}`` -- the metrics dict
+    carries ``hybrid_horizon_speedup`` and ``hybrid_ddp_fidelity_error``
+    keyed for BENCH_*.json, the detail dict the full comparison
+    including the epsilon=0 bit-identity verdict.
+    """
+    detail = _compare_cell(BENCH_CELL, BENCH_EPSILON)
+    detail["epsilon0_bit_identical"] = epsilon_zero_identity()
+    return {
+        "metrics": {
+            "hybrid_horizon_speedup": detail["speedup"],
+            "hybrid_ddp_fidelity_error": detail["fidelity_error"],
+        },
+        "detail": detail,
+    }
+
+
+def smoke() -> dict:
+    """CI-sized comparison: fidelity + speedup on the smoke cell, plus
+    the epsilon=0 bit-identity verdict."""
+    detail = _compare_cell(SMOKE_CELL, BENCH_EPSILON)
+    detail["epsilon0_bit_identical"] = epsilon_zero_identity()
+    return detail
+
+
+def main() -> int:
+    detail = smoke()
+    print(
+        f"hybrid smoke cell: {detail['flows']} flows over "
+        f"{detail['horizon_ms']:,.0f} ms at rho={detail['utilization']}"
+    )
+    print(
+        f"  pure {detail['pure_sec']:.2f}s vs hybrid "
+        f"{detail['hybrid_sec']:.2f}s -> {detail['speedup']:.2f}x "
+        f"(fluid fraction {detail['fluid_time_fraction']:.2f}, "
+        f"{detail['segments']} segments)"
+    )
+    print(
+        f"  DDP fidelity error {detail['fidelity_error']:.4f} "
+        f"(epsilon {detail['epsilon']})"
+    )
+    print(f"  epsilon=0 bit-identical: {detail['epsilon0_bit_identical']}")
+    failed = False
+    if detail["fidelity_error"] > detail["epsilon"]:
+        failed = True
+        print(
+            f"::error::hybrid fidelity gate: error "
+            f"{detail['fidelity_error']:.4f} exceeds epsilon "
+            f"{detail['epsilon']} -- the fluid segments are drifting "
+            "from the packet-level DDP"
+        )
+    if not detail["epsilon0_bit_identical"]:
+        failed = True
+        print(
+            "::error::hybrid epsilon=0 run is not bit-identical to the "
+            "pure packet path -- the planner's pure-packet contract broke"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

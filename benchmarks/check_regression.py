@@ -39,6 +39,15 @@ store; gated on an absolute ceiling via ``--rss-gate`` -- the
 coordinator holds O(shard) results, so blowing the ceiling means
 results are accumulating in RAM again).
 
+The hybrid fluid/packet engine contributes two more absolute hard
+gates (from :mod:`bench_hybrid`'s smoke cell): the DDP fidelity error
+of a hybrid run against its pure-packet replay must stay within the
+epsilon knob (``--fidelity-gate``), and an ``epsilon=0`` run must be
+bit-identical to the pure path.  Both are correctness contracts, not
+throughput numbers, so neither baseline age nor host speed excuses
+them.  The smoke cell's pure/hybrid speedup rides along as an
+ordinary baseline-compared metric (``hybrid_smoke_speedup``).
+
     PYTHONPATH=src python benchmarks/check_regression.py
     PYTHONPATH=src python benchmarks/check_regression.py --out perf.json
 
@@ -59,6 +68,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
+import bench_hybrid  # noqa: E402
 import bench_sources  # noqa: E402
 import bench_sweep  # noqa: E402
 from bench_engine import (  # noqa: E402
@@ -112,7 +122,16 @@ DEFAULT_RSS_GATE_MB = 256.0
 ABSOLUTE_GATED_METRICS = (
     "packets_allocated_per_forwarded_packet",
     "sweep1k_coordinator_peak_rss_mb",
+    "hybrid_ddp_fidelity_error",
+    "hybrid_eps0_bit_identical",
 )
+
+#: Max mean relative per-class mean-delay error of the hybrid smoke
+#: cell against its pure-packet replay.  The hybrid engine's whole
+#: contract is "fluid fast-forward within the epsilon knob", so error
+#: beyond epsilon is a correctness failure, not a perf regression --
+#: it hard-fails regardless of baseline or host speed.
+DEFAULT_FIDELITY_GATE = bench_hybrid.BENCH_EPSILON
 
 
 def measure_packet_allocations() -> dict[str, float]:
@@ -297,6 +316,17 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--fidelity-gate",
+        type=float,
+        default=DEFAULT_FIDELITY_GATE,
+        help=(
+            "max DDP fidelity error of the hybrid smoke cell vs its "
+            f"pure-packet replay (default {DEFAULT_FIDELITY_GATE:g}, "
+            "the epsilon knob of the run itself; exceeding it means "
+            "the fluid segments drifted beyond their error bound)"
+        ),
+    )
+    parser.add_argument(
         "--rss-gate",
         type=float,
         default=DEFAULT_RSS_GATE_MB,
@@ -333,6 +363,12 @@ def main(argv: list[str] | None = None) -> int:
     allocations = measure_packet_allocations()
     metrics.update(allocations)
     metrics["sweep1k_coordinator_peak_rss_mb"] = measure_sweep_rss()
+    hybrid = bench_hybrid.smoke()
+    metrics["hybrid_smoke_speedup"] = hybrid["speedup"]
+    metrics["hybrid_ddp_fidelity_error"] = hybrid["fidelity_error"]
+    metrics["hybrid_eps0_bit_identical"] = float(
+        hybrid["epsilon0_bit_identical"]
+    )
 
     baseline = None
     if baseline_path is not None:
@@ -403,6 +439,33 @@ def main(argv: list[str] | None = None) -> int:
             f"{'sweep1k_coordinator_peak_rss_mb':>36}: {rss_mb:.1f} "
             f"(gate {args.rss_gate:g} MB)"
         )
+
+    # Two hybrid-engine gates, both absolute: the fluid segments must
+    # stay within the epsilon error bound, and epsilon=0 must reproduce
+    # the pure packet path bit-for-bit.
+    fidelity = metrics["hybrid_ddp_fidelity_error"]
+    if fidelity > args.fidelity_gate:
+        failed += 1
+        print(
+            f"::error::hybrid fidelity gate: DDP error {fidelity:.4f} "
+            f"vs the pure-packet replay (gate {args.fidelity_gate:g}) "
+            "-- the fluid segments drifted beyond their error bound"
+        )
+    else:
+        print(
+            f"{'hybrid_ddp_fidelity_error':>36}: {fidelity:.4f} "
+            f"(gate {args.fidelity_gate:g}; smoke speedup "
+            f"{hybrid['speedup']:.2f}x, fluid fraction "
+            f"{hybrid['fluid_time_fraction']:.2f})"
+        )
+    if not hybrid["epsilon0_bit_identical"]:
+        failed += 1
+        print(
+            "::error::hybrid epsilon=0 run is not bit-identical to the "
+            "pure packet path -- the planner's pure-packet contract broke"
+        )
+    else:
+        print(f"{'hybrid_eps0_bit_identical':>36}: True")
 
     if baseline is None:
         print("no committed BENCH_*.json baseline; skipping comparison")

@@ -39,6 +39,13 @@ Recorded metrics (events or packets per second, higher is better):
 * ``sweep_shard_speedup``         -- sharded / per-cell cells per second
 * ``sweep10k_cells_per_sec``      -- 10^4 tiny cells streamed through
   the ShardRunner consume path (one shot, not best-of-N)
+* ``hybrid_horizon_speedup``      -- pure-packet / hybrid wall-clock on
+  the long-horizon city cell from :mod:`bench_hybrid` (300 flows over
+  600 s, shared precompiled traces, one shot each)
+* ``hybrid_ddp_fidelity_error``   -- mean relative per-class mean-delay
+  error of that hybrid run against the pure run (lower is better;
+  gated absolutely against the epsilon knob, excluded from
+  ``vs_baseline``)
 * ``<process>_{scalar,compiled}_{arrivals,events}_per_sec`` -- source
   microbenchmarks from :mod:`bench_sources`
 
@@ -80,6 +87,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
+import bench_hybrid  # noqa: E402
 import bench_sources  # noqa: E402
 import bench_sweep  # noqa: E402
 from bench_engine import (  # noqa: E402
@@ -206,6 +214,12 @@ def collect(repeats: int, object_packets: bool = False) -> dict:
             "multihop_packets_per_sec": round(multihop, 1),
             "single_over_multihop": round(single / multihop, 4),
         }
+    # Hybrid fluid/packet engine: one shot (the pure-packet side of the
+    # long-horizon cell takes tens of seconds).  The detail section
+    # records the full comparison including the epsilon=0 bit-identity
+    # verdict -- the planner contract the differential harness pins.
+    hybrid = bench_hybrid.collect()
+    metrics.update(hybrid["metrics"])
     return {
         "date": datetime.date.today().isoformat(),
         "python": platform.python_version(),
@@ -215,7 +229,14 @@ def collect(repeats: int, object_packets: bool = False) -> dict:
         "metrics": {k: round(v, 4) for k, v in metrics.items()},
         "multihop_vs_single_hop": multihop_vs_single,
         "sweep_streaming": sweep_streaming,
+        "hybrid": hybrid["detail"],
     }
+
+
+#: Metrics where lower is better on an *absolute* scale (error rates):
+#: a ratio against an older record reads backwards, so they stay out
+#: of ``vs_baseline``.
+ABSOLUTE_METRICS = ("hybrid_ddp_fidelity_error",)
 
 
 def improvement(name: str, new: float, old: float) -> float:
@@ -264,7 +285,7 @@ def main(argv: list[str] | None = None) -> int:
         record["vs_baseline"] = {
             name: round(improvement(name, value, old[name]), 3)
             for name, value in record["metrics"].items()
-            if name in old
+            if name in old and name not in ABSOLUTE_METRICS
         }
     out = args.out
     if out is None:

@@ -231,6 +231,7 @@ def _city(
     checked: bool,
     compiled: bool,
     drain: bool,
+    hybrid=None,
 ) -> str:
     del compiled  # city traces are always block-compiled
     import dataclasses
@@ -241,7 +242,7 @@ def _city(
     grid = dataclasses.replace(
         grid,
         base=dataclasses.replace(
-            grid.base, check_invariants=checked, drain=drain
+            grid.base, check_invariants=checked, drain=drain, hybrid=hybrid
         ),
     ).scaled(scale)
     points = run_city(grid, runner=runner)
@@ -250,9 +251,7 @@ def _city(
     return format_city(points)
 
 
-_COMMANDS: dict[
-    str, Callable[[float, Optional[Path], SweepRunner, bool, bool, bool], str]
-] = {
+_COMMANDS: dict[str, Callable[..., str]] = {
     "figure1": _figure1,
     "figure2": _figure2,
     "figure3": _figure3,
@@ -348,6 +347,26 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--hybrid",
+        action="store_true",
+        help=(
+            "city only: run each cell through the hybrid fluid/packet "
+            "engine -- fluid fast-forward between transients, packet "
+            "simulation around them (cached separately via the config "
+            "fingerprint)"
+        ),
+    )
+    parser.add_argument(
+        "--hybrid-epsilon",
+        type=float,
+        default=0.05,
+        help=(
+            "error-bound knob for --hybrid: a stretch runs in fluid "
+            "mode only when its predicted error stays within this "
+            "bound; 0 forces pure packet mode (default: 0.05)"
+        ),
+    )
+    parser.add_argument(
         "--shard",
         action="store_true",
         help=(
@@ -388,6 +407,20 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--jobs must be >= 0")
     if args.shard_size < 0:
         parser.error("--shard-size must be >= 0")
+    if args.hybrid_epsilon < 0:
+        parser.error("--hybrid-epsilon must be >= 0")
+    hybrid_config = None
+    if args.hybrid:
+        if args.experiment != "city":
+            parser.error("--hybrid applies to the city experiment only")
+        if args.check_invariants:
+            parser.error(
+                "--hybrid and --check-invariants are mutually exclusive "
+                "(invariant checking needs the pure packet path)"
+            )
+        from .sim.hybrid import HybridConfig
+
+        hybrid_config = HybridConfig(epsilon=args.hybrid_epsilon)
 
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -421,6 +454,7 @@ def main(argv: list[str] | None = None) -> int:
                 args.check_invariants,
                 not args.scalar_arrivals,
                 not args.no_drain,
+                **({"hybrid": hybrid_config} if name == "city" else {}),
             )
             elapsed = time.perf_counter() - start
             print(output)

@@ -165,6 +165,7 @@ def run_multihop(
     config: MultiHopConfig,
     check_invariants: bool = False,
     compiled_arrivals: bool = True,
+    hybrid=None,
 ) -> MultiHopResult:
     """Simulate one Table 1 cell and return its user-experiment results.
 
@@ -181,7 +182,24 @@ def run_multihop(
     cursor spans every hop so the shared packet-id allocator hands out
     ids in the same global arrival order as the scalar path.
     ``compiled_arrivals=False`` keeps per-source scalar emission.
+
+    With ``hybrid`` (a :class:`~repro.sim.hybrid.HybridConfig` with
+    ``epsilon > 0``) the cross-traffic streams are *fast-forwarded*
+    over the measurement-free warm-up: every compiled source consumes
+    its random draws identically but emits nothing until
+    ``warmup - spinup``, so the calendar never sees the warm-up's
+    events.  The queues then re-warm packet-by-packet over the
+    ``spinup`` guard before the first user experiment launches at
+    ``warmup`` -- a regeneration-style cold handoff, no backlog
+    seeding.  Requires ``compiled_arrivals``; per-experiment delays are
+    statistically, not bit-, identical to the full run (skipped
+    arrivals keep their random draws but not their packet ids).
     """
+    if hybrid is not None and hybrid.epsilon > 0 and not compiled_arrivals:
+        raise ConfigurationError(
+            "hybrid fast-forward rides the compiled arrival path; "
+            "enable compiled_arrivals"
+        )
     sim = Simulator()
     streams = RandomStreams(config.seed)
     ids = PacketIdAllocator()
@@ -209,24 +227,25 @@ def run_multihop(
     # Cross-traffic: C sources per hop, each with Pareto gaps; rates
     # sized per hop so each link hits its own target utilization.
     cursor = ArrivalCursor(sim) if compiled_arrivals else None
+    cross_streams = []
     for hop, link in enumerate(links):
         gap = config.packet_size / config.cross_byte_rate_per_source_at(
             config.utilization_of_hop(hop)
         )
         for _ in range(config.cross_sources_per_hop):
             if cursor is not None:
-                cursor.add(
-                    CompiledMixedSource(
-                        link,
-                        ParetoInterarrivals(
-                            gap, config.pareto_shape, streams.generator()
-                        ),
-                        config.class_mix,
-                        config.packet_size,
-                        streams.generator(),
-                        ids=ids,
-                    )
+                stream = CompiledMixedSource(
+                    link,
+                    ParetoInterarrivals(
+                        gap, config.pareto_shape, streams.generator()
+                    ),
+                    config.class_mix,
+                    config.packet_size,
+                    streams.generator(),
+                    ids=ids,
                 )
+                cursor.add(stream)
+                cross_streams.append(stream)
             else:
                 source = MixedClassSource(
                     sim,
@@ -240,6 +259,10 @@ def run_multihop(
                     ids=ids,
                 )
                 source.start()
+    if hybrid is not None and hybrid.epsilon > 0:
+        skip_until = max(0.0, config.warmup - hybrid.spinup)
+        for stream in cross_streams:
+            stream.fast_forward(skip_until)
     if cursor is not None:
         cursor.start()
 

@@ -37,8 +37,10 @@ from ..sim.monitor import DelayMonitor
 from ..sim.rng import RandomStreams
 from ..traffic.pareto import ParetoInterarrivals
 from ..traffic.trace import ArrivalTrace, TraceSource, build_class_trace, merge_traces
+from ..sim.hybrid import HybridConfig
 from .generators import (
     TOPOLOGIES,
+    LoadShape,
     build_city_topology,
     flow_classes,
     heavy_tail_sizes,
@@ -85,6 +87,15 @@ class CityScenarioConfig:
     check_invariants: bool = False
     #: Busy-period drain kernel A/B switch for every link.
     drain: bool = True
+    #: Long-timescale load modulation applied to every flow's arrival
+    #: process (diurnal swing, flash crowd).  Part of the trace
+    #: identity: cells with different shapes never share traces.
+    load_shape: LoadShape = LoadShape()
+    #: Hybrid fluid/packet engine knobs; ``None`` (and ``epsilon=0``)
+    #: run the ordinary pure-packet path.  Flows into the runner cache
+    #: fingerprint like every other config field, so hybrid and pure
+    #: results never collide in the cache.
+    hybrid: Optional[HybridConfig] = None
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGIES:
@@ -106,6 +117,11 @@ class CityScenarioConfig:
                 raise ConfigurationError(f"utilizations must be in (0, 1): {rho}")
         if not 0 <= self.warmup < self.horizon:
             raise ConfigurationError("need 0 <= warmup < horizon")
+        if self.hybrid is not None and self.check_invariants:
+            raise ConfigurationError(
+                "invariant checking requires the pure packet path; "
+                "drop hybrid= or check_invariants"
+            )
 
     @property
     def num_classes(self) -> int:
@@ -137,6 +153,7 @@ _TRACE_FIELDS = (
     "horizon",
     "seed",
     "pareto_shape",
+    "load_shape",
 )
 
 
@@ -157,6 +174,14 @@ def compile_city_traces(config: CityScenarioConfig) -> list[ArrivalTrace]:
     """
     streams = RandomStreams(config.seed)
     classes = flow_classes(config.flows, config.class_mix)
+    shape = config.load_shape
+    # Load-shape modulation is a time warp: generate each flow as a
+    # *stationary* process over the internal horizon Lambda(horizon),
+    # then map arrival instants through Lambda^{-1}.  Instantaneous
+    # rate scales by the multiplier m(t) while per-flow burst structure
+    # (Pareto gaps, size marks) is preserved, and a flat shape is the
+    # identity -- bit-identical to the unmodulated compile.
+    build_horizon = shape.internal_horizon(config.horizon)
     per_branch: list[list[ArrivalTrace]] = [[] for _ in range(config.branches)]
     for index, class_id in enumerate(classes):
         gap_rng = streams.generator()
@@ -165,8 +190,14 @@ def compile_city_traces(config: CityScenarioConfig) -> list[ArrivalTrace]:
             class_id,
             ParetoInterarrivals(config.flow_gap, config.pareto_shape, gap_rng),
             heavy_tail_sizes(size_rng),
-            config.horizon,
+            build_horizon,
         )
+        if not shape.flat and len(trace):
+            warped = shape.warp_times(trace.times)
+            keep = int(np.searchsorted(warped, config.horizon, side="left"))
+            trace = ArrivalTrace(
+                warped[:keep], trace.class_ids[:keep], trace.sizes[:keep]
+            )
         per_branch[index % config.branches].append(trace)
     empty = np.empty(0, dtype=np.float64)
     return [
@@ -195,26 +226,36 @@ def city_summary(task: CityTask) -> dict:
     if any(trace is None for trace in traces):
         traces = compile_city_traces(config)
 
-    sim = Simulator()
-    entries, links, hub = build_city_topology(sim, config)
-    monitor = DelayMonitor(config.num_classes, warmup=config.warmup)
-    hub.add_monitor(monitor)
-    for branch, trace in enumerate(traces):
-        if len(trace):
-            TraceSource(
-                sim, entries[branch], trace,
-                first_packet_id=branch * 10_000_000,
-            ).start()
+    hybrid_summary: Optional[dict] = None
+    if config.hybrid is not None and config.hybrid.epsilon > 0:
+        from ..sim.hybrid import run_hybrid_city
 
-    if config.check_invariants:
-        from ..invariants import InvariantChecker
-
-        checkers = [InvariantChecker(link).attach() for link in links]
-        sim.run_checked(until=config.horizon)
-        for checker in checkers:
-            checker.finalize()
+        controller = run_hybrid_city(config, traces)
+        monitor = controller.monitor
+        hub_departures = controller.packet_departures
+        hybrid_summary = controller.summary()
     else:
-        sim.run(until=config.horizon)
+        sim = Simulator()
+        entries, links, hub = build_city_topology(sim, config)
+        monitor = DelayMonitor(config.num_classes, warmup=config.warmup)
+        hub.add_monitor(monitor)
+        for branch, trace in enumerate(traces):
+            if len(trace):
+                TraceSource(
+                    sim, entries[branch], trace,
+                    first_packet_id=branch * 10_000_000,
+                ).start()
+
+        if config.check_invariants:
+            from ..invariants import InvariantChecker
+
+            checkers = [InvariantChecker(link).attach() for link in links]
+            sim.run_checked(until=config.horizon)
+            for checker in checkers:
+                checker.finalize()
+        else:
+            sim.run(until=config.horizon)
+        hub_departures = hub.departures
 
     means = monitor.mean_delays()
     ratios = monitor.successive_ratios()
@@ -237,9 +278,10 @@ def city_summary(task: CityTask) -> dict:
         "fidelity_error": (
             sum(errors) / len(errors) if errors else float("nan")
         ),
-        "hub_departures": hub.departures,
+        "hub_departures": hub_departures,
         "class_counts": monitor.counts(),
         "checked": config.check_invariants,
+        "hybrid": hybrid_summary,
     }
 
 

@@ -23,6 +23,7 @@ Three deterministic building blocks:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -40,6 +41,8 @@ __all__ = [
     "CITY_SIZES",
     "CITY_SIZE_PROBS",
     "TOPOLOGIES",
+    "LOAD_SHAPES",
+    "LoadShape",
     "heavy_tail_sizes",
     "city_size_mean",
     "flow_classes",
@@ -55,6 +58,137 @@ CITY_SIZES = (40.0, 576.0, 1500.0, 4380.0, 9000.0)
 CITY_SIZE_PROBS = (0.45, 0.25, 0.2, 0.07, 0.03)
 
 TOPOLOGIES = ("star_of_chains", "fat_tree_lite")
+
+LOAD_SHAPES = ("flat", "diurnal", "flash_crowd")
+
+
+@dataclass(frozen=True)
+class LoadShape:
+    """Deterministic long-horizon load modulator ``m(t)``.
+
+    Modulates the stationary Pareto flow population by *time-warping*
+    arrival timestamps: a base trace generated on the "internal"
+    timeline ``u`` (stationary unit-multiplier rate) maps to the
+    modulated timeline through ``t = Lambda^{-1}(u)`` where
+    ``Lambda(t) = integral_0^t m(s) ds`` -- the classic inhomogeneous
+    thinning-free time change.  Warping is monotone, so per-flow and
+    merged traces stay time-sorted, and the same seeded base draws
+    produce the modulated workload bit-deterministically.
+
+    Kinds:
+
+    * ``flat`` -- ``m(t) = 1`` (identity; the default, and the only
+      shape that leaves traces untouched).
+    * ``diurnal`` -- ``m(t) = 1 + amplitude * sin(2*pi*t/period)``,
+      the sinusoidal day/night swing (``0 <= amplitude < 1`` keeps the
+      rate positive and ``Lambda`` invertible).
+    * ``flash_crowd`` -- ``m(t) = factor`` on ``[start, start +
+      duration)`` and 1 elsewhere: a step overload whose onset and
+      offset are exactly the transients the hybrid engine must bracket
+      in packet mode (:meth:`transient_edges`).
+    """
+
+    kind: str = "flat"
+    #: Diurnal swing: relative amplitude and period (time units).
+    amplitude: float = 0.5
+    period: float = 20_000.0
+    #: Flash crowd: onset, length, and rate multiplier of the step.
+    start: float = 0.0
+    duration: float = 0.0
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in LOAD_SHAPES:
+            raise ConfigurationError(
+                f"unknown load shape {self.kind!r}; choose from {LOAD_SHAPES}"
+            )
+        if self.kind == "diurnal":
+            if not 0 <= self.amplitude < 1:
+                raise ConfigurationError(
+                    f"diurnal amplitude must be in [0, 1): {self.amplitude}"
+                )
+            if self.period <= 0:
+                raise ConfigurationError(
+                    f"diurnal period must be positive: {self.period}"
+                )
+        if self.kind == "flash_crowd":
+            if self.start < 0 or self.duration < 0:
+                raise ConfigurationError(
+                    "flash crowd start and duration must be non-negative"
+                )
+            if self.factor <= 0:
+                raise ConfigurationError(
+                    f"flash crowd factor must be positive: {self.factor}"
+                )
+
+    @property
+    def flat(self) -> bool:
+        """True when the shape is the identity (no warping needed)."""
+        return self.kind == "flat" or (
+            self.kind == "diurnal" and self.amplitude == 0.0
+        ) or (
+            self.kind == "flash_crowd"
+            and (self.duration == 0.0 or self.factor == 1.0)
+        )
+
+    def multiplier(self, t):
+        """``m(t)`` -- the instantaneous rate multiplier (vectorized)."""
+        t = np.asarray(t, dtype=np.float64)
+        if self.kind == "diurnal":
+            return 1.0 + self.amplitude * np.sin(2.0 * np.pi * t / self.period)
+        if self.kind == "flash_crowd":
+            inside = (t >= self.start) & (t < self.start + self.duration)
+            return np.where(inside, self.factor, 1.0)
+        return np.ones_like(t)
+
+    def cumulative(self, t):
+        """``Lambda(t) = integral_0^t m(s) ds`` in closed form."""
+        t = np.asarray(t, dtype=np.float64)
+        if self.kind == "diurnal":
+            w = 2.0 * np.pi / self.period
+            return t + self.amplitude / w * (1.0 - np.cos(w * t))
+        if self.kind == "flash_crowd":
+            burst = np.clip(t - self.start, 0.0, self.duration)
+            return t + (self.factor - 1.0) * burst
+        return t
+
+    def internal_horizon(self, horizon: float) -> float:
+        """Length of base (internal-time) trace needed to cover
+        ``[0, horizon)`` after warping."""
+        return float(self.cumulative(horizon))
+
+    def warp_times(self, internal_times: np.ndarray) -> np.ndarray:
+        """Map internal-timeline arrivals ``u`` to ``Lambda^{-1}(u)``."""
+        u = np.asarray(internal_times, dtype=np.float64)
+        if self.flat:
+            return u
+        if self.kind == "flash_crowd":
+            s, d, f = self.start, self.duration, self.factor
+            knots_t = np.array([0.0, s, s + d])
+            knots_u = self.cumulative(knots_t)
+            t = np.interp(u, knots_u, knots_t)
+            tail = u > knots_u[-1]
+            if np.any(tail):
+                t = np.where(tail, knots_t[-1] + (u - knots_u[-1]), t)
+            return t
+        # Diurnal: Lambda is smooth with slope m(t) >= 1 - amplitude > 0;
+        # Newton from t = u converges in a handful of iterations and is
+        # fully deterministic (fixed iteration count + tolerance).
+        t = u.copy()
+        for _ in range(12):
+            residual = self.cumulative(t) - u
+            if float(np.abs(residual).max(initial=0.0)) < 1e-10:
+                break
+            t -= residual / self.multiplier(t)
+        return t
+
+    def transient_edges(self, horizon: float) -> tuple[float, ...]:
+        """Times where ``m`` is discontinuous -- hybrid packet anchors."""
+        if self.kind != "flash_crowd" or self.flat:
+            return ()
+        return tuple(
+            t for t in (self.start, self.start + self.duration) if 0.0 < t < horizon
+        )
 
 
 def heavy_tail_sizes(rng: np.random.Generator | None = None) -> DiscretePacketSizes:

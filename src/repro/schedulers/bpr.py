@@ -178,6 +178,10 @@ class FluidBPRTracker:
         """Instantaneously add ``amount`` bytes to a class backlog."""
         if amount < 0:
             raise ConfigurationError(f"amount must be non-negative: {amount}")
+        if not 0 <= class_id < len(self.sdps):
+            raise ConfigurationError(
+                f"class_id {class_id} out of range [0, {len(self.sdps)})"
+            )
         self.backlogs[class_id] += amount
 
     def advance(self, until: float) -> None:
@@ -224,8 +228,10 @@ def fluid_backlogs(
     with no further arrivals.
 
     Solves  sum_i q_i(0) * theta**s_i = Q(0) - R*elapsed  for theta by
-    bisection and returns q_i(0) * theta**s_i.  Raises if the system
-    would have emptied before ``elapsed``.
+    bisection and returns q_i(0) * theta**s_i.  An all-empty system
+    stays empty (zeros for any ``elapsed``); a *non-empty* system that
+    would have emptied strictly before ``elapsed`` raises, as does a
+    negative ``elapsed`` or non-positive ``capacity``.
     """
     q0 = [float(q) for q in initial]
     s = validate_sdps(sdps)
@@ -235,7 +241,13 @@ def fluid_backlogs(
         raise ConfigurationError(f"backlogs must be non-negative: {q0}")
     if capacity <= 0:
         raise ConfigurationError(f"capacity must be positive: {capacity}")
+    if elapsed < 0:
+        raise ConfigurationError(f"elapsed must be non-negative: {elapsed}")
     total0 = sum(q0)
+    if total0 == 0.0:
+        # An all-empty system stays empty: theta is undefined (any value
+        # satisfies the drain equation), but the trajectory is trivial.
+        return [0.0] * len(q0)
     target = total0 - capacity * elapsed
     if target < -tolerance * max(total0, 1.0):
         raise ConfigurationError(
@@ -262,7 +274,7 @@ def fluid_clearing_time(initial: Sequence[float], capacity: float) -> float:
     """Instant at which *all* fluid BPR queues empty (Proposition 1)."""
     if capacity <= 0:
         raise ConfigurationError(f"capacity must be positive: {capacity}")
-    total = sum(float(q) for q in initial)
-    if total < 0:
-        raise ConfigurationError("backlogs must be non-negative")
-    return total / capacity
+    backlogs = [float(q) for q in initial]
+    if any(q < 0 for q in backlogs):
+        raise ConfigurationError(f"backlogs must be non-negative: {backlogs}")
+    return sum(backlogs) / capacity

@@ -2,6 +2,7 @@
 
 from .engine import Simulator
 from .events import EventHandle
+from .hybrid import HybridConfig, HybridController, run_hybrid_city
 from .link import Link, PacketSink
 from .monitor import (
     BacklogSampler,
@@ -18,6 +19,9 @@ from .rng import RandomStreams
 __all__ = [
     "Simulator",
     "EventHandle",
+    "HybridConfig",
+    "HybridController",
+    "run_hybrid_city",
     "Link",
     "PacketSink",
     "BacklogSampler",

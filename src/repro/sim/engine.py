@@ -191,7 +191,7 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: Optional[float] = None) -> None:
+    def run(self, until: Optional[float] = None, hybrid: Any = None) -> None:
         """Run until the calendar drains or ``until`` is reached.
 
         When ``until`` is given, every event with ``time <= until`` is
@@ -199,6 +199,12 @@ class Simulator:
         fired earlier), mirroring classic DES semantics so that
         rate/interval statistics cover the full horizon.  Running to a
         horizon already in the past is rejected.
+
+        With ``hybrid`` set (a :class:`~repro.sim.hybrid.HybridController`)
+        the run is delegated to the hybrid fluid/packet engine: the
+        controller drives its own per-segment simulators and this
+        calendar stays untouched -- only the clock is advanced to the
+        horizon so callers see ordinary run semantics.
         """
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
@@ -206,6 +212,20 @@ class Simulator:
             raise SimulationError(
                 f"cannot run to a horizon in the past: {until} < now={self.now}"
             )
+        if hybrid is not None:
+            if self._heap:
+                raise SimulationError(
+                    "hybrid runs own their whole timeline; this simulator "
+                    "already has scheduled events"
+                )
+            self._running = True
+            try:
+                hybrid.run(until)
+            finally:
+                self._running = False
+            if until is not None and until > self.now:
+                self.now = until
+            return
         self._running = True
         self._run_until = math.inf if until is None else until
         # The fired-event count accumulates in a local and is flushed

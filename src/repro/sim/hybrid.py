@@ -1,0 +1,873 @@
+"""Hybrid fluid/packet engine: fluid fast-forward between transients.
+
+The paper's steady-state results describe exactly the regimes where
+packet-by-packet simulation is the wrong altitude.  During a "boring"
+interval -- no source onsets/offsets, no load-shape edges, no sustained
+rate jump -- the hub's *aggregate* behaviour is fully determined by its
+arrival trace through the FCFS workload process, and the per-class
+split is pinned by the conservation law:
+
+    sum_i lambda_i * d_i = lambda * d(lambda)                    (Eq 5)
+
+so a fluid segment needs no event loop at all:
+
+* **Aggregate (exact).**  The mean aggregate queueing delay over the
+  segment is the Lindley recursion over the segment's arrivals
+  (:func:`~repro.core.conservation.fcfs_waiting_times`) -- a vectorized
+  O(n) numpy pass instead of ~n heap events, which is where the >=10x
+  wall-clock comes from.  Carried-in backlog enters as one virtual
+  arrival of the backlog's total bytes at the segment start, so the
+  workload trajectory (including its terminal value, the carried-out
+  backlog) is exact, not an ODE discretization.
+* **Per-class (model).**  The aggregate mean is distributed across
+  classes by a scheduler-specific *fluid map* that satisfies Eq 5
+  exactly: equal delays for FCFS, inverse-SDP proportional delays for
+  WTP and BPR (Eq 6, the proportional model both approach in heavy
+  load), and the successive-subset decomposition for strict priority
+  (class-filtered Lindley replays, the Eq 7 telescope).  Once the run
+  has packet-measured per-class means (the calibration spin-up), the
+  map switches to *measured* split coefficients projected back onto
+  Eq 5 -- self-calibrating to the scheduler's actual differentiation
+  at the operating point.
+* **Arrival-free stretches** drain analytically: BPR through
+  :class:`~repro.schedulers.bpr.FluidBPRTracker` (Proposition 1's
+  closed form), strict priority top-down, FCFS/WTP proportionally,
+  with :func:`~repro.schedulers.bpr.fluid_clearing_time` bounding the
+  drain.
+
+Packet mode runs the ordinary drain-kernel simulation on the real
+topology around every transient: startup + warm-up + calibration,
+guard bands at each envelope change point and load-shape edge, and any
+stretch whose *predicted fluid error* -- the coefficient of variation
+of the binned aggregate rate, a direct stationarity measure -- exceeds
+the error-bound knob ``epsilon``.  ``epsilon = 0`` therefore forces
+packet mode everywhere and the controller short-circuits to the
+unmodified pure-packet path (bit-identical to an evented run by
+construction; asserted in :mod:`tests.differential`).
+
+Handoff contract (see DESIGN.md):
+
+* **packet -> fluid** happens at a *regeneration point*: the packet
+  segment is extended past its planned boundary until every link goes
+  idle (at rho < 1 busy periods end quickly), so the fluid segment
+  starts from zero backlog -- an exact handoff.  If no idle instant
+  appears within ``regen_window`` (sustained overload), the per-class
+  backlog is read from the queues via
+  :meth:`~repro.sim.link.Link.backlog_snapshot` and carried into the
+  fluid state.
+* **fluid -> packet** symmetrically prefers the last Lindley
+  zero-wait arrival near the boundary (idle handoff, empty queues);
+  otherwise the terminal fluid backlog is materialized as synthetic
+  packets with backdated arrivals reflecting the fluid delay estimate
+  and injected through :meth:`~repro.sim.link.Link.seed_backlog`.
+
+Wall-clock wiring: :meth:`Simulator.run(hybrid=...)
+<repro.sim.engine.Simulator.run>` delegates a whole run to a
+:class:`HybridController`; :func:`repro.scenarios.city.city_summary`
+builds one when the cell config carries a :class:`HybridConfig`;
+``repro.cli city --hybrid`` and the :class:`ShardRunner` sweeps flow
+through that config field (which also lands in the runner cache
+fingerprint automatically -- hybrid and pure cells never collide).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+import numpy as np
+
+# NOTE: repro.core.conservation and repro.schedulers.bpr are imported
+# lazily inside the functions that use them: repro.core pulls in
+# repro.traffic, which pulls in this package's __init__ -- a top-level
+# import here would close that cycle during interpreter start-up.
+from ..errors import ConfigurationError
+from .engine import Simulator
+from .monitor import DelayMonitor
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scenarios.city import CityScenarioConfig
+    from ..traffic.trace import ArrivalTrace
+
+__all__ = [
+    "FLUID_SCHEDULERS",
+    "HybridConfig",
+    "Segment",
+    "FluidWindowResult",
+    "fluid_split",
+    "fluid_window",
+    "drain_idle",
+    "plan_segments",
+    "HybridController",
+    "run_hybrid_city",
+]
+
+#: Schedulers with a defined fluid per-class delay map.
+FLUID_SCHEDULERS = ("fcfs", "wtp", "bpr", "strict")
+
+#: Packet-measured samples per class required before the calibrated
+#: (measured-split) fluid map replaces the analytic one.
+_CALIBRATION_SAMPLES = 50
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """Hybrid-engine knobs.  Time fields share the scenario's unit (ms).
+
+    ``epsilon`` is the error-bound knob: a candidate fluid stretch runs
+    in fluid mode only when its predicted error -- the coefficient of
+    variation of the binned aggregate arrival rate, a stationarity
+    proxy validated against full packet-level golden runs -- stays at
+    or below ``epsilon``.  ``epsilon = 0`` rejects every stretch and
+    the run short-circuits to the unmodified pure-packet path.
+    """
+
+    epsilon: float = 0.05
+    #: Envelope bin width for rate estimation and transient detection.
+    bin_width: float = 250.0
+    #: Relative aggregate-rate jump flagged as a transient.
+    rate_jump: float = 0.25
+    #: Packet-mode guard band on each side of every transient.
+    guard: float = 500.0
+    #: Packet-mode calibration span after warm-up (measures the
+    #: per-class split the calibrated fluid map projects onto Eq 5).
+    spinup: float = 2000.0
+    #: Minimum span worth switching to fluid for.
+    min_fluid: float = 2000.0
+    #: How far past a boundary to search for an idle regeneration
+    #: instant before falling back to backlog seeding.
+    regen_window: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ConfigurationError(
+                f"epsilon must be non-negative: {self.epsilon}"
+            )
+        for name in ("bin_width", "rate_jump", "spinup", "min_fluid"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        for name in ("guard", "regen_window"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One planned interval of the run, in one mode."""
+
+    start: float
+    end: float
+    mode: str  # "packet" | "fluid"
+
+    @property
+    def span(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class FluidWindowResult:
+    """Outcome of one fluid window evaluation."""
+
+    d_agg: float
+    delays: list[float]
+    counts: list[int]
+    end_backlogs: list[float]
+    #: Where the window actually ended: the boundary, or an earlier
+    #: idle regeneration instant when one was requested and found.
+    handoff_time: float
+    #: True when the window ended at an idle instant (empty handoff).
+    regenerated: bool
+    #: Arrivals NOT consumed (deferred past ``handoff_time``).
+    deferred: int = 0
+
+
+# ----------------------------------------------------------------------
+# Fluid per-class delay maps (Eq 5)
+# ----------------------------------------------------------------------
+def fluid_split(
+    scheduler: str,
+    sdps: Sequence[float],
+    counts: Sequence[int],
+    d_agg: float,
+    calibration: Optional[Sequence[float]] = None,
+) -> list[float]:
+    """Per-class mean delays satisfying Eq 5 for a stationary window.
+
+    The aggregate mean ``d_agg`` (exact, from the Lindley replay) is
+    split as ``d_i = c_i * K`` with ``K`` chosen so that
+    ``sum_i n_i d_i = n * d_agg`` holds exactly.  The split
+    coefficients ``c_i`` are the *measured* per-class means when a
+    calibration vector is supplied (projecting the scheduler's actual
+    differentiation onto the conservation law), else the analytic
+    fluid model: ``1`` for FCFS (one shared queueing delay) and
+    ``1/s_i`` for WTP and BPR (Eq 6's proportional model, which both
+    schedulers approach in heavy load -- BPR exactly in the fluid
+    limit of Proposition 1).  Strict priority has no rate-free split
+    and is handled by :func:`fluid_window` via successive subsets.
+    """
+    if scheduler == "strict":
+        raise ConfigurationError(
+            "strict priority needs the successive-subset map; "
+            "use fluid_window"
+        )
+    if scheduler not in FLUID_SCHEDULERS:
+        raise ConfigurationError(
+            f"no fluid map for scheduler {scheduler!r}; "
+            f"choose from {FLUID_SCHEDULERS}"
+        )
+    if len(counts) != len(sdps):
+        raise ConfigurationError("one arrival count per class required")
+    if calibration is not None:
+        coeffs = [float(c) for c in calibration]
+        if len(coeffs) != len(sdps) or any(
+            not math.isfinite(c) or c <= 0 for c in coeffs
+        ):
+            raise ConfigurationError(
+                f"calibration must be positive and finite per class: {coeffs}"
+            )
+    elif scheduler == "fcfs":
+        coeffs = [1.0] * len(sdps)
+    else:  # wtp / bpr: proportional model, d_i proportional to 1/s_i
+        coeffs = [1.0 / s for s in sdps]
+    weighted = sum(n * c for n, c in zip(counts, coeffs))
+    total = sum(counts)
+    if total == 0 or weighted <= 0:
+        return [math.nan] * len(sdps)
+    scale = total * d_agg / weighted
+    return [c * scale for c in coeffs]
+
+
+def drain_idle(
+    scheduler: str,
+    sdps: Sequence[float],
+    capacity: float,
+    backlogs: Sequence[float],
+    span: float,
+) -> list[float]:
+    """Advance carried backlogs through an arrival-free fluid stretch.
+
+    BPR follows Proposition 1's closed form
+    (:class:`~repro.schedulers.bpr.FluidBPRTracker`); strict priority
+    depletes top class down; FCFS and WTP drain proportionally (the
+    uniform-theta fluid, exact for FCFS backlog whose per-class
+    composition is uniform in arrival order).  All disciplines clear
+    simultaneously at :func:`fluid_clearing_time` -- work conservation
+    fixes the total; only the per-class composition differs.
+    """
+    from ..schedulers.bpr import FluidBPRTracker, fluid_clearing_time
+
+    if span < 0:
+        raise ConfigurationError(f"span must be non-negative: {span}")
+    backlogs = [float(q) for q in backlogs]
+    total = sum(backlogs)
+    if total <= 0:
+        return [0.0] * len(backlogs)
+    if span >= fluid_clearing_time(backlogs, capacity):
+        return [0.0] * len(backlogs)
+    if scheduler == "bpr":
+        tracker = FluidBPRTracker(sdps, capacity)
+        for cid, amount in enumerate(backlogs):
+            tracker.add_fluid(cid, amount)
+        tracker.advance(span)
+        return list(tracker.backlogs)
+    if scheduler == "strict":
+        budget = capacity * span
+        out = list(backlogs)
+        for cid in range(len(out) - 1, -1, -1):
+            served = min(out[cid], budget)
+            out[cid] -= served
+            budget -= served
+            if budget <= 0:
+                break
+        return out
+    drained_fraction = 1.0 - capacity * span / total
+    return [q * drained_fraction for q in backlogs]
+
+
+# ----------------------------------------------------------------------
+# Fluid window evaluation
+# ----------------------------------------------------------------------
+def _terminal_workload(
+    times: np.ndarray, sizes: np.ndarray, capacity: float, end: float
+) -> float:
+    """Unfinished work (time units) of a FCFS server at ``end``.
+
+    ``V(end) = max(0, max_k (sum_{j>=k} S_j / C - (end - t_k)))`` --
+    the reversed-cumsum dual of the Lindley walk, exact for any
+    work-conserving discipline (the workload process is
+    discipline-independent).
+    """
+    if not len(times):
+        return 0.0
+    tail_work = np.cumsum((sizes / capacity)[::-1])[::-1]
+    return float(max(0.0, (tail_work - (end - times)).max()))
+
+
+def fluid_window(
+    times: np.ndarray,
+    class_ids: np.ndarray,
+    sizes: np.ndarray,
+    num_classes: int,
+    capacity: float,
+    start: float,
+    end: float,
+    scheduler: str,
+    sdps: Sequence[float],
+    carried: Sequence[float],
+    calibration: Optional[Sequence[float]] = None,
+    regen_window: float = 0.0,
+) -> FluidWindowResult:
+    """Evaluate one fluid segment over the arrivals in ``[start, end)``.
+
+    ``times``/``class_ids``/``sizes`` are the segment's slice of the
+    monitored link's offered trace; ``carried`` is the per-class byte
+    backlog handed over at ``start``.  With ``regen_window > 0`` the
+    window prefers to *end early* at the last idle (zero-wait) arrival
+    within ``regen_window`` of ``end``: arrivals at and after that
+    instant are deferred to the following packet segment, which then
+    starts from genuinely empty queues.
+    """
+    from ..core.conservation import fcfs_waiting_times
+
+    if scheduler not in FLUID_SCHEDULERS:
+        raise ConfigurationError(
+            f"no fluid map for scheduler {scheduler!r}; "
+            f"choose from {FLUID_SCHEDULERS}"
+        )
+    carried = [float(q) for q in carried]
+    if len(carried) != num_classes:
+        raise ConfigurationError("one carried backlog per class required")
+    carried_total = sum(carried)
+    empty = [0.0] * num_classes
+    if not len(times):
+        drained = drain_idle(scheduler, sdps, capacity, carried, end - start)
+        return FluidWindowResult(
+            d_agg=math.nan,
+            delays=[math.nan] * num_classes,
+            counts=[0] * num_classes,
+            end_backlogs=drained,
+            handoff_time=end,
+            regenerated=sum(drained) == 0.0,
+        )
+
+    # Aggregate Lindley replay; carried backlog enters as one virtual
+    # arrival of its total bytes at the window start.
+    if carried_total > 0:
+        lindley_times = np.concatenate(([start], times))
+        lindley_sizes = np.concatenate(([carried_total], sizes))
+        offset = 1
+    else:
+        lindley_times = times
+        lindley_sizes = sizes
+        offset = 0
+    waits = fcfs_waiting_times(lindley_times, lindley_sizes, capacity)
+
+    # Regeneration: last real arrival with zero wait near the boundary
+    # (the Lindley walk hits an exact float 0.0 at every new minimum).
+    cut = len(times)
+    regenerated = False
+    if regen_window > 0:
+        lo = int(np.searchsorted(times, end - regen_window, side="left"))
+        zero = np.flatnonzero(waits[offset + lo :] == 0.0)
+        if len(zero):
+            cut = lo + int(zero[-1])
+            regenerated = True
+
+    real_waits = waits[offset : offset + cut]
+    window_classes = class_ids[:cut]
+    counts = np.bincount(window_classes, minlength=num_classes).tolist()
+    d_agg = float(real_waits.mean()) if cut else math.nan
+
+    if scheduler == "strict":
+        delays = _strict_subset_delays(
+            times[:cut], window_classes, sizes[:cut],
+            num_classes, capacity, start, carried,
+        )
+    else:
+        delays = fluid_split(scheduler, sdps, counts, d_agg, calibration)
+
+    if regenerated:
+        return FluidWindowResult(
+            d_agg=d_agg,
+            delays=delays,
+            counts=counts,
+            end_backlogs=empty,
+            handoff_time=float(times[cut]),
+            regenerated=True,
+            deferred=len(times) - cut,
+        )
+    terminal = _terminal_workload(lindley_times, lindley_sizes, capacity, end)
+    return FluidWindowResult(
+        d_agg=d_agg,
+        delays=delays,
+        counts=counts,
+        end_backlogs=_split_backlog(
+            terminal * capacity, counts, sizes, window_classes,
+            delays, carried, num_classes,
+        ),
+        handoff_time=end,
+        regenerated=False,
+    )
+
+
+def _strict_subset_delays(
+    times: np.ndarray,
+    class_ids: np.ndarray,
+    sizes: np.ndarray,
+    num_classes: int,
+    capacity: float,
+    start: float,
+    carried: Sequence[float],
+) -> list[float]:
+    """Strict-priority per-class means via successive subsets (Eq 7).
+
+    Higher class id preempts lower (non-preemptively) here, so class
+    ``i`` sees exactly the FCFS system of classes ``>= i``:
+    ``n_i d_i = R_{>=i} - R_{>i}`` with ``R_{>=i}`` the total wait of
+    the subset replay -- Eq 5 holds per subset, so the per-class
+    telescope is conservation-exact by construction.
+    """
+    from ..core.conservation import fcfs_waiting_times
+
+    totals = [0.0] * (num_classes + 1)
+    for lowest in range(num_classes - 1, -1, -1):
+        mask = class_ids >= lowest
+        sub_times = times[mask]
+        sub_sizes = sizes[mask]
+        carried_sub = sum(carried[lowest:])
+        if carried_sub > 0:
+            sub_times = np.concatenate(([start], sub_times))
+            sub_sizes = np.concatenate(([carried_sub], sub_sizes))
+            waits = fcfs_waiting_times(sub_times, sub_sizes, capacity)[1:]
+        else:
+            waits = fcfs_waiting_times(sub_times, sub_sizes, capacity)
+        totals[lowest] = float(waits.sum())
+    counts = np.bincount(class_ids, minlength=num_classes)
+    delays = []
+    for cid in range(num_classes):
+        if counts[cid]:
+            # Clamp: subset totals are each exact but their difference
+            # can go slightly negative on near-empty classes.
+            delays.append(max(totals[cid] - totals[cid + 1], 0.0) / counts[cid])
+        else:
+            delays.append(math.nan)
+    return delays
+
+
+def _split_backlog(
+    total_bytes: float,
+    counts: Sequence[int],
+    sizes: np.ndarray,
+    class_ids: np.ndarray,
+    delays: Sequence[float],
+    carried: Sequence[float],
+    num_classes: int,
+) -> list[float]:
+    """Per-class composition of a terminal backlog (Little's-law split:
+    waiting bytes of class i scale with its byte rate times its delay;
+    falls back to the carried proportions, then uniform)."""
+    if total_bytes <= 0:
+        return [0.0] * num_classes
+    weights = []
+    for cid in range(num_classes):
+        byte_mass = float(sizes[class_ids == cid].sum()) if counts[cid] else 0.0
+        d = delays[cid]
+        weights.append(byte_mass * d if byte_mass and math.isfinite(d) else 0.0)
+    if sum(weights) <= 0:
+        weights = [float(q) for q in carried]
+    if sum(weights) <= 0:
+        weights = [1.0] * num_classes
+    scale = total_bytes / sum(weights)
+    return [w * scale for w in weights]
+
+
+# ----------------------------------------------------------------------
+# Segment planner
+# ----------------------------------------------------------------------
+def plan_segments(
+    horizon: float,
+    warmup: float,
+    hybrid: HybridConfig,
+    transients: Sequence[float],
+    predicted_error: Callable[[float, float], float],
+) -> list[Segment]:
+    """Alternating packet/fluid plan for ``[0, horizon)``.
+
+    Packet mode is forced on ``[0, warmup + spinup]`` (startup +
+    warm-up edge + calibration) and on ``guard``-wide bands around
+    every transient; the gaps between forced intervals become fluid
+    *candidates*, accepted only when they span at least ``min_fluid``
+    and ``predicted_error(t0, t1) <= epsilon``.  With ``epsilon = 0``
+    the single returned segment is pure packet.
+    """
+    if horizon <= 0:
+        raise ConfigurationError(f"horizon must be positive: {horizon}")
+    whole = [Segment(0.0, horizon, "packet")]
+    if hybrid.epsilon <= 0:
+        return whole
+    forced: list[tuple[float, float]] = [
+        (0.0, min(horizon, warmup + hybrid.spinup))
+    ]
+    for t in sorted(transients):
+        if 0.0 < t < horizon:
+            forced.append(
+                (max(0.0, t - hybrid.guard), min(horizon, t + hybrid.guard))
+            )
+    forced.sort()
+    merged = [list(forced[0])]
+    for lo, hi in forced[1:]:
+        if lo <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], hi)
+        else:
+            merged.append([lo, hi])
+
+    segments: list[Segment] = []
+    cursor = 0.0
+    boundaries = merged + [[horizon, horizon]]
+    for lo, hi in boundaries:
+        if cursor < lo:  # gap between forced intervals: fluid candidate
+            accept = (
+                lo - cursor >= hybrid.min_fluid
+                and predicted_error(cursor, lo) <= hybrid.epsilon
+            )
+            segments.append(Segment(cursor, lo, "fluid" if accept else "packet"))
+        cursor = max(cursor, min(hi, horizon))
+        if cursor < horizon and hi >= lo and lo < horizon:
+            start = max(lo, segments[-1].end if segments else 0.0)
+            if start < cursor:
+                segments.append(Segment(start, cursor, "packet"))
+        if cursor >= horizon:
+            break
+    if not segments or segments[-1].end < horizon:
+        segments.append(
+            Segment(segments[-1].end if segments else 0.0, horizon, "packet")
+        )
+    # Coalesce adjacent same-mode segments.
+    out: list[Segment] = []
+    for seg in segments:
+        if seg.span <= 0:
+            continue
+        if out and out[-1].mode == seg.mode and out[-1].end == seg.start:
+            out[-1] = Segment(out[-1].start, seg.end, seg.mode)
+        else:
+            out.append(seg)
+    return out or whole
+
+
+# ----------------------------------------------------------------------
+# Controller
+# ----------------------------------------------------------------------
+class HybridController:
+    """Drives one city cell through alternating packet/fluid segments.
+
+    Owns the run's single :class:`DelayMonitor`: packet segments build
+    a fresh topology (so no stale calendar state crosses a handoff)
+    and attach it to the hub; fluid segments credit their Eq 5 class
+    means into the same streaming stats.  ``Simulator.run(hybrid=ctrl)``
+    delegates whole-run control here.
+    """
+
+    def __init__(
+        self,
+        config: "CityScenarioConfig",
+        traces: Sequence["ArrivalTrace"],
+    ) -> None:
+        from ..scenarios.generators import total_byte_rate
+
+        hybrid = config.hybrid
+        if hybrid is None:
+            raise ConfigurationError("config.hybrid must be set")
+        if hybrid.epsilon > 0 and config.scheduler not in FLUID_SCHEDULERS:
+            raise ConfigurationError(
+                f"hybrid fluid maps exist only for {FLUID_SCHEDULERS}; "
+                f"got {config.scheduler!r} (set epsilon=0 for pure packet)"
+            )
+        self.config = config
+        self.hybrid = hybrid
+        self.traces = list(traces)
+        self.capacity = total_byte_rate(config) / config.utilization
+        self.monitor = DelayMonitor(config.num_classes, warmup=config.warmup)
+        self.timeline: list[dict] = []
+        self.packet_departures = 0
+        self.fluid_credited = 0
+        self.seeded_packets = 0
+        self._carried = [0.0] * config.num_classes
+        self._last_delays: list[float] = [math.nan] * config.num_classes
+        self._hub_trace: Optional["ArrivalTrace"] = None
+        self._seed_serial = 0
+
+    # -- derived inputs -------------------------------------------------
+    @property
+    def hub_trace(self) -> "ArrivalTrace":
+        """All branch traces merged: the hub's offered arrival stream."""
+        if self._hub_trace is None:
+            from ..traffic.trace import ArrivalTrace, merge_traces
+
+            live = [t for t in self.traces if len(t)]
+            if live:
+                self._hub_trace = merge_traces(live)
+            else:
+                empty = np.empty(0)
+                self._hub_trace = ArrivalTrace(
+                    empty, np.empty(0, dtype=np.int64), empty.copy()
+                )
+        return self._hub_trace
+
+    def plan(self, horizon: float) -> list[Segment]:
+        """The segment plan for this cell (envelope-driven)."""
+        from ..traffic.compile import RateEnvelope
+
+        trace = self.hub_trace
+        envelope = RateEnvelope.from_arrays(
+            trace.times, trace.class_ids, trace.sizes,
+            horizon, self.hybrid.bin_width, self.config.num_classes,
+        )
+        agg = envelope.aggregate_byte_rates()
+        edges = envelope.edges
+
+        def predicted_error(t0: float, t1: float) -> float:
+            # Coefficient of variation of the window's aggregate byte
+            # rate over ~8 coarse chunks.  Coarse on purpose: the
+            # aggregate inside a fluid window is an *exact* Lindley
+            # replay, so fine-timescale burstiness costs nothing --
+            # only macroscopic rate drift (non-stationarity) degrades
+            # the per-class split model, and that is what chunk-scale
+            # CV measures, independent of the envelope bin width.
+            lo = bisect_right(edges.tolist(), t0) - 1
+            hi = max(lo + 1, bisect_left(edges.tolist(), t1))
+            window = agg[max(lo, 0) : hi]
+            if not len(window):
+                return 0.0  # an idle stretch drains analytically
+            chunks = np.array_split(window, min(8, len(window)))
+            means = np.array([float(chunk.mean()) for chunk in chunks])
+            grand = float(means.mean())
+            if grand <= 0:
+                return 0.0
+            return float(means.std()) / grand
+
+        transients = list(envelope.change_points(self.hybrid.rate_jump))
+        transients.extend(self.config.load_shape.transient_edges(horizon))
+        return plan_segments(
+            horizon, self.config.warmup, self.hybrid, transients,
+            predicted_error,
+        )
+
+    # -- run ------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> "HybridController":
+        """Execute the plan up to ``until`` (default: the horizon)."""
+        horizon = self.config.horizon if until is None else min(
+            until, self.config.horizon
+        )
+        plan = self.plan(horizon)
+        cursor = 0.0
+        for index, segment in enumerate(plan):
+            if cursor >= segment.end:
+                continue
+            start = max(cursor, segment.start)
+            if segment.mode == "fluid":
+                cursor = self._run_fluid(start, segment.end)
+            else:
+                next_is_fluid = (
+                    index + 1 < len(plan) and plan[index + 1].mode == "fluid"
+                )
+                cursor = self._run_packet(start, segment.end, next_is_fluid)
+        return self
+
+    # -- packet segments ------------------------------------------------
+    def _run_packet(self, start: float, end: float, seek_regen: bool) -> float:
+        """One packet-mode segment on a fresh topology; returns the
+        actual handoff time (``end``, or the idle instant past it)."""
+        from ..scenarios.generators import build_city_topology
+        from ..traffic.trace import ArrivalTrace, TraceSource
+
+        config = self.config
+        sim = Simulator()
+        entries, links, hub = build_city_topology(sim, config)
+        hub.add_monitor(self.monitor)
+
+        if sum(self._carried) > 0:
+            seeds = self._build_seeds(start)
+            if seeds:
+                sim.schedule(start, hub.seed_backlog, seeds)
+        # Feed each branch its slice; extend past the boundary by the
+        # regeneration search window so the handoff has live traffic.
+        feed_end = end + (self.hybrid.regen_window if seek_regen else 0.0)
+        fed = 0
+        for branch, trace in enumerate(self.traces):
+            lo = int(np.searchsorted(trace.times, start, side="left"))
+            hi = int(np.searchsorted(trace.times, feed_end, side="left"))
+            if hi <= lo:
+                continue
+            piece = ArrivalTrace(
+                trace.times[lo:hi], trace.class_ids[lo:hi], trace.sizes[lo:hi]
+            )
+            TraceSource(
+                sim, entries[branch], piece,
+                first_packet_id=branch * 10_000_000,
+            ).start()
+            fed += hi - lo
+
+        departures_before = hub.departures
+        sim.run(until=end)
+        handoff = end
+        self._carried = [0.0] * config.num_classes
+        if seek_regen:
+            deadline = end + self.hybrid.regen_window
+            while any(link.busy for link in links):
+                key = sim.peek_key()
+                if key is None or key[0] > deadline:
+                    break
+                sim.step()
+            if any(link.busy for link in links):
+                # No regeneration point: read the backlog out instead.
+                handoff = max(sim.now, end)
+                carried = [0.0] * config.num_classes
+                for link in links:
+                    for cid, q in enumerate(link.backlog_snapshot(handoff)):
+                        carried[cid] += q
+                self._carried = carried
+            else:
+                handoff = max(sim.now, end)
+        self.packet_departures += hub.departures - departures_before
+        self.timeline.append(
+            {
+                "mode": "packet",
+                "start": start,
+                "end": handoff,
+                "arrivals": fed,
+                "seeded": self._seed_serial,
+            }
+        )
+        return handoff
+
+    def _build_seeds(self, start: float) -> list[Packet]:
+        """Materialize the carried fluid backlog as synthetic packets.
+
+        Per class, the backlog becomes ``round(q / mean_size)`` equal
+        packets whose arrival stamps are backdated over the class's
+        estimated delay -- the age profile a FIFO queue in steady state
+        would show -- so head-age schedulers resume with sane
+        priorities and the seeds' measured delays reproduce the fluid
+        estimate they came from.
+        """
+        trace = self.hub_trace
+        packets: list[Packet] = []
+        for cid, backlog in enumerate(self._carried):
+            if backlog <= 0:
+                continue
+            class_sizes = trace.sizes[trace.class_ids == cid]
+            mean_size = float(class_sizes.mean()) if len(class_sizes) else 1000.0
+            count = max(1, int(round(backlog / mean_size)))
+            size = backlog / count
+            est = self._last_delays[cid]
+            if not math.isfinite(est) or est <= 0:
+                est = backlog / self.capacity
+            for k in range(count):
+                arrived = start - est + est * (k + 1.0) / (count + 1.0)
+                packet = Packet(
+                    packet_id=990_000_000 + self._seed_serial,
+                    class_id=cid,
+                    size=size,
+                    created_at=arrived,
+                )
+                self._seed_serial += 1
+                packets.append(packet)
+        packets.sort(key=lambda p: p.arrived_at)
+        self.seeded_packets += len(packets)
+        return packets
+
+    # -- fluid segments -------------------------------------------------
+    def _calibration(self) -> Optional[list[float]]:
+        """Measured per-class means, once every class has enough
+        packet-mode samples to trust."""
+        stats = self.monitor.stats
+        if all(s.count >= _CALIBRATION_SAMPLES for s in stats):
+            means = [s.mean for s in stats]
+            if all(math.isfinite(m) and m > 0 for m in means):
+                return means
+        return None
+
+    def _run_fluid(self, start: float, end: float) -> float:
+        """One fluid segment; returns the actual handoff time."""
+        config = self.config
+        trace = self.hub_trace
+        lo = int(np.searchsorted(trace.times, start, side="left"))
+        hi = int(np.searchsorted(trace.times, end, side="left"))
+        result = fluid_window(
+            trace.times[lo:hi],
+            trace.class_ids[lo:hi],
+            trace.sizes[lo:hi],
+            config.num_classes,
+            self.capacity,
+            start,
+            end,
+            config.scheduler,
+            config.sdps,
+            self._carried,
+            calibration=self._calibration(),
+            regen_window=self.hybrid.regen_window,
+        )
+        credited = 0
+        for cid, (n, d) in enumerate(zip(result.counts, result.delays)):
+            if n and math.isfinite(d):
+                stats = self.monitor.stats[cid]
+                stats.count += n
+                stats.total += n * d
+                stats.total_sq += n * d * d
+                if d < stats.min:
+                    stats.min = d
+                if d > stats.max:
+                    stats.max = d
+                credited += n
+                self._last_delays[cid] = d
+        self.fluid_credited += credited
+        self._carried = list(result.end_backlogs)
+        self.timeline.append(
+            {
+                "mode": "fluid",
+                "start": start,
+                "end": result.handoff_time,
+                "arrivals": credited,
+                "deferred": result.deferred,
+                "regenerated": result.regenerated,
+                "d_agg": result.d_agg,
+            }
+        )
+        return result.handoff_time
+
+    # -- reporting ------------------------------------------------------
+    def summary(self) -> dict:
+        """Mode-timeline roll-up for the cell summary."""
+        fluid_span = sum(
+            t["end"] - t["start"] for t in self.timeline if t["mode"] == "fluid"
+        )
+        total_span = self.timeline[-1]["end"] if self.timeline else 0.0
+        return {
+            "epsilon": self.hybrid.epsilon,
+            "segments": len(self.timeline),
+            "fluid_time_fraction": (
+                fluid_span / total_span if total_span else 0.0
+            ),
+            "packet_departures": self.packet_departures,
+            "fluid_credited": self.fluid_credited,
+            "seeded_packets": self.seeded_packets,
+            "timeline": self.timeline,
+        }
+
+
+def run_hybrid_city(
+    config: "CityScenarioConfig", traces: Sequence["ArrivalTrace"]
+) -> HybridController:
+    """Run one city cell through the hybrid engine.
+
+    The entry point :func:`repro.scenarios.city.city_summary` uses when
+    a cell carries a :class:`HybridConfig` with ``epsilon > 0``; the
+    engine-level wiring goes through ``Simulator.run(hybrid=...)``.
+    """
+    controller = HybridController(config, traces)
+    sim = Simulator()
+    sim.run(until=config.horizon, hybrid=controller)
+    return controller

@@ -160,7 +160,7 @@ from __future__ import annotations
 
 from heapq import heapify, heappop, heappush, heapreplace
 from math import inf
-from typing import Optional, Protocol, TYPE_CHECKING
+from typing import Optional, Protocol, Sequence, TYPE_CHECKING
 
 from ..errors import ConfigurationError, SchedulingError
 from .engine import Simulator
@@ -953,6 +953,49 @@ class Link:
         if not self.busy:
             self._begin_busy_period(now)
             self._start_service()
+
+    def seed_backlog(self, packets: Sequence[Packet]) -> None:
+        """Inject pre-built backlog packets at the current instant.
+
+        The fluid->packet handoff seam of the hybrid engine
+        (:mod:`repro.sim.hybrid`): unlike :meth:`receive`, the packets'
+        possibly *backdated* ``arrived_at`` stamps are preserved, so the
+        seeded queue state carries the age profile implied by the fluid
+        delay estimates (head-age schedulers like WTP resume with
+        plausible priorities, and the seeds' own measured delays match
+        the fluid estimate they were derived from).  Packets must be
+        pre-sorted by ``arrived_at`` per class (FIFO) and the call must
+        come from inside a scheduled event -- the hybrid controller
+        schedules it at the packet segment's start instant.  Service
+        begins immediately when the link was idle.
+        """
+        now = self.sim.now
+        scheduler = self.scheduler
+        for packet in packets:
+            self.arrivals += 1
+            scheduler.enqueue(packet, packet.arrived_at)
+        if not self.busy and scheduler.queues.total_packets:
+            self._begin_busy_period(now)
+            self._start_service()
+
+    def backlog_snapshot(self, now: Optional[float] = None) -> list[float]:
+        """Per-class backlog bytes, including the in-service remnant.
+
+        The packet->fluid handoff read-out: queued bytes per class plus
+        the unserved remainder of the packet in service (when the link
+        is busy and its pending completion is visible; a columnar
+        chain-fused drain may leave at most one in-flight packet
+        unaccounted, which the hybrid's guard bands absorb).  Call only
+        while the calendar is at rest (between ``run`` invocations).
+        """
+        if now is None:
+            now = self.sim.now
+        backlogs = list(self.scheduler.queues.bytes_backlog)
+        packet = self._in_service
+        if self.busy and packet is not None and self._pending_key is not None:
+            remaining = (self._pending_key[0] - now) * self.capacity
+            backlogs[packet.class_id] += min(max(remaining, 0.0), packet.size)
+        return backlogs
 
     def _drop_for(self, arriving: Packet) -> bool:
         """Make room for ``arriving``; return False if *it* was dropped."""

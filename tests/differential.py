@@ -386,6 +386,49 @@ def differential_cell(scheduler: str, shape: str, seed: int = 9) -> RunCapture:
 
 
 # ----------------------------------------------------------------------
+# Hybrid engine mode
+# ----------------------------------------------------------------------
+def hybrid_epsilon_zero_cell(seed: int = 5) -> None:
+    """``epsilon = 0`` must short-circuit to the pure packet path.
+
+    The contract (DESIGN.md, hybrid handoff note): with the error
+    bound at zero the planner emits exactly one packet segment, and the
+    controller's run is *bit-identical* to the plain evented city path
+    -- same per-class delay sums, counts, and hub departures, compared
+    with ``==`` (no tolerance).  This pins the structural guarantee the
+    fidelity bounds build on: fluid mode is a pure optimization layer
+    that can always be turned off.
+    """
+    import dataclasses
+
+    from repro.scenarios.city import (
+        CityScenarioConfig,
+        CityTask,
+        city_summary,
+        compile_city_traces,
+    )
+    from repro.sim.hybrid import HybridConfig, HybridController
+
+    config = CityScenarioConfig(
+        flows=48,
+        horizon=6_000.0,
+        warmup=400.0,
+        seed=seed,
+        hybrid=HybridConfig(epsilon=0.0),
+    )
+    controller = HybridController(config, compile_city_traces(config))
+    plan = controller.plan(config.horizon)
+    assert [segment.mode for segment in plan] == ["packet"], plan
+    controller.run()
+    reference = city_summary(
+        CityTask(dataclasses.replace(config, hybrid=None))
+    )
+    assert controller.monitor.mean_delays() == reference["mean_delays"]
+    assert controller.monitor.counts() == reference["class_counts"]
+    assert controller.packet_departures == reference["hub_departures"]
+
+
+# ----------------------------------------------------------------------
 # CLI (CI matrix job)
 # ----------------------------------------------------------------------
 def _run_matrix(check_invariants: bool) -> tuple[list[tuple], bool]:
@@ -414,6 +457,12 @@ def _run_matrix(check_invariants: bool) -> tuple[list[tuple], bool]:
         if verdict is not True:
             rows.append((f"codegen:{cls_name}", {"verify": f"FAIL: {verdict}"}))
             all_ok = False
+    try:
+        hybrid_epsilon_zero_cell()
+        rows.append(("hybrid:eps0", {"verify": "pass"}))
+    except Exception as exc:  # noqa: BLE001 - table, not control flow
+        rows.append(("hybrid:eps0", {"verify": f"FAIL: {type(exc).__name__}: {exc}"}))
+        all_ok = False
     return rows, all_ok
 
 

@@ -33,6 +33,8 @@ from repro.runner import (
     multihop_summary,
     single_hop_summary,
 )
+from repro.scenarios.city import CityScenarioConfig, CityTask, city_summary
+from repro.sim.hybrid import HybridConfig
 
 __all__ = ["GOLDEN_DIR", "GoldenScenario", "golden_scenarios"]
 
@@ -173,6 +175,29 @@ def golden_scenarios() -> list[GoldenScenario]:
                 task=DifferentialTask(scheduler=scheduler, shape="fanin"),
             )
         )
+    scenarios.append(
+        GoldenScenario(
+            name="hybrid_city_wtp",
+            description=(
+                "Hybrid fluid/packet long-horizon city cell: WTP star "
+                "hub, 100 flows over 40k ms, epsilon=0.05 -- pins the "
+                "segment plan, the fluid-credited class means, and the "
+                "packet/fluid handoff bookkeeping (runs unchecked: the "
+                "fluid segments have no event stream to check)"
+            ),
+            worker=city_summary,
+            task=CityTask(
+                config=CityScenarioConfig(
+                    flows=100,
+                    horizon=40_000.0,
+                    warmup=1_000.0,
+                    seed=7,
+                    hybrid=HybridConfig(epsilon=0.05),
+                )
+            ),
+        )
+    )
+    for scheduler in ("bpr", "drr"):
         scenarios.append(
             GoldenScenario(
                 name=f"routed_dag_{scheduler}",

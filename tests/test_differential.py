@@ -28,7 +28,13 @@ from repro.schedulers.draingen import (
     supported_classes,
 )
 
-from .differential import SCHEDULERS, SHAPES, differential_cell, run_cell
+from .differential import (
+    SCHEDULERS,
+    SHAPES,
+    differential_cell,
+    hybrid_epsilon_zero_cell,
+    run_cell,
+)
 from .test_invariants import SDPS, small_config
 
 
@@ -39,6 +45,12 @@ from .test_invariants import SDPS, small_config
 @pytest.mark.parametrize("scheduler", SCHEDULERS)
 def test_differential_cell(scheduler: str, shape: str) -> None:
     differential_cell(scheduler, shape)
+
+
+def test_hybrid_epsilon_zero_is_pure_packet() -> None:
+    """Hybrid mode of the harness: epsilon=0 plans a single packet
+    segment and reproduces the evented city run bit-for-bit."""
+    hybrid_epsilon_zero_cell()
 
 
 def test_every_registry_name_covered() -> None:

@@ -78,10 +78,19 @@ def test_golden_scenario(scenario: GoldenScenario) -> None:
     )
 
 
+#: Scenarios that cannot run under the invariant checker: the hybrid
+#: cell's fluid segments have no event stream to check.  Its structural
+#: guarantee is pinned elsewhere -- the differential harness proves the
+#: epsilon=0 hybrid run bit-identical to the checked evented path.
+UNCHECKED_SCENARIOS = frozenset({"hybrid_city_wtp"})
+
+
 def test_golden_runs_are_invariant_checked() -> None:
     """The corpus doubles as invariant-checked runs: every committed
     summary must record a verification report with real traffic."""
     for scenario in SCENARIOS:
+        if scenario.name in UNCHECKED_SCENARIOS:
+            continue
         golden = json.loads(scenario.path.read_text())
         reports = golden["summary"]["invariants"]
         if isinstance(reports, dict):
