@@ -17,16 +17,27 @@ published):
   an ``epsilon=0`` run on a tiny cell that must reproduce the pure
   path *bit-identically* (`==` on every per-class mean and the
   departure count -- the planner contract, also pinned by
-  ``tests/differential.py``).
+  ``tests/differential.py``);
+* the **multihop cell** (`MULTIHOP_CELL`, a 4-branch star with 3 hops
+  per branch, 200 flows over 120 s -- the network-wide engine's
+  headline) reports ``hybrid_multihop_speedup`` and
+  ``hybrid_multihop_ddp_fidelity_error``: per-link fluid segments with
+  Lindley departure propagation across every hop, vs a pure evented
+  replay of the whole topology.  `MULTIHOP_SMOKE_CELL` is the CI-sized
+  version, and `multihop_epsilon_zero_identity()` re-runs the tiny
+  multihop `MULTIHOP_IDENTITY_CELL` at ``epsilon=0`` for **every**
+  registered scheduler (all 12, fluid map or not) -- each must be
+  bit-identical to its pure run.
 
-``python benchmarks/bench_hybrid.py`` runs the smoke pair and exits
-non-zero when fidelity exceeds the epsilon knob or the epsilon=0 run
+``python benchmarks/bench_hybrid.py`` runs both smoke pairs and exits
+non-zero when fidelity exceeds the epsilon knob or any epsilon=0 run
 is not bit-identical -- the `make hybrid-smoke` / CI gate.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import gc
 import sys
 import time
 from pathlib import Path
@@ -74,6 +85,44 @@ IDENTITY_CELL = CityScenarioConfig(
     seed=5,
 )
 
+#: The network-wide headline: a >= 3-hop star (every packet crosses
+#: three chain hops before the hub), the same cell the CLI's
+#: ``--fidelity-curve`` sweeps.  Fluid fast-forward here exercises the
+#: per-link segment planner and the upstream->downstream departure
+#: propagation on every link of the DAG.
+MULTIHOP_CELL = CityScenarioConfig(
+    topology="star_of_chains",
+    branches=4,
+    hops_per_branch=3,
+    flows=200,
+    horizon=120_000.0,
+    warmup=2_000.0,
+    seed=7,
+)
+
+#: CI-sized multihop comparison (a few seconds total).
+MULTIHOP_SMOKE_CELL = CityScenarioConfig(
+    topology="star_of_chains",
+    branches=2,
+    hops_per_branch=3,
+    flows=120,
+    horizon=60_000.0,
+    warmup=2_000.0,
+    seed=7,
+)
+
+#: Tiny multihop cell for the all-scheduler epsilon=0 identity sweep
+#: (the same shape the differential harness pins per scheduler).
+MULTIHOP_IDENTITY_CELL = CityScenarioConfig(
+    topology="star_of_chains",
+    branches=2,
+    hops_per_branch=2,
+    flows=32,
+    horizon=6_000.0,
+    warmup=400.0,
+    seed=5,
+)
+
 
 def run_pure(config: CityScenarioConfig, traces) -> tuple[list[float], int]:
     """Pure packet replay over precompiled traces; (means, departures)."""
@@ -110,11 +159,19 @@ def fidelity_error(pure_means, hybrid_means) -> float:
 
 
 def _compare_cell(config: CityScenarioConfig, epsilon: float) -> dict:
-    """Run one cell pure and hybrid over shared traces; timing + error."""
+    """Run one cell pure and hybrid over shared traces; timing + error.
+
+    A full ``gc.collect()`` precedes each timed side: the pure replay
+    leaves millions of dead packet objects behind, and without the
+    sweep the hybrid side pays that garbage off in its own timing
+    (~2.5x inflation on the long-horizon cell).
+    """
     traces = compile_city_traces(config)
+    gc.collect()
     start = time.perf_counter()
     pure_means, pure_departures = run_pure(config, traces)
     pure_sec = time.perf_counter() - start
+    gc.collect()
     start = time.perf_counter()
     controller = run_hybrid(config, traces, epsilon)
     hybrid_sec = time.perf_counter() - start
@@ -149,6 +206,29 @@ def epsilon_zero_identity() -> bool:
     )
 
 
+def multihop_epsilon_zero_identity() -> list[str]:
+    """epsilon=0 on the tiny multihop cell for EVERY registry scheduler.
+
+    Returns the (hopefully empty) list of scheduler names whose hybrid
+    run was not bit-identical to the pure replay.  Traces depend only
+    on the traffic geometry, so one compiled set serves all 12 runs.
+    """
+    from repro.schedulers.registry import available_schedulers
+
+    traces = compile_city_traces(MULTIHOP_IDENTITY_CELL)
+    broken: list[str] = []
+    for name in available_schedulers():
+        config = dataclasses.replace(MULTIHOP_IDENTITY_CELL, scheduler=name)
+        pure_means, pure_departures = run_pure(config, traces)
+        controller = run_hybrid(config, traces, 0.0)
+        if not (
+            controller.monitor.mean_delays() == pure_means
+            and controller.packet_departures == pure_departures
+        ):
+            broken.append(name)
+    return broken
+
+
 def collect() -> dict:
     """Headline record: one-shot long-horizon speedup + fidelity.
 
@@ -159,12 +239,19 @@ def collect() -> dict:
     """
     detail = _compare_cell(BENCH_CELL, BENCH_EPSILON)
     detail["epsilon0_bit_identical"] = epsilon_zero_identity()
+    multihop = _compare_cell(MULTIHOP_CELL, BENCH_EPSILON)
+    broken = multihop_epsilon_zero_identity()
+    multihop["eps0_broken_schedulers"] = broken
+    multihop["epsilon0_bit_identical_all_schedulers"] = not broken
     return {
         "metrics": {
             "hybrid_horizon_speedup": detail["speedup"],
             "hybrid_ddp_fidelity_error": detail["fidelity_error"],
+            "hybrid_multihop_speedup": multihop["speedup"],
+            "hybrid_multihop_ddp_fidelity_error": multihop["fidelity_error"],
         },
         "detail": detail,
+        "multihop_detail": multihop,
     }
 
 
@@ -173,6 +260,16 @@ def smoke() -> dict:
     the epsilon=0 bit-identity verdict."""
     detail = _compare_cell(SMOKE_CELL, BENCH_EPSILON)
     detail["epsilon0_bit_identical"] = epsilon_zero_identity()
+    return detail
+
+
+def multihop_smoke() -> dict:
+    """CI-sized multihop comparison plus the all-scheduler epsilon=0
+    identity sweep (the network-wide planner contract)."""
+    detail = _compare_cell(MULTIHOP_SMOKE_CELL, BENCH_EPSILON)
+    broken = multihop_epsilon_zero_identity()
+    detail["eps0_broken_schedulers"] = broken
+    detail["epsilon0_bit_identical_all_schedulers"] = not broken
     return detail
 
 
@@ -207,6 +304,42 @@ def main() -> int:
         print(
             "::error::hybrid epsilon=0 run is not bit-identical to the "
             "pure packet path -- the planner's pure-packet contract broke"
+        )
+
+    multihop = multihop_smoke()
+    print(
+        f"hybrid multihop smoke cell: {multihop['flows']} flows over "
+        f"{multihop['horizon_ms']:,.0f} ms (2 branches x 3 hops) at "
+        f"rho={multihop['utilization']}"
+    )
+    print(
+        f"  pure {multihop['pure_sec']:.2f}s vs hybrid "
+        f"{multihop['hybrid_sec']:.2f}s -> {multihop['speedup']:.2f}x "
+        f"(fluid fraction {multihop['fluid_time_fraction']:.2f}, "
+        f"{multihop['segments']} segments)"
+    )
+    print(
+        f"  DDP fidelity error {multihop['fidelity_error']:.4f} "
+        f"(epsilon {multihop['epsilon']})"
+    )
+    print(
+        "  epsilon=0 bit-identical for all schedulers: "
+        f"{multihop['epsilon0_bit_identical_all_schedulers']}"
+    )
+    if multihop["fidelity_error"] > multihop["epsilon"]:
+        failed = True
+        print(
+            f"::error::hybrid multihop fidelity gate: error "
+            f"{multihop['fidelity_error']:.4f} exceeds epsilon "
+            f"{multihop['epsilon']} -- the per-link fluid segments are "
+            "drifting from the packet-level DDP"
+        )
+    if not multihop["epsilon0_bit_identical_all_schedulers"]:
+        failed = True
+        print(
+            "::error::hybrid multihop epsilon=0 run is not bit-identical "
+            "to the pure packet path for: "
+            + ", ".join(multihop["eps0_broken_schedulers"])
         )
     return 1 if failed else 0
 

@@ -39,14 +39,17 @@ store; gated on an absolute ceiling via ``--rss-gate`` -- the
 coordinator holds O(shard) results, so blowing the ceiling means
 results are accumulating in RAM again).
 
-The hybrid fluid/packet engine contributes two more absolute hard
-gates (from :mod:`bench_hybrid`'s smoke cell): the DDP fidelity error
-of a hybrid run against its pure-packet replay must stay within the
-epsilon knob (``--fidelity-gate``), and an ``epsilon=0`` run must be
-bit-identical to the pure path.  Both are correctness contracts, not
-throughput numbers, so neither baseline age nor host speed excuses
-them.  The smoke cell's pure/hybrid speedup rides along as an
-ordinary baseline-compared metric (``hybrid_smoke_speedup``).
+The hybrid fluid/packet engine contributes absolute hard gates (from
+:mod:`bench_hybrid`'s smoke cells): the DDP fidelity error of a hybrid
+run against its pure-packet replay must stay within the epsilon knob
+(``--fidelity-gate``) on both the single-hub smoke cell and the
+multihop (2 branches x 3 hops) smoke cell, an ``epsilon=0`` run must
+be bit-identical to the pure path, and the multihop ``epsilon=0``
+sweep must be bit-identical for *every* registered scheduler.  All are
+correctness contracts, not throughput numbers, so neither baseline age
+nor host speed excuses them.  The smoke cells' pure/hybrid speedups
+ride along as ordinary baseline-compared metrics
+(``hybrid_smoke_speedup``, ``hybrid_multihop_smoke_speedup``).
 
     PYTHONPATH=src python benchmarks/check_regression.py
     PYTHONPATH=src python benchmarks/check_regression.py --out perf.json
@@ -124,6 +127,8 @@ ABSOLUTE_GATED_METRICS = (
     "sweep1k_coordinator_peak_rss_mb",
     "hybrid_ddp_fidelity_error",
     "hybrid_eps0_bit_identical",
+    "hybrid_multihop_ddp_fidelity_error",
+    "hybrid_multihop_eps0_bit_identical",
 )
 
 #: Max mean relative per-class mean-delay error of the hybrid smoke
@@ -369,6 +374,14 @@ def main(argv: list[str] | None = None) -> int:
     metrics["hybrid_eps0_bit_identical"] = float(
         hybrid["epsilon0_bit_identical"]
     )
+    multihop = bench_hybrid.multihop_smoke()
+    metrics["hybrid_multihop_smoke_speedup"] = multihop["speedup"]
+    metrics["hybrid_multihop_ddp_fidelity_error"] = multihop[
+        "fidelity_error"
+    ]
+    metrics["hybrid_multihop_eps0_bit_identical"] = float(
+        multihop["epsilon0_bit_identical_all_schedulers"]
+    )
 
     baseline = None
     if baseline_path is not None:
@@ -466,6 +479,36 @@ def main(argv: list[str] | None = None) -> int:
         )
     else:
         print(f"{'hybrid_eps0_bit_identical':>36}: True")
+
+    # The network-wide engine repeats both contracts on a multihop
+    # cell: per-link fluid segments with departure propagation must
+    # stay within epsilon, and the epsilon=0 sweep must be
+    # bit-identical for every registered scheduler.
+    multihop_fidelity = metrics["hybrid_multihop_ddp_fidelity_error"]
+    if multihop_fidelity > args.fidelity_gate:
+        failed += 1
+        print(
+            f"::error::hybrid multihop fidelity gate: DDP error "
+            f"{multihop_fidelity:.4f} vs the pure-packet replay (gate "
+            f"{args.fidelity_gate:g}) -- the per-link fluid segments "
+            "drifted beyond their error bound"
+        )
+    else:
+        print(
+            f"{'hybrid_multihop_ddp_fidelity_error':>36}: "
+            f"{multihop_fidelity:.4f} (gate {args.fidelity_gate:g}; "
+            f"smoke speedup {multihop['speedup']:.2f}x, fluid fraction "
+            f"{multihop['fluid_time_fraction']:.2f})"
+        )
+    if not multihop["epsilon0_bit_identical_all_schedulers"]:
+        failed += 1
+        print(
+            "::error::hybrid multihop epsilon=0 run is not bit-identical "
+            "to the pure packet path for: "
+            + ", ".join(multihop["eps0_broken_schedulers"])
+        )
+    else:
+        print(f"{'hybrid_multihop_eps0_bit_identical':>36}: True")
 
     if baseline is None:
         print("no committed BENCH_*.json baseline; skipping comparison")

@@ -46,6 +46,14 @@ Recorded metrics (events or packets per second, higher is better):
   error of that hybrid run against the pure run (lower is better;
   gated absolutely against the epsilon knob, excluded from
   ``vs_baseline``)
+* ``hybrid_multihop_speedup``     -- the same pure/hybrid comparison on
+  the network-wide headline cell (a 4-branch star with 3 hops per
+  branch, 200 flows over 120 s): per-link fluid segments with Lindley
+  departure propagation across every hop of the DAG
+* ``hybrid_multihop_ddp_fidelity_error`` -- that multihop run's error
+  vs its pure replay (absolute-gated like the single-hub figure); the
+  record's ``hybrid_multihop`` detail section carries the full
+  comparison plus the all-scheduler epsilon=0 bit-identity verdict
 * ``<process>_{scalar,compiled}_{arrivals,events}_per_sec`` -- source
   microbenchmarks from :mod:`bench_sources`
 
@@ -230,13 +238,17 @@ def collect(repeats: int, object_packets: bool = False) -> dict:
         "multihop_vs_single_hop": multihop_vs_single,
         "sweep_streaming": sweep_streaming,
         "hybrid": hybrid["detail"],
+        "hybrid_multihop": hybrid["multihop_detail"],
     }
 
 
 #: Metrics where lower is better on an *absolute* scale (error rates):
 #: a ratio against an older record reads backwards, so they stay out
 #: of ``vs_baseline``.
-ABSOLUTE_METRICS = ("hybrid_ddp_fidelity_error",)
+ABSOLUTE_METRICS = (
+    "hybrid_ddp_fidelity_error",
+    "hybrid_multihop_ddp_fidelity_error",
+)
 
 
 def improvement(name: str, new: float, old: float) -> float:

@@ -232,11 +232,32 @@ def _city(
     compiled: bool,
     drain: bool,
     hybrid=None,
+    fidelity_curve_epsilon: Optional[float] = None,
 ) -> str:
     del compiled  # city traces are always block-compiled
     import dataclasses
 
     from .scenarios import CityGridConfig, city_to_csv, format_city, run_city
+
+    if fidelity_curve_epsilon is not None:
+        from .scenarios import (
+            fidelity_curve,
+            fidelity_curve_base,
+            fidelity_curve_svg,
+            fidelity_curve_to_csv,
+            format_fidelity_curve,
+        )
+
+        base = dataclasses.replace(
+            fidelity_curve_base(scale), drain=drain
+        )
+        rows = fidelity_curve(
+            base=base, epsilon=fidelity_curve_epsilon, runner=runner
+        )
+        if export_dir is not None:
+            fidelity_curve_to_csv(rows, export_dir / "fidelity_curve.csv")
+            fidelity_curve_svg(rows, export_dir / "fidelity_curve.svg")
+        return format_fidelity_curve(rows)
 
     grid = CityGridConfig()
     grid = dataclasses.replace(
@@ -367,6 +388,17 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--fidelity-curve",
+        action="store_true",
+        help=(
+            "city only: instead of the scheduler grid, sweep hub "
+            "utilization finely on one multihop topology and report the "
+            "hybrid engine's DDP fidelity error against the pure packet "
+            "run at each load (--hybrid-epsilon sets the knob; with "
+            "--export-dir also writes fidelity_curve.csv and .svg)"
+        ),
+    )
+    parser.add_argument(
         "--shard",
         action="store_true",
         help=(
@@ -421,6 +453,19 @@ def main(argv: list[str] | None = None) -> int:
         from .sim.hybrid import HybridConfig
 
         hybrid_config = HybridConfig(epsilon=args.hybrid_epsilon)
+    fidelity_curve_epsilon = None
+    if args.fidelity_curve:
+        if args.experiment != "city":
+            parser.error("--fidelity-curve applies to the city experiment only")
+        if args.check_invariants:
+            parser.error(
+                "--fidelity-curve and --check-invariants are mutually "
+                "exclusive (the curve's hybrid cells need the pure "
+                "packet path)"
+            )
+        if args.hybrid_epsilon <= 0:
+            parser.error("--fidelity-curve needs --hybrid-epsilon > 0")
+        fidelity_curve_epsilon = args.hybrid_epsilon
 
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -454,7 +499,14 @@ def main(argv: list[str] | None = None) -> int:
                 args.check_invariants,
                 not args.scalar_arrivals,
                 not args.no_drain,
-                **({"hybrid": hybrid_config} if name == "city" else {}),
+                **(
+                    {
+                        "hybrid": hybrid_config,
+                        "fidelity_curve_epsilon": fidelity_curve_epsilon,
+                    }
+                    if name == "city"
+                    else {}
+                ),
             )
             elapsed = time.perf_counter() - start
             print(output)

@@ -193,7 +193,11 @@ def run_multihop(
     ``warmup`` -- a regeneration-style cold handoff, no backlog
     seeding.  Requires ``compiled_arrivals``; per-experiment delays are
     statistically, not bit-, identical to the full run (skipped
-    arrivals keep their random draws but not their packet ids).
+    arrivals keep their random draws but not their packet ids).  When
+    ``epsilon > 0`` but the warm-up gap is blocked (shorter than the
+    spinup guard, or below ``min_fluid`` after it) a
+    :class:`RuntimeWarning` reports why each candidate gap was
+    rejected instead of silently running fully packet-mode.
     """
     if hybrid is not None and hybrid.epsilon > 0 and not compiled_arrivals:
         raise ConfigurationError(
@@ -260,9 +264,38 @@ def run_multihop(
                 )
                 source.start()
     if hybrid is not None and hybrid.epsilon > 0:
+        # The only fluid-eligible gap here is the measurement-free
+        # warm-up: [0, warmup - spinup).  Vet it by the same rules the
+        # network controller applies to its candidate gaps, and *say
+        # so* when nothing qualifies -- a silently ignored hybrid knob
+        # reads as a speedup that never happened.
+        blocked: list[str] = []
         skip_until = max(0.0, config.warmup - hybrid.spinup)
-        for stream in cross_streams:
-            stream.fast_forward(skip_until)
+        if skip_until <= 0.0:
+            blocked.append(
+                f"gap [0, {config.warmup}) is fully consumed by the "
+                f"spinup guard ({hybrid.spinup} ms); nothing remains "
+                f"to fast-forward"
+            )
+        elif skip_until < hybrid.min_fluid:
+            blocked.append(
+                f"gap [0, {skip_until}) spans {skip_until} ms "
+                f"< min_fluid {hybrid.min_fluid} ms after the spinup "
+                f"guard ({hybrid.spinup} ms)"
+            )
+        if blocked:
+            warnings.warn(
+                "hybrid fast-forward requested (epsilon="
+                f"{hybrid.epsilon}) but no fluid segment was taken: "
+                + "; ".join(blocked)
+                + "; the run proceeds fully packet-mode (increase "
+                "warmup or lower HybridConfig.spinup/min_fluid)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            for stream in cross_streams:
+                stream.fast_forward(skip_until)
     if cursor is not None:
         cursor.start()
 

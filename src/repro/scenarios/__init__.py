@@ -34,7 +34,12 @@ from .city import (
     city_tasks,
     city_to_csv,
     compile_city_traces,
+    fidelity_curve,
+    fidelity_curve_base,
+    fidelity_curve_svg,
+    fidelity_curve_to_csv,
     format_city,
+    format_fidelity_curve,
     run_city,
     trace_group_key,
 )
@@ -54,7 +59,12 @@ __all__ = [
     "city_tasks",
     "city_to_csv",
     "compile_city_traces",
+    "fidelity_curve",
+    "fidelity_curve_base",
+    "fidelity_curve_svg",
+    "fidelity_curve_to_csv",
     "format_city",
+    "format_fidelity_curve",
     "run_city",
     "trace_group_key",
 ]

@@ -57,6 +57,12 @@ __all__ = [
     "run_city",
     "format_city",
     "city_to_csv",
+    "FIDELITY_CURVE_RHOS",
+    "fidelity_curve",
+    "fidelity_curve_base",
+    "format_fidelity_curve",
+    "fidelity_curve_to_csv",
+    "fidelity_curve_svg",
 ]
 
 
@@ -423,3 +429,166 @@ def city_to_csv(points: Sequence[dict], path: str | Path) -> Path:
                 )
             )
     return path
+
+
+# ----------------------------------------------------------------------
+# Hybrid fidelity-vs-load curve (one multihop topology, fine rho grid)
+# ----------------------------------------------------------------------
+#: Default load grid: coarse at light load, finer toward saturation
+#: where fluid windows get scarcer and the error model is stressed.
+FIDELITY_CURVE_RHOS: tuple[float, ...] = (
+    0.60, 0.70, 0.75, 0.80, 0.84, 0.88, 0.90, 0.92, 0.94,
+)
+
+
+def fidelity_curve_base(scale: float = 1.0) -> CityScenarioConfig:
+    """The curve's reference cell: a 4-branch, 3-hops-per-branch star.
+
+    ``scale`` shrinks flows/horizon the same way the CLI's ``--scale``
+    shrinks grids, keeping the cell multihop (>= 3 hops to the hub).
+    """
+    if not 0 < scale <= 1.0:
+        raise ConfigurationError(f"scale must be in (0, 1]: {scale}")
+    return CityScenarioConfig(
+        topology="star_of_chains",
+        branches=4,
+        hops_per_branch=3,
+        flows=max(4, int(200 * scale)),
+        flow_gap=60.0,
+        horizon=max(8_000.0, 120_000.0 * scale),
+        warmup=2_000.0,
+        seed=7,
+    )
+
+
+def fidelity_curve(
+    base: Optional[CityScenarioConfig] = None,
+    utilizations: Sequence[float] = FIDELITY_CURVE_RHOS,
+    epsilon: float = 0.05,
+    runner=None,
+) -> list[dict]:
+    """Hybrid-vs-pure DDP fidelity error across a fine load grid.
+
+    For each utilization the base multihop cell runs twice -- pure
+    packet and hybrid at ``epsilon`` -- and the row records the mean
+    and max relative per-class mean-delay error of the hybrid run
+    against its pure reference (the bench's fidelity metric), both
+    cells' own DDP fidelity error against the Eq 13 targets, and the
+    fraction of simulated time the hybrid run spent in fluid mode.
+    """
+    if base is None:
+        base = fidelity_curve_base()
+    if base.hybrid is not None:
+        raise ConfigurationError(
+            "pass a pure base cell; fidelity_curve adds the hybrid knob"
+        )
+    if epsilon <= 0:
+        raise ConfigurationError(
+            f"epsilon must be positive for a fidelity curve: {epsilon}"
+        )
+    cells: list[CityScenarioConfig] = []
+    for rho in utilizations:
+        pure = dataclasses.replace(base, utilization=rho)
+        cells.append(pure)
+        cells.append(
+            dataclasses.replace(pure, hybrid=HybridConfig(epsilon=epsilon))
+        )
+    if runner is None:
+        from ..runner import serial_runner
+
+        runner = serial_runner()
+    summaries = list(
+        runner.map(city_summary, [CityTask(config=c) for c in cells])
+    )
+    rows: list[dict] = []
+    for i, rho in enumerate(utilizations):
+        pure, hybrid = summaries[2 * i], summaries[2 * i + 1]
+        errors = [
+            abs(h - p) / p
+            for h, p in zip(hybrid["mean_delays"], pure["mean_delays"])
+        ]
+        rows.append(
+            {
+                "utilization": float(rho),
+                "epsilon": float(epsilon),
+                "fidelity_error_vs_pure": sum(errors) / len(errors),
+                "max_error_vs_pure": max(errors),
+                "pure_ddp_error": pure["fidelity_error"],
+                "hybrid_ddp_error": hybrid["fidelity_error"],
+                "fluid_time_fraction": (
+                    hybrid["hybrid"]["fluid_time_fraction"]
+                    if hybrid.get("hybrid")
+                    else 0.0
+                ),
+                "packets": pure["packets"],
+            }
+        )
+    return rows
+
+
+def format_fidelity_curve(rows: Sequence[dict]) -> str:
+    """Plain-text fidelity-vs-load table, one row per utilization."""
+    lines = [
+        f"{'rho':>5} {'err vs pure':>12} {'max err':>9} "
+        f"{'pure DDP':>9} {'hyb DDP':>9} {'fluid %':>8}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['utilization']:>5.2f} {r['fidelity_error_vs_pure']:>12.4f} "
+            f"{r['max_error_vs_pure']:>9.4f} {r['pure_ddp_error']:>9.4f} "
+            f"{r['hybrid_ddp_error']:>9.4f} "
+            f"{100.0 * r['fluid_time_fraction']:>7.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def fidelity_curve_to_csv(rows: Sequence[dict], path: str | Path) -> Path:
+    """Write the fidelity-error-vs-rho data (CSV, one row per rho)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fields = (
+        "utilization", "epsilon", "fidelity_error_vs_pure",
+        "max_error_vs_pure", "pure_ddp_error", "hybrid_ddp_error",
+        "fluid_time_fraction", "packets",
+    )
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(fields)
+        for r in rows:
+            writer.writerow([repr(r[f]) for f in fields])
+    return path
+
+
+def fidelity_curve_svg(rows: Sequence[dict], path: str | Path) -> Path:
+    """Render fidelity error vs load as an SVG line chart."""
+    from ..analysis.svg_plot import LineSeries, line_chart
+
+    epsilon = rows[0]["epsilon"] if rows else 0.05
+    series = [
+        LineSeries(
+            label="mean error vs pure",
+            points=tuple(
+                (r["utilization"], r["fidelity_error_vs_pure"]) for r in rows
+            ),
+        ),
+        LineSeries(
+            label="max error vs pure",
+            points=tuple(
+                (r["utilization"], r["max_error_vs_pure"]) for r in rows
+            ),
+        ),
+        LineSeries(
+            label="fluid time fraction",
+            points=tuple(
+                (r["utilization"], r["fluid_time_fraction"]) for r in rows
+            ),
+        ),
+    ]
+    canvas = line_chart(
+        series,
+        title=f"Hybrid multihop fidelity vs load (epsilon {epsilon:g})",
+        x_label="hub utilization",
+        y_label="relative error / fraction",
+        y_reference=epsilon,
+    )
+    return canvas.save(path)

@@ -43,6 +43,7 @@ __all__ = [
     "TOPOLOGIES",
     "LOAD_SHAPES",
     "LoadShape",
+    "FluidLinkSpec",
     "heavy_tail_sizes",
     "city_size_mean",
     "flow_classes",
@@ -50,6 +51,7 @@ __all__ = [
     "branch_byte_rate",
     "total_byte_rate",
     "build_city_topology",
+    "city_link_graph",
 ]
 
 #: Packet-size mix (bytes): ACKs, default-MTU data, full Ethernet
@@ -249,6 +251,98 @@ def total_byte_rate(config: "CityScenarioConfig") -> float:
 # ----------------------------------------------------------------------
 # Topology builders
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FluidLinkSpec:
+    """Pure-data description of one link for the hybrid fluid engine.
+
+    :func:`city_link_graph` mirrors :func:`build_city_topology` --
+    same names, same capacity formulas, same wiring -- but as plain
+    data the fluid controller can walk without building a simulator.
+    ``downstream`` indexes into the spec list (``None`` for the sink
+    side of the monitored link); ``branches`` lists which external
+    branch traces enter at this link.
+    """
+
+    name: str
+    capacity: float
+    downstream: int | None
+    branches: tuple[int, ...] = ()
+
+
+def city_link_graph(config: "CityScenarioConfig") -> list[FluidLinkSpec]:
+    """The cell's link graph in topological order (hub/core last).
+
+    Every spec's ``downstream`` index points *later* in the list, so a
+    single forward pass propagates each link's fluid departure process
+    into its downstream arrival process.  Kept in lockstep with
+    :func:`build_city_topology` (asserted in tests): packet segments
+    look links up by ``name`` to seed per-link carried backlogs.
+    """
+    if config.topology == "star_of_chains":
+        hops = config.hops_per_branch
+        specs: list[FluidLinkSpec] = []
+        hub_index = config.branches * hops
+        for b in range(config.branches):
+            capacity = branch_byte_rate(config, b) / config.edge_utilization
+            base = b * hops
+            for hop in range(hops):
+                specs.append(
+                    FluidLinkSpec(
+                        name=f"b{b}h{hop}",
+                        capacity=capacity,
+                        downstream=base + hop + 1 if hop + 1 < hops else hub_index,
+                        branches=(b,) if hop == 0 else (),
+                    )
+                )
+        specs.append(
+            FluidLinkSpec(
+                name="hub",
+                capacity=total_byte_rate(config) / config.utilization,
+                downstream=None,
+                branches=tuple(range(config.branches)) if hops == 0 else (),
+            )
+        )
+        return specs
+    if config.topology == "fat_tree_lite":
+        specs = []
+        core_index = config.branches + config.aggregation
+        for b in range(config.branches):
+            specs.append(
+                FluidLinkSpec(
+                    name=f"edge{b}",
+                    capacity=(
+                        branch_byte_rate(config, b) / config.edge_utilization
+                    ),
+                    downstream=config.branches + (b % config.aggregation),
+                    branches=(b,),
+                )
+            )
+        for a in range(config.aggregation):
+            rate = sum(
+                branch_byte_rate(config, b)
+                for b in range(config.branches)
+                if b % config.aggregation == a
+            )
+            specs.append(
+                FluidLinkSpec(
+                    name=f"agg{a}",
+                    capacity=max(rate, 1e-9) / config.utilization,
+                    downstream=core_index,
+                )
+            )
+        specs.append(
+            FluidLinkSpec(
+                name="core",
+                capacity=total_byte_rate(config) / config.utilization,
+                downstream=None,
+            )
+        )
+        return specs
+    raise ConfigurationError(
+        f"unknown topology {config.topology!r}; choose from {TOPOLOGIES}"
+    )
+
+
 def build_city_topology(
     sim: "Simulator", config: "CityScenarioConfig"
 ) -> tuple[list[Link], list[Link], Link]:

@@ -16,13 +16,16 @@ the default here.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..errors import ConfigurationError
 from ..sim.packet import Packet
 from .base import Scheduler, validate_sdps
 
-__all__ = ["HPDScheduler"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.hybrid import FluidSplitContext
+
+__all__ = ["HPDScheduler", "hpd_fluid_map"]
 
 
 class HPDScheduler(Scheduler):
@@ -79,3 +82,21 @@ class HPDScheduler(Scheduler):
         cid = packet.class_id
         self._delay_sums[cid] += now - packet.arrived_at
         self._delay_counts[cid] += 1
+
+
+# ----------------------------------------------------------------------
+# Fluid model (hybrid engine)
+# ----------------------------------------------------------------------
+def hpd_fluid_map(ctx: "FluidSplitContext") -> list[float]:
+    """Relative per-class delays of the HPD fluid model.
+
+    Both of HPD's ingredients target the same stationary fixed point:
+    WTP's head-wait metric approaches the proportional model (Eq 3) in
+    heavy load, and PAD's normalized-average metric (Eq 2) enforces it
+    at every load.  Their convex combination therefore shares the fixed
+    point -- ``g`` only blends *transient* behaviour -- so the fluid
+    split is the proportional model ``d_i`` proportional to ``1/s_i``,
+    with calibration refining the constant-of-motion once packet
+    samples exist.
+    """
+    return [1.0 / s for s in ctx.sdps]

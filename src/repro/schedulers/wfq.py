@@ -23,13 +23,21 @@ documented.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..errors import ConfigurationError
 from ..sim.packet import Packet
 from .base import Scheduler
 
-__all__ = ["SCFQScheduler", "WFQScheduler"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.hybrid import FluidSplitContext
+
+__all__ = [
+    "SCFQScheduler",
+    "WFQScheduler",
+    "gps_fluid_rates",
+    "scfq_fluid_map",
+]
 
 
 class SCFQScheduler(Scheduler):
@@ -82,3 +90,80 @@ class SCFQScheduler(Scheduler):
 #: Alias: this library's "WFQ" baseline is SCFQ over classes (see module
 #: docstring for why the self-clocked variant suffices here).
 WFQScheduler = SCFQScheduler
+
+
+# ----------------------------------------------------------------------
+# Fluid model (hybrid engine)
+# ----------------------------------------------------------------------
+def gps_fluid_rates(
+    weights: Sequence[float],
+    demands: Sequence[float],
+    capacity: float,
+) -> list[float]:
+    """Per-class service rates of the fluid GPS server (water-filling).
+
+    In the fluid limit every weighted fair queueing variant (GPS, and
+    its packetized approximations SCFQ and DRR via quanta) serves a
+    *backlogged* class at its weight share of the capacity left over by
+    the classes that need less than their share.  The classic
+    water-filling: repeatedly satisfy every class whose demand fits
+    under its current share, remove it (consuming only its demand), and
+    re-share the remainder among the rest.  The returned rate for a
+    satisfied class is the share it held when it was satisfied (the
+    rate *available* to it while briefly backlogged); for a saturated
+    class it is its final share -- the rate guarantee of Mukherjee et
+    al.'s DRR analysis.
+    """
+    if capacity <= 0:
+        raise ConfigurationError(f"capacity must be positive: {capacity}")
+    if len(weights) != len(demands):
+        raise ConfigurationError("one demand per weight required")
+    rates = [0.0] * len(weights)
+    active = [i for i in range(len(weights)) if weights[i] > 0]
+    cap = float(capacity)
+    while active:
+        total_w = sum(weights[i] for i in active)
+        shares = {i: cap * weights[i] / total_w for i in active}
+        satisfied = [i for i in active if demands[i] < shares[i]]
+        if not satisfied:
+            for i in active:
+                rates[i] = shares[i]
+            break
+        for i in satisfied:
+            rates[i] = shares[i]
+            cap -= demands[i]
+        active = [i for i in active if i not in satisfied]
+    return rates
+
+
+def scfq_fluid_map(ctx: "FluidSplitContext") -> list[float]:
+    """Relative per-class delays of the SCFQ/WFQ fluid model.
+
+    Capacity differentiation has no delay knob (Section 2.1), so the
+    fluid split follows from the rate guarantee alone: class ``i`` is
+    an M/G/1-like server at its GPS water-filled rate ``r_i``, whose
+    congestion ``rho_i / (1 - rho_i)`` with ``rho_i = lambda_i / r_i``
+    sets the *relative* delay -- the hybrid engine scales the vector
+    onto Eq 5, so only ratios matter.  Without a real operating point
+    (no span/capacity in the context) the demands are renormalized to
+    a nominal 90%-utilization server so direct calls stay meaningful.
+    """
+    weights = ctx.sdps
+    total_bytes = sum(ctx.class_bytes)
+    if total_bytes <= 0:
+        return [1.0] * len(weights)
+    if ctx.capacity and ctx.span:
+        capacity = ctx.capacity
+        demands = [b / ctx.span for b in ctx.class_bytes]
+    else:
+        capacity = 1.0
+        demands = [0.9 * b / total_bytes for b in ctx.class_bytes]
+    rates = gps_fluid_rates(weights, demands, capacity)
+    coeffs = []
+    for lam, rate in zip(demands, rates):
+        if lam <= 0 or rate <= 0:
+            coeffs.append(0.0)
+            continue
+        rho = min(lam / rate, 0.97)
+        coeffs.append(rho / (1.0 - rho))
+    return coeffs

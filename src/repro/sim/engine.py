@@ -204,7 +204,14 @@ class Simulator:
         the run is delegated to the hybrid fluid/packet engine: the
         controller drives its own per-segment simulators and this
         calendar stays untouched -- only the clock is advanced to the
-        horizon so callers see ordinary run semantics.
+        horizon so callers see ordinary run semantics.  Packet segments
+        each get a *fresh* Simulator spanning the whole multihop
+        topology; fluid segments replay every link's Lindley recursion
+        analytically (:meth:`HybridController._evaluate_links`), so no
+        event of theirs ever touches a calendar.  The handoff contract
+        between the two modes lives on :class:`~repro.sim.link.Link`
+        (:meth:`~repro.sim.link.Link.seed_backlog` /
+        :meth:`~repro.sim.link.Link.backlog_snapshot`).
         """
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")

@@ -3,8 +3,8 @@
 The paper's steady-state results describe exactly the regimes where
 packet-by-packet simulation is the wrong altitude.  During a "boring"
 interval -- no source onsets/offsets, no load-shape edges, no sustained
-rate jump -- the hub's *aggregate* behaviour is fully determined by its
-arrival trace through the FCFS workload process, and the per-class
+rate jump -- each link's *aggregate* behaviour is fully determined by
+its arrival trace through the FCFS workload process, and the per-class
 split is pinned by the conservation law:
 
     sum_i lambda_i * d_i = lambda * d(lambda)                    (Eq 5)
@@ -19,21 +19,43 @@ so a fluid segment needs no event loop at all:
   arrival of the backlog's total bytes at the segment start, so the
   workload trajectory (including its terminal value, the carried-out
   backlog) is exact, not an ODE discretization.
-* **Per-class (model).**  The aggregate mean is distributed across
-  classes by a scheduler-specific *fluid map* that satisfies Eq 5
-  exactly: equal delays for FCFS, inverse-SDP proportional delays for
-  WTP and BPR (Eq 6, the proportional model both approach in heavy
-  load), and the successive-subset decomposition for strict priority
-  (class-filtered Lindley replays, the Eq 7 telescope).  Once the run
-  has packet-measured per-class means (the calibration spin-up), the
-  map switches to *measured* split coefficients projected back onto
-  Eq 5 -- self-calibrating to the scheduler's actual differentiation
-  at the operating point.
+* **Network-wide (new).**  A fluid segment covers *every* link of the
+  cell's topology, walked in topological order: each link's departure
+  process -- arrival time plus Lindley wait plus transmission time,
+  exact for any work-conserving discipline because the aggregate
+  workload process is discipline-independent -- becomes the arrival
+  process of its downstream link, so one segment fast-forwards whole
+  FlowDemux chains and fan-in DAGs in a single numpy pass per link.
+  Carried backlogs are tracked per link and re-seeded per link at the
+  fluid->packet handoff.
+* **Per-class (model).**  The monitored link's aggregate mean is
+  distributed across classes by a scheduler-specific *fluid map* that
+  satisfies Eq 5 exactly.  Maps live in a pluggable registry
+  (:func:`register_fluid_map`): equal delays for FCFS, inverse-SDP
+  proportional delays for WTP/BPR (Eq 6) and for PAD/HPD (the
+  normalized-delay model of Eq 2/3 targets the same proportional fixed
+  point), and GPS rate-guarantee congestion for DRR/SCFQ/WFQ
+  (water-filled per-class service rates; see
+  :func:`repro.schedulers.wfq.gps_fluid_rates`).  Strict priority uses
+  the successive-subset decomposition (class-filtered Lindley replays,
+  the Eq 7 telescope).  Once the run has packet-measured per-class
+  means (the calibration spin-up), every map switches to *measured*
+  split coefficients projected back onto Eq 5 -- self-calibrating to
+  the scheduler's actual differentiation at the operating point.
+* **Envelopes.**  Each fluid window's per-class means are cross-checked
+  at the segment boundary against two analytic envelopes before being
+  credited: the Multiclass-FIFO delay bound (Jiang & Misra: no class
+  mean can exceed the worst aggregate wait plus a transmission, up to
+  slack) and, for the rate-guarantee schedulers, the DRR/SCFQ
+  guaranteed-rate bound (Mukherjee et al.: a class's mean cannot exceed
+  its dedicated-rate Lindley mean plus one round, up to slack).  A
+  violation *demotes* the segment: it re-runs in packet mode and the
+  demotion is recorded in the controller timeline.
 * **Arrival-free stretches** drain analytically: BPR through
   :class:`~repro.schedulers.bpr.FluidBPRTracker` (Proposition 1's
-  closed form), strict priority top-down, FCFS/WTP proportionally,
-  with :func:`~repro.schedulers.bpr.fluid_clearing_time` bounding the
-  drain.
+  closed form), strict priority top-down, everything else
+  proportionally, with :func:`~repro.schedulers.bpr.fluid_clearing_time`
+  bounding the drain.
 
 Packet mode runs the ordinary drain-kernel simulation on the real
 topology around every transient: startup + warm-up + calibration,
@@ -43,23 +65,28 @@ of the binned aggregate rate, a direct stationarity measure -- exceeds
 the error-bound knob ``epsilon``.  ``epsilon = 0`` therefore forces
 packet mode everywhere and the controller short-circuits to the
 unmodified pure-packet path (bit-identical to an evented run by
-construction; asserted in :mod:`tests.differential`).
+construction; asserted in :mod:`tests.differential` for every
+registered scheduler, single-hop and multihop).
 
 Handoff contract (see DESIGN.md):
 
 * **packet -> fluid** happens at a *regeneration point*: the packet
   segment is extended past its planned boundary until every link goes
   idle (at rho < 1 busy periods end quickly), so the fluid segment
-  starts from zero backlog -- an exact handoff.  If no idle instant
-  appears within ``regen_window`` (sustained overload), the per-class
-  backlog is read from the queues via
+  starts from zero backlog network-wide -- an exact handoff.  If no
+  idle instant appears within ``regen_window`` (sustained overload),
+  the per-class backlog of *each link* is read via
   :meth:`~repro.sim.link.Link.backlog_snapshot` and carried into the
-  fluid state.
-* **fluid -> packet** symmetrically prefers the last Lindley
-  zero-wait arrival near the boundary (idle handoff, empty queues);
-  otherwise the terminal fluid backlog is materialized as synthetic
-  packets with backdated arrivals reflecting the fluid delay estimate
-  and injected through :meth:`~repro.sim.link.Link.seed_backlog`.
+  per-link fluid state.
+* **fluid -> packet** symmetrically prefers a *network-wide* idle cut:
+  the last external arrival instant near the boundary at which every
+  link's Lindley walk has fully drained (all departures at or before
+  the cut).  Arrivals from the cut on are deferred to the following
+  packet segment, which then starts from genuinely empty queues.
+  Without such a cut, each link's terminal fluid backlog is
+  materialized as synthetic packets with backdated arrivals and
+  injected through :meth:`~repro.sim.link.Link.seed_backlog` on that
+  link.
 
 Wall-clock wiring: :meth:`Simulator.run(hybrid=...)
 <repro.sim.engine.Simulator.run>` delegates a whole run to a
@@ -74,12 +101,12 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left, bisect_right
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
-# NOTE: repro.core.conservation and repro.schedulers.bpr are imported
+# NOTE: repro.core.conservation and repro.schedulers.* are imported
 # lazily inside the functions that use them: repro.core pulls in
 # repro.traffic, which pulls in this package's __init__ -- a top-level
 # import here would close that cycle during interpreter start-up.
@@ -94,23 +121,35 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "FLUID_SCHEDULERS",
+    "ENVELOPE_SLACK",
     "HybridConfig",
     "Segment",
+    "FluidSplitContext",
     "FluidWindowResult",
+    "register_fluid_map",
+    "fluid_supported",
     "fluid_split",
     "fluid_window",
     "drain_idle",
+    "check_fluid_envelopes",
     "plan_segments",
     "HybridController",
     "run_hybrid_city",
 ]
 
-#: Schedulers with a defined fluid per-class delay map.
-FLUID_SCHEDULERS = ("fcfs", "wtp", "bpr", "strict")
-
 #: Packet-measured samples per class required before the calibrated
 #: (measured-split) fluid map replaces the analytic one.
 _CALIBRATION_SAMPLES = 50
+
+#: Multiplicative slack on the analytic fluid-segment envelopes: the
+#: bounds certify the *model*, not the sample path, so they only need
+#: to catch split maps that have drifted wildly off the conservation
+#: law, not shave the last factor of two.
+ENVELOPE_SLACK = 4.0
+
+#: Schedulers whose fluid map rests on a per-class rate guarantee and
+#: therefore gets the DRR/SCFQ guaranteed-rate envelope check.
+_RATE_GUARANTEE_SCHEDULERS = ("drr", "scfq", "wfq")
 
 
 @dataclass(frozen=True)
@@ -185,6 +224,136 @@ class FluidWindowResult:
 
 
 # ----------------------------------------------------------------------
+# Fluid split-map registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FluidSplitContext:
+    """Everything a fluid split map may condition on for one window.
+
+    ``class_bytes`` is the per-class offered byte mass of the window
+    (falls back to the packet counts when a caller has no sizes);
+    ``span``/``capacity`` are optional -- rate-based maps renormalize
+    to a nominal 90%-utilization operating point when they are absent
+    (direct :func:`fluid_split` calls in tests and tools).
+    """
+
+    sdps: tuple[float, ...]
+    counts: tuple[int, ...]
+    d_agg: float
+    class_bytes: tuple[float, ...]
+    span: Optional[float] = None
+    capacity: Optional[float] = None
+
+
+#: Registered fluid split maps: scheduler name -> map callable.  A map
+#: takes a :class:`FluidSplitContext` and returns one non-negative
+#: finite *relative* delay coefficient per class; :func:`fluid_split`
+#: scales them onto Eq 5.
+_FLUID_MAPS: dict[str, Callable[[FluidSplitContext], Sequence[float]]] = {}
+
+#: Built-in maps that live next to their schedulers, resolved lazily to
+#: keep import edges one-directional (schedulers may import this module
+#: for registration helpers).
+_BUILTIN_FLUID_MAPS: dict[str, tuple[str, str]] = {
+    "drr": ("repro.schedulers.drr", "drr_fluid_map"),
+    "scfq": ("repro.schedulers.wfq", "scfq_fluid_map"),
+    "wfq": ("repro.schedulers.wfq", "scfq_fluid_map"),
+    "pad": ("repro.schedulers.pad", "pad_fluid_map"),
+    "hpd": ("repro.schedulers.hpd", "hpd_fluid_map"),
+}
+
+
+def _fcfs_fluid_map(ctx: FluidSplitContext) -> list[float]:
+    """FCFS: one shared queueing delay."""
+    return [1.0] * len(ctx.sdps)
+
+
+def _inverse_sdp_fluid_map(ctx: FluidSplitContext) -> list[float]:
+    """WTP/BPR: Eq 6's proportional model, d_i proportional to 1/s_i
+    (both schedulers approach it in heavy load -- BPR exactly in the
+    fluid limit of Proposition 1)."""
+    return [1.0 / s for s in ctx.sdps]
+
+
+_FLUID_MAPS["fcfs"] = _fcfs_fluid_map
+_FLUID_MAPS["wtp"] = _inverse_sdp_fluid_map
+_FLUID_MAPS["bpr"] = _inverse_sdp_fluid_map
+
+
+def register_fluid_map(
+    name: str,
+    fn: Callable[[FluidSplitContext], Sequence[float]],
+    *,
+    calibration_weight: Optional[float] = None,
+) -> None:
+    """Register (or override) the fluid split map for a scheduler name.
+
+    ``fn`` receives a :class:`FluidSplitContext` and returns one
+    non-negative finite coefficient per class; the hybrid engine scales
+    the coefficients onto the conservation law (Eq 5), so only their
+    *ratios* matter.  Registration is how out-of-tree schedulers opt
+    into fluid segments.
+
+    ``calibration_weight`` (optional, in ``[0, 1]``) is stored on the
+    map and controls how much packet-measured splits override the
+    analytic shape once calibration samples exist -- see
+    :func:`fluid_split`.  Omit it to trust the measurement fully.
+    """
+    if not callable(fn):
+        raise ConfigurationError(f"fluid map for {name!r} must be callable")
+    if calibration_weight is not None:
+        if not 0.0 <= calibration_weight <= 1.0:
+            raise ConfigurationError(
+                f"calibration_weight must be in [0, 1]: {calibration_weight}"
+            )
+        fn.calibration_weight = float(calibration_weight)  # type: ignore[attr-defined]
+    _FLUID_MAPS[name.lower()] = fn
+
+
+def fluid_supported() -> tuple[str, ...]:
+    """Scheduler names that can take fluid segments, sorted.
+
+    Includes every registered split map plus ``strict``, whose
+    successive-subset decomposition lives in :func:`fluid_window`
+    rather than the coefficient registry.
+    """
+    names = set(_FLUID_MAPS) | set(_BUILTIN_FLUID_MAPS) | {"strict"}
+    return tuple(sorted(names))
+
+
+def _fluid_map_for(
+    scheduler: str,
+) -> Callable[[FluidSplitContext], Sequence[float]]:
+    """Resolve a scheduler's split map, importing built-ins lazily."""
+    key = scheduler.lower()
+    fn = _FLUID_MAPS.get(key)
+    if fn is not None:
+        return fn
+    builtin = _BUILTIN_FLUID_MAPS.get(key)
+    if builtin is not None:
+        import importlib
+
+        module, attr = builtin
+        fn = getattr(importlib.import_module(module), attr)
+        _FLUID_MAPS[key] = fn
+        return fn
+    raise ConfigurationError(
+        f"no fluid map registered for scheduler {scheduler!r}; "
+        f"supported: {fluid_supported()}; add one via "
+        f"repro.sim.hybrid.register_fluid_map(name, fn)"
+    )
+
+
+def _has_fluid_map(scheduler: str) -> bool:
+    key = scheduler.lower()
+    return key in _FLUID_MAPS or key in _BUILTIN_FLUID_MAPS
+
+
+#: Back-compat alias: the scheduler names with built-in fluid support.
+FLUID_SCHEDULERS = fluid_supported()
+
+
+# ----------------------------------------------------------------------
 # Fluid per-class delay maps (Eq 5)
 # ----------------------------------------------------------------------
 def fluid_split(
@@ -193,6 +362,10 @@ def fluid_split(
     counts: Sequence[int],
     d_agg: float,
     calibration: Optional[Sequence[float]] = None,
+    *,
+    class_bytes: Optional[Sequence[float]] = None,
+    span: Optional[float] = None,
+    capacity: Optional[float] = None,
 ) -> list[float]:
     """Per-class mean delays satisfying Eq 5 for a stationary window.
 
@@ -201,25 +374,55 @@ def fluid_split(
     ``sum_i n_i d_i = n * d_agg`` holds exactly.  The split
     coefficients ``c_i`` are the *measured* per-class means when a
     calibration vector is supplied (projecting the scheduler's actual
-    differentiation onto the conservation law), else the analytic
-    fluid model: ``1`` for FCFS (one shared queueing delay) and
-    ``1/s_i`` for WTP and BPR (Eq 6's proportional model, which both
-    schedulers approach in heavy load -- BPR exactly in the fluid
-    limit of Proposition 1).  Strict priority has no rate-free split
-    and is handled by :func:`fluid_window` via successive subsets.
+    differentiation onto the conservation law), else come from the
+    scheduler's registered fluid map (:func:`register_fluid_map`).
+
+    A map may set a ``calibration_weight`` attribute in ``[0, 1]`` to
+    control how much the measured shape overrides its analytic shape
+    once calibration samples exist: 1.0 (the default) trusts the
+    measurement outright, lower values shrink the measured coefficients
+    toward the analytic prior.  PAD uses a low weight because its
+    feedback loop enforces the proportional fixed point at *every*
+    load, so short packet-mode measurements (taken while its running
+    averages re-converge) are noisier than the model they would
+    replace; rate-based maps (drr/scfq/wfq) keep 1.0 because their
+    congestion model is only a cold-start approximation.
+
+    Strict priority has no rate-free split and is handled by
+    :func:`fluid_window` via successive subsets.
     """
     if scheduler == "strict":
         raise ConfigurationError(
             "strict priority needs the successive-subset map; "
             "use fluid_window"
         )
-    if scheduler not in FLUID_SCHEDULERS:
-        raise ConfigurationError(
-            f"no fluid map for scheduler {scheduler!r}; "
-            f"choose from {FLUID_SCHEDULERS}"
-        )
+    fn = _fluid_map_for(scheduler)
     if len(counts) != len(sdps):
         raise ConfigurationError("one arrival count per class required")
+
+    def _analytic() -> list[float]:
+        ctx = FluidSplitContext(
+            sdps=tuple(float(s) for s in sdps),
+            counts=tuple(int(n) for n in counts),
+            d_agg=float(d_agg),
+            class_bytes=(
+                tuple(float(b) for b in class_bytes)
+                if class_bytes is not None
+                else tuple(float(n) for n in counts)
+            ),
+            span=span,
+            capacity=capacity,
+        )
+        values = [float(c) for c in fn(ctx)]
+        if len(values) != len(sdps) or any(
+            not math.isfinite(c) or c < 0 for c in values
+        ):
+            raise ConfigurationError(
+                f"fluid map for {scheduler!r} must return one non-negative "
+                f"finite coefficient per class, got {values}"
+            )
+        return values
+
     if calibration is not None:
         coeffs = [float(c) for c in calibration]
         if len(coeffs) != len(sdps) or any(
@@ -228,10 +431,24 @@ def fluid_split(
             raise ConfigurationError(
                 f"calibration must be positive and finite per class: {coeffs}"
             )
-    elif scheduler == "fcfs":
-        coeffs = [1.0] * len(sdps)
-    else:  # wtp / bpr: proportional model, d_i proportional to 1/s_i
-        coeffs = [1.0 / s for s in sdps]
+        weight = min(1.0, max(0.0, getattr(fn, "calibration_weight", 1.0)))
+        if weight < 1.0:
+            # Shrink the measured shape toward the analytic prior.  Both
+            # vectors are normalized to a count-weighted mean of one so
+            # the blend mixes *shapes*; the absolute scale is re-imposed
+            # by Eq 5 below either way.
+            analytic = _analytic()
+            total = sum(counts)
+            m_norm = sum(n * c for n, c in zip(counts, coeffs))
+            a_norm = sum(n * c for n, c in zip(counts, analytic))
+            if total > 0 and m_norm > 0 and a_norm > 0:
+                coeffs = [
+                    weight * (c * total / m_norm)
+                    + (1.0 - weight) * (a * total / a_norm)
+                    for c, a in zip(coeffs, analytic)
+                ]
+    else:
+        coeffs = _analytic()
     weighted = sum(n * c for n, c in zip(counts, coeffs))
     total = sum(counts)
     if total == 0 or weighted <= 0:
@@ -251,11 +468,12 @@ def drain_idle(
 
     BPR follows Proposition 1's closed form
     (:class:`~repro.schedulers.bpr.FluidBPRTracker`); strict priority
-    depletes top class down; FCFS and WTP drain proportionally (the
-    uniform-theta fluid, exact for FCFS backlog whose per-class
-    composition is uniform in arrival order).  All disciplines clear
-    simultaneously at :func:`fluid_clearing_time` -- work conservation
-    fixes the total; only the per-class composition differs.
+    depletes top class down; every other discipline drains
+    proportionally (the uniform-theta fluid, exact for FCFS backlog
+    whose per-class composition is uniform in arrival order).  All
+    disciplines clear simultaneously at :func:`fluid_clearing_time` --
+    work conservation fixes the total; only the per-class composition
+    differs.
     """
     from ..schedulers.bpr import FluidBPRTracker, fluid_clearing_time
 
@@ -285,6 +503,86 @@ def drain_idle(
         return out
     drained_fraction = 1.0 - capacity * span / total
     return [q * drained_fraction for q in backlogs]
+
+
+# ----------------------------------------------------------------------
+# Envelope cross-checks (fluid-segment sanity bounds)
+# ----------------------------------------------------------------------
+def check_fluid_envelopes(
+    scheduler: str,
+    sdps: Sequence[float],
+    delays: Sequence[float],
+    counts: Sequence[int],
+    waits: np.ndarray,
+    times: np.ndarray,
+    class_ids: np.ndarray,
+    sizes: np.ndarray,
+    capacity: float,
+    span: float,
+) -> Optional[str]:
+    """Cross-check a fluid window's per-class means against analytic
+    delay envelopes; return a violation description or ``None``.
+
+    Two bounds, both with :data:`ENVELOPE_SLACK` headroom:
+
+    * **Multiclass-FIFO delay bound** (Jiang & Misra): under any
+      work-conserving discipline no class's queueing delay can exceed
+      the worst aggregate backlog the window ever built, i.e.
+      ``d_i <= max_k W_k + S_max / C``.  A split map whose
+      differentiated mean escapes that certifies a broken coefficient
+      vector, not heavy load.
+    * **Rate-guarantee bound** (Mukherjee et al., DRR/SCFQ): a class
+      served at a guaranteed rate ``r_i`` (GPS water-filled share,
+      which is what DRR's quanta and SCFQ's weights implement) waits no
+      more than its own dedicated-rate Lindley mean plus one service
+      round.  Checked only for the rate-guarantee schedulers.
+
+    Both are *model* checks at the segment boundary: a violation means
+    the analytic split drifted off the physically possible region, and
+    the caller demotes the segment to packet mode.
+    """
+    from ..core.conservation import fcfs_waiting_times
+
+    live = [
+        (cid, float(d))
+        for cid, (d, n) in enumerate(zip(delays, counts))
+        if n and math.isfinite(d)
+    ]
+    if not live or not len(waits):
+        return None
+    max_service = float(sizes.max()) / capacity if len(sizes) else 0.0
+    fifo_bound = ENVELOPE_SLACK * (float(waits.max()) + max_service)
+    worst_cid, worst = max(live, key=lambda item: item[1])
+    if fifo_bound > 0 and worst > fifo_bound:
+        return (
+            f"multiclass-fifo bound: class {worst_cid} mean {worst:.4g} "
+            f"> {fifo_bound:.4g} (slack x (max wait + max service))"
+        )
+    if scheduler.lower() in _RATE_GUARANTEE_SCHEDULERS and span > 0:
+        from ..schedulers.wfq import gps_fluid_rates
+
+        demands = [
+            float(sizes[class_ids == cid].sum()) / span
+            for cid in range(len(sdps))
+        ]
+        rates = gps_fluid_rates(sdps, demands, capacity)
+        round_time = len(sdps) * max_service
+        for cid, d in live:
+            rate = rates[cid]
+            if rate <= 0:
+                continue
+            mask = class_ids == cid
+            dedicated = fcfs_waiting_times(times[mask], sizes[mask], rate)
+            bound = ENVELOPE_SLACK * (
+                float(dedicated.mean()) + round_time + max_service
+            )
+            if bound > 0 and d > bound:
+                return (
+                    f"rate-guarantee bound: class {cid} mean {d:.4g} "
+                    f"> {bound:.4g} (slack x (dedicated-rate Lindley mean "
+                    f"+ round))"
+                )
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -332,10 +630,11 @@ def fluid_window(
     """
     from ..core.conservation import fcfs_waiting_times
 
-    if scheduler not in FLUID_SCHEDULERS:
+    if scheduler != "strict" and not _has_fluid_map(scheduler):
         raise ConfigurationError(
-            f"no fluid map for scheduler {scheduler!r}; "
-            f"choose from {FLUID_SCHEDULERS}"
+            f"no fluid map registered for scheduler {scheduler!r}; "
+            f"supported: {fluid_supported()}; add one via "
+            f"repro.sim.hybrid.register_fluid_map(name, fn)"
         )
     carried = [float(q) for q in carried]
     if len(carried) != num_classes:
@@ -387,7 +686,13 @@ def fluid_window(
             num_classes, capacity, start, carried,
         )
     else:
-        delays = fluid_split(scheduler, sdps, counts, d_agg, calibration)
+        class_bytes = np.bincount(
+            window_classes, weights=sizes[:cut], minlength=num_classes
+        ).tolist()
+        delays = fluid_split(
+            scheduler, sdps, counts, d_agg, calibration,
+            class_bytes=class_bytes, span=end - start, capacity=capacity,
+        )
 
     if regenerated:
         return FluidWindowResult(
@@ -493,6 +798,7 @@ def plan_segments(
     hybrid: HybridConfig,
     transients: Sequence[float],
     predicted_error: Callable[[float, float], float],
+    report: Optional[list[dict]] = None,
 ) -> list[Segment]:
     """Alternating packet/fluid plan for ``[0, horizon)``.
 
@@ -502,6 +808,12 @@ def plan_segments(
     *candidates*, accepted only when they span at least ``min_fluid``
     and ``predicted_error(t0, t1) <= epsilon``.  With ``epsilon = 0``
     the single returned segment is pure packet.
+
+    When ``report`` is a list, one dict per candidate gap is appended
+    describing its verdict -- ``accepted`` plus, for rejections, the
+    ``reason`` (too short vs ``min_fluid``, or predicted error above
+    ``epsilon``) -- which is what :func:`repro.network.multihop.run_multihop`
+    surfaces when a hybrid run ends up taking zero fluid segments.
     """
     if horizon <= 0:
         raise ConfigurationError(f"horizon must be positive: {horizon}")
@@ -529,10 +841,34 @@ def plan_segments(
     boundaries = merged + [[horizon, horizon]]
     for lo, hi in boundaries:
         if cursor < lo:  # gap between forced intervals: fluid candidate
-            accept = (
-                lo - cursor >= hybrid.min_fluid
-                and predicted_error(cursor, lo) <= hybrid.epsilon
-            )
+            span = lo - cursor
+            if span < hybrid.min_fluid:
+                accept = False
+                reason = (
+                    f"gap [{cursor:g}, {lo:g}) spans {span:g} "
+                    f"< min_fluid {hybrid.min_fluid:g}"
+                )
+            else:
+                err = predicted_error(cursor, lo)
+                accept = err <= hybrid.epsilon
+                reason = (
+                    ""
+                    if accept
+                    else (
+                        f"gap [{cursor:g}, {lo:g}) predicted error "
+                        f"{err:.4f} > epsilon {hybrid.epsilon:g}"
+                    )
+                )
+            if report is not None:
+                report.append(
+                    {
+                        "start": cursor,
+                        "end": lo,
+                        "span": span,
+                        "accepted": accept,
+                        "reason": reason,
+                    }
+                )
             segments.append(Segment(cursor, lo, "fluid" if accept else "packet"))
         cursor = max(cursor, min(hi, horizon))
         if cursor < horizon and hi >= lo and lo < horizon:
@@ -560,14 +896,33 @@ def plan_segments(
 # ----------------------------------------------------------------------
 # Controller
 # ----------------------------------------------------------------------
+@dataclass
+class _LinkFlux:
+    """One link's evaluated fluid state within a window."""
+
+    times: np.ndarray
+    class_ids: np.ndarray
+    sizes: np.ndarray
+    phantom: np.ndarray  # True for carried-backlog bytes relayed downstream
+    waits: np.ndarray
+    departures: np.ndarray
+    lindley_times: np.ndarray
+    lindley_sizes: np.ndarray
+    carried_total: float
+
+
 class HybridController:
     """Drives one city cell through alternating packet/fluid segments.
 
-    Owns the run's single :class:`DelayMonitor`: packet segments build
-    a fresh topology (so no stale calendar state crosses a handoff)
-    and attach it to the hub; fluid segments credit their Eq 5 class
-    means into the same streaming stats.  ``Simulator.run(hybrid=ctrl)``
-    delegates whole-run control here.
+    Network-wide: fluid segments cover *every* link of the topology
+    (:func:`repro.scenarios.generators.city_link_graph`), propagating
+    each link's fluid departure process into its downstream link, with
+    per-link carried backlogs at the handoffs.  Owns the run's single
+    :class:`DelayMonitor`: packet segments build a fresh topology (so
+    no stale calendar state crosses a handoff) and attach it to the
+    hub; fluid segments credit the hub's Eq 5 class means into the
+    same streaming stats.  ``Simulator.run(hybrid=ctrl)`` delegates
+    whole-run control here.
     """
 
     def __init__(
@@ -575,26 +930,41 @@ class HybridController:
         config: "CityScenarioConfig",
         traces: Sequence["ArrivalTrace"],
     ) -> None:
-        from ..scenarios.generators import total_byte_rate
+        from ..scenarios.generators import city_link_graph
 
         hybrid = config.hybrid
         if hybrid is None:
             raise ConfigurationError("config.hybrid must be set")
-        if hybrid.epsilon > 0 and config.scheduler not in FLUID_SCHEDULERS:
+        if hybrid.epsilon > 0 and not (
+            config.scheduler == "strict" or _has_fluid_map(config.scheduler)
+        ):
             raise ConfigurationError(
-                f"hybrid fluid maps exist only for {FLUID_SCHEDULERS}; "
-                f"got {config.scheduler!r} (set epsilon=0 for pure packet)"
+                f"no fluid map registered for scheduler "
+                f"{config.scheduler!r}; supported: {fluid_supported()}; "
+                f"register one via repro.sim.hybrid.register_fluid_map "
+                f"or set epsilon=0 for pure packet"
             )
         self.config = config
         self.hybrid = hybrid
         self.traces = list(traces)
-        self.capacity = total_byte_rate(config) / config.utilization
+        self.graph = city_link_graph(config)
+        self.hub_index = len(self.graph) - 1
+        self.capacity = self.graph[self.hub_index].capacity
         self.monitor = DelayMonitor(config.num_classes, warmup=config.warmup)
         self.timeline: list[dict] = []
+        self.demotions: list[dict] = []
+        self.gap_reports: list[dict] = []
         self.packet_departures = 0
         self.fluid_credited = 0
         self.seeded_packets = 0
-        self._carried = [0.0] * config.num_classes
+        self._carried: list[list[float]] = [
+            [0.0] * config.num_classes for _ in self.graph
+        ]
+        # Packet-measured-only accumulators: calibration must come from
+        # real departures, not from earlier fluid credits (which would
+        # make the split model self-referential).
+        self._packet_counts = [0] * config.num_classes
+        self._packet_totals = [0.0] * config.num_classes
         self._last_delays: list[float] = [math.nan] * config.num_classes
         self._hub_trace: Optional["ArrivalTrace"] = None
         self._seed_serial = 0
@@ -602,7 +972,7 @@ class HybridController:
     # -- derived inputs -------------------------------------------------
     @property
     def hub_trace(self) -> "ArrivalTrace":
-        """All branch traces merged: the hub's offered arrival stream."""
+        """All branch traces merged: the cell's offered arrival stream."""
         if self._hub_trace is None:
             from ..traffic.trace import ArrivalTrace, merge_traces
 
@@ -650,10 +1020,13 @@ class HybridController:
 
         transients = list(envelope.change_points(self.hybrid.rate_jump))
         transients.extend(self.config.load_shape.transient_edges(horizon))
-        return plan_segments(
+        report: list[dict] = []
+        segments = plan_segments(
             horizon, self.config.warmup, self.hybrid, transients,
-            predicted_error,
+            predicted_error, report=report,
         )
+        self.gap_reports = report
+        return segments
 
     # -- run ------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> "HybridController":
@@ -667,12 +1040,16 @@ class HybridController:
             if cursor >= segment.end:
                 continue
             start = max(cursor, segment.start)
+            next_is_fluid = (
+                index + 1 < len(plan) and plan[index + 1].mode == "fluid"
+            )
             if segment.mode == "fluid":
-                cursor = self._run_fluid(start, segment.end)
+                handoff = self._run_fluid(start, segment.end)
+                if handoff is None:  # envelope demotion
+                    cursor = self._run_packet(start, segment.end, next_is_fluid)
+                else:
+                    cursor = handoff
             else:
-                next_is_fluid = (
-                    index + 1 < len(plan) and plan[index + 1].mode == "fluid"
-                )
                 cursor = self._run_packet(start, segment.end, next_is_fluid)
         return self
 
@@ -687,11 +1064,20 @@ class HybridController:
         sim = Simulator()
         entries, links, hub = build_city_topology(sim, config)
         hub.add_monitor(self.monitor)
+        by_name = {link.name: link for link in links}
 
-        if sum(self._carried) > 0:
-            seeds = self._build_seeds(start)
+        for idx, spec in enumerate(self.graph):
+            carried = self._carried[idx]
+            if sum(carried) <= 0:
+                continue
+            hints = (
+                self._last_delays
+                if idx == self.hub_index
+                else [sum(carried) / spec.capacity] * config.num_classes
+            )
+            seeds = self._build_seeds(start, carried, hints, spec.capacity)
             if seeds:
-                sim.schedule(start, hub.seed_backlog, seeds)
+                sim.schedule(start, by_name[spec.name].seed_backlog, seeds)
         # Feed each branch its slice; extend past the boundary by the
         # regeneration search window so the handoff has live traffic.
         feed_end = end + (self.hybrid.regen_window if seek_regen else 0.0)
@@ -711,9 +1097,12 @@ class HybridController:
             fed += hi - lo
 
         departures_before = hub.departures
+        stats_before = [
+            (s.count, s.total) for s in self.monitor.stats
+        ]
         sim.run(until=end)
         handoff = end
-        self._carried = [0.0] * config.num_classes
+        self._carried = [[0.0] * config.num_classes for _ in self.graph]
         if seek_regen:
             deadline = end + self.hybrid.regen_window
             while any(link.busy for link in links):
@@ -722,16 +1111,19 @@ class HybridController:
                     break
                 sim.step()
             if any(link.busy for link in links):
-                # No regeneration point: read the backlog out instead.
+                # No regeneration point: read each link's backlog out.
                 handoff = max(sim.now, end)
-                carried = [0.0] * config.num_classes
-                for link in links:
-                    for cid, q in enumerate(link.backlog_snapshot(handoff)):
-                        carried[cid] += q
-                self._carried = carried
+                for idx, spec in enumerate(self.graph):
+                    self._carried[idx] = list(
+                        by_name[spec.name].backlog_snapshot(handoff)
+                    )
             else:
                 handoff = max(sim.now, end)
         self.packet_departures += hub.departures - departures_before
+        for cid, (count0, total0) in enumerate(stats_before):
+            stats = self.monitor.stats[cid]
+            self._packet_counts[cid] += stats.count - count0
+            self._packet_totals[cid] += stats.total - total0
         self.timeline.append(
             {
                 "mode": "packet",
@@ -743,8 +1135,15 @@ class HybridController:
         )
         return handoff
 
-    def _build_seeds(self, start: float) -> list[Packet]:
-        """Materialize the carried fluid backlog as synthetic packets.
+    def _build_seeds(
+        self,
+        start: float,
+        carried: Sequence[float],
+        delay_hints: Sequence[float],
+        capacity: float,
+    ) -> list[Packet]:
+        """Materialize one link's carried fluid backlog as synthetic
+        packets.
 
         Per class, the backlog becomes ``round(q / mean_size)`` equal
         packets whose arrival stamps are backdated over the class's
@@ -755,16 +1154,16 @@ class HybridController:
         """
         trace = self.hub_trace
         packets: list[Packet] = []
-        for cid, backlog in enumerate(self._carried):
+        for cid, backlog in enumerate(carried):
             if backlog <= 0:
                 continue
             class_sizes = trace.sizes[trace.class_ids == cid]
             mean_size = float(class_sizes.mean()) if len(class_sizes) else 1000.0
             count = max(1, int(round(backlog / mean_size)))
             size = backlog / count
-            est = self._last_delays[cid]
+            est = delay_hints[cid]
             if not math.isfinite(est) or est <= 0:
-                est = backlog / self.capacity
+                est = backlog / capacity
             for k in range(count):
                 arrived = start - est + est * (k + 1.0) / (count + 1.0)
                 packet = Packet(
@@ -782,36 +1181,237 @@ class HybridController:
     # -- fluid segments -------------------------------------------------
     def _calibration(self) -> Optional[list[float]]:
         """Measured per-class means, once every class has enough
-        packet-mode samples to trust."""
-        stats = self.monitor.stats
-        if all(s.count >= _CALIBRATION_SAMPLES for s in stats):
-            means = [s.mean for s in stats]
+        packet-mode samples to trust.  Only *packet-measured*
+        departures count: folding earlier fluid credits back in would
+        calibrate the split model against itself."""
+        if all(n >= _CALIBRATION_SAMPLES for n in self._packet_counts):
+            means = [
+                total / n
+                for total, n in zip(self._packet_totals, self._packet_counts)
+            ]
             if all(math.isfinite(m) and m > 0 for m in means):
                 return means
         return None
 
-    def _run_fluid(self, start: float, end: float) -> float:
-        """One fluid segment; returns the actual handoff time."""
-        config = self.config
-        trace = self.hub_trace
-        lo = int(np.searchsorted(trace.times, start, side="left"))
-        hi = int(np.searchsorted(trace.times, end, side="left"))
-        result = fluid_window(
-            trace.times[lo:hi],
-            trace.class_ids[lo:hi],
-            trace.sizes[lo:hi],
-            config.num_classes,
-            self.capacity,
-            start,
-            end,
-            config.scheduler,
-            config.sdps,
-            self._carried,
-            calibration=self._calibration(),
-            regen_window=self.hybrid.regen_window,
+    def _evaluate_links(
+        self, start: float, end: float
+    ) -> tuple[list[_LinkFlux], np.ndarray]:
+        """Walk the link graph in topological order, turning each
+        link's Lindley departure process into its downstream link's
+        arrival process.  Returns per-link flux plus the merged
+        external arrival times (the regeneration-cut candidates).
+
+        Bytes are conserved across the walk: departures at or after
+        ``end`` stay in the upstream link's terminal backlog (they have
+        not reached the next queue yet), and carried-in backlog drains
+        downstream as *phantom* arrivals -- real bytes that must load
+        the downstream Lindley walk but were already credited (or
+        seeded) in an earlier segment, so the hub excludes them from
+        the per-class delay statistics.
+        """
+        from ..core.conservation import fcfs_waiting_times
+
+        span = end - start
+        pieces: list[list[tuple]] = [[] for _ in self.graph]
+        ext_times: list[np.ndarray] = []
+        for idx, spec in enumerate(self.graph):
+            for b in spec.branches:
+                tr = self.traces[b]
+                lo = int(np.searchsorted(tr.times, start, side="left"))
+                hi = int(np.searchsorted(tr.times, end, side="left"))
+                if hi > lo:
+                    pieces[idx].append(
+                        (
+                            tr.times[lo:hi],
+                            tr.class_ids[lo:hi],
+                            tr.sizes[lo:hi],
+                            None,
+                        )
+                    )
+                    ext_times.append(tr.times[lo:hi])
+
+        fluxes: list[_LinkFlux] = []
+        for idx, spec in enumerate(self.graph):
+            parts = pieces[idx]
+            if parts:
+                times = np.concatenate([p[0] for p in parts])
+                cids = np.concatenate([p[1] for p in parts])
+                sizes = np.concatenate([p[2] for p in parts])
+                phantom = np.concatenate(
+                    [
+                        p[3]
+                        if p[3] is not None
+                        else np.zeros(len(p[0]), dtype=bool)
+                        for p in parts
+                    ]
+                )
+                if len(parts) > 1:
+                    order = np.argsort(times, kind="stable")
+                    times = times[order]
+                    cids = cids[order]
+                    sizes = sizes[order]
+                    phantom = phantom[order]
+            else:
+                times = np.empty(0)
+                cids = np.empty(0, dtype=np.int64)
+                sizes = np.empty(0)
+                phantom = np.empty(0, dtype=bool)
+
+            carried = self._carried[idx]
+            carried_total = float(sum(carried))
+            if carried_total > 0:
+                lt = np.concatenate(([start], times))
+                ls = np.concatenate(([carried_total], sizes))
+                offset = 1
+            else:
+                lt = times
+                ls = sizes
+                offset = 0
+            waits_all = (
+                fcfs_waiting_times(lt, ls, spec.capacity)
+                if len(lt)
+                else np.empty(0)
+            )
+            waits = waits_all[offset:]
+            deps = (
+                times + waits + sizes / spec.capacity
+                if len(times)
+                else np.empty(0)
+            )
+            fluxes.append(
+                _LinkFlux(
+                    times=times,
+                    class_ids=cids,
+                    sizes=sizes,
+                    phantom=phantom,
+                    waits=waits,
+                    departures=deps,
+                    lindley_times=lt,
+                    lindley_sizes=ls,
+                    carried_total=carried_total,
+                )
+            )
+            if spec.downstream is None:
+                continue
+            # Departures within the window feed the downstream link;
+            # later ones remain in this link's terminal backlog.
+            if len(times):
+                mask = deps < end
+                if mask.any():
+                    pieces[spec.downstream].append(
+                        (deps[mask], cids[mask], sizes[mask], phantom[mask])
+                    )
+            if carried_total > 0:
+                # Carried bytes sit at the head of the FCFS order, so
+                # exactly min(carried, span * C) of them drain into the
+                # downstream link during the window.
+                drained = min(carried_total, span * spec.capacity)
+                if drained > 0:
+                    vdep = min(
+                        start + carried_total / spec.capacity,
+                        np.nextafter(end, start),
+                    )
+                    frac = drained / carried_total
+                    pt, pc, ps = [], [], []
+                    for cid, q in enumerate(carried):
+                        if q > 0:
+                            pt.append(vdep)
+                            pc.append(cid)
+                            ps.append(q * frac)
+                    pieces[spec.downstream].append(
+                        (
+                            np.asarray(pt),
+                            np.asarray(pc, dtype=np.int64),
+                            np.asarray(ps),
+                            np.ones(len(pt), dtype=bool),
+                        )
+                    )
+        merged_ext = (
+            np.sort(np.concatenate(ext_times)) if ext_times else np.empty(0)
         )
+        return fluxes, merged_ext
+
+    def _find_network_cut(
+        self, fluxes: list[_LinkFlux], ext_times: np.ndarray,
+        start: float, end: float,
+    ) -> Optional[float]:
+        """Latest external arrival in the regeneration window at which
+        the *whole network* is idle (every link's prior departures have
+        completed) -- the exact fluid->packet handoff."""
+        window = self.hybrid.regen_window
+        if window <= 0 or not len(ext_times):
+            return None
+        lo = int(np.searchsorted(ext_times, end - window, side="left"))
+        candidates = ext_times[lo:]
+        for t in candidates[::-1][:128]:
+            t = float(t)
+            idle = True
+            for spec, flux in zip(self.graph, fluxes):
+                if flux.carried_total > 0:
+                    vdep = start + flux.carried_total / spec.capacity
+                    if vdep > t:
+                        idle = False
+                        break
+                k = int(np.searchsorted(flux.times, t, side="left")) - 1
+                if k >= 0 and float(flux.departures[k]) > t:
+                    idle = False
+                    break
+            if idle:
+                return t
+        return None
+
+    def _run_fluid(self, start: float, end: float) -> Optional[float]:
+        """One network-wide fluid segment; returns the actual handoff
+        time, or ``None`` when an envelope violation demotes the
+        segment back to packet mode."""
+        config = self.config
+        num_classes = config.num_classes
+        hub_idx = self.hub_index
+        fluxes, ext_times = self._evaluate_links(start, end)
+        cut = self._find_network_cut(fluxes, ext_times, start, end)
+
+        hub = fluxes[hub_idx]
+        hub_stop = (
+            int(np.searchsorted(hub.times, cut, side="left"))
+            if cut is not None
+            else len(hub.times)
+        )
+        real = ~hub.phantom[:hub_stop]
+        htimes = hub.times[:hub_stop][real]
+        hcids = hub.class_ids[:hub_stop][real]
+        hsizes = hub.sizes[:hub_stop][real]
+        hwaits = hub.waits[:hub_stop][real]
+        counts = np.bincount(hcids, minlength=num_classes).tolist()
+        d_agg = float(hwaits.mean()) if len(hwaits) else math.nan
+        span = (cut if cut is not None else end) - start
+
+        if config.scheduler == "strict":
+            delays = _strict_subset_delays(
+                htimes, hcids, hsizes, num_classes, self.capacity,
+                start, self._carried[hub_idx],
+            )
+        else:
+            class_bytes = np.bincount(
+                hcids, weights=hsizes, minlength=num_classes
+            ).tolist()
+            delays = fluid_split(
+                config.scheduler, config.sdps, counts, d_agg,
+                calibration=self._calibration(),
+                class_bytes=class_bytes, span=span, capacity=self.capacity,
+            )
+
+        violation = check_fluid_envelopes(
+            config.scheduler, config.sdps, delays, counts,
+            hwaits, htimes, hcids, hsizes, self.capacity, span,
+        )
+        if violation is not None:
+            self.demotions.append(
+                {"start": start, "end": end, "reason": violation}
+            )
+            return None
+
         credited = 0
-        for cid, (n, d) in enumerate(zip(result.counts, result.delays)):
+        for cid, (n, d) in enumerate(zip(counts, delays)):
             if n and math.isfinite(d):
                 stats = self.monitor.stats[cid]
                 stats.count += n
@@ -823,20 +1423,44 @@ class HybridController:
                     stats.max = d
                 credited += n
                 self._last_delays[cid] = d
+
+        if cut is not None:
+            handoff = cut
+            deferred = int(len(ext_times) - np.searchsorted(ext_times, cut))
+            self._carried = [[0.0] * num_classes for _ in self.graph]
+            regenerated = True
+        else:
+            handoff = end
+            deferred = 0
+            regenerated = False
+            for idx, (spec, flux) in enumerate(zip(self.graph, fluxes)):
+                terminal = _terminal_workload(
+                    flux.lindley_times, flux.lindley_sizes,
+                    spec.capacity, end,
+                ) * spec.capacity
+                link_counts = np.bincount(
+                    flux.class_ids, minlength=num_classes
+                ).tolist()
+                weight_delays = delays if idx == hub_idx else [1.0] * num_classes
+                self._carried[idx] = _split_backlog(
+                    terminal, link_counts, flux.sizes, flux.class_ids,
+                    weight_delays, self._carried[idx], num_classes,
+                )
+
         self.fluid_credited += credited
-        self._carried = list(result.end_backlogs)
         self.timeline.append(
             {
                 "mode": "fluid",
                 "start": start,
-                "end": result.handoff_time,
+                "end": handoff,
                 "arrivals": credited,
-                "deferred": result.deferred,
-                "regenerated": result.regenerated,
-                "d_agg": result.d_agg,
+                "deferred": deferred,
+                "regenerated": regenerated,
+                "d_agg": d_agg,
+                "links": len(self.graph),
             }
         )
-        return result.handoff_time
+        return handoff
 
     # -- reporting ------------------------------------------------------
     def summary(self) -> dict:
@@ -854,6 +1478,9 @@ class HybridController:
             "packet_departures": self.packet_departures,
             "fluid_credited": self.fluid_credited,
             "seeded_packets": self.seeded_packets,
+            "links": len(self.graph),
+            "demotions": list(self.demotions),
+            "gaps": list(self.gap_reports),
             "timeline": self.timeline,
         }
 

@@ -968,6 +968,14 @@ class Link:
         come from inside a scheduled event -- the hybrid controller
         schedules it at the packet segment's start instant.  Service
         begins immediately when the link was idle.
+
+        On a multihop topology *every* link is seeded independently
+        with its own carried backlog: the hub's seeds are backdated by
+        the fluid per-class delay estimates, upstream hops' by a
+        uniform drain-time estimate (their per-class fluid state is
+        aggregate-only).  Byte totals per link are exact either way;
+        the age profile is the modeled part of the handoff contract
+        (see ``DESIGN.md``, "Fluid/packet handoff contract").
         """
         now = self.sim.now
         scheduler = self.scheduler
@@ -987,6 +995,9 @@ class Link:
         chain-fused drain may leave at most one in-flight packet
         unaccounted, which the hybrid's guard bands absorb).  Call only
         while the calendar is at rest (between ``run`` invocations).
+        The network-wide hybrid controller reads every link's snapshot
+        at a packet segment's end and threads each into that link's
+        carried backlog for the next fluid segment.
         """
         if now is None:
             now = self.sim.now

@@ -428,6 +428,51 @@ def hybrid_epsilon_zero_cell(seed: int = 5) -> None:
     assert controller.packet_departures == reference["hub_departures"]
 
 
+def hybrid_multihop_epsilon_zero_cell(scheduler: str, seed: int = 5) -> None:
+    """``epsilon = 0`` on a *multihop* cell, for any registry scheduler.
+
+    The network-wide extension of :func:`hybrid_epsilon_zero_cell`: on
+    a 2-branch, 2-hops-per-branch star the planner must emit exactly
+    one packet segment and the controller run must be bit-identical to
+    the plain evented multihop city path -- per-class delay means,
+    counts, and hub departures compared with ``==``.  Holding for every
+    registered scheduler (including those *without* a fluid map, which
+    the ``epsilon = 0`` path must accept) pins that the network-wide
+    fluid layer is a pure optimization that can always be turned off.
+    """
+    import dataclasses
+
+    from repro.scenarios.city import (
+        CityScenarioConfig,
+        CityTask,
+        city_summary,
+        compile_city_traces,
+    )
+    from repro.sim.hybrid import HybridConfig, HybridController
+
+    config = CityScenarioConfig(
+        scheduler=scheduler,
+        topology="star_of_chains",
+        branches=2,
+        hops_per_branch=2,
+        flows=32,
+        horizon=6_000.0,
+        warmup=400.0,
+        seed=seed,
+        hybrid=HybridConfig(epsilon=0.0),
+    )
+    controller = HybridController(config, compile_city_traces(config))
+    plan = controller.plan(config.horizon)
+    assert [segment.mode for segment in plan] == ["packet"], plan
+    controller.run()
+    reference = city_summary(
+        CityTask(dataclasses.replace(config, hybrid=None))
+    )
+    assert controller.monitor.mean_delays() == reference["mean_delays"]
+    assert controller.monitor.counts() == reference["class_counts"]
+    assert controller.packet_departures == reference["hub_departures"]
+
+
 # ----------------------------------------------------------------------
 # CLI (CI matrix job)
 # ----------------------------------------------------------------------
@@ -463,6 +508,16 @@ def _run_matrix(check_invariants: bool) -> tuple[list[tuple], bool]:
     except Exception as exc:  # noqa: BLE001 - table, not control flow
         rows.append(("hybrid:eps0", {"verify": f"FAIL: {type(exc).__name__}: {exc}"}))
         all_ok = False
+    for scheduler in SCHEDULERS:
+        row = f"hybrid-multihop:eps0:{scheduler}"
+        try:
+            hybrid_multihop_epsilon_zero_cell(scheduler)
+            rows.append((row, {"verify": "pass"}))
+        except Exception as exc:  # noqa: BLE001 - table, not control flow
+            rows.append(
+                (row, {"verify": f"FAIL: {type(exc).__name__}: {exc}"})
+            )
+            all_ok = False
     return rows, all_ok
 
 

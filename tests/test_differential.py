@@ -33,6 +33,7 @@ from .differential import (
     SHAPES,
     differential_cell,
     hybrid_epsilon_zero_cell,
+    hybrid_multihop_epsilon_zero_cell,
     run_cell,
 )
 from .test_invariants import SDPS, small_config
@@ -51,6 +52,13 @@ def test_hybrid_epsilon_zero_is_pure_packet() -> None:
     """Hybrid mode of the harness: epsilon=0 plans a single packet
     segment and reproduces the evented city run bit-for-bit."""
     hybrid_epsilon_zero_cell()
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_hybrid_multihop_epsilon_zero_is_pure_packet(scheduler: str) -> None:
+    """Network-wide hybrid at epsilon=0: bit-identical to the evented
+    multihop city run for every registry scheduler (fluid map or not)."""
+    hybrid_multihop_epsilon_zero_cell(scheduler)
 
 
 def test_every_registry_name_covered() -> None:

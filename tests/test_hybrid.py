@@ -312,8 +312,10 @@ class TestFluidSplit:
     def test_strict_and_unknown_rejected(self):
         with pytest.raises(ConfigurationError, match="successive-subset"):
             fluid_split("strict", SDPS, [1, 1, 1, 1], 1.0)
-        with pytest.raises(ConfigurationError, match="fluid map"):
-            fluid_split("drr", SDPS, [1, 1, 1, 1], 1.0)
+        # qwtp is a registered *scheduler* but has no fluid map: the
+        # registry error must name the supported set.
+        with pytest.raises(ConfigurationError, match="register_fluid_map"):
+            fluid_split("qwtp", SDPS, [1, 1, 1, 1], 1.0)
         with pytest.raises(ConfigurationError, match="calibration"):
             fluid_split(
                 "wtp", SDPS, [1, 1, 1, 1], 1.0, calibration=[1.0, 0.0, 1.0, 1.0]
@@ -538,14 +540,15 @@ class TestController:
         assert hybrid["hybrid"]["fluid_time_fraction"] > 0.8
 
     def test_unsupported_scheduler_rejected(self):
+        # qwtp has no registered fluid map (drr/scfq/pad/hpd now do).
         config = _small_cell(
-            scheduler="drr", hybrid=HybridConfig(epsilon=0.1)
+            scheduler="qwtp", hybrid=HybridConfig(epsilon=0.1)
         )
-        with pytest.raises(ConfigurationError, match="fluid maps"):
+        with pytest.raises(ConfigurationError, match="no fluid map"):
             HybridController(config, compile_city_traces(config))
 
     def test_epsilon_zero_allows_any_scheduler(self):
-        config = _small_cell(scheduler="drr", hybrid=HybridConfig(epsilon=0.0))
+        config = _small_cell(scheduler="qwtp", hybrid=HybridConfig(epsilon=0.0))
         controller = run_hybrid_city(config, compile_city_traces(config))
         assert controller.packet_departures > 0
 
